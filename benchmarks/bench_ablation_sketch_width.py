@@ -1,0 +1,85 @@
+"""ABL-K — ablation: accuracy / cost trade-off of the sketch width k.
+
+DESIGN.md calls out the k = O(log² n) sizing rule as a design choice; this
+ablation sweeps k and records estimate accuracy, top-k recall, construction
+time and memory, validating that the suggested width sits on the knee of the
+accuracy curve (doubling k beyond it buys little accuracy for twice the
+cost).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import report
+from repro.data.datasets import make_numeric_table
+from repro.sketch.hyperplane import HyperplaneSketcher, suggest_width
+from repro.stats.correlation import correlation_matrix
+
+N_ROWS = 50_000
+N_COLUMNS = 40
+WIDTHS = [16, 64, 256, 1024, 2048]
+
+
+def _workload():
+    table = make_numeric_table(
+        n_rows=N_ROWS, n_columns=N_COLUMNS, block_correlation=0.8, seed=13
+    )
+    matrix, names = table.numeric_matrix()
+    return matrix, correlation_matrix(matrix)
+
+
+def sweep_width(matrix: np.ndarray, exact: np.ndarray, width: int) -> dict[str, float]:
+    start = time.perf_counter()
+    sketcher = HyperplaneSketcher(n_rows=N_ROWS, width=width, seed=7)
+    sketches = sketcher.sketch_matrix(matrix)
+    construction = time.perf_counter() - start
+    start = time.perf_counter()
+    approx = sketcher.correlation_matrix(sketches)
+    estimation = time.perf_counter() - start
+    d = matrix.shape[1]
+    pairs = [(i, j) for i in range(d) for j in range(i + 1, d)]
+    exact_top = set(sorted(pairs, key=lambda p: -abs(exact[p]))[:30])
+    sketch_top = set(sorted(pairs, key=lambda p: -abs(approx[p]))[:30])
+    errors = np.abs(approx - exact)[np.triu_indices(d, 1)]
+    return {
+        "k": width,
+        "mean |error|": float(errors.mean()),
+        "max |error|": float(errors.max()),
+        "top30 recall %": 100.0 * len(exact_top & sketch_top) / 30,
+        "construction (s)": construction,
+        "estimation (ms)": estimation * 1000,
+        "memory (KiB)": sketcher.memory_bytes(d) / 1024,
+    }
+
+
+def test_width_ablation_accuracy_monotone(benchmark):
+    matrix, exact = _workload()
+    rows = benchmark.pedantic(
+        lambda: [sweep_width(matrix, exact, width) for width in WIDTHS],
+        rounds=1, iterations=1,
+    )
+    report(f"ABL-K — sketch width ablation (n = {N_ROWS}, |B| = {N_COLUMNS})", rows)
+
+    errors = [row["mean |error|"] for row in rows]
+    # Accuracy improves (error shrinks) as k grows ...
+    assert errors[0] > errors[-1]
+    assert all(earlier >= later * 0.8 for earlier, later in zip(errors, errors[1:]))
+    # ... and the suggested width already achieves high recall.
+    suggested = suggest_width(N_ROWS)
+    at_suggested = sweep_width(matrix, exact, suggested)
+    assert at_suggested["top30 recall %"] >= 80.0
+    # Memory follows |B| * k exactly.
+    for row in rows:
+        assert row["memory (KiB)"] * 1024 == N_COLUMNS * row["k"] / 8
+
+
+@pytest.mark.parametrize("width", [64, 1024])
+def test_width_construction_benchmark(benchmark, width):
+    matrix, _ = _workload()
+    sketcher = HyperplaneSketcher(n_rows=N_ROWS, width=width, seed=8)
+    sketches = benchmark.pedantic(sketcher.sketch_matrix, args=(matrix,), rounds=1, iterations=1)
+    assert len(sketches) == N_COLUMNS

@@ -1,0 +1,138 @@
+"""ABL-EST — ablation: alternative sketch backends.
+
+DESIGN.md lists two backend choices worth quantifying:
+
+* heavy hitters: Misra–Gries vs Space-Saving vs Count-Min vs exact counting
+  (accuracy of RelFreq(k, c) and of the recovered top-k set, plus time and
+  memory);
+* quantiles: Greenwald–Khanna rank error as a function of epsilon, against
+  exact quantiles.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import report
+from repro.data.datasets import make_zipf_categorical
+from repro.sketch.countmin import CountMinSketch
+from repro.sketch.frequent import MisraGriesSketch, SpaceSavingSketch, exact_counts
+from repro.sketch.quantile import QuantileSketch
+from repro.stats.frequency import relative_frequency_topk
+
+N_ITEMS = 200_000
+N_CATEGORIES = 2_000
+TOP_K = 10
+
+
+def _labels() -> list[str]:
+    column = make_zipf_categorical(
+        N_ITEMS, n_categories=N_CATEGORIES, exponent=1.3, seed=21
+    )
+    return column.valid_labels()
+
+
+def _evaluate_heavy_hitter_backend(name: str, sketch, labels, truth) -> dict[str, float]:
+    start = time.perf_counter()
+    sketch.update_many(labels)
+    build_seconds = time.perf_counter() - start
+    true_top = [k for k, _ in sorted(truth.items(), key=lambda kv: -kv[1])[:TOP_K]]
+    true_relfreq = relative_frequency_topk(labels, TOP_K)
+    if isinstance(sketch, CountMinSketch):
+        estimated_top = sorted(truth, key=lambda label: -sketch.estimate(label))[:TOP_K]
+        estimated_relfreq = sum(sketch.estimate(label) for label in estimated_top) / len(labels)
+    else:
+        estimated_top = [k for k, _ in sketch.top_k(TOP_K)]
+        estimated_relfreq = sketch.relative_frequency_topk(TOP_K)
+    recall = len(set(true_top) & set(estimated_top)) / TOP_K
+    return {
+        "backend": name,
+        "build (s)": build_seconds,
+        "memory (KiB)": sketch.memory_bytes() / 1024,
+        f"top{TOP_K} recall %": 100.0 * recall,
+        "RelFreq error": abs(estimated_relfreq - true_relfreq),
+    }
+
+
+def test_heavy_hitter_backends(benchmark):
+    labels = _labels()
+    truth = exact_counts(labels)
+    rows = benchmark.pedantic(
+        lambda: [
+            _evaluate_heavy_hitter_backend("misra-gries(256)", MisraGriesSketch(256), labels, truth),
+            _evaluate_heavy_hitter_backend("space-saving(256)", SpaceSavingSketch(256), labels, truth),
+            _evaluate_heavy_hitter_backend("count-min(1024x4)", CountMinSketch(1024, 4), labels, truth),
+        ],
+        rounds=1, iterations=1,
+    )
+    exact_start = time.perf_counter()
+    exact_counts(labels)
+    rows.append({
+        "backend": "exact dict",
+        "build (s)": time.perf_counter() - exact_start,
+        "memory (KiB)": N_CATEGORIES * 64 / 1024,
+        f"top{TOP_K} recall %": 100.0,
+        "RelFreq error": 0.0,
+    })
+    report("ABL-EST — heavy-hitter backends on a Zipf(1.3) stream", rows)
+    for row in rows[:3]:
+        assert row[f"top{TOP_K} recall %"] >= 80.0
+        assert row["RelFreq error"] < 0.08
+
+
+@pytest.mark.parametrize("epsilon", [0.05, 0.01, 0.002])
+def test_quantile_sketch_error_vs_epsilon(benchmark, epsilon):
+    rng = np.random.default_rng(3)
+    values = rng.lognormal(size=100_000)
+
+    def build() -> QuantileSketch:
+        built = QuantileSketch(epsilon=epsilon)
+        built.update_array(values)
+        return built
+
+    sketch = benchmark.pedantic(build, rounds=1, iterations=1)
+    ordered = np.sort(values)
+    worst_rank_error = 0.0
+    for q in np.linspace(0.05, 0.95, 19):
+        estimate = sketch.quantile(float(q))
+        rank = np.searchsorted(ordered, estimate, side="right")
+        worst_rank_error = max(worst_rank_error, abs(rank - q * values.size) / values.size)
+    report(
+        f"ABL-EST — GK quantile sketch at epsilon={epsilon}",
+        [{
+            "epsilon": epsilon,
+            "tuples stored": sketch.n_tuples,
+            "memory (KiB)": sketch.memory_bytes() / 1024,
+            "worst rank error": worst_rank_error,
+        }],
+    )
+    assert worst_rank_error <= 2 * epsilon + 1e-3
+    assert sketch.n_tuples < values.size / 10
+
+
+def test_quantile_backend_benchmark(benchmark):
+    rng = np.random.default_rng(4)
+    values = rng.standard_normal(100_000)
+
+    def build_and_query():
+        sketch = QuantileSketch(epsilon=0.01)
+        sketch.update_array(values)
+        return sketch.five_number_summary()
+
+    summary = benchmark(build_and_query)
+    assert summary["q1"] <= summary["median"] <= summary["q3"]
+
+
+def test_heavy_hitter_benchmark(benchmark):
+    labels = _labels()
+
+    def build():
+        sketch = MisraGriesSketch(256)
+        sketch.update_many(labels)
+        return sketch
+
+    sketch = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert sketch.count == len(labels)

@@ -1,0 +1,69 @@
+"""DEMO-SCALE — end-to-end insight generation on the three demo datasets.
+
+Section 4.2 demonstrates Foresight on three datasets: OECD wellbeing
+(35 x 25), Parkinson's progression (2 000 x 50) and IMDB movies (5 000 x 28).
+This benchmark runs the full pipeline (preprocess + all twelve carousels) on
+each and records the cost, plus the headline findings the demo highlights.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import report
+from repro import Foresight
+from repro.data.datasets import load_imdb, load_oecd, load_parkinson
+
+
+def full_pipeline(table):
+    engine = Foresight(table)
+    carousels = engine.carousels(top_k=3)
+    return engine, carousels
+
+
+DATASETS = {
+    "oecd": (load_oecd, (35, 25)),
+    "parkinson": (load_parkinson, (2000, 50)),
+    "imdb": (load_imdb, (5000, 28)),
+}
+
+
+@pytest.mark.parametrize("name", list(DATASETS))
+def test_demo_dataset_pipeline(benchmark, name):
+    loader, expected_shape = DATASETS[name]
+    table = loader()
+    assert table.shape == expected_shape
+    engine, carousels = benchmark.pedantic(
+        full_pipeline, args=(table,), rounds=1, iterations=1
+    )
+    populated = [c for c in carousels if c.insights]
+    assert len(populated) >= 9  # most classes produce insights on every demo dataset
+    rows = [
+        {
+            "carousel": carousel.label,
+            "top attributes": ", ".join(carousel.insights[0].attributes) if carousel.insights else "-",
+            "metric value": carousel.insights[0].score if carousel.insights else None,
+            "latency (ms)": carousel.elapsed_seconds * 1000.0,
+        }
+        for carousel in carousels
+    ]
+    report(f"DEMO-SCALE — {name} ({table.n_rows} x {table.n_columns})", rows)
+
+
+def test_demo_headline_findings(benchmark):
+    oecd_engine, _ = benchmark.pedantic(full_pipeline, args=(load_oecd(),),
+                                        rounds=1, iterations=1)
+    top = oecd_engine.query("linear_relationship", top_k=1).top()
+    assert set(top.attributes) == {"EmployeesWorkingVeryLongHours", "TimeDevotedToLeisure"}
+
+    imdb_engine, _ = full_pipeline(load_imdb())
+    profit = imdb_engine.query(
+        "linear_relationship", top_k=5, fixed=("ProfitMillions",), mode="exact"
+    )
+    assert any(i.involves("GrossMillions") or i.involves("Gross") for i in profit)
+
+    parkinson_engine, _ = full_pipeline(load_parkinson())
+    updrs = parkinson_engine.query(
+        "linear_relationship", top_k=5, fixed=("UPDRS_Total",), mode="exact"
+    )
+    assert updrs.top().score > 0.8

@@ -1,0 +1,79 @@
+"""FIG2 — Figure 2: the all-pairs correlation overview heat map.
+
+Figure 2 shows the optional overview ("global") visualization of the
+correlation insight class for the OECD dataset: a 24x24 heat map over the
+abbreviated indicator names where the size and intensity of each circle
+encode the strength of the pairwise correlation.  This benchmark regenerates
+the heat map spec (exact and sketch-backed), checks its structure against the
+figure, and times its construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import report
+from repro.data.datasets import figure2_abbreviations
+from repro.stats import correlation_matrix
+
+
+def test_fig2_overview_structure(benchmark, oecd_engine):
+    spec = benchmark.pedantic(
+        oecd_engine.overview, args=("linear_relationship",),
+        kwargs={"mode": "exact"}, rounds=1, iterations=1,
+    )
+    names = oecd_engine.table.numeric_names()
+    d = len(names)
+
+    # Figure 2 is a square grid over the 24 numeric indicators.
+    assert d == 24
+    assert spec.mark == "rect"
+    assert spec.n_points() == d * d
+
+    # The colour channel encodes the signed correlation on a [-1, 1] scale
+    # and the size channel its magnitude, as in the figure.
+    assert spec.encoding["color"]["field"] == "correlation"
+    assert spec.encoding["color"]["scale"]["domain"] == [-1, 1]
+    assert spec.encoding["size"]["field"] == "magnitude"
+
+    # The cells agree with the exact correlation matrix.
+    matrix, ordered = oecd_engine.table.numeric_matrix()
+    exact = correlation_matrix(matrix)
+    index = {name: i for i, name in enumerate(ordered)}
+    for cell in spec.data[:200]:
+        expected = exact[index[cell["row"]], index[cell["column"]]]
+        assert cell["correlation"] == np.float64(expected)
+
+    # Report the strongest off-diagonal cells using the Figure 2 abbreviations.
+    abbreviations = figure2_abbreviations()
+    cells = [c for c in spec.data if c["row"] != c["column"]]
+    cells.sort(key=lambda c: -abs(c["correlation"]))
+    rows = [
+        {
+            "pair": f"{abbreviations[c['row']]} x {abbreviations[c['column']]}",
+            "correlation": c["correlation"],
+        }
+        for c in cells[:10:2]  # every pair appears twice (symmetric matrix)
+    ]
+    report("Figure 2 — strongest cells of the correlation overview", rows)
+
+
+def test_fig2_sketch_overview_matches_exact(benchmark, oecd_engine):
+    exact_spec = oecd_engine.overview("linear_relationship", mode="exact")
+    sketch_spec = benchmark.pedantic(
+        oecd_engine.overview, args=("linear_relationship",),
+        kwargs={"mode": "approximate"}, rounds=1, iterations=1,
+    )
+    exact_cells = {(c["row"], c["column"]): c["correlation"] for c in exact_spec.data}
+    sketch_cells = {(c["row"], c["column"]): c["correlation"] for c in sketch_spec.data}
+    errors = [
+        abs(exact_cells[key] - sketch_cells[key]) for key in exact_cells
+    ]
+    # 35-row columns give a noisy sketch; the overview still has to show the
+    # same broad structure the analyst orients by.
+    assert float(np.mean(errors)) < 0.25
+
+
+def test_fig2_overview_latency(benchmark, oecd_engine):
+    spec = benchmark(oecd_engine.overview, "linear_relationship")
+    assert spec.n_points() == 24 * 24

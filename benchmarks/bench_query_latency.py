@@ -1,0 +1,79 @@
+"""INTERACT — "interactive speeds during exploration" at the paper's scale.
+
+Section 4.1: "Foresight is intended to facilitate interactive exploration of
+datasets with data items of the order of 100K and attributes that number in
+the hundreds", and section 3 reports "interactive speeds during exploration"
+once preprocessing is done.
+
+This benchmark preprocesses a 100 000-row x 120-column table once (session
+fixture) and then measures the latency of the insight queries the UI issues:
+per-class carousels, fixed-attribute queries and metric-range queries.  The
+"shape" under test: every query answered from sketches completes well under
+one second — interactive by any UI standard.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import report
+
+INTERACTIVE_BUDGET_SECONDS = 1.0
+
+QUERY_CASES = [
+    ("linear_relationship", {}),
+    ("linear_relationship", {"fixed": ("attr_000",)}),
+    ("linear_relationship", {"metric_min": 0.5, "metric_max": 0.8}),
+    ("dispersion", {}),
+    ("skew", {}),
+    ("heavy_tails", {}),
+    ("outliers", {}),
+    ("normality", {}),
+    ("multimodality", {}),
+    ("monotonic_relationship", {}),
+]
+
+
+@pytest.mark.parametrize("insight_class,kwargs", QUERY_CASES,
+                         ids=[f"{name}-{i}" for i, (name, _) in enumerate(QUERY_CASES)])
+def test_query_latency_is_interactive(benchmark, interact_engine, insight_class, kwargs):
+    result = benchmark(interact_engine.query, insight_class, top_k=5, **kwargs)
+    assert benchmark.stats.stats.mean < INTERACTIVE_BUDGET_SECONDS
+    assert result.insights or insight_class == "multimodality"
+
+
+def test_latency_summary_table(benchmark, interact_engine):
+    benchmark.pedantic(interact_engine.query, args=("skew",), kwargs={"top_k": 5},
+                       rounds=1, iterations=1)
+    rows = []
+    for insight_class, kwargs in QUERY_CASES:
+        start = time.perf_counter()
+        result = interact_engine.query(insight_class, top_k=5, **kwargs)
+        elapsed = time.perf_counter() - start
+        rows.append({
+            "query": insight_class + (" (constrained)" if kwargs else ""),
+            "latency (ms)": elapsed * 1000.0,
+            "results": len(result),
+            "candidates scored": result.n_scored,
+        })
+    report("INTERACT — insight-query latency at 100k rows x 120 columns", rows)
+    assert all(row["latency (ms)"] < INTERACTIVE_BUDGET_SECONDS * 1000 for row in rows)
+
+
+def test_preprocessing_cost_amortised_once(benchmark, interact_engine):
+    """Preprocessing happens once; record its cost next to the query costs."""
+    benchmark.pedantic(lambda: interact_engine.store.stats, rounds=1, iterations=1)
+    stats = interact_engine.store.stats
+    report(
+        "INTERACT — one-off preprocessing cost for the interactive session",
+        [{
+            "n_rows": stats.n_rows,
+            "numeric columns": stats.n_numeric,
+            "hyperplane width k": stats.hyperplane_width,
+            "preprocess (s)": stats.seconds,
+            "sketch memory (KiB)": stats.total_sketch_bytes / 1024,
+        }],
+    )
+    assert stats.seconds < 60.0

@@ -1,0 +1,78 @@
+"""SCEN — section 4.1 usage scenario, end to end.
+
+Replays the analyst's session on the OECD dataset and checks each qualitative
+finding the paper reports, then times the full scenario (the interaction loop
+must feel interactive).
+"""
+
+from __future__ import annotations
+
+from conftest import report
+from repro import ExplorationSession
+
+
+def run_scenario(engine) -> dict[str, float]:
+    """Run all scenario steps; return the quantities behind each finding."""
+    session = ExplorationSession(engine, name="scenario")
+    findings: dict[str, float] = {}
+
+    # Step 1: top correlation card.
+    carousel = session.carousels(top_k=3, insight_classes=["linear_relationship"])[0]
+    top = carousel.insights[0]
+    findings["top_correlation"] = top.details["correlation"]
+
+    # Step 2: focus it; neighborhood recommendations update.
+    session.focus(top)
+    nearby = session.recommend_near_focus("linear_relationship", top_k=5)
+    findings["n_nearby"] = len(nearby)
+
+    # Step 3: leisure vs self-reported health has no correlation.
+    leisure_pairs = engine.query(
+        "linear_relationship", top_k=50, fixed=("TimeDevotedToLeisure",), mode="exact"
+    )
+    health_pair = next(i for i in leisure_pairs if i.involves("SelfReportedHealth"))
+    findings["leisure_health_correlation"] = health_pair.details["correlation"]
+
+    # Step 4: distribution shapes.
+    shapes = {i.attributes[0]: i for i in engine.query("normality", top_k=30, mode="exact")}
+    findings["leisure_is_normal"] = float(
+        shapes["TimeDevotedToLeisure"].details["shape"] == "approximately normal"
+    )
+    findings["health_is_left_skewed"] = float(
+        shapes["SelfReportedHealth"].details["shape"] == "left-skewed"
+    )
+
+    # Step 5: focusing health surfaces the life-satisfaction correlation.
+    session.focus(shapes["SelfReportedHealth"])
+    recommended = session.recommend_near_focus("linear_relationship", top_k=5)
+    pair = next(
+        i for i in recommended
+        if set(i.attributes) == {"SelfReportedHealth", "LifeSatisfaction"}
+    )
+    findings["health_lifesat_correlation"] = pair.details["correlation"]
+
+    # Step 6: save / restore.
+    restored = ExplorationSession.restore(engine, session.save())
+    findings["restored_focus_count"] = len(restored.focused_insights)
+    return findings
+
+
+def test_scenario_findings_match_paper(benchmark, oecd_engine):
+    findings = benchmark.pedantic(run_scenario, args=(oecd_engine,),
+                                  rounds=1, iterations=1)
+    assert findings["top_correlation"] < -0.8          # strong negative correlation
+    assert findings["n_nearby"] == 5                   # recommendations update
+    assert abs(findings["leisure_health_correlation"]) < 0.1   # "no correlation"
+    assert findings["leisure_is_normal"] == 1.0
+    assert findings["health_is_left_skewed"] == 1.0
+    assert findings["health_lifesat_correlation"] > 0.8        # "highly correlated"
+    assert findings["restored_focus_count"] == 2
+    report(
+        "Section 4.1 scenario — findings",
+        [{"finding": key, "value": value} for key, value in findings.items()],
+    )
+
+
+def test_scenario_latency(benchmark, oecd_engine):
+    findings = benchmark(run_scenario, oecd_engine)
+    assert findings["health_lifesat_correlation"] > 0.8

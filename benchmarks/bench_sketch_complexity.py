@@ -1,0 +1,125 @@
+"""SK-COMPLEX — section 3 complexity claims.
+
+The paper states three costs for the hyperplane sketch:
+
+* memory: the bit-vector sketch consumes |B|·k bits for the whole dataset;
+* construction: a single pass, O(|B|·n·k) time;
+* pairwise estimation: O(|B|²·k) time instead of the exact O(|B|²·n).
+
+This benchmark verifies the memory accounting exactly, and measures how the
+estimation time scales with n (it should be flat — independent of n — for
+the sketch, and grow linearly for the exact computation), plus how
+construction scales with k.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from conftest import report
+from repro.data.datasets import make_numeric_table
+from repro.sketch.hyperplane import HyperplaneSketcher
+from repro.stats.correlation import correlation_matrix
+
+WIDTH = 512
+N_COLUMNS = 40
+
+
+def _matrix(n_rows: int, seed: int = 5) -> np.ndarray:
+    table = make_numeric_table(n_rows=n_rows, n_columns=N_COLUMNS, seed=seed)
+    return table.numeric_matrix()[0]
+
+
+def test_memory_is_columns_times_width_bits(benchmark):
+    benchmark.pedantic(lambda: HyperplaneSketcher(n_rows=1000, width=WIDTH, seed=0),
+                       rounds=1, iterations=1)
+    rows = []
+    for n_columns in (10, 50, 200):
+        sketcher = HyperplaneSketcher(n_rows=1000, width=WIDTH, seed=0)
+        expected_bits = n_columns * WIDTH
+        assert sketcher.memory_bytes(n_columns) * 8 == expected_bits
+        rows.append({
+            "|B| columns": n_columns,
+            "k (bits/column)": WIDTH,
+            "total sketch bits": expected_bits,
+            "total sketch KiB": expected_bits / 8 / 1024,
+        })
+    report("SK-COMPLEX — sketch memory = |B|·k bits", rows)
+
+
+def test_estimation_time_independent_of_n(benchmark):
+    """All-pairs estimation from sketches costs O(|B|²k): flat in n.
+    The exact computation costs O(|B|²n): grows with n."""
+    rows = []
+    sketch_times = {}
+    exact_times = {}
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for n_rows in (10_000, 40_000, 160_000):
+        matrix = _matrix(n_rows)
+        sketcher = HyperplaneSketcher(n_rows=n_rows, width=WIDTH, seed=1)
+        sketches = sketcher.sketch_matrix(matrix)
+        start = time.perf_counter()
+        for _ in range(5):
+            sketcher.correlation_matrix(sketches)
+        sketch_times[n_rows] = (time.perf_counter() - start) / 5
+        start = time.perf_counter()
+        correlation_matrix(matrix)
+        exact_times[n_rows] = time.perf_counter() - start
+        rows.append({
+            "n_rows": n_rows,
+            "sketch estimation (ms)": sketch_times[n_rows] * 1000,
+            "exact computation (ms)": exact_times[n_rows] * 1000,
+        })
+    report("SK-COMPLEX — all-pairs estimation time vs n (|B| = 40, k = 512)", rows)
+    # Sketch estimation time is (near) independent of n: a 16x larger table
+    # must not cost more than ~3x (noise allowance).
+    assert sketch_times[160_000] < sketch_times[10_000] * 3 + 0.005
+    # Exact computation grows with n (at least 4x over the 16x range).
+    assert exact_times[160_000] > exact_times[10_000] * 4
+
+
+def test_construction_scales_linearly_in_width(benchmark):
+    rows = []
+    times = {}
+    matrix = benchmark.pedantic(_matrix, args=(30_000,), rounds=1, iterations=1)
+    for width in (128, 512, 2048):
+        start = time.perf_counter()
+        sketcher = HyperplaneSketcher(n_rows=30_000, width=width, seed=2)
+        sketcher.sketch_matrix(matrix)
+        times[width] = time.perf_counter() - start
+        rows.append({"k": width, "construction (s)": times[width]})
+    report("SK-COMPLEX — single-pass construction time vs k (n = 30k, |B| = 40)", rows)
+    # 16x wider sketches should cost within ~an order of magnitude more, and
+    # certainly more than wider-is-free (sanity on the O(n·|B|·k) term).
+    assert times[2048] > times[128]
+    assert times[2048] < times[128] * 40
+
+
+def test_suggested_width_is_polylog(benchmark):
+    from repro.sketch.hyperplane import suggest_width
+
+    benchmark.pedantic(suggest_width, args=(10**6,), rounds=1, iterations=1)
+    rows = []
+    for n_rows in (10**3, 10**4, 10**5, 10**6):
+        width = suggest_width(n_rows)
+        rows.append({
+            "n_rows": n_rows,
+            "suggested k": width,
+            "2*log2(n)^2": round(2 * math.log2(n_rows) ** 2, 1),
+            "k / n": width / n_rows,
+        })
+    report("SK-COMPLEX — k = O(log² n) sizing rule", rows)
+    widths = [row["suggested k"] for row in rows]
+    assert widths == sorted(widths)
+    assert widths[-1] <= 4096  # polylogarithmic, never linear in n
+
+
+def test_estimation_benchmark(benchmark):
+    matrix = _matrix(50_000)
+    sketcher = HyperplaneSketcher(n_rows=50_000, width=WIDTH, seed=3)
+    sketches = sketcher.sketch_matrix(matrix)
+    result = benchmark(sketcher.correlation_matrix, sketches)
+    assert result.shape == (N_COLUMNS, N_COLUMNS)

@@ -1,0 +1,53 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every experiment in DESIGN.md section 3 has a module here.  Benchmarks use
+pytest-benchmark for timing and *also* print the rows that reproduce the
+corresponding figure / claim (run with ``-s`` to see them inline); the
+recorded numbers are summarised in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Foresight
+from repro.data.datasets import load_imdb, load_oecd, load_parkinson, make_numeric_table
+
+
+def report(title: str, rows: list[dict]) -> None:
+    """Print a reproduced table/figure in a uniform format."""
+    from repro.viz.ascii import render_table
+
+    print()
+    print(f"== {title} ==")
+    print(render_table(rows))
+
+
+@pytest.fixture(scope="session")
+def oecd_engine() -> Foresight:
+    return Foresight(load_oecd())
+
+
+@pytest.fixture(scope="session")
+def parkinson_table():
+    return load_parkinson()
+
+
+@pytest.fixture(scope="session")
+def imdb_table():
+    return load_imdb()
+
+
+@pytest.fixture(scope="session")
+def interact_workload():
+    """The 'interactive exploration' scale the paper targets (section 4.1):
+    on the order of 100K data items and attributes numbering in the hundreds.
+    Kept to 100k x 120 numeric columns so the whole harness stays laptop-scale."""
+    return make_numeric_table(
+        n_rows=100_000, n_columns=120, block_correlation=0.75, missing_rate=0.0, seed=11
+    )
+
+
+@pytest.fixture(scope="session")
+def interact_engine(interact_workload) -> Foresight:
+    return Foresight(interact_workload)

@@ -1,0 +1,75 @@
+"""IMDB movies exploration (paper section 4.2, third demo dataset).
+
+The paper poses two questions for this dataset:
+
+* "What factors correlate highly with a film's profitability?"
+* "How are critical responses and commercial success interrelated?"
+
+This example answers both with insight queries, and also shows the
+metric-range filter ("correlations in [0.5, 0.8]") and the heterogeneous-
+frequencies carousel for the categorical movie attributes.
+
+Run with::
+
+    python examples/imdb_profitability.py
+"""
+
+from __future__ import annotations
+
+from repro import Foresight
+from repro.data.datasets import load_imdb
+from repro.viz.ascii import render
+
+
+def main() -> None:
+    table = load_imdb()
+    print(f"Loaded {table.name}: {table.n_rows} movies x {table.n_columns} features")
+    engine = Foresight(table)
+
+    print("\n--- What correlates with profitability? ------------------------------")
+    result = engine.query(
+        "linear_relationship", top_k=8, fixed=("ProfitMillions",), mode="exact"
+    )
+    for insight in result:
+        partner = next(a for a in insight.attributes if a != "ProfitMillions")
+        print(f"  {partner:<28} rho = {insight.details['correlation']:+.3f}")
+
+    print("\n--- Critical response vs commercial success ---------------------------")
+    for pair in (("IMDBScore", "GrossMillions"), ("CriticScore", "GrossMillions"),
+                 ("IMDBScore", "CriticScore")):
+        query_result = engine.query(
+            "linear_relationship", top_k=1, fixed=pair, mode="exact"
+        )
+        if query_result.insights:
+            insight = query_result.top()
+            print(f"  {pair[0]:<12} vs {pair[1]:<14} "
+                  f"rho = {insight.details['correlation']:+.3f}")
+
+    print("\n--- Mid-strength correlations only (metric range [0.5, 0.8]) ----------")
+    filtered = engine.query(
+        "linear_relationship", top_k=5, metric_min=0.5, metric_max=0.8, mode="exact"
+    )
+    for insight in filtered:
+        print(f"  {insight.summary}")
+
+    print("\n--- Heavy hitters in the categorical attributes -----------------------")
+    for insight in engine.query("heterogeneous_frequencies", top_k=5, mode="exact"):
+        print(f"  {insight.summary}")
+
+    print("\n--- Outliers: blockbuster grosses --------------------------------------")
+    outliers = engine.query("outliers", top_k=3, mode="exact")
+    for insight in outliers:
+        print(f"  {insight.summary}")
+    print()
+    print(render(engine.visualize(outliers.top(), mode="exact"), width=60))
+
+    print("\n--- Budget vs gross, visualized ----------------------------------------")
+    budget_gross = engine.query(
+        "linear_relationship", top_k=1, fixed=("BudgetMillions", "GrossMillions"),
+        mode="exact",
+    ).top()
+    print(render(engine.visualize(budget_gross), width=60, height=14))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""The paper's section 4.1 usage scenario, replayed step by step.
+
+An analyst explores the OECD wellbeing dataset:
+
+1. She eyeballs the carousels and instantly notes the strong negative
+   correlation between Working Long Hours and Time Devoted To Leisure.
+2. She focuses that insight; Foresight updates its recommendations to the
+   neighborhood of the focused insight.
+3. Exploring the recommended correlations (Pearson and Spearman), she learns
+   that Time Devoted To Leisure has no correlation with Self Reported Health.
+4. The univariate distribution classes show that Time Devoted To Leisure is
+   normally distributed while Self Reported Health is left-skewed.
+5. Focusing on Self Reported Health surfaces its strong correlation with
+   Life Satisfaction.
+6. She saves the session state to revisit later and share with colleagues.
+
+Run with::
+
+    python examples/oecd_scenario.py
+"""
+
+from __future__ import annotations
+
+from repro import ExplorationSession, Foresight
+from repro.core.classes import LinearRelationshipInsight
+from repro.data.datasets import load_oecd
+from repro.viz.ascii import render
+
+
+def banner(step: int, text: str) -> None:
+    print()
+    print("=" * 72)
+    print(f"Step {step}: {text}")
+    print("=" * 72)
+
+
+def main() -> None:
+    engine = Foresight(load_oecd())
+    session = ExplorationSession(engine, name="oecd-scenario")
+
+    banner(1, "Open-ended exploration: eyeball the correlation carousel")
+    carousel = session.carousels(top_k=3, insight_classes=["linear_relationship"])[0]
+    for rank, insight in enumerate(carousel.insights, start=1):
+        print(f"  {rank}. {insight.summary}")
+    top = carousel.insights[0]
+    print("\n  -> The analyst notes the strong negative correlation between")
+    print("     Working Long Hours and Time Devoted To Leisure.")
+
+    banner(2, "Focus the insight; recommendations update to its neighborhood")
+    session.focus(top)
+    nearby = session.recommend_near_focus("linear_relationship", top_k=5)
+    for rank, insight in enumerate(nearby, start=1):
+        print(f"  {rank}. {insight.summary}")
+
+    banner(3, "Check Leisure vs Self Reported Health with Pearson and Spearman")
+    exact_context = engine.context("exact")
+    pearson_class = LinearRelationshipInsight(method="pearson")
+    spearman_class = LinearRelationshipInsight(method="spearman")
+    pair = ("TimeDevotedToLeisure", "SelfReportedHealth")
+    pearson_scored = pearson_class.score(pair, exact_context)
+    spearman_scored = spearman_class.score(pair, exact_context)
+    print(f"  Pearson  |rho| = {pearson_scored.score:.3f}")
+    print(f"  Spearman |rho| = {spearman_scored.score:.3f}")
+    print("  -> surprisingly, Time Devoted To Leisure has no correlation with")
+    print("     Self Reported Health.")
+
+    banner(4, "Univariate distribution shapes")
+    shapes = {i.attributes[0]: i for i in engine.query("normality", top_k=30, mode="exact")}
+    for name in ("TimeDevotedToLeisure", "SelfReportedHealth"):
+        insight = shapes[name]
+        print(f"  {name}: {insight.details['shape']} "
+              f"(skewness {insight.details['skewness']:+.2f})")
+        print(render(engine.visualize(insight), width=50, height=8))
+        print()
+
+    banner(5, "Focus Self Reported Health; correlated attributes are recommended")
+    session.focus(shapes["SelfReportedHealth"])
+    recommended = session.recommend_near_focus("linear_relationship", top_k=5)
+    for rank, insight in enumerate(recommended, start=1):
+        print(f"  {rank}. {insight.summary}")
+    health_life = next(
+        i for i in recommended
+        if set(i.attributes) == {"SelfReportedHealth", "LifeSatisfaction"}
+    )
+    print("\n  -> Life Satisfaction and Self Reported Health are highly correlated "
+          f"(rho = {health_life.details['correlation']:+.2f})")
+
+    banner(6, "Save the session state")
+    state = session.save_json()
+    print(f"  Session JSON is {len(state)} characters; focused insights:")
+    for insight in session.focused_insights:
+        print(f"    - {insight.summary}")
+    restored = ExplorationSession.restore_json(engine, state)
+    print(f"  Restored session {restored.name!r} with "
+          f"{len(restored.focused_insights)} focused insights.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Parkinson's progression (PPMI-like) exploration (paper section 4.2).
+
+The second demo dataset is a clinical table of Parkinson's Disease patients
+(2 000 rows x 50 columns of progression markers).  This example uses
+Foresight to surface the structure a clinician would look for:
+
+* which clinical scales move together (correlation carousel),
+* which scales track disease duration monotonically but nonlinearly,
+* which cohorts / medications segment the motor scores,
+* data-quality problems (missing biomarker values, outlier lab results).
+
+Run with::
+
+    python examples/parkinson_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro import ExplorationSession, Foresight
+from repro.data.datasets import load_parkinson
+
+
+def show(title: str, insights) -> None:
+    print(f"\n--- {title} " + "-" * max(0, 66 - len(title)))
+    for rank, insight in enumerate(insights, start=1):
+        print(f"  {rank}. {insight.summary}")
+
+
+def main() -> None:
+    table = load_parkinson()
+    print(f"Loaded {table.name}: {table.n_rows} patients x {table.n_columns} attributes")
+    engine = Foresight(table)
+    session = ExplorationSession(engine, name="ppmi-review")
+
+    # Open-ended stage: the strongest insights in the clinically relevant classes.
+    carousels = session.carousels(
+        top_k=3,
+        insight_classes=["linear_relationship", "skew", "outliers", "missing_values"],
+    )
+    for carousel in carousels:
+        show(carousel.label, carousel.insights)
+
+    # Which scales track the UPDRS total most closely?
+    show(
+        "Correlates of the total UPDRS score",
+        engine.query("linear_relationship", top_k=6, fixed=("UPDRS_Total",), mode="exact"),
+    )
+
+    # Nonlinear but monotone progression markers.
+    show(
+        "Nonlinear monotonic relationships with disease duration",
+        engine.query(
+            "monotonic_relationship", top_k=5, fixed=("YearsSinceDiagnosis",), mode="exact"
+        ),
+    )
+
+    # How do the cohorts segment the motor measurements?
+    show(
+        "Segmentation by cohort",
+        engine.query(
+            "segmentation", top_k=5, fixed=("Cohort",), mode="exact", max_candidates=2000
+        ),
+    )
+
+    # Dependence of numeric scales on medication.
+    show(
+        "Statistical dependence on medication",
+        engine.query("dependence", top_k=5, fixed=("Medication",), mode="exact"),
+    )
+
+    # Focus the strongest progression correlation and look at nearby insights.
+    focus = engine.query(
+        "linear_relationship", top_k=1, fixed=("UPDRS_Total", "UPDRS_III")
+    ).top()
+    session.focus(focus)
+    show(
+        "Neighborhood of the focused UPDRS insight",
+        session.recommend_near_focus("linear_relationship", top_k=5),
+    )
+
+    print("\nSession history:")
+    for event in session.history:
+        print(f"  - {event.action}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Quickstart: load a dataset, get recommended visual insights.
+
+Run with::
+
+    python examples/quickstart.py
+
+This walks the shortest path through the public API:
+
+1. load a table (here the synthetic OECD wellbeing dataset),
+2. build a :class:`repro.Foresight` engine (this preprocesses the table into
+   sketches, exactly like the paper's preprocessing step),
+3. print the "carousels" — the top-ranked insights of every insight class
+   (the Figure 1 view),
+4. drill into one insight and render its visualization as ASCII.
+"""
+
+from __future__ import annotations
+
+from repro import Foresight
+from repro.data.datasets import load_oecd
+from repro.viz.ascii import render
+
+
+def main() -> None:
+    table = load_oecd()
+    print(f"Loaded {table.name}: {table.n_rows} rows x {table.n_columns} columns")
+    print(f"Numeric attributes ({len(table.numeric_names())}):",
+          ", ".join(table.numeric_names()[:6]), "...")
+    print()
+
+    engine = Foresight(table)
+    print("Preprocessing built",
+          f"{engine.store.stats.total_sketch_bytes} bytes of sketches in",
+          f"{engine.store.stats.seconds * 1000:.1f} ms")
+    print()
+
+    # --- Figure 1 view: one carousel per insight class -----------------------
+    print("=" * 72)
+    print("Top recommended insights per class (carousels)")
+    print("=" * 72)
+    for carousel in engine.carousels(top_k=3):
+        print(f"\n[{carousel.label}]  ({carousel.elapsed_seconds * 1000:.1f} ms)")
+        if not carousel.insights:
+            print("  (no candidates in this dataset)")
+        for rank, insight in enumerate(carousel.insights, start=1):
+            print(f"  {rank}. {insight.summary}")
+
+    # --- Drill into the strongest correlation ---------------------------------
+    print()
+    print("=" * 72)
+    print("Strongest correlation, visualized")
+    print("=" * 72)
+    top = engine.query("linear_relationship", top_k=1).top()
+    spec = engine.visualize(top)
+    print(render(spec))
+    print()
+    print("The same spec as JSON (first 400 characters):")
+    print(spec.to_json()[:400], "...")
+
+
+if __name__ == "__main__":
+    main()

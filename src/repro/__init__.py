@@ -1,0 +1,46 @@
+"""Reproduction of "Foresight: Recommending Visual Insights" (VLDB 2017).
+
+Public API highlights
+---------------------
+* :class:`repro.Foresight` — the recommendation engine (preprocess a table,
+  get carousels of top insights, run insight queries, build visualizations).
+* :class:`repro.ExplorationSession` — the interactive exploration loop
+  (focus insights, neighborhood recommendations, save/restore state).
+* :mod:`repro.data` — the columnar data substrate and the demo datasets.
+* :mod:`repro.stats` — exact statistics behind every insight metric.
+* :mod:`repro.sketch` — single-pass, mergeable sketches for fast
+  approximate insight metrics (random hyperplane, moments, quantile,
+  frequent items, entropy, random projection, reservoir sampling).
+* :mod:`repro.viz` — declarative visualization specs and ASCII renderers.
+"""
+
+from repro.core.engine import Carousel, EngineConfig, Foresight
+from repro.core.insight import Insight, InsightClass, EvaluationContext
+from repro.core.query import InsightQuery, MetricRange, query
+from repro.core.ranking import RankingResult
+from repro.core.registry import InsightRegistry, default_registry
+from repro.core.session import ExplorationSession
+from repro.data.table import DataTable
+from repro.sketch.store import SketchStore, SketchStoreConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Carousel",
+    "DataTable",
+    "EngineConfig",
+    "EvaluationContext",
+    "ExplorationSession",
+    "Foresight",
+    "Insight",
+    "InsightClass",
+    "InsightQuery",
+    "InsightRegistry",
+    "MetricRange",
+    "RankingResult",
+    "SketchStore",
+    "SketchStoreConfig",
+    "__version__",
+    "default_registry",
+    "query",
+]

@@ -1,0 +1,33 @@
+"""The twelve insight classes shipped with this reproduction."""
+
+from repro.core.classes.univariate import (
+    DispersionInsight,
+    HeavyTailsInsight,
+    MissingValuesInsight,
+    MultimodalityInsight,
+    NormalityInsight,
+    OutlierInsight,
+    SkewInsight,
+)
+from repro.core.classes.frequencies import HeterogeneousFrequenciesInsight
+from repro.core.classes.bivariate import (
+    DependenceInsight,
+    LinearRelationshipInsight,
+    MonotonicRelationshipInsight,
+)
+from repro.core.classes.segmentation import SegmentationInsight
+
+__all__ = [
+    "DependenceInsight",
+    "DispersionInsight",
+    "HeavyTailsInsight",
+    "HeterogeneousFrequenciesInsight",
+    "LinearRelationshipInsight",
+    "MissingValuesInsight",
+    "MonotonicRelationshipInsight",
+    "MultimodalityInsight",
+    "NormalityInsight",
+    "OutlierInsight",
+    "SegmentationInsight",
+    "SkewInsight",
+]

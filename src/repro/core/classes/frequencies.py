@@ -1,0 +1,127 @@
+"""Heterogeneous-Frequencies insight class.
+
+Paper section 2.2, insight 5: for a categorical column c (or a discrete
+numeric column b), heterogeneity strength is measured by ``RelFreq(k, c)``,
+the total relative frequency of the k most frequent elements.  Visualised
+with a Pareto chart.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import EmptyColumnError
+from repro.data.table import DataTable
+from repro.core.insight import (
+    EvaluationContext,
+    Insight,
+    InsightClass,
+    ScoredCandidate,
+    singletons,
+)
+from repro.stats.frequency import (
+    distinct_count,
+    frequency_table,
+    normalized_entropy,
+    relative_frequency_topk,
+)
+from repro.viz.charts import pareto_spec
+from repro.viz.spec import VisualizationSpec
+
+
+class HeterogeneousFrequenciesInsight(InsightClass):
+    """A few values dominate the frequency distribution ("heavy hitters")."""
+
+    name = "heterogeneous_frequencies"
+    label = "Heterogeneous Frequencies"
+    description = "A few values are highly frequent while the rest are rare"
+    metric_name = "relfreq_topk"
+    arity = 1
+    visualization = "pareto"
+
+    def __init__(self, k: int = 3, max_distinct_numeric: int = 20):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = int(k)
+        self.max_distinct_numeric = int(max_distinct_numeric)
+
+    def candidates(self, table: DataTable) -> Iterator[tuple[str, ...]]:
+        yield from singletons(table.discrete_names(self.max_distinct_numeric))
+
+    def _labels(self, name: str, context: EvaluationContext) -> list[object]:
+        column = context.table.column(name)
+        return column.to_list()
+
+    def score(self, attributes: tuple[str, ...], context: EvaluationContext) -> ScoredCandidate | None:
+        name = attributes[0]
+        try:
+            if context.use_sketches and context.store.has_column(name):
+                store = context.store
+                try:
+                    relfreq = store.approx_relative_frequency_topk(name, self.k)
+                    top = store.approx_top_values(name, self.k)
+                    n_distinct = max(len(store.approx_top_values(name, 10**6)), 1)
+                except Exception:  # pragma: no cover - fall back to exact path
+                    return self._exact_score(attributes, context)
+                if relfreq == 0.0:
+                    return None
+                return ScoredCandidate(
+                    attributes=attributes,
+                    score=float(relfreq),
+                    details={
+                        "k": self.k,
+                        "top_values": [str(label) for label, _ in top],
+                        "n_distinct_tracked": n_distinct,
+                        "source": "sketch",
+                    },
+                )
+            return self._exact_score(attributes, context)
+        except EmptyColumnError:
+            return None
+
+    def _exact_score(self, attributes: tuple[str, ...], context: EvaluationContext) -> ScoredCandidate | None:
+        name = attributes[0]
+        labels = self._labels(name, context)
+        non_missing = [label for label in labels if label is not None]
+        if not non_missing:
+            return None
+        relfreq = relative_frequency_topk(non_missing, self.k)
+        table = frequency_table(non_missing)
+        n_distinct = distinct_count(non_missing)
+        # A column with <= k distinct values trivially has RelFreq = 1; such
+        # candidates carry no heterogeneity information, so damp their score
+        # by how much structure the frequency distribution actually has.
+        if n_distinct <= self.k:
+            adjusted = relfreq * (1.0 - normalized_entropy(non_missing))
+        else:
+            adjusted = relfreq
+        return ScoredCandidate(
+            attributes=attributes,
+            score=float(adjusted),
+            details={
+                "k": self.k,
+                "relfreq_topk_raw": float(relfreq),
+                "top_values": [entry.label for entry in table[: self.k]],
+                "top_frequencies": [round(entry.frequency, 6) for entry in table[: self.k]],
+                "n_distinct": n_distinct,
+                "source": "exact",
+            },
+        )
+
+    def visualize(self, insight: Insight, context: EvaluationContext) -> VisualizationSpec:
+        name = insight.attributes[0]
+        labels = [label for label in self._labels(name, context) if label is not None]
+        spec = pareto_spec(labels, name, title=f"{self.label}: {name}")
+        spec.metadata["insight_class"] = self.name
+        spec.metadata["score"] = insight.score
+        spec.metadata["k"] = self.k
+        return spec
+
+    def summarize(self, candidate: ScoredCandidate) -> str:
+        name = candidate.attributes[0]
+        top = candidate.details.get("top_values", [])
+        top_text = ", ".join(map(str, top[:3])) if top else "a few values"
+        return (
+            f"{name}: top {self.k} values ({top_text}) cover "
+            f"{candidate.score:.1%} of the rows"
+        )

@@ -1,0 +1,108 @@
+"""Segmentation insight class.
+
+The paper's introduction names "a strong clustering of (x, y)-values
+according to z-values" as an example insight, and section 2.2 lists
+segmentation among the additional insight classes.  A candidate tuple is
+(x, y, z) with x, y numeric and z categorical; the ranking metric is the
+between-group fraction of scatter of the standardised (x, y) points
+(:func:`repro.stats.segmentation.segmentation_strength`), and the preferred
+visualization is a scatter plot coloured by z.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import EmptyColumnError
+from repro.data.table import DataTable
+from repro.core.insight import (
+    EvaluationContext,
+    Insight,
+    InsightClass,
+    ScoredCandidate,
+    pairs,
+)
+from repro.stats import segmentation as segmentation_stats
+from repro.viz.charts import grouped_scatter_spec
+from repro.viz.spec import VisualizationSpec
+
+
+class SegmentationInsight(InsightClass):
+    """(x, y) points that cluster strongly when grouped by a categorical z."""
+
+    name = "segmentation"
+    label = "Segmentation"
+    description = "Numeric attribute pairs that separate cleanly by a categorical attribute"
+    metric_name = "segmentation_strength"
+    arity = 3
+    visualization = "grouped_scatter"
+
+    def __init__(self, min_categories: int = 2, max_categories: int = 12):
+        self.min_categories = int(min_categories)
+        self.max_categories = int(max_categories)
+
+    def _grouping_columns(self, table: DataTable) -> list[str]:
+        names = []
+        for name in table.categorical_names():
+            column = table.categorical_column(name)
+            if self.min_categories <= column.n_categories() <= self.max_categories:
+                names.append(name)
+        return names
+
+    def candidates(self, table: DataTable) -> Iterator[tuple[str, ...]]:
+        groupings = self._grouping_columns(table)
+        if not groupings:
+            return
+        for x_name, y_name in pairs(table.numeric_names()):
+            for z_name in groupings:
+                yield (x_name, y_name, z_name)
+
+    def candidate_count(self, table: DataTable) -> int:
+        d = len(table.numeric_names())
+        return (d * (d - 1) // 2) * len(self._grouping_columns(table))
+
+    def _table(self, context: EvaluationContext) -> DataTable:
+        if context.use_sketches and context.store is not None:
+            return context.store.sample_table()
+        return context.table
+
+    def score(self, attributes: tuple[str, ...], context: EvaluationContext) -> ScoredCandidate | None:
+        x_name, y_name, z_name = attributes
+        table = self._table(context)
+        try:
+            strength = segmentation_stats.segmentation_strength(
+                table.numeric_column(x_name).values,
+                table.numeric_column(y_name).values,
+                table.categorical_column(z_name).labels(),
+            )
+        except EmptyColumnError:
+            return None
+        n_groups = table.categorical_column(z_name).n_categories()
+        return ScoredCandidate(
+            attributes=attributes,
+            score=float(strength),
+            details={"n_groups": n_groups},
+        )
+
+    def visualize(self, insight: Insight, context: EvaluationContext) -> VisualizationSpec:
+        x_name, y_name, z_name = insight.attributes
+        table = self._table(context)
+        spec = grouped_scatter_spec(
+            table.numeric_column(x_name).values,
+            table.numeric_column(y_name).values,
+            table.categorical_column(z_name).labels(),
+            x_name,
+            y_name,
+            z_name,
+            title=f"{self.label}: ({x_name}, {y_name}) by {z_name}",
+        )
+        spec.metadata["insight_class"] = self.name
+        spec.metadata["score"] = insight.score
+        return spec
+
+    def summarize(self, candidate: ScoredCandidate) -> str:
+        x_name, y_name, z_name = candidate.attributes
+        return (
+            f"({x_name}, {y_name}) separates into clusters by {z_name} "
+            f"(separation {candidate.score:.2f})"
+        )

@@ -1,0 +1,201 @@
+"""Exploration sessions.
+
+Section 4.1 describes the interaction loop: the analyst eyeballs the
+carousels, clicks an insight to bring it *into focus*, Foresight updates its
+recommendations to the neighborhood of the focused insight(s), the analyst
+keeps exploring, and finally "saves the current Foresight state to revisit
+later and to share with her colleagues".
+
+:class:`ExplorationSession` models that loop on top of the engine:
+
+* ``carousels()`` — current recommendations for every insight class, biased
+  towards the focus set when one exists;
+* ``focus(insight)`` / ``unfocus(insight)`` — manage the focus set;
+* a history log of every action;
+* ``save()`` / ``restore()`` — JSON-serialisable session state.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.errors import InsightError
+from repro.core.engine import Carousel, Foresight
+from repro.core.insight import Insight
+from repro.core.query import InsightQuery
+from repro.core.ranking import RankingResult
+
+
+@dataclass
+class SessionEvent:
+    """One entry in the session history."""
+
+    action: str
+    timestamp: float
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"action": self.action, "timestamp": self.timestamp,
+                "payload": dict(self.payload)}
+
+
+class ExplorationSession:
+    """Stateful exploration of a dataset through the Foresight engine."""
+
+    def __init__(self, engine: Foresight, name: str = "session"):
+        self._engine = engine
+        self._name = name
+        self._focus: list[Insight] = []
+        self._history: list[SessionEvent] = []
+        self._log("session_started", dataset=engine.table.name,
+                  shape=list(engine.table.shape))
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> Foresight:
+        return self._engine
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def focused_insights(self) -> list[Insight]:
+        return list(self._focus)
+
+    @property
+    def history(self) -> list[SessionEvent]:
+        return list(self._history)
+
+    # ------------------------------------------------------------------
+    # Focus management (the "click on an insight" interaction)
+    # ------------------------------------------------------------------
+    def focus(self, insight: Insight) -> None:
+        """Bring an insight into focus; recommendations will update around it."""
+        if any(existing.key == insight.key for existing in self._focus):
+            return
+        self._focus.append(insight)
+        self._log("focus", insight=insight.as_dict())
+
+    def unfocus(self, insight: Insight) -> None:
+        """Remove an insight from the focus set."""
+        before = len(self._focus)
+        self._focus = [i for i in self._focus if i.key != insight.key]
+        if len(self._focus) != before:
+            self._log("unfocus", insight=insight.as_dict())
+
+    def clear_focus(self) -> None:
+        """Drop all focused insights (back to open-ended exploration)."""
+        if self._focus:
+            self._log("clear_focus", n_cleared=len(self._focus))
+        self._focus = []
+
+    # ------------------------------------------------------------------
+    # Recommendations
+    # ------------------------------------------------------------------
+    def carousels(
+        self, top_k: int | None = None, insight_classes: Sequence[str] | None = None
+    ) -> list[Carousel]:
+        """Current recommendations for every insight class.
+
+        With no focus this is the engine's open-ended first stage (strongest
+        insights of every class).  With focused insights, each carousel is
+        re-computed in the neighborhood of the focus set (second stage).
+        """
+        names = (
+            list(insight_classes)
+            if insight_classes
+            else self._engine.registry.names()
+        )
+        top_k = top_k or self._engine.config.default_top_k
+        carousels = []
+        for name in names:
+            start = time.perf_counter()
+            if self._focus:
+                result = self._engine.recommend_near(self._focus, name, top_k=top_k)
+            else:
+                result = self._engine.query(name, top_k=top_k)
+            elapsed = time.perf_counter() - start
+            insight_class = self._engine.registry.get(name)
+            carousels.append(
+                Carousel(
+                    insight_class=name,
+                    label=insight_class.label or name,
+                    insights=result.insights,
+                    result=result,
+                    elapsed_seconds=elapsed,
+                )
+            )
+        self._log(
+            "carousels",
+            top_k=top_k,
+            classes=names,
+            focused=[list(i.attributes) for i in self._focus],
+        )
+        return carousels
+
+    def query(self, insight_class: str | InsightQuery, **kwargs) -> RankingResult:
+        """Run an explicit insight query (third stage / power use)."""
+        result = self._engine.query(insight_class, **kwargs)
+        self._log("query", query=result.query.as_dict(),
+                  n_results=len(result.insights))
+        return result
+
+    def recommend_near_focus(self, insight_class: str, top_k: int | None = None) -> RankingResult:
+        """Neighborhood recommendations for one class around the focus set."""
+        if not self._focus:
+            raise InsightError("no focused insights; call focus() first")
+        result = self._engine.recommend_near(self._focus, insight_class, top_k=top_k)
+        self._log("recommend_near_focus", insight_class=insight_class,
+                  n_results=len(result.insights))
+        return result
+
+    # ------------------------------------------------------------------
+    # Persistence ("saves the current Foresight state to revisit later")
+    # ------------------------------------------------------------------
+    def save(self) -> dict[str, Any]:
+        """The session state as a JSON-serialisable dictionary."""
+        return {
+            "name": self._name,
+            "dataset": self._engine.table.name,
+            "focused_insights": [insight.as_dict() for insight in self._focus],
+            "history": [event.as_dict() for event in self._history],
+        }
+
+    def save_json(self, indent: int = 2) -> str:
+        return json.dumps(self.save(), indent=indent, default=float)
+
+    @classmethod
+    def restore(cls, engine: Foresight, state: dict[str, Any]) -> "ExplorationSession":
+        """Rebuild a session from a saved state dictionary."""
+        session = cls(engine, name=str(state.get("name", "session")))
+        for payload in state.get("focused_insights", []):
+            session.focus(
+                Insight(
+                    insight_class=payload["insight_class"],
+                    attributes=tuple(payload["attributes"]),
+                    score=float(payload["score"]),
+                    metric_name=payload.get("metric", ""),
+                    summary=payload.get("summary", ""),
+                    details=dict(payload.get("details", {})),
+                )
+            )
+        session._log("session_restored", n_focused=len(session._focus))
+        return session
+
+    @classmethod
+    def restore_json(cls, engine: Foresight, text: str) -> "ExplorationSession":
+        return cls.restore(engine, json.loads(text))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _log(self, action: str, **payload: Any) -> None:
+        self._history.append(
+            SessionEvent(action=action, timestamp=time.time(), payload=payload)
+        )

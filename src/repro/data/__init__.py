@@ -1,0 +1,50 @@
+"""Data substrate: typed columns, tables, CSV I/O and demo datasets."""
+
+from repro.data.schema import ColumnKind, Field, Schema, infer_kind, infer_schema
+from repro.data.column import (
+    BooleanColumn,
+    CategoricalColumn,
+    Column,
+    NumericColumn,
+    categorical_column,
+    numeric_column,
+)
+from repro.data.table import DataTable
+from repro.data.csv_io import read_csv, read_csv_text, to_csv_text, write_csv
+from repro.data.missing import (
+    complete_rows_mask,
+    dense_numeric_matrix,
+    drop_missing,
+    groupwise_values,
+    impute_mean,
+    impute_median,
+    impute_mode,
+    pairwise_values,
+)
+
+__all__ = [
+    "BooleanColumn",
+    "CategoricalColumn",
+    "Column",
+    "ColumnKind",
+    "DataTable",
+    "Field",
+    "NumericColumn",
+    "Schema",
+    "categorical_column",
+    "complete_rows_mask",
+    "dense_numeric_matrix",
+    "drop_missing",
+    "groupwise_values",
+    "impute_mean",
+    "impute_median",
+    "impute_mode",
+    "infer_kind",
+    "infer_schema",
+    "numeric_column",
+    "pairwise_values",
+    "read_csv",
+    "read_csv_text",
+    "to_csv_text",
+    "write_csv",
+]

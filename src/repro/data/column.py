@@ -1,0 +1,374 @@
+"""Typed column containers backed by NumPy arrays.
+
+A column couples a :class:`repro.data.schema.Field` with a value array and a
+missing-value mask.  Three concrete column types exist:
+
+* :class:`NumericColumn` — float64 values (the paper's set ``B``);
+* :class:`CategoricalColumn` — string labels stored as integer codes plus a
+  category list (the paper's set ``C``);
+* :class:`BooleanColumn` — a two-level categorical column specialised for
+  booleans.
+
+Columns are immutable from the caller's perspective: all transforming
+operations return new column objects, and ``values``/``mask`` accessors
+return read-only views.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ColumnTypeError, EmptyColumnError, SchemaError
+from repro.data.schema import (
+    ColumnKind,
+    Field,
+    is_missing_token,
+    parse_boolean,
+    parse_number,
+)
+
+
+def _readonly(array: np.ndarray) -> np.ndarray:
+    view = array.view()
+    view.flags.writeable = False
+    return view
+
+
+class Column:
+    """Abstract base class for typed columns."""
+
+    def __init__(self, field: Field, mask: np.ndarray):
+        self._field = field
+        self._mask = np.asarray(mask, dtype=bool)
+
+    # -- schema ----------------------------------------------------------
+    @property
+    def field(self) -> Field:
+        """The schema field describing this column."""
+        return self._field
+
+    @property
+    def name(self) -> str:
+        return self._field.name
+
+    @property
+    def kind(self) -> ColumnKind:
+        return self._field.kind
+
+    # -- missing values ----------------------------------------------------
+    @property
+    def mask(self) -> np.ndarray:
+        """Boolean array; True where the value is missing."""
+        return _readonly(self._mask)
+
+    def missing_count(self) -> int:
+        """Number of missing values."""
+        return int(self._mask.sum())
+
+    def missing_fraction(self) -> float:
+        """Fraction of missing values (0.0 for an empty column)."""
+        if len(self) == 0:
+            return 0.0
+        return self.missing_count() / len(self)
+
+    def valid_count(self) -> int:
+        """Number of non-missing values."""
+        return len(self) - self.missing_count()
+
+    # -- container protocol ------------------------------------------------
+    def __len__(self) -> int:
+        return int(self._mask.shape[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(name={self.name!r}, n={len(self)}, "
+            f"missing={self.missing_count()})"
+        )
+
+    # -- to be provided by subclasses ---------------------------------------
+    def take(self, indices: np.ndarray) -> "Column":
+        """Return a new column containing the rows at ``indices``."""
+        raise NotImplementedError
+
+    def rename(self, name: str) -> "Column":
+        """Return a copy of this column with a new name."""
+        raise NotImplementedError
+
+    def to_list(self) -> list[object]:
+        """Return the column as a Python list with None for missing values."""
+        raise NotImplementedError
+
+
+class NumericColumn(Column):
+    """A numeric column stored as float64 with an explicit missing mask."""
+
+    def __init__(self, field: Field, values: np.ndarray, mask: np.ndarray | None = None):
+        if not field.kind.is_numeric:
+            raise ColumnTypeError(
+                f"NumericColumn requires a NUMERIC field, got {field.kind}"
+            )
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 1:
+            raise SchemaError("column values must be one-dimensional")
+        if mask is None:
+            mask = np.isnan(values)
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != values.shape:
+            raise SchemaError("mask shape must match values shape")
+        # Normalise: every NaN is missing even if the caller's mask says not.
+        mask = mask | np.isnan(values)
+        super().__init__(field, mask)
+        self._values = values
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def from_raw(cls, name: str, raw_values: Sequence[object], **field_kwargs) -> "NumericColumn":
+        """Build a numeric column from raw (possibly string) values."""
+        parsed = np.empty(len(raw_values), dtype=np.float64)
+        mask = np.zeros(len(raw_values), dtype=bool)
+        for i, value in enumerate(raw_values):
+            if is_missing_token(value):
+                parsed[i] = np.nan
+                mask[i] = True
+                continue
+            number = parse_number(value)
+            if number is None:
+                parsed[i] = np.nan
+                mask[i] = True
+            else:
+                parsed[i] = number
+        field = Field(name=name, kind=ColumnKind.NUMERIC, **field_kwargs)
+        return cls(field, parsed, mask)
+
+    # -- accessors ----------------------------------------------------------
+    @property
+    def values(self) -> np.ndarray:
+        """All values as float64 (missing entries hold NaN)."""
+        return _readonly(self._values)
+
+    def valid_values(self) -> np.ndarray:
+        """Only the non-missing values, as a new float64 array."""
+        return self._values[~self._mask].copy()
+
+    def require_valid_values(self, minimum: int = 1) -> np.ndarray:
+        """Return non-missing values, raising if fewer than ``minimum`` exist."""
+        values = self.valid_values()
+        if values.size < minimum:
+            raise EmptyColumnError(
+                f"column {self.name!r} has {values.size} usable values; "
+                f"{minimum} required"
+            )
+        return values
+
+    def is_discrete(self, max_distinct: int = 20) -> bool:
+        """True if the column is integer-valued with few distinct values.
+
+        The heterogeneous-frequencies insight applies to categorical columns
+        *and* discrete numeric columns (paper section 2.2, insight 5); this
+        predicate is how the engine decides that a numeric column qualifies.
+        """
+        values = self.valid_values()
+        if values.size == 0:
+            return False
+        if not np.all(np.isclose(values, np.round(values))):
+            return False
+        return np.unique(values).size <= max_distinct
+
+    # -- transformations ------------------------------------------------------
+    def take(self, indices: np.ndarray) -> "NumericColumn":
+        indices = np.asarray(indices)
+        return NumericColumn(self._field, self._values[indices], self._mask[indices])
+
+    def rename(self, name: str) -> "NumericColumn":
+        field = Field(
+            name=name,
+            kind=self._field.kind,
+            description=self._field.description,
+            unit=self._field.unit,
+            tags=self._field.tags,
+        )
+        return NumericColumn(field, self._values.copy(), self._mask.copy())
+
+    def to_list(self) -> list[object]:
+        return [
+            None if missing else float(value)
+            for value, missing in zip(self._values, self._mask)
+        ]
+
+
+class CategoricalColumn(Column):
+    """A categorical column stored as integer codes plus category labels."""
+
+    #: Code used for missing entries.
+    MISSING_CODE = -1
+
+    def __init__(self, field: Field, codes: np.ndarray, categories: Sequence[str]):
+        if not field.kind.is_categorical:
+            raise ColumnTypeError(
+                f"CategoricalColumn requires a categorical field, got {field.kind}"
+            )
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.ndim != 1:
+            raise SchemaError("column codes must be one-dimensional")
+        categories = [str(c) for c in categories]
+        if len(set(categories)) != len(categories):
+            raise SchemaError("categories must be unique")
+        if codes.size and codes.max(initial=self.MISSING_CODE) >= len(categories):
+            raise SchemaError("code out of range for category list")
+        if codes.size and codes.min(initial=0) < self.MISSING_CODE:
+            raise SchemaError("negative code other than the missing code")
+        mask = codes == self.MISSING_CODE
+        super().__init__(field, mask)
+        self._codes = codes
+        self._categories = list(categories)
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def from_raw(
+        cls,
+        name: str,
+        raw_values: Sequence[object],
+        kind: ColumnKind = ColumnKind.CATEGORICAL,
+        **field_kwargs,
+    ) -> "CategoricalColumn":
+        """Build a categorical column from raw values (labels)."""
+        labels: list[str] = []
+        label_index: dict[str, int] = {}
+        codes = np.empty(len(raw_values), dtype=np.int64)
+        for i, value in enumerate(raw_values):
+            if is_missing_token(value):
+                codes[i] = cls.MISSING_CODE
+                continue
+            label = str(value).strip()
+            if label not in label_index:
+                label_index[label] = len(labels)
+                labels.append(label)
+            codes[i] = label_index[label]
+        field = Field(name=name, kind=kind, **field_kwargs)
+        return cls(field, codes, labels)
+
+    # -- accessors ----------------------------------------------------------
+    @property
+    def codes(self) -> np.ndarray:
+        """Integer codes; ``MISSING_CODE`` marks missing entries."""
+        return _readonly(self._codes)
+
+    @property
+    def categories(self) -> list[str]:
+        """The category labels, indexed by code."""
+        return list(self._categories)
+
+    def n_categories(self) -> int:
+        return len(self._categories)
+
+    def labels(self) -> list[str | None]:
+        """All values as labels, with None for missing entries."""
+        return [
+            None if code == self.MISSING_CODE else self._categories[code]
+            for code in self._codes
+        ]
+
+    def valid_labels(self) -> list[str]:
+        """Only the non-missing labels."""
+        return [self._categories[code] for code in self._codes if code != self.MISSING_CODE]
+
+    def valid_codes(self) -> np.ndarray:
+        """Only the non-missing codes, as a new int64 array."""
+        return self._codes[~self._mask].copy()
+
+    def value_counts(self) -> dict[str, int]:
+        """Frequency of each category among non-missing values, descending."""
+        counts = np.bincount(
+            self._codes[~self._mask], minlength=len(self._categories)
+        )
+        pairs = sorted(
+            zip(self._categories, counts.tolist()), key=lambda p: (-p[1], p[0])
+        )
+        return {label: count for label, count in pairs if count > 0}
+
+    # -- transformations ------------------------------------------------------
+    def take(self, indices: np.ndarray) -> "CategoricalColumn":
+        indices = np.asarray(indices)
+        return CategoricalColumn(self._field, self._codes[indices], self._categories)
+
+    def rename(self, name: str) -> "CategoricalColumn":
+        field = Field(
+            name=name,
+            kind=self._field.kind,
+            description=self._field.description,
+            unit=self._field.unit,
+            tags=self._field.tags,
+        )
+        return CategoricalColumn(field, self._codes.copy(), self._categories)
+
+    def to_list(self) -> list[object]:
+        return self.labels()
+
+
+class BooleanColumn(CategoricalColumn):
+    """A boolean column, represented as a two-level categorical column."""
+
+    TRUE_LABEL = "true"
+    FALSE_LABEL = "false"
+
+    def __init__(self, field: Field, codes: np.ndarray):
+        if field.kind is not ColumnKind.BOOLEAN:
+            raise ColumnTypeError(
+                f"BooleanColumn requires a BOOLEAN field, got {field.kind}"
+            )
+        super().__init__(field, codes, [self.FALSE_LABEL, self.TRUE_LABEL])
+
+    @classmethod
+    def from_raw(cls, name: str, raw_values: Sequence[object], **field_kwargs) -> "BooleanColumn":
+        codes = np.empty(len(raw_values), dtype=np.int64)
+        for i, value in enumerate(raw_values):
+            if is_missing_token(value):
+                codes[i] = cls.MISSING_CODE
+                continue
+            parsed = parse_boolean(value)
+            codes[i] = cls.MISSING_CODE if parsed is None else int(parsed)
+        field = Field(name=name, kind=ColumnKind.BOOLEAN, **field_kwargs)
+        return cls(field, codes)
+
+    def take(self, indices: np.ndarray) -> "BooleanColumn":
+        indices = np.asarray(indices)
+        return BooleanColumn(self._field, self._codes[indices])
+
+    def rename(self, name: str) -> "BooleanColumn":
+        field = Field(
+            name=name,
+            kind=self._field.kind,
+            description=self._field.description,
+            unit=self._field.unit,
+            tags=self._field.tags,
+        )
+        return BooleanColumn(field, self._codes.copy())
+
+    def to_bool_array(self) -> np.ndarray:
+        """Return a boolean array over non-missing entries."""
+        return self.valid_codes().astype(bool)
+
+
+def column_from_raw(name: str, raw_values: Sequence[object], kind: ColumnKind) -> Column:
+    """Build the appropriate column type for ``kind`` from raw values."""
+    if kind is ColumnKind.NUMERIC:
+        return NumericColumn.from_raw(name, raw_values)
+    if kind is ColumnKind.BOOLEAN:
+        return BooleanColumn.from_raw(name, raw_values)
+    if kind is ColumnKind.CATEGORICAL:
+        return CategoricalColumn.from_raw(name, raw_values)
+    raise ColumnTypeError(f"unsupported column kind {kind!r}")
+
+
+def numeric_column(name: str, values: Iterable[float], **field_kwargs) -> NumericColumn:
+    """Convenience constructor for a numeric column from an iterable."""
+    array = np.asarray(list(values), dtype=np.float64)
+    field = Field(name=name, kind=ColumnKind.NUMERIC, **field_kwargs)
+    return NumericColumn(field, array)
+
+
+def categorical_column(name: str, labels: Iterable[object], **field_kwargs) -> CategoricalColumn:
+    """Convenience constructor for a categorical column from labels."""
+    return CategoricalColumn.from_raw(name, list(labels), **field_kwargs)

@@ -1,0 +1,124 @@
+"""CSV reading and writing for :class:`repro.data.table.DataTable`.
+
+The reader is dependency-free (built on the standard library ``csv``
+module), infers a schema from the parsed rows and returns a fully typed
+``DataTable``.  The writer emits plain CSV with empty cells for missing
+values, so a table survives a round trip.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.errors import SchemaError
+from repro.data.schema import ColumnKind, infer_schema
+from repro.data.column import column_from_raw
+from repro.data.table import DataTable
+
+
+def read_csv(
+    path: str | Path,
+    name: str | None = None,
+    kinds: Mapping[str, ColumnKind] | None = None,
+    delimiter: str = ",",
+    encoding: str = "utf-8",
+) -> DataTable:
+    """Read a CSV file into a :class:`DataTable`.
+
+    Parameters
+    ----------
+    path:
+        Path to the CSV file; the first row must contain column names.
+    name:
+        Dataset name; defaults to the file stem.
+    kinds:
+        Optional explicit column kinds overriding schema inference.
+    delimiter:
+        Field delimiter.
+    encoding:
+        Text encoding of the file.
+    """
+    path = Path(path)
+    with path.open("r", newline="", encoding=encoding) as handle:
+        table = read_csv_text(handle.read(), name=name or path.stem, kinds=kinds,
+                              delimiter=delimiter)
+    return table
+
+
+def read_csv_text(
+    text: str,
+    name: str = "dataset",
+    kinds: Mapping[str, ColumnKind] | None = None,
+    delimiter: str = ",",
+) -> DataTable:
+    """Parse CSV text (header + rows) into a :class:`DataTable`."""
+    reader = csv.reader(io.StringIO(text), delimiter=delimiter)
+    rows = [row for row in reader if row]
+    if not rows:
+        raise SchemaError("CSV input is empty")
+    header = [h.strip() for h in rows[0]]
+    if len(set(header)) != len(header):
+        raise SchemaError("CSV header contains duplicate column names")
+    body: list[list[str]] = []
+    for line_number, row in enumerate(rows[1:], start=2):
+        if len(row) != len(header):
+            raise SchemaError(
+                f"row {line_number} has {len(row)} fields; expected {len(header)}"
+            )
+        body.append([cell.strip() for cell in row])
+    schema = infer_schema(header, body, overrides=kinds)
+    columns = []
+    for j, field in enumerate(schema):
+        raw_values = [row[j] for row in body]
+        columns.append(column_from_raw(field.name, raw_values, field.kind))
+    return DataTable(columns, name=name)
+
+
+def write_csv(table: DataTable, path: str | Path, delimiter: str = ",",
+              encoding: str = "utf-8") -> None:
+    """Write a :class:`DataTable` to a CSV file (empty cell = missing)."""
+    path = Path(path)
+    with path.open("w", newline="", encoding=encoding) as handle:
+        handle.write(to_csv_text(table, delimiter=delimiter))
+
+
+def to_csv_text(table: DataTable, delimiter: str = ",") -> str:
+    """Serialise a :class:`DataTable` to CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, delimiter=delimiter, lineterminator="\n")
+    writer.writerow(table.column_names())
+    columns = [column.to_list() for column in table.columns()]
+    for i in range(table.n_rows):
+        row = []
+        for values in columns:
+            value = values[i]
+            if value is None:
+                row.append("")
+            elif isinstance(value, float) and value.is_integer():
+                row.append(str(int(value)))
+            else:
+                row.append(str(value))
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def column_kinds_from_strings(kinds: Mapping[str, str]) -> dict[str, ColumnKind]:
+    """Convert a mapping of column name -> kind string to ColumnKind values.
+
+    Convenience for callers configuring CSV ingestion from JSON/YAML-style
+    configuration where kinds arrive as plain strings.
+    """
+    converted: dict[str, ColumnKind] = {}
+    for column_name, kind_text in kinds.items():
+        try:
+            converted[column_name] = ColumnKind(kind_text)
+        except ValueError as exc:
+            valid = ", ".join(k.value for k in ColumnKind)
+            raise SchemaError(
+                f"invalid column kind {kind_text!r} for {column_name!r}; "
+                f"valid kinds: {valid}"
+            ) from exc
+    return converted

@@ -1,0 +1,44 @@
+"""Demo datasets (synthetic stand-ins for the paper's three demo datasets)
+and controllable workload generators for the benchmarks."""
+
+from repro.data.datasets.oecd import (
+    LEISURE_WORKHOURS_CORRELATION,
+    HEALTH_LIFESATISFACTION_CORRELATION,
+    OECD_COUNTRIES,
+    OECD_INDICATORS,
+    figure2_abbreviations,
+    load_oecd,
+)
+from repro.data.datasets.parkinson import load_parkinson
+from repro.data.datasets.imdb import load_imdb
+from repro.data.datasets.synthetic import (
+    MixedConfig,
+    SyntheticConfig,
+    make_bimodal_column,
+    make_clustered_table,
+    make_correlated_pair,
+    make_mixed_table,
+    make_numeric_table,
+    make_uniform_categorical,
+    make_zipf_categorical,
+)
+
+__all__ = [
+    "HEALTH_LIFESATISFACTION_CORRELATION",
+    "LEISURE_WORKHOURS_CORRELATION",
+    "MixedConfig",
+    "OECD_COUNTRIES",
+    "OECD_INDICATORS",
+    "SyntheticConfig",
+    "figure2_abbreviations",
+    "load_imdb",
+    "load_oecd",
+    "load_parkinson",
+    "make_bimodal_column",
+    "make_clustered_table",
+    "make_correlated_pair",
+    "make_mixed_table",
+    "make_numeric_table",
+    "make_uniform_categorical",
+    "make_zipf_categorical",
+]

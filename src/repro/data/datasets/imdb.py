@@ -1,0 +1,159 @@
+"""Synthetic IMDB movies dataset (5 000 x 28).
+
+The paper's third demo dataset is the familiar "IMDB 5000" movie table
+("5000 movies (rows) and 28 features (columns) ... from the director name to
+the IMDB score"), used to explore questions such as *what factors correlate
+highly with a film's profitability?* and *how are critical responses and
+commercial success interrelated?*.
+
+This generator reproduces the scale and plants the relationships those
+questions probe: budget and gross are strongly related (and right-skewed /
+heavy-tailed), profit correlates with audience engagement, critic and user
+scores are positively but imperfectly correlated, and a few blockbusters act
+as extreme outliers — plus heavy-hitter categorical columns (genres,
+countries, content ratings, a long tail of directors).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.column import BooleanColumn, CategoricalColumn, NumericColumn
+from repro.data.schema import ColumnKind, Field
+from repro.data.table import DataTable
+
+N_ROWS = 5000
+
+_GENRES = ["Drama", "Comedy", "Action", "Thriller", "Adventure", "Romance",
+           "Crime", "Horror", "SciFi", "Animation", "Documentary", "Fantasy"]
+_GENRE_P = np.array([0.22, 0.18, 0.14, 0.09, 0.08, 0.07, 0.06, 0.06, 0.04, 0.03, 0.02, 0.01])
+_COUNTRIES = ["USA", "UK", "France", "Germany", "Canada", "India", "Japan",
+              "Australia", "Spain", "China", "Italy", "South Korea"]
+_COUNTRY_P = np.array([0.62, 0.11, 0.05, 0.04, 0.04, 0.03, 0.03, 0.02, 0.02, 0.02, 0.01, 0.01])
+_RATINGS = ["R", "PG-13", "PG", "G", "NC-17", "Unrated"]
+_RATING_P = np.array([0.45, 0.33, 0.13, 0.04, 0.01, 0.04])
+_LANGUAGES = ["English", "French", "Spanish", "Mandarin", "Hindi", "Japanese", "German", "Korean"]
+_LANGUAGE_P = np.array([0.78, 0.05, 0.04, 0.03, 0.03, 0.03, 0.02, 0.02])
+
+
+def _numeric(name: str, values: np.ndarray, description: str = "") -> NumericColumn:
+    return NumericColumn(Field(name, ColumnKind.NUMERIC, description=description), values)
+
+
+def load_imdb(seed: int = 42, n_rows: int = N_ROWS) -> DataTable:
+    """Build the synthetic IMDB-5000-like table (default 5 000 rows x 28 columns)."""
+    rng = np.random.default_rng(seed)
+    n = int(n_rows)
+
+    title_year = rng.choice(np.arange(1960, 2017), size=n,
+                            p=_year_probabilities()).astype(float)
+    duration = rng.normal(108, 19, n).clip(60, 240)
+
+    # Budget (log-normal, right-skewed); gross driven by budget + quality + luck.
+    log_budget = rng.normal(16.6, 1.25, n)                       # ~ exp(16.6) ≈ 16M
+    budget = np.exp(log_budget).clip(5e4, 4.0e8)
+    quality = rng.standard_normal(n)                              # latent film quality
+    marketing = rng.standard_normal(n)
+    log_gross = (
+        0.82 * (log_budget - log_budget.mean())
+        + 0.55 * quality
+        + 0.35 * marketing
+        + rng.normal(0.0, 0.8, n)
+        + 16.8
+    )
+    gross = np.exp(log_gross).clip(1e3, 3.0e9)
+    # A few blockbusters become extreme outliers.
+    blockbusters = rng.random(n) < 0.004
+    gross[blockbusters] *= rng.uniform(3.0, 8.0, int(blockbusters.sum()))
+    profit = gross - budget
+    roi = profit / budget
+
+    imdb_score = (6.4 + 0.85 * quality + 0.15 * rng.standard_normal(n)).clip(1.0, 9.8)
+    critic_score = (58 + 16 * quality + 9 * rng.standard_normal(n)).clip(1, 100)
+    num_critic_reviews = (np.exp(4.4 + 0.45 * np.log1p(gross / 1e6) / 3
+                                 + 0.3 * rng.standard_normal(n))).clip(1, 900)
+    num_user_reviews = (num_critic_reviews * rng.lognormal(1.1, 0.5, n)).clip(1, 6000)
+    num_voted_users = (np.exp(9.0 + 0.8 * quality + 0.6 * np.log1p(gross / 1e6) / 4
+                              + 0.5 * rng.standard_normal(n))).clip(50, 2.2e6)
+
+    facebook_likes_movie = (num_voted_users * rng.lognormal(-2.0, 0.8, n)).clip(0, 4e5)
+    facebook_likes_cast = rng.lognormal(8.6, 1.1, n).clip(0, 7e5)
+    facebook_likes_director = rng.lognormal(5.6, 1.6, n).clip(0, 2.5e5)
+    facebook_likes_lead = facebook_likes_cast * rng.uniform(0.35, 0.8, n)
+
+    aspect_ratio = rng.choice([1.85, 2.35, 1.78, 1.66, 2.39], size=n,
+                              p=[0.42, 0.38, 0.12, 0.04, 0.04])
+    face_number_in_poster = rng.poisson(1.4, n).astype(float)
+
+    # Categorical columns with heavy hitters.
+    genre = rng.choice(_GENRES, size=n, p=_GENRE_P / _GENRE_P.sum())
+    country = rng.choice(_COUNTRIES, size=n, p=_COUNTRY_P / _COUNTRY_P.sum())
+    content_rating = rng.choice(_RATINGS, size=n, p=_RATING_P / _RATING_P.sum())
+    language = rng.choice(_LANGUAGES, size=n, p=_LANGUAGE_P / _LANGUAGE_P.sum())
+    color = rng.random(n) < 0.94
+
+    # Long-tailed director / actor name distributions (few prolific names).
+    director = _name_pool(rng, n, prefix="director", n_heavy=25, n_tail=1400,
+                          heavy_share=0.3)
+    lead_actor = _name_pool(rng, n, prefix="actor", n_heavy=60, n_tail=2400,
+                            heavy_share=0.35)
+
+    # Missing values where the real scrape has them (budget/gross gaps).
+    for values, rate in ((budget, 0.06), (gross, 0.09), (critic_score, 0.03),
+                         (aspect_ratio, 0.02)):
+        mask = rng.random(n) < rate
+        values[mask] = np.nan
+    profit = gross - budget  # recompute so missingness propagates
+    roi = profit / budget
+
+    columns = [
+        CategoricalColumn.from_raw("MovieTitle", [f"Movie {i:05d}" for i in range(n)]),
+        CategoricalColumn.from_raw("Director", director),
+        CategoricalColumn.from_raw("LeadActor", lead_actor),
+        CategoricalColumn.from_raw("Genre", genre.tolist()),
+        CategoricalColumn.from_raw("Country", country.tolist()),
+        CategoricalColumn.from_raw("Language", language.tolist()),
+        CategoricalColumn.from_raw("ContentRating", content_rating.tolist()),
+        BooleanColumn.from_raw("Color", color.tolist()),
+        _numeric("TitleYear", title_year),
+        _numeric("DurationMinutes", duration),
+        _numeric("Budget", budget, "Production budget (USD)"),
+        _numeric("Gross", gross, "Worldwide gross (USD)"),
+        _numeric("Profit", profit, "Gross minus budget (USD)"),
+        _numeric("ReturnOnInvestment", roi),
+        _numeric("IMDBScore", imdb_score),
+        _numeric("CriticScore", critic_score, "Metacritic-style critic score"),
+        _numeric("NumCriticReviews", num_critic_reviews),
+        _numeric("NumUserReviews", num_user_reviews),
+        _numeric("NumVotedUsers", num_voted_users),
+        _numeric("MovieFacebookLikes", facebook_likes_movie),
+        _numeric("CastFacebookLikes", facebook_likes_cast),
+        _numeric("DirectorFacebookLikes", facebook_likes_director),
+        _numeric("LeadActorFacebookLikes", facebook_likes_lead),
+        _numeric("AspectRatio", aspect_ratio),
+        _numeric("FacesInPoster", face_number_in_poster),
+        _numeric("BudgetMillions", budget / 1e6),
+        _numeric("GrossMillions", gross / 1e6),
+        _numeric("ProfitMillions", profit / 1e6),
+    ]
+    return DataTable(columns, name="imdb-movies")
+
+
+def _year_probabilities() -> np.ndarray:
+    years = np.arange(1960, 2017)
+    weights = np.linspace(0.2, 1.0, years.size) ** 2
+    return weights / weights.sum()
+
+
+def _name_pool(rng: np.random.Generator, n: int, prefix: str, n_heavy: int,
+               n_tail: int, heavy_share: float) -> list[str]:
+    """Draw names where a small set of prolific names covers ``heavy_share``."""
+    heavy = [f"{prefix}_{i:04d}" for i in range(n_heavy)]
+    tail = [f"{prefix}_{i:04d}" for i in range(n_heavy, n_heavy + n_tail)]
+    from_heavy = rng.random(n) < heavy_share
+    heavy_choices = rng.choice(len(heavy), size=n)
+    tail_choices = rng.choice(len(tail), size=n)
+    return [
+        heavy[heavy_choices[i]] if from_heavy[i] else tail[tail_choices[i]]
+        for i in range(n)
+    ]

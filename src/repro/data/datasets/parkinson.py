@@ -1,0 +1,181 @@
+"""Synthetic Parkinson's-progression (PPMI-like) dataset (2 000 x 50).
+
+The paper's second demo dataset is a clinical extract from the Parkinson's
+Progression Markers Initiative (PPMI): "2K rows and 50 columns" of measured
+clinical descriptors characterising disease progression (MDS-UPDRS scales).
+The real extract is not redistributable, so this generator produces a
+synthetic table with the same scale and the statistical structure a clinical
+reader would expect:
+
+* strongly inter-correlated UPDRS part scores and a total score;
+* disease duration driving symptom severity (monotonic, partly nonlinear);
+* right-skewed symptom scores (most patients mild, a long severe tail);
+* heavy-hitter categorical columns (study site, dominant side, medication);
+* a handful of extreme outliers and missing values, as in clinical data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.column import BooleanColumn, CategoricalColumn, NumericColumn
+from repro.data.schema import ColumnKind, Field
+from repro.data.table import DataTable
+
+N_ROWS = 2000
+
+_SITES = [f"SITE_{i:02d}" for i in range(1, 22)]
+_MEDICATIONS = ["levodopa", "dopamine_agonist", "mao_b_inhibitor", "none", "other"]
+_SUBTYPES = ["tremor_dominant", "akinetic_rigid", "mixed"]
+
+
+def _numeric(name: str, values: np.ndarray, description: str = "") -> NumericColumn:
+    return NumericColumn(Field(name, ColumnKind.NUMERIC, description=description), values)
+
+
+def load_parkinson(seed: int = 7, n_rows: int = N_ROWS) -> DataTable:
+    """Build the synthetic PPMI-like table (default 2 000 rows x 50 columns)."""
+    rng = np.random.default_rng(seed)
+    n = int(n_rows)
+
+    # Demographics and disease timeline.
+    age = rng.normal(63.0, 9.5, n).clip(33, 90)
+    sex_male = rng.random(n) < 0.62
+    years_since_diagnosis = rng.gamma(shape=2.0, scale=2.2, size=n).clip(0.1, 25)
+    age_at_onset = (age - years_since_diagnosis).clip(25, 85)
+    education_years = rng.normal(15.5, 2.8, n).clip(6, 24)
+
+    # Latent severity grows with disease duration (monotone, saturating).
+    severity = 1.0 - np.exp(-years_since_diagnosis / 6.0)
+    severity = severity + 0.08 * rng.standard_normal(n)
+    severity = severity.clip(0.02, 1.4)
+
+    def updrs_part(scale: float, noise: float, skew_boost: float = 0.0) -> np.ndarray:
+        base = scale * severity + noise * rng.standard_normal(n)
+        base = base + skew_boost * rng.gamma(1.5, 1.0, n)
+        return base.clip(0, None)
+
+    updrs1 = updrs_part(10.0, 1.6, 0.6)           # non-motor experiences
+    updrs2 = updrs_part(14.0, 2.0, 0.8)           # motor experiences of daily living
+    updrs3 = updrs_part(34.0, 4.5, 1.4)           # motor examination
+    updrs4 = updrs_part(5.0, 1.0, 0.4)            # motor complications
+    updrs_total = updrs1 + updrs2 + updrs3 + updrs4
+
+    tremor_score = updrs_part(8.0, 1.8, 0.5)
+    rigidity_score = updrs_part(9.0, 1.7, 0.5)
+    bradykinesia = updrs_part(12.0, 2.2, 0.7)
+    gait_score = updrs_part(6.0, 1.2, 0.4)
+    hoehn_yahr = (1.0 + 3.0 * severity + 0.3 * rng.standard_normal(n)).clip(1, 5).round()
+
+    moca = (27.5 - 4.5 * severity - 0.05 * (age - 60) + 1.2 * rng.standard_normal(n)).clip(5, 30)
+    semantic_fluency = (48 - 14 * severity + 6 * rng.standard_normal(n)).clip(5, 80)
+    benton_judgment = (13 - 3 * severity + 1.5 * rng.standard_normal(n)).clip(2, 15)
+    symbol_digit = (45 - 16 * severity - 0.2 * (age - 60) + 5 * rng.standard_normal(n)).clip(5, 75)
+
+    # Sleep / autonomic / mood scales (right-skewed).
+    epworth = rng.gamma(2.0, 2.2, n).clip(0, 24) + 3.0 * severity
+    rbd_score = rng.gamma(1.8, 1.6, n).clip(0, 13) + 2.0 * severity
+    scopa_aut = rng.gamma(2.2, 3.0, n).clip(0, 60) + 6.0 * severity
+    gds_depression = rng.gamma(1.3, 1.6, n).clip(0, 15) + 1.5 * severity
+    stai_anxiety = (35 + 22 * severity + 8 * rng.standard_normal(n)).clip(20, 80)
+
+    # Biomarkers (heavy-tailed, with planted outliers).
+    csf_abeta = rng.lognormal(6.6, 0.35, n)
+    csf_tau = rng.lognormal(5.1, 0.4, n)
+    csf_asyn = rng.lognormal(7.2, 0.45, n)
+    serum_urate = rng.normal(5.2, 1.2, n).clip(1.5, 10.5)
+    datscan_putamen = (2.2 - 1.3 * severity + 0.25 * rng.standard_normal(n)).clip(0.2, 3.5)
+    datscan_caudate = (2.9 - 1.1 * severity + 0.28 * rng.standard_normal(n)).clip(0.4, 4.2)
+    outlier_rows = rng.random(n) < 0.008
+    csf_tau[outlier_rows] *= 6.0
+
+    # Motor timing tasks (nonlinear monotone in severity).
+    tap_speed = (190 * np.exp(-0.9 * severity) + 12 * rng.standard_normal(n)).clip(30, 260)
+    tug_seconds = (7.0 * np.exp(0.9 * severity) + 1.2 * rng.standard_normal(n)).clip(3, 60)
+    stride_length = (1.45 - 0.5 * severity + 0.08 * rng.standard_normal(n)).clip(0.3, 1.9)
+
+    # Dosing / lifestyle.
+    ledd_dose = (350 * severity**1.2 * rng.lognormal(0.0, 0.35, n)).clip(0, 2500)
+    bmi = rng.normal(27.0, 4.3, n).clip(16, 48)
+    systolic_bp = rng.normal(131, 15, n).clip(90, 200)
+    diastolic_bp = rng.normal(79, 10, n).clip(50, 120)
+    caffeine_mg = rng.gamma(1.6, 90.0, n).clip(0, 900)
+    exercise_hours = rng.gamma(1.8, 1.6, n).clip(0, 20)
+
+    quality_of_life = (
+        78 - 34 * severity - 0.9 * gds_depression + 5.5 * rng.standard_normal(n)
+    ).clip(5, 100)
+
+    # Categorical columns (heavy hitters at a few large sites / common meds).
+    site_probabilities = np.array([0.18, 0.14, 0.10] + [0.58 / 18] * 18)
+    site = rng.choice(_SITES, size=n, p=site_probabilities)
+    medication = rng.choice(_MEDICATIONS, size=n, p=[0.46, 0.22, 0.12, 0.14, 0.06])
+    subtype = rng.choice(_SUBTYPES, size=n, p=[0.45, 0.3, 0.25])
+    dominant_side = rng.choice(["left", "right", "symmetric"], size=n, p=[0.42, 0.47, 0.11])
+    family_history = rng.random(n) < 0.16
+    cohort = np.where(severity < 0.35, "prodromal",
+                      np.where(severity < 0.8, "early_pd", "advanced_pd"))
+
+    visit_month = rng.choice([0, 6, 12, 24, 36, 48], size=n,
+                             p=[0.3, 0.2, 0.18, 0.14, 0.1, 0.08]).astype(float)
+
+    # Introduce realistic missingness in a few clinical scales.
+    for values, rate in ((moca, 0.04), (csf_abeta, 0.12), (csf_tau, 0.12),
+                         (datscan_putamen, 0.08), (semantic_fluency, 0.05)):
+        mask = rng.random(n) < rate
+        values[mask] = np.nan
+
+    columns = [
+        CategoricalColumn.from_raw("PatientID", [f"PD{idx:05d}" for idx in range(n)]),
+        _numeric("Age", age, "Age at visit (years)"),
+        BooleanColumn.from_raw("Male", sex_male.tolist()),
+        _numeric("AgeAtOnset", age_at_onset),
+        _numeric("YearsSinceDiagnosis", years_since_diagnosis),
+        _numeric("EducationYears", education_years),
+        _numeric("VisitMonth", visit_month),
+        _numeric("UPDRS_I", updrs1, "MDS-UPDRS Part I"),
+        _numeric("UPDRS_II", updrs2, "MDS-UPDRS Part II"),
+        _numeric("UPDRS_III", updrs3, "MDS-UPDRS Part III"),
+        _numeric("UPDRS_IV", updrs4, "MDS-UPDRS Part IV"),
+        _numeric("UPDRS_Total", updrs_total, "MDS-UPDRS total score"),
+        _numeric("TremorScore", tremor_score),
+        _numeric("RigidityScore", rigidity_score),
+        _numeric("BradykinesiaScore", bradykinesia),
+        _numeric("GaitScore", gait_score),
+        _numeric("HoehnYahrStage", hoehn_yahr),
+        _numeric("MoCA", moca, "Montreal Cognitive Assessment"),
+        _numeric("SemanticFluency", semantic_fluency),
+        _numeric("BentonJudgment", benton_judgment),
+        _numeric("SymbolDigitModalities", symbol_digit),
+        _numeric("EpworthSleepiness", epworth),
+        _numeric("RBDScreening", rbd_score),
+        _numeric("SCOPA_AUT", scopa_aut),
+        _numeric("GDSDepression", gds_depression),
+        _numeric("STAIAnxiety", stai_anxiety),
+        _numeric("CSF_ABeta", csf_abeta),
+        _numeric("CSF_Tau", csf_tau),
+        _numeric("CSF_AlphaSynuclein", csf_asyn),
+        _numeric("SerumUrate", serum_urate),
+        _numeric("DaTscanPutamen", datscan_putamen),
+        _numeric("DaTscanCaudate", datscan_caudate),
+        _numeric("FingerTapSpeed", tap_speed),
+        _numeric("TimedUpAndGo", tug_seconds),
+        _numeric("StrideLength", stride_length),
+        _numeric("LEDD", ledd_dose, "Levodopa equivalent daily dose"),
+        _numeric("BMI", bmi),
+        _numeric("SystolicBP", systolic_bp),
+        _numeric("DiastolicBP", diastolic_bp),
+        _numeric("CaffeineMgPerDay", caffeine_mg),
+        _numeric("ExerciseHoursPerWeek", exercise_hours),
+        _numeric("QualityOfLife", quality_of_life, "PDQ-39 style index"),
+        _numeric("LatentSeverity", severity,
+                 "Latent progression factor used to generate the scales"),
+        CategoricalColumn.from_raw("StudySite", site.tolist()),
+        CategoricalColumn.from_raw("Medication", medication.tolist()),
+        CategoricalColumn.from_raw("MotorSubtype", subtype.tolist()),
+        CategoricalColumn.from_raw("DominantSide", dominant_side.tolist()),
+        BooleanColumn.from_raw("FamilyHistory", family_history.tolist()),
+        CategoricalColumn.from_raw("Cohort", cohort.tolist()),
+        _numeric("SymptomAsymmetry", rng.gamma(1.5, 1.0, n)),
+    ]
+    return DataTable(columns, name="parkinson-ppmi")

@@ -1,0 +1,212 @@
+"""Controllable synthetic workload generators.
+
+The benchmark harness needs datasets whose statistical structure is known in
+advance: columns with planted correlations, skew, heavy tails, outliers,
+heavy hitters, multimodality and cluster structure.  These generators build
+:class:`~repro.data.table.DataTable` objects of any size with that planted
+structure, which is what the sketch-accuracy, speedup and latency
+experiments sweep over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.column import CategoricalColumn, NumericColumn
+from repro.data.schema import ColumnKind, Field
+from repro.data.table import DataTable
+
+
+@dataclass
+class SyntheticConfig:
+    """Parameters for the general-purpose numeric workload generator.
+
+    ``n_rows`` x ``n_columns`` numeric table whose columns are grouped into
+    correlated blocks: within a block, consecutive columns are correlated at
+    roughly ``block_correlation``; across blocks columns are independent.
+    A fraction of columns also receives skew, heavy tails and outliers.
+    """
+
+    n_rows: int = 10_000
+    n_columns: int = 50
+    block_size: int = 5
+    block_correlation: float = 0.8
+    skewed_fraction: float = 0.2
+    heavy_tailed_fraction: float = 0.2
+    outlier_fraction: float = 0.1
+    outlier_rate: float = 0.01
+    missing_rate: float = 0.0
+    seed: int = 0
+
+
+def make_numeric_table(config: SyntheticConfig | None = None, **overrides) -> DataTable:
+    """Generate an all-numeric table with planted correlation blocks."""
+    if config is None:
+        config = SyntheticConfig(**overrides)
+    elif overrides:
+        config = SyntheticConfig(**{**config.__dict__, **overrides})
+    rng = np.random.default_rng(config.seed)
+    n, d = config.n_rows, config.n_columns
+    matrix = np.empty((n, d))
+    block_count = max(1, (d + config.block_size - 1) // config.block_size)
+    column = 0
+    for block in range(block_count):
+        base = rng.standard_normal(n)
+        for position in range(config.block_size):
+            if column >= d:
+                break
+            rho = config.block_correlation
+            noise = rng.standard_normal(n)
+            if position == 0:
+                values = base.copy()
+            else:
+                values = rho * base + np.sqrt(max(1.0 - rho * rho, 0.0)) * noise
+            matrix[:, column] = values
+            column += 1
+    # Plant shape structure on a deterministic subset of columns.
+    n_skewed = int(config.skewed_fraction * d)
+    n_heavy = int(config.heavy_tailed_fraction * d)
+    n_outlier = int(config.outlier_fraction * d)
+    for j in range(n_skewed):
+        matrix[:, j] = np.exp(matrix[:, j])  # log-normal: right-skewed
+    for j in range(n_skewed, n_skewed + n_heavy):
+        matrix[:, j] = rng.standard_t(df=3, size=n)  # heavy tails
+    for j in range(d - n_outlier, d):
+        outlier_rows = rng.random(n) < config.outlier_rate
+        matrix[outlier_rows, j] += rng.choice([-1.0, 1.0], size=int(outlier_rows.sum())) * 8.0
+    if config.missing_rate > 0:
+        missing = rng.random(matrix.shape) < config.missing_rate
+        matrix[missing] = np.nan
+    names = [f"attr_{j:03d}" for j in range(d)]
+    table = DataTable.from_numeric_matrix(matrix, names, name="synthetic-numeric")
+    return table
+
+
+def make_correlated_pair(
+    n_rows: int, correlation: float, seed: int = 0, names: tuple[str, str] = ("x", "y")
+) -> DataTable:
+    """Two numeric columns with (population) correlation ``correlation``."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n_rows)
+    noise = rng.standard_normal(n_rows)
+    y = correlation * x + np.sqrt(max(1.0 - correlation**2, 0.0)) * noise
+    return DataTable(
+        [
+            NumericColumn(Field(names[0], ColumnKind.NUMERIC), x),
+            NumericColumn(Field(names[1], ColumnKind.NUMERIC), y),
+        ],
+        name="correlated-pair",
+    )
+
+
+def make_zipf_categorical(
+    n_rows: int, n_categories: int = 100, exponent: float = 1.5, seed: int = 0,
+    name: str = "category",
+) -> CategoricalColumn:
+    """A categorical column with Zipf-distributed (heavy-hitter) frequencies."""
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, n_categories + 1, dtype=np.float64)
+    probabilities = ranks ** (-exponent)
+    probabilities /= probabilities.sum()
+    codes = rng.choice(n_categories, size=n_rows, p=probabilities)
+    labels = [f"value_{i:04d}" for i in range(n_categories)]
+    return CategoricalColumn(Field(name, ColumnKind.CATEGORICAL), codes, labels)
+
+
+def make_uniform_categorical(
+    n_rows: int, n_categories: int = 10, seed: int = 0, name: str = "category"
+) -> CategoricalColumn:
+    """A categorical column with (near) uniform frequencies."""
+    rng = np.random.default_rng(seed)
+    codes = rng.integers(0, n_categories, size=n_rows)
+    labels = [f"level_{i:02d}" for i in range(n_categories)]
+    return CategoricalColumn(Field(name, ColumnKind.CATEGORICAL), codes, labels)
+
+
+def make_bimodal_column(
+    n_rows: int, separation: float = 4.0, weight: float = 0.5, seed: int = 0,
+    name: str = "bimodal",
+) -> NumericColumn:
+    """A numeric column drawn from a two-component Gaussian mixture."""
+    rng = np.random.default_rng(seed)
+    component = rng.random(n_rows) < weight
+    values = np.where(
+        component,
+        rng.normal(-separation / 2.0, 1.0, size=n_rows),
+        rng.normal(separation / 2.0, 1.0, size=n_rows),
+    )
+    return NumericColumn(Field(name, ColumnKind.NUMERIC), values)
+
+
+def make_clustered_table(
+    n_rows: int = 2000, n_clusters: int = 3, separation: float = 6.0, seed: int = 0
+) -> DataTable:
+    """(x, y) points in well-separated clusters plus the cluster label.
+
+    Used to exercise the Segmentation insight: segmentation_strength of
+    (x, y, cluster) should be close to 1.
+    """
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, n_clusters, size=n_rows)
+    angles = 2.0 * np.pi * np.arange(n_clusters) / n_clusters
+    centers = separation * np.column_stack([np.cos(angles), np.sin(angles)])
+    x = centers[labels, 0] + rng.standard_normal(n_rows)
+    y = centers[labels, 1] + rng.standard_normal(n_rows)
+    label_names = [f"cluster_{i}" for i in range(n_clusters)]
+    return DataTable(
+        [
+            NumericColumn(Field("x", ColumnKind.NUMERIC), x),
+            NumericColumn(Field("y", ColumnKind.NUMERIC), y),
+            CategoricalColumn(Field("cluster", ColumnKind.CATEGORICAL), labels, label_names),
+        ],
+        name="clustered",
+    )
+
+
+@dataclass
+class MixedConfig:
+    """Parameters for a mixed numeric + categorical benchmark table."""
+
+    n_rows: int = 10_000
+    n_numeric: int = 40
+    n_categorical: int = 10
+    n_categories: int = 20
+    zipf_exponent: float = 1.3
+    block_correlation: float = 0.7
+    seed: int = 0
+    numeric: SyntheticConfig = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.numeric = SyntheticConfig(
+            n_rows=self.n_rows,
+            n_columns=self.n_numeric,
+            block_correlation=self.block_correlation,
+            seed=self.seed,
+        )
+
+
+def make_mixed_table(config: MixedConfig | None = None, **overrides) -> DataTable:
+    """Generate a mixed-kind table (numeric blocks + Zipfian categoricals)."""
+    if config is None:
+        config = MixedConfig(**overrides)
+    elif overrides:
+        config = MixedConfig(**{
+            key: overrides.get(key, getattr(config, key))
+            for key in ("n_rows", "n_numeric", "n_categorical", "n_categories",
+                        "zipf_exponent", "block_correlation", "seed")
+        })
+    numeric_table = make_numeric_table(config.numeric)
+    columns = numeric_table.columns()
+    for i in range(config.n_categorical):
+        columns.append(
+            make_zipf_categorical(
+                config.n_rows,
+                n_categories=config.n_categories,
+                exponent=config.zipf_exponent,
+                seed=config.seed + 1000 + i,
+                name=f"cat_{i:02d}",
+            )
+        )
+    return DataTable(columns, name="synthetic-mixed")

@@ -1,0 +1,142 @@
+"""Missing-value policies.
+
+The paper assumes pre-cleaned data, but real tables (and the synthetic demo
+datasets) contain missing cells.  Insight metrics need a consistent way to
+obtain usable values; this module centralises the policies:
+
+* ``complete`` — keep only rows where *all* requested columns are present
+  (used for multivariate metrics such as correlation);
+* ``pairwise`` — for a pair of columns, keep rows where both are present;
+* ``impute_mean`` / ``impute_median`` / ``impute_mode`` — fill missing
+  entries so that sketch construction can run over a dense matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import EmptyColumnError, SchemaError
+from repro.data.column import CategoricalColumn, NumericColumn
+from repro.data.table import DataTable
+
+
+def complete_rows_mask(table: DataTable, names: Sequence[str]) -> np.ndarray:
+    """Boolean mask of rows where every column in ``names`` is non-missing."""
+    if not names:
+        return np.ones(table.n_rows, dtype=bool)
+    mask = np.ones(table.n_rows, dtype=bool)
+    for name in names:
+        mask &= ~table.column(name).mask
+    return mask
+
+
+def drop_missing(table: DataTable, names: Sequence[str] | None = None) -> DataTable:
+    """Return a table with only rows complete in ``names`` (default: all)."""
+    names = list(names) if names is not None else table.column_names()
+    mask = complete_rows_mask(table, names)
+    return table.take(np.flatnonzero(mask))
+
+
+def pairwise_values(
+    x: NumericColumn, y: NumericColumn, minimum: int = 2
+) -> tuple[np.ndarray, np.ndarray]:
+    """Aligned non-missing value arrays for a pair of numeric columns."""
+    if len(x) != len(y):
+        raise SchemaError("pairwise columns must have equal length")
+    keep = ~(x.mask | y.mask)
+    if int(keep.sum()) < minimum:
+        raise EmptyColumnError(
+            f"columns {x.name!r} and {y.name!r} share only {int(keep.sum())} "
+            f"complete rows; {minimum} required"
+        )
+    return x.values[keep].copy(), y.values[keep].copy()
+
+
+def groupwise_values(
+    values: NumericColumn, groups: CategoricalColumn, minimum_per_group: int = 1
+) -> dict[str, np.ndarray]:
+    """Split a numeric column's values by the labels of a categorical column.
+
+    Rows missing in either column are dropped.  Groups with fewer than
+    ``minimum_per_group`` values are omitted.
+    """
+    if len(values) != len(groups):
+        raise SchemaError("grouped columns must have equal length")
+    keep = ~(values.mask | groups.mask)
+    x = values.values[keep]
+    codes = groups.codes[keep]
+    out: dict[str, np.ndarray] = {}
+    for code, label in enumerate(groups.categories):
+        member = x[codes == code]
+        if member.size >= minimum_per_group:
+            out[label] = member.copy()
+    return out
+
+
+def impute_mean(column: NumericColumn) -> NumericColumn:
+    """Fill missing values with the column mean."""
+    return _impute_numeric(column, statistic="mean")
+
+
+def impute_median(column: NumericColumn) -> NumericColumn:
+    """Fill missing values with the column median."""
+    return _impute_numeric(column, statistic="median")
+
+
+def _impute_numeric(column: NumericColumn, statistic: str) -> NumericColumn:
+    valid = column.valid_values()
+    if valid.size == 0:
+        raise EmptyColumnError(
+            f"cannot impute column {column.name!r}: it has no usable values"
+        )
+    fill = float(np.mean(valid)) if statistic == "mean" else float(np.median(valid))
+    values = column.values.copy()
+    values[column.mask] = fill
+    return NumericColumn(column.field, values, np.zeros(len(column), dtype=bool))
+
+
+def impute_mode(column: CategoricalColumn) -> CategoricalColumn:
+    """Fill missing values with the most frequent category."""
+    counts = column.value_counts()
+    if not counts:
+        raise EmptyColumnError(
+            f"cannot impute column {column.name!r}: it has no usable values"
+        )
+    mode_label = next(iter(counts))
+    mode_code = column.categories.index(mode_label)
+    codes = column.codes.copy()
+    codes[codes == CategoricalColumn.MISSING_CODE] = mode_code
+    return CategoricalColumn(column.field, codes, column.categories)
+
+
+def dense_numeric_matrix(
+    table: DataTable, names: Sequence[str] | None = None, policy: str = "impute_mean"
+) -> tuple[np.ndarray, list[str]]:
+    """Export the numeric block with missing values resolved.
+
+    ``policy`` is one of ``"impute_mean"``, ``"impute_median"`` or
+    ``"drop"`` (drop incomplete rows).  Sketch construction uses the mean
+    policy by default so that sketches cover every row.
+    """
+    if names is None:
+        names = table.numeric_names()
+    names = list(names)
+    if policy == "drop":
+        clean = drop_missing(table, names)
+        matrix, _ = clean.numeric_matrix(names)
+        return matrix, names
+    if policy not in ("impute_mean", "impute_median"):
+        raise ValueError(f"unknown missing-value policy {policy!r}")
+    arrays = []
+    for name in names:
+        column = table.numeric_column(name)
+        if column.missing_count():
+            column = (
+                impute_mean(column) if policy == "impute_mean" else impute_median(column)
+            )
+        arrays.append(column.values.copy())
+    if not arrays:
+        return np.empty((table.n_rows, 0), dtype=np.float64), []
+    return np.column_stack(arrays), names

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the Foresight reproduction.
+
+Every error raised by the library derives from :class:`ForesightError` so
+that callers can catch library failures without also catching unrelated
+Python errors.
+"""
+
+from __future__ import annotations
+
+
+class ForesightError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class SchemaError(ForesightError):
+    """A column or table schema is invalid or inconsistent with the data."""
+
+
+class ColumnTypeError(SchemaError):
+    """An operation was applied to a column of an incompatible kind."""
+
+
+class UnknownColumnError(SchemaError):
+    """A referenced column name does not exist in the table."""
+
+    def __init__(self, name: str, available: list[str] | None = None):
+        self.name = name
+        self.available = list(available or [])
+        message = f"unknown column {name!r}"
+        if self.available:
+            message += f"; available columns: {', '.join(self.available)}"
+        super().__init__(message)
+
+
+class EmptyColumnError(ForesightError):
+    """A statistic was requested for a column with no usable values."""
+
+
+class InsightError(ForesightError):
+    """Base class for errors in the insight framework."""
+
+
+class UnknownInsightClassError(InsightError):
+    """A referenced insight class is not registered."""
+
+    def __init__(self, name: str, available: list[str] | None = None):
+        self.name = name
+        self.available = list(available or [])
+        message = f"unknown insight class {name!r}"
+        if self.available:
+            message += f"; registered classes: {', '.join(self.available)}"
+        super().__init__(message)
+
+
+class QueryError(InsightError):
+    """An insight query is malformed (bad constraint, bad attribute, ...)."""
+
+
+class SketchError(ForesightError):
+    """Base class for sketching errors."""
+
+
+class SketchMergeError(SketchError):
+    """Two sketches could not be merged because their parameters differ."""
+
+
+class SketchNotAvailableError(SketchError):
+    """A requested sketch was not built during preprocessing."""
+
+
+class VisualizationError(ForesightError):
+    """A visualization spec could not be produced for the given data."""

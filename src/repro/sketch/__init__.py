@@ -1,0 +1,52 @@
+"""Sketching substrate: single-pass, mergeable summaries for fast insight metrics."""
+
+from repro.sketch.base import Sketch
+from repro.sketch.countmin import CountMinSketch
+from repro.sketch.entropy import EntropySketch
+from repro.sketch.frequent import MisraGriesSketch, SpaceSavingSketch, exact_counts
+from repro.sketch.hyperplane import (
+    DEFAULT_WIDTH,
+    HyperplaneSketch,
+    HyperplaneSketcher,
+    StreamingHyperplaneSketch,
+    suggest_width,
+)
+from repro.sketch.moments import MomentSketch
+from repro.sketch.projection import RandomProjectionSketch, RandomProjectionSketcher
+from repro.sketch.quantile import QuantileSketch
+from repro.sketch.reservoir import ReservoirSample, reservoir_row_indices, sample_pairs
+from repro.sketch.store import (
+    ColumnSketches,
+    PreprocessStats,
+    SketchStore,
+    SketchStoreConfig,
+    merge_column_sketches,
+    preprocess,
+)
+
+__all__ = [
+    "DEFAULT_WIDTH",
+    "ColumnSketches",
+    "CountMinSketch",
+    "EntropySketch",
+    "HyperplaneSketch",
+    "HyperplaneSketcher",
+    "MisraGriesSketch",
+    "MomentSketch",
+    "PreprocessStats",
+    "QuantileSketch",
+    "RandomProjectionSketch",
+    "RandomProjectionSketcher",
+    "ReservoirSample",
+    "Sketch",
+    "SketchStore",
+    "SketchStoreConfig",
+    "SpaceSavingSketch",
+    "StreamingHyperplaneSketch",
+    "exact_counts",
+    "merge_column_sketches",
+    "preprocess",
+    "reservoir_row_indices",
+    "sample_pairs",
+    "suggest_width",
+]

@@ -1,0 +1,125 @@
+"""Random projection sketch (Johnson–Lindenstrauss / AMS style).
+
+The last sketch type the paper names in section 3.  Each column (viewed as
+an n-dimensional vector) is projected onto ``k`` random Gaussian directions
+scaled by 1/sqrt(k); inner products, Euclidean norms and distances between
+the projected vectors are unbiased estimates of the originals.  Foresight
+uses it to approximate covariances between centred columns (an alternative
+route to correlation) and column norms used by the dispersion insight.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import SketchError, SketchMergeError
+from repro.sketch.base import Sketch
+
+
+class RandomProjectionSketch:
+    """The projected representation of one column."""
+
+    def __init__(self, projection: np.ndarray, seed: int, n_rows: int):
+        self.projection = np.asarray(projection, dtype=np.float64)
+        self.seed = int(seed)
+        self.n_rows = int(n_rows)
+
+    @property
+    def width(self) -> int:
+        return int(self.projection.size)
+
+    def _check(self, other: "RandomProjectionSketch") -> None:
+        if (
+            self.width != other.width
+            or self.seed != other.seed
+            or self.n_rows != other.n_rows
+        ):
+            raise SketchMergeError(
+                "random-projection sketches are comparable only with the same "
+                "width, seed and row count"
+            )
+
+    def estimate_dot(self, other: "RandomProjectionSketch") -> float:
+        """Unbiased estimate of the inner product of the original columns."""
+        self._check(other)
+        return float(np.dot(self.projection, other.projection))
+
+    def estimate_norm_squared(self) -> float:
+        """Unbiased estimate of the squared Euclidean norm of the column."""
+        return float(np.dot(self.projection, self.projection))
+
+    def estimate_distance(self, other: "RandomProjectionSketch") -> float:
+        """Estimate of the Euclidean distance between two columns."""
+        self._check(other)
+        return float(np.linalg.norm(self.projection - other.projection))
+
+    def estimate_correlation(self, other: "RandomProjectionSketch") -> float:
+        """Correlation estimate assuming both columns were centred before sketching."""
+        self._check(other)
+        denom = math.sqrt(self.estimate_norm_squared() * other.estimate_norm_squared())
+        if denom == 0.0:
+            return 0.0
+        return float(np.clip(self.estimate_dot(other) / denom, -1.0, 1.0))
+
+    def memory_bytes(self) -> int:
+        return int(self.projection.nbytes)
+
+
+class RandomProjectionSketcher:
+    """Builds :class:`RandomProjectionSketch` objects for numeric columns."""
+
+    def __init__(self, n_rows: int, width: int = 128, seed: int = 0,
+                 block_size: int = 128):
+        if n_rows < 1:
+            raise SketchError("n_rows must be >= 1")
+        if width < 1:
+            raise SketchError("width must be >= 1")
+        self.n_rows = int(n_rows)
+        self.width = int(width)
+        self.seed = int(seed)
+        self._block_size = max(1, int(block_size))
+
+    def _projection_block(self, start: int, stop: int) -> np.ndarray:
+        rng = np.random.default_rng((self.seed, start, 7))
+        return rng.standard_normal((stop - start, self.n_rows)) / math.sqrt(self.width)
+
+    def sketch_matrix(self, matrix: np.ndarray, center: bool = True) -> list[RandomProjectionSketch]:
+        """Sketch every column of an (n, d) matrix.
+
+        Missing values are imputed to the column mean; when ``center`` is
+        True the columns are mean-centred first so that dot products estimate
+        covariances (and normalised dot products estimate correlations).
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise SketchError("matrix must be two-dimensional")
+        if matrix.shape[0] != self.n_rows:
+            raise SketchError(
+                f"matrix has {matrix.shape[0]} rows; sketcher was built for {self.n_rows}"
+            )
+        prepared = matrix.copy()
+        for j in range(prepared.shape[1]):
+            column = prepared[:, j]
+            missing = np.isnan(column)
+            if missing.any():
+                valid = column[~missing]
+                column[missing] = float(valid.mean()) if valid.size else 0.0
+            if center:
+                column = column - column.mean()
+            prepared[:, j] = column
+        projections = np.zeros((self.width, matrix.shape[1]))
+        for start in range(0, self.width, self._block_size):
+            stop = min(start + self._block_size, self.width)
+            block = self._projection_block(start, stop)
+            projections[start:stop, :] = block @ prepared
+        return [
+            RandomProjectionSketch(projections[:, j], seed=self.seed, n_rows=self.n_rows)
+            for j in range(matrix.shape[1])
+        ]
+
+    def sketch_column(self, values: np.ndarray, center: bool = True) -> RandomProjectionSketch:
+        return self.sketch_matrix(
+            np.asarray(values, dtype=np.float64).reshape(-1, 1), center=center
+        )[0]

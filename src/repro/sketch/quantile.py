@@ -1,0 +1,203 @@
+"""Greenwald–Khanna quantile sketch.
+
+One of the sketch types the paper integrates ("quantile sketch", section 3).
+The Greenwald–Khanna (GK) summary maintains a small set of tuples
+(value, g, Δ) such that any rank query can be answered within ε·n of the
+true rank using O((1/ε)·log(ε·n)) space.  Foresight uses it to derive
+approximate medians, IQRs and box-plot statistics for the Outlier insight
+and histogram-oriented visualizations without re-reading the data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EmptyColumnError, SketchError
+from repro.sketch.base import Sketch
+
+
+@dataclass
+class _Tuple:
+    """A GK summary tuple: a stored value with rank uncertainty bounds."""
+
+    value: float
+    g: int      # difference between the min rank of this and the previous tuple
+    delta: int  # uncertainty in the rank of this tuple
+
+
+class QuantileSketch(Sketch):
+    """ε-approximate quantile summary (Greenwald–Khanna 2001)."""
+
+    def __init__(self, epsilon: float = 0.01):
+        if not 0.0 < epsilon < 0.5:
+            raise SketchError("epsilon must be in (0, 0.5)")
+        self.epsilon = float(epsilon)
+        self._tuples: list[_Tuple] = []
+        self._count = 0
+        self._since_compress = 0
+
+    # -- construction -------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def update(self, value) -> None:
+        value = float(value)
+        if math.isnan(value):
+            return
+        self._insert(value)
+        self._count += 1
+        self._since_compress += 1
+        if self._since_compress >= max(1, int(1.0 / (2.0 * self.epsilon))):
+            self._compress()
+            self._since_compress = 0
+
+    def update_array(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        values = values[~np.isnan(values)]
+        if values.size == 0:
+            return
+        if self._count == 0:
+            # Batch fast path: for a sorted batch the compressed summary can
+            # be built directly by keeping every floor(2*epsilon*n)-th value
+            # with g = gap to the previous kept value and delta = 0.  Every
+            # tuple then satisfies the GK invariant g + delta <= 2*epsilon*n,
+            # so the epsilon*n rank-error bound is unchanged.
+            ordered = np.sort(values)
+            n = int(ordered.size)
+            step = max(int(2.0 * self.epsilon * n), 1)
+            keep = list(range(0, n, step))
+            if keep[-1] != n - 1:
+                keep.append(n - 1)
+            tuples = []
+            previous = -1
+            for index in keep:
+                tuples.append(_Tuple(float(ordered[index]), index - previous, 0))
+                previous = index
+            self._tuples = tuples
+            self._count = n
+            self._since_compress = 0
+            return
+        for value in values:
+            self.update(float(value))
+
+    def _insert(self, value: float) -> None:
+        tuples = self._tuples
+        if not tuples or value < tuples[0].value:
+            tuples.insert(0, _Tuple(value, 1, 0))
+            return
+        if value >= tuples[-1].value:
+            tuples.append(_Tuple(value, 1, 0))
+            return
+        # Binary search for the first tuple with value > inserted value.
+        lo, hi = 0, len(tuples)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if tuples[mid].value <= value:
+                lo = mid + 1
+            else:
+                hi = mid
+        delta = max(int(math.floor(2.0 * self.epsilon * self._count)) - 1, 0)
+        tuples.insert(lo, _Tuple(value, 1, delta))
+
+    def _compress(self) -> None:
+        if len(self._tuples) < 3:
+            return
+        threshold = 2.0 * self.epsilon * self._count
+        tuples = self._tuples
+        merged: list[_Tuple] = [tuples[0]]
+        for current in tuples[1:-1]:
+            candidate = merged[-1]
+            if (
+                len(merged) > 1
+                and candidate.g + current.g + current.delta <= threshold
+            ):
+                current = _Tuple(current.value, candidate.g + current.g, current.delta)
+                merged[-1] = current
+            else:
+                merged.append(current)
+        merged.append(tuples[-1])
+        self._tuples = merged
+
+    # -- merging ---------------------------------------------------------------------
+    def merge(self, other: "Sketch") -> None:
+        self._require_same_type(other)
+        assert isinstance(other, QuantileSketch)
+        self._require(
+            math.isclose(self.epsilon, other.epsilon),
+            "cannot merge quantile sketches with different epsilon",
+        )
+        # Standard GK merge: interleave tuples by value; the error bound of
+        # the merged sketch is bounded by the max of the two errors.
+        combined = sorted(
+            self._tuples + [ _Tuple(t.value, t.g, t.delta) for t in other._tuples ],
+            key=lambda t: t.value,
+        )
+        self._tuples = combined
+        self._count += other._count
+        self._compress()
+
+    # -- queries -----------------------------------------------------------------------
+    def quantile(self, q: float) -> float:
+        """Approximate q-th quantile (0 <= q <= 1)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self._count == 0 or not self._tuples:
+            raise EmptyColumnError("quantile sketch is empty")
+        target = q * (self._count - 1) + 1
+        margin = self.epsilon * self._count
+        min_rank = 0
+        for t in self._tuples:
+            min_rank += t.g
+            max_rank = min_rank + t.delta
+            if max_rank >= target - margin and min_rank <= target + margin:
+                return t.value
+        return self._tuples[-1].value
+
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def iqr(self) -> float:
+        return self.quantile(0.75) - self.quantile(0.25)
+
+    def rank(self, value: float) -> int:
+        """Approximate number of inserted values <= ``value``."""
+        if self._count == 0:
+            return 0
+        min_rank = 0
+        estimate = 0
+        for t in self._tuples:
+            min_rank += t.g
+            if t.value <= value:
+                estimate = min_rank
+            else:
+                break
+        return int(estimate)
+
+    def cdf(self, value: float) -> float:
+        """Approximate empirical CDF at ``value``."""
+        if self._count == 0:
+            raise EmptyColumnError("quantile sketch is empty")
+        return self.rank(value) / self._count
+
+    def five_number_summary(self) -> dict[str, float]:
+        """Approximate min, Q1, median, Q3, max (box-plot statistics)."""
+        return {
+            "min": self.quantile(0.0),
+            "q1": self.quantile(0.25),
+            "median": self.quantile(0.5),
+            "q3": self.quantile(0.75),
+            "max": self.quantile(1.0),
+        }
+
+    # -- accounting --------------------------------------------------------------------
+    @property
+    def n_tuples(self) -> int:
+        return len(self._tuples)
+
+    def memory_bytes(self) -> int:
+        # value (8 bytes) + two ints (8 bytes each, conservatively).
+        return len(self._tuples) * 24

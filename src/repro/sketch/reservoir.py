@@ -1,0 +1,112 @@
+"""Reservoir sampling.
+
+The paper's preprocessing step computes "sketches, samples, and indexes";
+the sample is a uniform reservoir sample of the rows, used to render
+scatter plots and histograms at interactive speed without touching the full
+table, and to estimate metrics that have no dedicated sketch.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import SketchError
+from repro.sketch.base import Sketch
+
+
+class ReservoirSample(Sketch):
+    """Uniform fixed-size sample of a stream (Vitter's algorithm R)."""
+
+    def __init__(self, capacity: int = 1000, seed: int = 0):
+        if capacity < 1:
+            raise SketchError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(seed)
+        self._items: list[object] = []
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Number of items seen (not the sample size)."""
+        return self._count
+
+    @property
+    def sample(self) -> list[object]:
+        """The current sample (at most ``capacity`` items)."""
+        return list(self._items)
+
+    def update(self, value) -> None:
+        self._count += 1
+        if len(self._items) < self.capacity:
+            self._items.append(value)
+            return
+        j = int(self._rng.integers(0, self._count))
+        if j < self.capacity:
+            self._items[j] = value
+
+    def update_many(self, values: Iterable) -> None:
+        for value in values:
+            self.update(value)
+
+    def merge(self, other: "Sketch") -> None:
+        self._require_same_type(other)
+        assert isinstance(other, ReservoirSample)
+        self._require(
+            self.capacity == other.capacity,
+            "cannot merge reservoir samples with different capacities",
+        )
+        # Weighted subsampling of the union: keep each side's items with
+        # probability proportional to its stream size.
+        total = self._count + other._count
+        if total == 0:
+            return
+        merged: list[object] = []
+        pool = [(item, self._count) for item in self._items] + [
+            (item, other._count) for item in other._items
+        ]
+        weights = np.asarray([w for _, w in pool], dtype=np.float64)
+        if weights.sum() == 0:
+            self._count = total
+            return
+        probabilities = weights / weights.sum()
+        take = min(self.capacity, len(pool))
+        chosen = self._rng.choice(len(pool), size=take, replace=False, p=probabilities)
+        merged = [pool[i][0] for i in chosen]
+        self._items = merged
+        self._count = total
+
+    def sample_array(self) -> np.ndarray:
+        """The sample as a float array (for numeric streams)."""
+        return np.asarray(self._items, dtype=np.float64)
+
+    def memory_bytes(self) -> int:
+        return len(self._items) * 16
+
+
+def reservoir_row_indices(n_rows: int, capacity: int, seed: int = 0) -> np.ndarray:
+    """Uniformly sample up to ``capacity`` row indices from ``range(n_rows)``.
+
+    Convenience used by the sketch store to materialise a row sample of a
+    table without streaming row objects through a reservoir.
+    """
+    if capacity < 1:
+        raise SketchError("capacity must be >= 1")
+    rng = np.random.default_rng(seed)
+    if n_rows <= capacity:
+        return np.arange(n_rows)
+    return np.sort(rng.choice(n_rows, size=capacity, replace=False))
+
+
+def sample_pairs(
+    x: Sequence[float], y: Sequence[float], capacity: int, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample aligned (x, y) pairs — used to draw scatter plots cheaply."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size != y.size:
+        raise ValueError("x and y must have equal length")
+    indices = reservoir_row_indices(x.size, capacity, seed=seed)
+    return x[indices], y[indices]

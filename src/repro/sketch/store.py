@@ -1,0 +1,343 @@
+"""The sketch store: Foresight's preprocessing step.
+
+"The dataset is preprocessed to compute sketches, samples, and indexes that
+will support fast approximate insight querying" (paper, section 1).  The
+:class:`SketchStore` is that preprocessing product: for a given
+:class:`~repro.data.table.DataTable` it builds, per column,
+
+* a :class:`~repro.sketch.moments.MomentSketch` (numeric columns),
+* a :class:`~repro.sketch.quantile.QuantileSketch` (numeric columns),
+* a :class:`~repro.sketch.hyperplane.HyperplaneSketch` signature
+  (numeric columns, shared hyperplane draw),
+* a :class:`~repro.sketch.frequent.MisraGriesSketch` and an
+  :class:`~repro.sketch.entropy.EntropySketch` (categorical and discrete
+  numeric columns),
+* plus a uniform row sample shared by all visualizations.
+
+The store exposes approximate versions of the insight metrics; the engine
+decides per query whether to use them (``mode="approximate"``) or to fall
+back to the exact statistics (``mode="exact"``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import SketchNotAvailableError
+from repro.data.column import CategoricalColumn, NumericColumn
+from repro.data.table import DataTable
+from repro.sketch.entropy import EntropySketch
+from repro.sketch.frequent import MisraGriesSketch
+from repro.sketch.hyperplane import HyperplaneSketch, HyperplaneSketcher, suggest_width
+from repro.sketch.moments import MomentSketch
+from repro.sketch.quantile import QuantileSketch
+from repro.sketch.reservoir import reservoir_row_indices
+
+
+@dataclass
+class SketchStoreConfig:
+    """Tuning knobs for preprocessing."""
+
+    hyperplane_width: int | None = None   # None -> suggest_width(n)
+    quantile_epsilon: float = 0.01
+    #: The Greenwald-Khanna update is per-item; above this many rows the
+    #: quantile sketch is built over a uniform row sample instead (the
+    #: resulting rank error is O(1/sqrt(cap)), far below what the Outlier
+    #: insight needs).
+    quantile_sample_cap: int = 20_000
+    frequent_capacity: int = 128
+    entropy_capacity: int = 256
+    sample_capacity: int = 2000
+    seed: int = 0
+
+    def resolved_width(self, n_rows: int) -> int:
+        if self.hyperplane_width is not None:
+            return int(self.hyperplane_width)
+        return suggest_width(n_rows)
+
+
+@dataclass
+class ColumnSketches:
+    """The bundle of sketches built for one column."""
+
+    name: str
+    moments: MomentSketch | None = None
+    quantiles: QuantileSketch | None = None
+    hyperplane: HyperplaneSketch | None = None
+    frequent: MisraGriesSketch | None = None
+    entropy: EntropySketch | None = None
+
+    def memory_bytes(self) -> int:
+        total = 0
+        for sketch in (self.moments, self.quantiles, self.hyperplane,
+                       self.frequent, self.entropy):
+            if sketch is not None:
+                total += sketch.memory_bytes()
+        return total
+
+
+@dataclass
+class PreprocessStats:
+    """Timings and sizes recorded while building the store (benchmarked)."""
+
+    seconds: float = 0.0
+    n_rows: int = 0
+    n_numeric: int = 0
+    n_categorical: int = 0
+    hyperplane_width: int = 0
+    total_sketch_bytes: int = 0
+    per_stage_seconds: dict[str, float] = field(default_factory=dict)
+
+
+class SketchStore:
+    """Per-column sketches for a table, plus approximate metric queries."""
+
+    def __init__(self, table: DataTable, config: SketchStoreConfig | None = None):
+        self._table = table
+        self._config = config or SketchStoreConfig()
+        self._columns: dict[str, ColumnSketches] = {}
+        self._sketcher: HyperplaneSketcher | None = None
+        self._sample_indices: np.ndarray = np.empty(0, dtype=np.int64)
+        self._stats = PreprocessStats()
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        start = time.perf_counter()
+        config = self._config
+        table = self._table
+        numeric_names = table.numeric_names()
+        categorical_names = table.categorical_names()
+
+        stage_start = time.perf_counter()
+        width = config.resolved_width(max(table.n_rows, 2))
+        if numeric_names and table.n_rows:
+            self._sketcher = HyperplaneSketcher(
+                n_rows=table.n_rows, width=width, seed=config.seed
+            )
+            matrix, _ = table.numeric_matrix(numeric_names)
+            signatures = self._sketcher.sketch_matrix(matrix)
+        else:
+            signatures = []
+        self._stats.per_stage_seconds["hyperplane"] = time.perf_counter() - stage_start
+
+        stage_start = time.perf_counter()
+        quantile_rng = np.random.default_rng(config.seed)
+        for idx, name in enumerate(numeric_names):
+            column = table.numeric_column(name)
+            values = column.valid_values()
+            moments = MomentSketch()
+            moments.update_array(values)
+            quantiles = QuantileSketch(epsilon=config.quantile_epsilon)
+            if values.size > config.quantile_sample_cap:
+                sampled = quantile_rng.choice(
+                    values, size=config.quantile_sample_cap, replace=False
+                )
+                quantiles.update_array(sampled)
+            else:
+                quantiles.update_array(values)
+            bundle = ColumnSketches(
+                name=name,
+                moments=moments,
+                quantiles=quantiles,
+                hyperplane=signatures[idx] if signatures else None,
+            )
+            if column.is_discrete():
+                bundle.frequent = self._build_frequent(column.to_list())
+                bundle.entropy = self._build_entropy(column.to_list())
+            self._columns[name] = bundle
+        self._stats.per_stage_seconds["numeric"] = time.perf_counter() - stage_start
+
+        stage_start = time.perf_counter()
+        for name in categorical_names:
+            column = table.categorical_column(name)
+            labels = column.labels()
+            self._columns[name] = ColumnSketches(
+                name=name,
+                frequent=self._build_frequent(labels),
+                entropy=self._build_entropy(labels),
+            )
+        self._stats.per_stage_seconds["categorical"] = time.perf_counter() - stage_start
+
+        self._sample_indices = reservoir_row_indices(
+            table.n_rows, config.sample_capacity, seed=config.seed
+        )
+
+        self._stats.seconds = time.perf_counter() - start
+        self._stats.n_rows = table.n_rows
+        self._stats.n_numeric = len(numeric_names)
+        self._stats.n_categorical = len(categorical_names)
+        self._stats.hyperplane_width = width
+        self._stats.total_sketch_bytes = sum(
+            bundle.memory_bytes() for bundle in self._columns.values()
+        )
+
+    def _build_frequent(self, labels: list[object]) -> MisraGriesSketch:
+        sketch = MisraGriesSketch(capacity=self._config.frequent_capacity)
+        sketch.update_many(label for label in labels if label is not None)
+        return sketch
+
+    def _build_entropy(self, labels: list[object]) -> EntropySketch:
+        sketch = EntropySketch(capacity=self._config.entropy_capacity,
+                               seed=self._config.seed)
+        sketch.update_many(label for label in labels if label is not None)
+        return sketch
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def table(self) -> DataTable:
+        return self._table
+
+    @property
+    def config(self) -> SketchStoreConfig:
+        return self._config
+
+    @property
+    def stats(self) -> PreprocessStats:
+        return self._stats
+
+    def column_sketches(self, name: str) -> ColumnSketches:
+        if name not in self._columns:
+            raise SketchNotAvailableError(
+                f"no sketches were built for column {name!r}"
+            )
+        return self._columns[name]
+
+    def has_column(self, name: str) -> bool:
+        return name in self._columns
+
+    def sample_table(self) -> DataTable:
+        """The uniform row sample used by visualizations."""
+        return self._table.take(self._sample_indices, name=f"{self._table.name}-sample")
+
+    def memory_bytes(self) -> int:
+        return self._stats.total_sketch_bytes
+
+    # ------------------------------------------------------------------
+    # Approximate metric queries
+    # ------------------------------------------------------------------
+    def _require(self, name: str, attribute: str):
+        bundle = self.column_sketches(name)
+        sketch = getattr(bundle, attribute)
+        if sketch is None:
+            raise SketchNotAvailableError(
+                f"column {name!r} has no {attribute} sketch"
+            )
+        return sketch
+
+    def approx_mean(self, name: str) -> float:
+        return self._require(name, "moments").mean()
+
+    def approx_variance(self, name: str) -> float:
+        return self._require(name, "moments").variance()
+
+    def approx_std(self, name: str) -> float:
+        return self._require(name, "moments").std()
+
+    def approx_skewness(self, name: str) -> float:
+        return self._require(name, "moments").skewness()
+
+    def approx_kurtosis(self, name: str) -> float:
+        return self._require(name, "moments").kurtosis()
+
+    def approx_quantile(self, name: str, q: float) -> float:
+        return self._require(name, "quantiles").quantile(q)
+
+    def approx_iqr(self, name: str) -> float:
+        return self._require(name, "quantiles").iqr()
+
+    def approx_five_number_summary(self, name: str) -> dict[str, float]:
+        return self._require(name, "quantiles").five_number_summary()
+
+    def approx_correlation(self, x: str, y: str) -> float:
+        sketch_x: HyperplaneSketch = self._require(x, "hyperplane")
+        sketch_y: HyperplaneSketch = self._require(y, "hyperplane")
+        return sketch_x.estimate_correlation(sketch_y)
+
+    def approx_correlation_matrix(self, names: list[str] | None = None) -> tuple[np.ndarray, list[str]]:
+        """Estimated all-pairs correlation matrix over ``names``."""
+        if self._sketcher is None:
+            raise SketchNotAvailableError("no hyperplane sketches were built")
+        if names is None:
+            names = [
+                name for name in self._table.numeric_names() if self.has_column(name)
+            ]
+        signatures = [self._require(name, "hyperplane") for name in names]
+        return self._sketcher.correlation_matrix(signatures), list(names)
+
+    def approx_relative_frequency_topk(self, name: str, k: int) -> float:
+        return self._require(name, "frequent").relative_frequency_topk(k)
+
+    def approx_top_values(self, name: str, k: int) -> list[tuple[object, int]]:
+        return self._require(name, "frequent").top_k(k)
+
+    def approx_entropy(self, name: str) -> float:
+        return self._require(name, "entropy").estimate_entropy()
+
+    def approx_normalized_entropy(self, name: str) -> float:
+        return self._require(name, "entropy").estimate_normalized_entropy()
+
+    def approx_outlier_strength(self, name: str, whisker_k: float = 1.5) -> float:
+        """Approximate the Outlier insight metric from sketches only.
+
+        Outliers are taken to be points beyond the Tukey fences estimated
+        from the quantile sketch; their average standardized distance is
+        estimated from the row sample (sketch-backed, no full-data pass).
+        """
+        quantiles: QuantileSketch = self._require(name, "quantiles")
+        moments: MomentSketch = self._require(name, "moments")
+        q1 = quantiles.quantile(0.25)
+        q3 = quantiles.quantile(0.75)
+        iqr = q3 - q1
+        std = moments.std()
+        if std == 0.0 or np.isnan(std):
+            return 0.0
+        low, high = q1 - whisker_k * iqr, q3 + whisker_k * iqr
+        sample_column = self.sample_table().numeric_column(name)
+        sample = sample_column.valid_values()
+        if sample.size == 0:
+            return 0.0
+        outliers = sample[(sample < low) | (sample > high)]
+        if outliers.size == 0:
+            return 0.0
+        return float(np.mean(np.abs(outliers - moments.mean()) / std))
+
+
+def preprocess(table: DataTable, config: SketchStoreConfig | None = None) -> SketchStore:
+    """Convenience wrapper mirroring the paper's 'preprocess the dataset' step."""
+    return SketchStore(table, config=config)
+
+
+def merge_column_sketches(left: Mapping[str, ColumnSketches],
+                          right: Mapping[str, ColumnSketches]) -> dict[str, ColumnSketches]:
+    """Merge two per-column sketch bundles built over disjoint row partitions.
+
+    Only the mergeable sketches (moments, quantiles, frequent, entropy) are
+    combined; hyperplane signatures require a shared hyperplane draw over the
+    union of rows and are left to the batch sketcher.
+    """
+    merged: dict[str, ColumnSketches] = {}
+    for name in set(left) | set(right):
+        a, b = left.get(name), right.get(name)
+        if a is None or b is None:
+            merged[name] = a or b  # type: ignore[assignment]
+            continue
+        bundle = ColumnSketches(name=name)
+        for attribute in ("moments", "quantiles", "frequent", "entropy"):
+            sketch_a = getattr(a, attribute)
+            sketch_b = getattr(b, attribute)
+            if sketch_a is not None and sketch_b is not None:
+                sketch_a.merge(sketch_b)
+                setattr(bundle, attribute, sketch_a)
+            else:
+                setattr(bundle, attribute, sketch_a or sketch_b)
+        merged[name] = bundle
+    return merged

@@ -1,0 +1,211 @@
+"""Correlation statistics.
+
+The Linear-Relationship insight ranks attribute pairs by the magnitude of
+the Pearson correlation coefficient |ρ(x, y)| (paper section 2.2, insight 6)
+and the usage scenario additionally uses Spearman rank correlation as an
+alternative ranking metric.  This module provides exact Pearson, Spearman
+and Kendall coefficients for pairs of columns, pairwise-complete correlation
+matrices (the data behind the Figure 2 overview heat map) and best-fit line
+parameters for the scatter-plot visualization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EmptyColumnError
+
+
+def _pair(x: np.ndarray, y: np.ndarray, minimum: int = 2) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError("x and y must have the same shape")
+    keep = ~(np.isnan(x) | np.isnan(y))
+    x, y = x[keep], y[keep]
+    if x.size < minimum:
+        raise EmptyColumnError(
+            f"need at least {minimum} complete pairs, got {x.size}"
+        )
+    return x, y
+
+
+def pearson(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation coefficient ρ(x, y); 0.0 if either side is constant."""
+    x, y = _pair(x, y)
+    sx = np.std(x)
+    sy = np.std(y)
+    if sx == 0.0 or sy == 0.0:
+        return 0.0
+    return float(np.mean((x - np.mean(x)) * (y - np.mean(y))) / (sx * sy))
+
+
+def _ranks(values: np.ndarray) -> np.ndarray:
+    """Average ranks (ties share the mean of the tied positions)."""
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(values.size, dtype=np.float64)
+    sorted_values = values[order]
+    i = 0
+    while i < values.size:
+        j = i
+        while j + 1 < values.size and sorted_values[j + 1] == sorted_values[i]:
+            j += 1
+        average_rank = 0.5 * (i + j) + 1.0
+        ranks[order[i: j + 1]] = average_rank
+        i = j + 1
+    return ranks
+
+
+def spearman(x: np.ndarray, y: np.ndarray) -> float:
+    """Spearman rank correlation coefficient (Pearson on average ranks)."""
+    x, y = _pair(x, y)
+    return pearson(_ranks(x), _ranks(y))
+
+
+def kendall_tau(x: np.ndarray, y: np.ndarray) -> float:
+    """Kendall's τ-b rank correlation (O(n²) implementation, exact)."""
+    x, y = _pair(x, y)
+    n = x.size
+    dx = np.sign(x[:, None] - x[None, :])
+    dy = np.sign(y[:, None] - y[None, :])
+    upper = np.triu_indices(n, k=1)
+    product = dx[upper] * dy[upper]
+    concordant = float(np.sum(product > 0))
+    discordant = float(np.sum(product < 0))
+    ties_x = float(np.sum(dx[upper] == 0))
+    ties_y = float(np.sum(dy[upper] == 0))
+    total = n * (n - 1) / 2.0
+    denom = np.sqrt((total - ties_x) * (total - ties_y))
+    if denom == 0.0:
+        return 0.0
+    return float((concordant - discordant) / denom)
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Best-fit line y = slope * x + intercept, with goodness of fit."""
+
+    slope: float
+    intercept: float
+    r: float
+    r_squared: float
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.slope * np.asarray(x, dtype=np.float64) + self.intercept
+
+
+def linear_fit(x: np.ndarray, y: np.ndarray) -> LinearFit:
+    """Least-squares best-fit line (used by the scatter-plot visualization)."""
+    x, y = _pair(x, y)
+    sx = np.std(x)
+    r = pearson(x, y)
+    if sx == 0.0:
+        return LinearFit(slope=0.0, intercept=float(np.mean(y)), r=r, r_squared=r * r)
+    slope = r * np.std(y) / sx
+    intercept = float(np.mean(y) - slope * np.mean(x))
+    return LinearFit(slope=float(slope), intercept=intercept, r=r, r_squared=r * r)
+
+
+def correlation_matrix(
+    matrix: np.ndarray, method: str = "pearson"
+) -> np.ndarray:
+    """Pairwise-complete correlation matrix of the columns of ``matrix``.
+
+    ``matrix`` is the (n, d) numeric block; NaNs are handled pairwise.  This
+    is the exact computation behind the Figure 2 overview heat map, and the
+    exact baseline for the hyperplane-sketch benchmarks.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError("matrix must be two-dimensional")
+    d = matrix.shape[1]
+    if not np.isnan(matrix).any():
+        return _dense_correlation(matrix, method)
+    out = np.eye(d)
+    for i in range(d):
+        for j in range(i + 1, d):
+            try:
+                if method == "pearson":
+                    value = pearson(matrix[:, i], matrix[:, j])
+                elif method == "spearman":
+                    value = spearman(matrix[:, i], matrix[:, j])
+                else:
+                    raise ValueError(f"unknown correlation method {method!r}")
+            except EmptyColumnError:
+                value = 0.0
+            out[i, j] = out[j, i] = value
+    return out
+
+
+def _dense_correlation(matrix: np.ndarray, method: str) -> np.ndarray:
+    if method == "spearman":
+        matrix = np.column_stack([_ranks(matrix[:, j]) for j in range(matrix.shape[1])])
+    elif method != "pearson":
+        raise ValueError(f"unknown correlation method {method!r}")
+    d = matrix.shape[1]
+    stds = matrix.std(axis=0)
+    constant = stds == 0.0
+    safe = matrix.copy()
+    # A constant column has no linear relationship with anything; force its
+    # correlations to zero rather than dividing by zero.
+    centered = safe - safe.mean(axis=0)
+    stds_safe = np.where(constant, 1.0, stds)
+    normalised = centered / stds_safe
+    corr = normalised.T @ normalised / matrix.shape[0]
+    corr[constant, :] = 0.0
+    corr[:, constant] = 0.0
+    np.fill_diagonal(corr, 1.0)
+    return np.clip(corr, -1.0, 1.0)
+
+
+def top_correlated_pairs(
+    matrix: np.ndarray,
+    names: list[str],
+    k: int = 10,
+    method: str = "pearson",
+    absolute: bool = True,
+) -> list[tuple[str, str, float]]:
+    """The k attribute pairs with the strongest correlations.
+
+    Returns (name_i, name_j, correlation) sorted by |correlation| (or the
+    signed value when ``absolute`` is False) in descending order.
+    """
+    corr = correlation_matrix(matrix, method=method)
+    d = corr.shape[0]
+    if len(names) != d:
+        raise ValueError("names length must match matrix width")
+    pairs: list[tuple[str, str, float]] = []
+    for i in range(d):
+        for j in range(i + 1, d):
+            pairs.append((names[i], names[j], float(corr[i, j])))
+    key = (lambda p: abs(p[2])) if absolute else (lambda p: p[2])
+    pairs.sort(key=key, reverse=True)
+    return pairs[:k]
+
+
+def fisher_z(r: float) -> float:
+    """Fisher z-transform of a correlation coefficient (clipped at ±0.999999)."""
+    r = float(np.clip(r, -0.999999, 0.999999))
+    return float(np.arctanh(r))
+
+
+def correlation_confidence_interval(
+    r: float, n: int, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Approximate confidence interval for a Pearson correlation.
+
+    Uses the Fisher z-transform with the normal approximation; useful in the
+    sketching benchmarks to judge whether sketch error is within sampling
+    noise.
+    """
+    if n < 4:
+        return (-1.0, 1.0)
+    from scipy import stats as scipy_stats
+
+    z = fisher_z(r)
+    se = 1.0 / np.sqrt(n - 3)
+    z_crit = float(scipy_stats.norm.ppf(0.5 + confidence / 2.0))
+    low, high = z - z_crit * se, z + z_crit * se
+    return float(np.tanh(low)), float(np.tanh(high))

@@ -1,0 +1,168 @@
+"""General statistical dependence measures.
+
+The paper lists "general statistical dependencies" among its additional
+insight classes.  These metrics quantify association beyond linear
+correlation:
+
+* mutual information between two discretised/categorical columns;
+* normalised mutual information (symmetric uncertainty);
+* Cramér's V from the chi-square statistic of a contingency table;
+* the correlation ratio η² between a categorical and a numeric column.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import EmptyColumnError
+
+
+def contingency_table(x_labels: Sequence[object], y_labels: Sequence[object]) -> np.ndarray:
+    """Joint count table of two label sequences (missing rows dropped)."""
+    if len(x_labels) != len(y_labels):
+        raise ValueError("label sequences must have equal length")
+    pairs = [
+        (str(a), str(b))
+        for a, b in zip(x_labels, y_labels)
+        if a is not None and b is not None
+    ]
+    if not pairs:
+        raise EmptyColumnError("no complete label pairs")
+    x_levels = sorted({a for a, _ in pairs})
+    y_levels = sorted({b for _, b in pairs})
+    x_index = {label: i for i, label in enumerate(x_levels)}
+    y_index = {label: j for j, label in enumerate(y_levels)}
+    table = np.zeros((len(x_levels), len(y_levels)), dtype=np.float64)
+    for a, b in pairs:
+        table[x_index[a], y_index[b]] += 1.0
+    return table
+
+
+def chi_square(table: np.ndarray) -> float:
+    """Pearson chi-square statistic of a contingency table."""
+    table = np.asarray(table, dtype=np.float64)
+    total = table.sum()
+    if total == 0:
+        raise EmptyColumnError("empty contingency table")
+    row = table.sum(axis=1, keepdims=True)
+    col = table.sum(axis=0, keepdims=True)
+    expected = row @ col / total
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = np.where(expected > 0, (table - expected) ** 2 / expected, 0.0)
+    return float(terms.sum())
+
+
+def cramers_v(x_labels: Sequence[object], y_labels: Sequence[object]) -> float:
+    """Cramér's V in [0, 1]; 0 = independent, 1 = perfectly associated."""
+    table = contingency_table(x_labels, y_labels)
+    n = table.sum()
+    r, c = table.shape
+    k = min(r - 1, c - 1)
+    if k <= 0 or n == 0:
+        return 0.0
+    return float(math.sqrt(chi_square(table) / (n * k)))
+
+
+def mutual_information(
+    x_labels: Sequence[object], y_labels: Sequence[object], base: float = 2.0
+) -> float:
+    """Mutual information I(X; Y) of two label sequences (in bits by default)."""
+    table = contingency_table(x_labels, y_labels)
+    n = table.sum()
+    joint = table / n
+    px = joint.sum(axis=1, keepdims=True)
+    py = joint.sum(axis=0, keepdims=True)
+    mi = 0.0
+    rows, cols = joint.shape
+    for i in range(rows):
+        for j in range(cols):
+            p = joint[i, j]
+            if p > 0:
+                mi += p * math.log(p / (px[i, 0] * py[0, j]), base)
+    return max(mi, 0.0)
+
+
+def symmetric_uncertainty(
+    x_labels: Sequence[object], y_labels: Sequence[object]
+) -> float:
+    """Normalised mutual information 2·I / (H(X) + H(Y)) in [0, 1]."""
+    table = contingency_table(x_labels, y_labels)
+    n = table.sum()
+    px = table.sum(axis=1) / n
+    py = table.sum(axis=0) / n
+    hx = -float(np.sum(px[px > 0] * np.log2(px[px > 0])))
+    hy = -float(np.sum(py[py > 0] * np.log2(py[py > 0])))
+    if hx + hy == 0.0:
+        return 0.0
+    return float(2.0 * mutual_information(x_labels, y_labels) / (hx + hy))
+
+
+def discretize(values: np.ndarray, bins: int = 10) -> list[str | None]:
+    """Equal-width binning of a numeric array into bin labels.
+
+    Used to apply categorical dependence measures to numeric columns;
+    missing values (NaN) map to None.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    finite = values[~np.isnan(values)]
+    if finite.size == 0:
+        raise EmptyColumnError("no non-missing values to discretise")
+    low, high = float(finite.min()), float(finite.max())
+    if low == high:
+        return [None if math.isnan(v) else "bin0" for v in values]
+    edges = np.linspace(low, high, bins + 1)
+    labels: list[str | None] = []
+    for value in values:
+        if math.isnan(value):
+            labels.append(None)
+            continue
+        index = int(np.searchsorted(edges, value, side="right")) - 1
+        index = min(max(index, 0), bins - 1)
+        labels.append(f"bin{index}")
+    return labels
+
+
+def numeric_mutual_information(x: np.ndarray, y: np.ndarray, bins: int = 10) -> float:
+    """Mutual information between two numeric columns via equal-width binning."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    keep = ~(np.isnan(x) | np.isnan(y))
+    if int(keep.sum()) < 2:
+        raise EmptyColumnError("need at least 2 complete pairs")
+    return mutual_information(discretize(x[keep], bins), discretize(y[keep], bins))
+
+
+def correlation_ratio(labels: Sequence[object], values: Iterable[float]) -> float:
+    """Correlation ratio η² between a categorical and a numeric column.
+
+    η² is the fraction of numeric variance explained by the category; it is
+    the dependence metric used when exactly one of the attributes is
+    categorical.
+    """
+    values = np.asarray(list(values), dtype=np.float64)
+    labels = list(labels)
+    if len(labels) != values.size:
+        raise ValueError("labels and values must have equal length")
+    keep = [
+        i
+        for i in range(values.size)
+        if labels[i] is not None and not math.isnan(values[i])
+    ]
+    if len(keep) < 2:
+        raise EmptyColumnError("need at least 2 complete pairs")
+    x = values[keep]
+    groups: dict[str, list[float]] = {}
+    for i in keep:
+        groups.setdefault(str(labels[i]), []).append(float(values[i]))
+    overall_mean = float(np.mean(x))
+    total_ss = float(np.sum((x - overall_mean) ** 2))
+    if total_ss == 0.0:
+        return 0.0
+    between_ss = sum(
+        len(members) * (float(np.mean(members)) - overall_mean) ** 2
+        for members in groups.values()
+    )
+    return float(min(max(between_ss / total_ss, 0.0), 1.0))

@@ -1,0 +1,152 @@
+"""Frequency statistics for categorical / discrete columns.
+
+Implements the Heterogeneous-Frequencies insight metric from the paper:
+``RelFreq(k, c)``, the total relative frequency of the ``k`` most frequent
+values of a column, plus supporting statistics (entropy, normalised entropy,
+Gini impurity and full frequency tables used by the Pareto chart).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import math
+
+import numpy as np
+
+from repro.errors import EmptyColumnError
+
+
+@dataclass(frozen=True)
+class FrequencyEntry:
+    """One row of a frequency table."""
+
+    label: str
+    count: int
+    frequency: float
+    cumulative_frequency: float
+
+
+def _count_labels(labels: Iterable[object]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for label in labels:
+        if label is None:
+            continue
+        key = str(label)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def frequency_table(labels: Iterable[object]) -> list[FrequencyEntry]:
+    """Full descending frequency table (the data behind a Pareto chart)."""
+    counts = _count_labels(labels)
+    if not counts:
+        raise EmptyColumnError("no non-missing labels to count")
+    total = sum(counts.values())
+    ordered = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    entries: list[FrequencyEntry] = []
+    cumulative = 0.0
+    for label, count in ordered:
+        frequency = count / total
+        cumulative += frequency
+        entries.append(
+            FrequencyEntry(
+                label=label,
+                count=count,
+                frequency=frequency,
+                cumulative_frequency=min(cumulative, 1.0),
+            )
+        )
+    return entries
+
+
+def relative_frequency_topk(labels: Iterable[object], k: int = 3) -> float:
+    """``RelFreq(k, c)``: total relative frequency of the k most frequent values.
+
+    This is the paper's ranking metric for the Heterogeneous-Frequencies
+    insight.  Values close to 1 with many distinct categories indicate a few
+    dominant heavy hitters; values near ``k / #categories`` indicate a flat
+    distribution.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    table = frequency_table(labels)
+    top = table[: min(k, len(table))]
+    return float(sum(entry.frequency for entry in top))
+
+
+def heavy_hitters(labels: Iterable[object], threshold: float = 0.1) -> list[FrequencyEntry]:
+    """Entries whose relative frequency is at least ``threshold``."""
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    return [entry for entry in frequency_table(labels) if entry.frequency >= threshold]
+
+
+def shannon_entropy(labels: Iterable[object], base: float = 2.0) -> float:
+    """Shannon entropy of the empirical label distribution."""
+    counts = _count_labels(labels)
+    if not counts:
+        raise EmptyColumnError("no non-missing labels to count")
+    total = sum(counts.values())
+    entropy = 0.0
+    for count in counts.values():
+        p = count / total
+        entropy -= p * math.log(p, base)
+    return entropy
+
+
+def normalized_entropy(labels: Iterable[object]) -> float:
+    """Entropy divided by log(#categories); in [0, 1], 1 = uniform.
+
+    ``1 - normalized_entropy`` is an alternative heterogeneity metric:
+    heavily skewed frequency distributions have low normalised entropy.
+    """
+    counts = _count_labels(labels)
+    if not counts:
+        raise EmptyColumnError("no non-missing labels to count")
+    if len(counts) <= 1:
+        return 1.0 if len(counts) == 1 else 0.0
+    return shannon_entropy(counts_to_labels(counts)) / math.log2(len(counts))
+
+
+def counts_to_labels(counts: dict[str, int]) -> list[str]:
+    """Expand a counts dictionary back into a label list (for reuse of APIs)."""
+    labels: list[str] = []
+    for label, count in counts.items():
+        labels.extend([label] * count)
+    return labels
+
+
+def gini_impurity(labels: Iterable[object]) -> float:
+    """Gini impurity 1 - Σ p²; 0 for a single-valued column."""
+    counts = _count_labels(labels)
+    if not counts:
+        raise EmptyColumnError("no non-missing labels to count")
+    total = sum(counts.values())
+    return 1.0 - sum((count / total) ** 2 for count in counts.values())
+
+
+def distinct_count(labels: Iterable[object]) -> int:
+    """Number of distinct non-missing labels."""
+    return len(_count_labels(labels))
+
+
+def mode(labels: Iterable[object]) -> str:
+    """The most frequent label (ties broken lexicographically)."""
+    return frequency_table(labels)[0].label
+
+
+def numeric_value_frequencies(values: Sequence[float] | np.ndarray) -> list[FrequencyEntry]:
+    """Frequency table for a discrete numeric column.
+
+    The Heterogeneous-Frequencies insight also applies to discrete numeric
+    columns (paper section 2.2, insight 5); this helper renders their values
+    as labels so the same table/metric code applies.
+    """
+    array = np.asarray(values, dtype=np.float64)
+    array = array[~np.isnan(array)]
+    labels = [
+        str(int(value)) if float(value).is_integer() else f"{value:g}" for value in array
+    ]
+    return frequency_table(labels)

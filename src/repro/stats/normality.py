@@ -1,0 +1,93 @@
+"""Normality measures.
+
+The usage scenario (paper section 4.1) reports that "Time Devoted To
+Leisure has a Normal distribution while Self Reported Health has a
+left-skewed distribution".  Foresight therefore needs a univariate
+distribution-shape insight that ranks columns by how close to (or far from)
+normal they are.  The metrics here support both directions:
+
+* :func:`normality_score` — in [0, 1], higher = more normal-looking;
+* :func:`non_normality_score` — its complement, used when hunting for
+  interestingly *non*-normal columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.errors import EmptyColumnError
+from repro.stats.moments import kurtosis, skewness
+
+
+def _clean(values: np.ndarray, minimum: int = 8) -> np.ndarray:
+    values = np.asarray(values, dtype=np.float64)
+    values = values[~np.isnan(values)]
+    if values.size < minimum:
+        raise EmptyColumnError(
+            f"need at least {minimum} non-missing values, got {values.size}"
+        )
+    return values
+
+
+@dataclass(frozen=True)
+class NormalityResult:
+    """Shape summary of a numeric column relative to the normal distribution."""
+
+    skewness: float
+    excess_kurtosis: float
+    ks_statistic: float
+    ks_pvalue: float
+
+    @property
+    def shape_label(self) -> str:
+        """Human-readable shape description used in insight summaries."""
+        if abs(self.skewness) < 0.5 and abs(self.excess_kurtosis) < 1.0:
+            return "approximately normal"
+        if self.skewness <= -0.5:
+            return "left-skewed"
+        if self.skewness >= 0.5:
+            return "right-skewed"
+        if self.excess_kurtosis >= 1.0:
+            return "heavy-tailed"
+        return "light-tailed"
+
+
+def normality_test(values: np.ndarray) -> NormalityResult:
+    """Kolmogorov–Smirnov test against a fitted normal plus moment shape."""
+    x = _clean(values)
+    mu = float(np.mean(x))
+    sigma = float(np.std(x))
+    if sigma == 0.0:
+        return NormalityResult(
+            skewness=0.0, excess_kurtosis=-3.0, ks_statistic=1.0, ks_pvalue=0.0
+        )
+    statistic, pvalue = scipy_stats.kstest(x, "norm", args=(mu, sigma))
+    return NormalityResult(
+        skewness=skewness(x),
+        excess_kurtosis=kurtosis(x) - 3.0,
+        ks_statistic=float(statistic),
+        ks_pvalue=float(pvalue),
+    )
+
+
+def normality_score(values: np.ndarray) -> float:
+    """Score in [0, 1]; 1 = indistinguishable from a fitted normal.
+
+    Combines the KS statistic with penalties for skewness and excess
+    kurtosis, so the score degrades smoothly as the shape departs from
+    normal even when the sample is too small for the KS test to reject.
+    """
+    result = normality_test(values)
+    ks_component = max(0.0, 1.0 - 2.0 * result.ks_statistic)
+    skew_penalty = min(abs(result.skewness) / 2.0, 1.0)
+    kurtosis_penalty = min(abs(result.excess_kurtosis) / 6.0, 1.0)
+    shape_component = 1.0 - 0.5 * (skew_penalty + kurtosis_penalty)
+    return float(max(0.0, min(1.0, 0.5 * ks_component + 0.5 * shape_component)))
+
+
+def non_normality_score(values: np.ndarray) -> float:
+    """1 - :func:`normality_score`; high for strongly non-normal columns."""
+    return 1.0 - normality_score(values)

@@ -1,0 +1,165 @@
+"""Segmentation / clustering strength measures.
+
+The paper's introduction mentions "a strong clustering of (x, y)-values
+according to z-values" as an example insight, and section 2.2 lists
+"segmentation" among the additional insight classes.  The ranking metrics
+here quantify how well a categorical column z separates the values of one
+or two numeric columns:
+
+* :func:`anova_f_statistic` and :func:`eta_squared` for a single numeric
+  column split by z (one-way ANOVA decomposition);
+* :func:`segmentation_strength` for an (x, y) pair split by z, using a
+  silhouette-style separation score of the group centroids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import EmptyColumnError
+
+
+def _group_values(
+    values: np.ndarray, labels: Sequence[object], minimum_per_group: int = 2
+) -> dict[str, np.ndarray]:
+    values = np.asarray(values, dtype=np.float64)
+    if len(labels) != values.size:
+        raise ValueError("labels and values must have equal length")
+    groups: dict[str, list[float]] = {}
+    for value, label in zip(values, labels):
+        if label is None or np.isnan(value):
+            continue
+        groups.setdefault(str(label), []).append(float(value))
+    out = {
+        label: np.asarray(members, dtype=np.float64)
+        for label, members in groups.items()
+        if len(members) >= minimum_per_group
+    }
+    if len(out) < 2:
+        raise EmptyColumnError(
+            "need at least 2 groups with enough members for segmentation metrics"
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class AnovaResult:
+    """One-way ANOVA decomposition of a numeric column by a grouping column."""
+
+    f_statistic: float
+    eta_squared: float
+    between_ss: float
+    within_ss: float
+    n_groups: int
+    n_values: int
+
+
+def anova(values: np.ndarray, labels: Sequence[object]) -> AnovaResult:
+    """One-way ANOVA of ``values`` grouped by ``labels``."""
+    groups = _group_values(values, labels)
+    all_values = np.concatenate(list(groups.values()))
+    overall_mean = float(np.mean(all_values))
+    between_ss = sum(
+        members.size * (float(np.mean(members)) - overall_mean) ** 2
+        for members in groups.values()
+    )
+    within_ss = sum(
+        float(np.sum((members - np.mean(members)) ** 2)) for members in groups.values()
+    )
+    k = len(groups)
+    n = int(all_values.size)
+    df_between = k - 1
+    df_within = n - k
+    if df_within <= 0 or within_ss == 0.0:
+        f_stat = float("inf") if between_ss > 0 else 0.0
+    else:
+        f_stat = (between_ss / df_between) / (within_ss / df_within)
+    total_ss = between_ss + within_ss
+    eta_sq = between_ss / total_ss if total_ss > 0 else 0.0
+    return AnovaResult(
+        f_statistic=float(f_stat),
+        eta_squared=float(eta_sq),
+        between_ss=float(between_ss),
+        within_ss=float(within_ss),
+        n_groups=k,
+        n_values=n,
+    )
+
+
+def anova_f_statistic(values: np.ndarray, labels: Sequence[object]) -> float:
+    """The one-way ANOVA F statistic."""
+    return anova(values, labels).f_statistic
+
+
+def eta_squared(values: np.ndarray, labels: Sequence[object]) -> float:
+    """Fraction of variance explained by the grouping, in [0, 1]."""
+    return anova(values, labels).eta_squared
+
+
+def group_centroids(
+    x: np.ndarray, y: np.ndarray, labels: Sequence[object]
+) -> Mapping[str, tuple[float, float]]:
+    """Per-group centroids of the (x, y) points."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size != y.size or len(labels) != x.size:
+        raise ValueError("x, y and labels must have equal length")
+    sums: dict[str, list[float]] = {}
+    for xi, yi, label in zip(x, y, labels):
+        if label is None or np.isnan(xi) or np.isnan(yi):
+            continue
+        entry = sums.setdefault(str(label), [0.0, 0.0, 0.0])
+        entry[0] += xi
+        entry[1] += yi
+        entry[2] += 1.0
+    return {
+        label: (sx / count, sy / count)
+        for label, (sx, sy, count) in sums.items()
+        if count > 0
+    }
+
+
+def segmentation_strength(
+    x: np.ndarray, y: np.ndarray, labels: Sequence[object]
+) -> float:
+    """The Segmentation insight ranking metric, in [0, 1].
+
+    Computes, for the 2-D points (x, y) standardised per axis, the ratio of
+    between-group scatter to total scatter of the group centroids — a
+    two-dimensional η².  1 means the groups are perfectly separated along
+    some direction; 0 means the grouping explains nothing.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size != y.size or len(labels) != x.size:
+        raise ValueError("x, y and labels must have equal length")
+    keep = ~(np.isnan(x) | np.isnan(y))
+    keep &= np.asarray([label is not None for label in labels])
+    if int(keep.sum()) < 4:
+        raise EmptyColumnError("need at least 4 complete (x, y, label) rows")
+    xs, ys = x[keep], y[keep]
+    kept_labels = [str(label) for label, k in zip(labels, keep) if k]
+    # Standardise each axis so neither dominates the scatter.
+    def standardise(values: np.ndarray) -> np.ndarray:
+        sigma = np.std(values)
+        return (values - np.mean(values)) / sigma if sigma > 0 else values * 0.0
+
+    points = np.column_stack([standardise(xs), standardise(ys)])
+    overall = points.mean(axis=0)
+    total_scatter = float(np.sum((points - overall) ** 2))
+    if total_scatter == 0.0:
+        return 0.0
+    between = 0.0
+    groups: dict[str, list[int]] = {}
+    for i, label in enumerate(kept_labels):
+        groups.setdefault(label, []).append(i)
+    if len(groups) < 2:
+        return 0.0
+    for indices in groups.values():
+        member = points[indices]
+        centroid = member.mean(axis=0)
+        between += member.shape[0] * float(np.sum((centroid - overall) ** 2))
+    return float(min(max(between / total_scatter, 0.0), 1.0))

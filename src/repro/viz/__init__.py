@@ -1,0 +1,34 @@
+"""Visualization specs (Vega-Lite flavoured dicts) and ASCII renderers."""
+
+from repro.viz.spec import (
+    VisualizationSpec,
+    encoding_channel,
+    records_from_arrays,
+    spec_summary,
+)
+from repro.viz.charts import (
+    bar_spec,
+    boxplot_spec,
+    grouped_scatter_spec,
+    heatmap_spec,
+    histogram_spec,
+    pareto_spec,
+    scatter_spec,
+)
+from repro.viz.ascii import render, render_table
+
+__all__ = [
+    "VisualizationSpec",
+    "bar_spec",
+    "boxplot_spec",
+    "encoding_channel",
+    "grouped_scatter_spec",
+    "heatmap_spec",
+    "histogram_spec",
+    "pareto_spec",
+    "records_from_arrays",
+    "render",
+    "render_table",
+    "scatter_spec",
+    "spec_summary",
+]

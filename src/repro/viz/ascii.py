@@ -1,0 +1,197 @@
+"""ASCII renderers for visualization specs.
+
+The examples and the benchmark harness run in a terminal, so every
+:class:`~repro.viz.spec.VisualizationSpec` can be rendered as plain text:
+bar/histogram/Pareto charts as horizontal bars, box plots as a whisker
+diagram, scatter plots as a character grid, heat maps as a shaded matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.viz.spec import VisualizationSpec
+
+_SHADES = " .:-=+*#%@"
+
+
+def render(spec: VisualizationSpec, width: int = 60, height: int = 18) -> str:
+    """Render any spec to ASCII (dispatches on ``spec.mark``)."""
+    mark = spec.mark
+    if mark in ("bar", "pareto"):
+        return _render_bars(spec, width=width)
+    if mark == "boxplot":
+        return _render_boxplot(spec, width=width)
+    if mark == "point":
+        return _render_scatter(spec, width=width, height=height)
+    if mark == "rect":
+        return _render_heatmap(spec)
+    if mark == "line":
+        return _render_scatter(spec, width=width, height=height, marker="*")
+    return f"{spec.title}\n(no ASCII renderer for mark {mark!r})"
+
+
+def _bar_line(label: str, value: float, max_value: float, width: int,
+              label_width: int, suffix: str = "") -> str:
+    bar_length = 0 if max_value <= 0 else int(round(width * value / max_value))
+    bar = "#" * bar_length
+    return f"{label:<{label_width}} |{bar:<{width}}| {value:g}{suffix}"
+
+
+def _render_bars(spec: VisualizationSpec, width: int = 50) -> str:
+    data = spec.data
+    if not data:
+        return f"{spec.title}\n(empty)"
+    # Pick the label field (nominal x) and the value field (quantitative y).
+    x_field = spec.encoding.get("x", {}).get("field")
+    y_field = spec.encoding.get("y", {}).get("field")
+    labels = []
+    values = []
+    for record in data:
+        label = record.get(x_field)
+        if isinstance(label, float):
+            label = f"{label:g}"
+        labels.append(str(label))
+        values.append(float(record.get(y_field, 0.0)))
+    label_width = min(max(len(label) for label in labels), 24)
+    labels = [label[:label_width] for label in labels]
+    max_value = max(values) if values else 0.0
+    lines = [spec.title, "-" * len(spec.title)]
+    for label, value in zip(labels, values):
+        lines.append(_bar_line(label, value, max_value, width, label_width))
+    return "\n".join(lines)
+
+
+def _render_boxplot(spec: VisualizationSpec, width: int = 60) -> str:
+    if not spec.data:
+        return f"{spec.title}\n(empty)"
+    record = spec.data[0]
+    low = float(record["min"])
+    high = float(record["max"])
+    span = high - low or 1.0
+
+    def pos(value: float) -> int:
+        return int(round((float(value) - low) / span * (width - 1)))
+
+    line = [" "] * width
+    lw, uw = pos(record["lower_whisker"]), pos(record["upper_whisker"])
+    q1, q3 = pos(record["q1"]), pos(record["q3"])
+    med = pos(record["median"])
+    for i in range(lw, uw + 1):
+        line[i] = "-"
+    for i in range(q1, q3 + 1):
+        line[i] = "="
+    line[lw] = "|"
+    line[uw] = "|"
+    line[med] = "M"
+    n_outliers = spec.metadata.get("n_outliers", 0)
+    lines = [
+        spec.title,
+        "-" * len(spec.title),
+        "".join(line),
+        f"min={low:g}  q1={record['q1']:g}  median={record['median']:g}  "
+        f"q3={record['q3']:g}  max={high:g}  outliers={n_outliers}",
+    ]
+    return "\n".join(lines)
+
+
+def _render_scatter(spec: VisualizationSpec, width: int = 60, height: int = 18,
+                    marker: str = "o") -> str:
+    data = spec.data
+    if not data:
+        return f"{spec.title}\n(empty)"
+    x_field = spec.encoding["x"]["field"]
+    y_field = spec.encoding["y"]["field"]
+    xs = np.asarray([float(r[x_field]) for r in data])
+    ys = np.asarray([float(r[y_field]) for r in data])
+    x_span = xs.max() - xs.min() or 1.0
+    y_span = ys.max() - ys.min() or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int(round((x - xs.min()) / x_span * (width - 1)))
+        row = height - 1 - int(round((y - ys.min()) / y_span * (height - 1)))
+        grid[row][col] = marker
+    # Overlay the first line layer (best-fit line) if present.
+    for layer in spec.layers:
+        if layer.get("mark") != "line":
+            continue
+        values = layer.get("data", {}).get("values", [])
+        if len(values) < 2:
+            continue
+        lx = [float(v[x_field]) for v in values]
+        ly = [float(v[y_field]) for v in values]
+        for t in np.linspace(0.0, 1.0, width * 2):
+            x = lx[0] + t * (lx[-1] - lx[0])
+            y = ly[0] + t * (ly[-1] - ly[0])
+            if not (ys.min() <= y <= ys.max()):
+                continue
+            col = int(round((x - xs.min()) / x_span * (width - 1)))
+            row = height - 1 - int(round((y - ys.min()) / y_span * (height - 1)))
+            if grid[row][col] == " ":
+                grid[row][col] = "."
+    lines = [spec.title, "-" * len(spec.title)]
+    lines.extend("".join(row) for row in grid)
+    lines.append(f"x: {x_field} [{xs.min():g}, {xs.max():g}]   "
+                 f"y: {y_field} [{ys.min():g}, {ys.max():g}]")
+    return "\n".join(lines)
+
+
+def _render_heatmap(spec: VisualizationSpec) -> str:
+    data = spec.data
+    if not data:
+        return f"{spec.title}\n(empty)"
+    value_field = spec.encoding["color"]["field"]
+    rows = []
+    columns = []
+    for record in data:
+        if record["row"] not in rows:
+            rows.append(record["row"])
+        if record["column"] not in columns:
+            columns.append(record["column"])
+    matrix: dict[tuple[str, str], float] = {
+        (record["row"], record["column"]): float(record[value_field]) for record in data
+    }
+    label_width = min(max(len(str(r)) for r in rows), 12)
+    lines = [spec.title, "-" * len(spec.title)]
+    header = " " * (label_width + 1) + " ".join(str(c)[:2].rjust(2) for c in columns)
+    lines.append(header)
+    for row_name in rows:
+        cells = []
+        for col_name in columns:
+            value = matrix.get((row_name, col_name), 0.0)
+            shade = _SHADES[int(round(abs(value) * (len(_SHADES) - 1)))]
+            sign = "-" if value < -0.05 else " "
+            cells.append(sign + shade)
+        lines.append(str(row_name)[:label_width].ljust(label_width) + " " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def render_table(rows: list[Mapping[str, Any]], columns: list[str] | None = None) -> str:
+    """Render a list of records as a fixed-width text table (benchmark output)."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    formatted: list[list[str]] = []
+    for row in rows:
+        formatted.append([_format_cell(row.get(column)) for column in columns])
+    widths = [
+        max(len(column), *(len(record[i]) for record in formatted))
+        for i, column in enumerate(columns)
+    ]
+    header = " | ".join(column.ljust(width) for column, width in zip(columns, widths))
+    separator = "-+-".join("-" * width for width in widths)
+    lines = [header, separator]
+    for record in formatted:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(record, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

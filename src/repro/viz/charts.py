@@ -1,0 +1,296 @@
+"""Chart builders: one per visualization method named in the paper.
+
+Section 2.2 assigns a preferred visualization to each insight:
+
+* Dispersion / Skew / Heavy Tails  -> histogram
+* Outliers                         -> box-and-whisker plot
+* Heterogeneous Frequencies        -> Pareto chart
+* Linear Relationship              -> scatter plot with best-fit line
+* overview (Figure 2)              -> correlation heat map
+
+These builders take value arrays (or a table column) plus the relevant
+statistics and produce :class:`~repro.viz.spec.VisualizationSpec` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import VisualizationError
+from repro.stats.correlation import LinearFit, linear_fit
+from repro.stats.frequency import FrequencyEntry, frequency_table
+from repro.stats.histogram import histogram
+from repro.stats.quantiles import five_number_summary
+from repro.stats.outliers import detect_outliers
+from repro.viz.spec import VisualizationSpec, encoding_channel, records_from_arrays
+
+
+def histogram_spec(
+    values: np.ndarray, name: str, bins: int | None = None, title: str | None = None,
+) -> VisualizationSpec:
+    """Histogram of a numeric column (dispersion / skew / heavy-tails insights)."""
+    bars = histogram(values, bins=bins)
+    data = [
+        {
+            "bin_start": b.left,
+            "bin_end": b.right,
+            "bin_center": b.center,
+            "count": b.count,
+            "frequency": b.frequency,
+        }
+        for b in bars
+    ]
+    return VisualizationSpec(
+        mark="bar",
+        title=title or f"Distribution of {name}",
+        data=data,
+        encoding={
+            "x": encoding_channel("bin_center", "quantitative", bin={"binned": True}),
+            "x2": encoding_channel("bin_end", "quantitative"),
+            "y": encoding_channel("count", "quantitative"),
+        },
+        metadata={"column": name, "n_bins": len(bars)},
+    )
+
+
+def boxplot_spec(
+    values: np.ndarray, name: str, detector: str = "iqr", title: str | None = None,
+) -> VisualizationSpec:
+    """Box-and-whisker plot of a numeric column (outlier insight)."""
+    summary = five_number_summary(values)
+    low_whisker, high_whisker = summary.whiskers()
+    outliers = detect_outliers(values, detector)
+    data = [
+        {
+            "column": name,
+            "min": summary.minimum,
+            "q1": summary.q1,
+            "median": summary.median,
+            "q3": summary.q3,
+            "max": summary.maximum,
+            "lower_whisker": low_whisker,
+            "upper_whisker": high_whisker,
+        }
+    ]
+    outlier_layer = {
+        "mark": "point",
+        "data": {
+            "values": [
+                {"column": name, "value": float(v)} for v in outliers.values.tolist()
+            ]
+        },
+        "encoding": {
+            "x": encoding_channel("column", "nominal"),
+            "y": encoding_channel("value", "quantitative"),
+        },
+    }
+    return VisualizationSpec(
+        mark="boxplot",
+        title=title or f"Outliers in {name}",
+        data=data,
+        encoding={
+            "x": encoding_channel("column", "nominal"),
+            "y": encoding_channel("median", "quantitative"),
+        },
+        layers=[outlier_layer],
+        metadata={
+            "column": name,
+            "n_outliers": outliers.count,
+            "detector": outliers.detector,
+        },
+    )
+
+
+def pareto_spec(
+    labels: Sequence[object], name: str, max_categories: int = 20,
+    title: str | None = None, table: list[FrequencyEntry] | None = None,
+) -> VisualizationSpec:
+    """Pareto chart of a categorical column (heterogeneous-frequencies insight)."""
+    entries = table if table is not None else frequency_table(labels)
+    shown = entries[:max_categories]
+    data = [
+        {
+            "label": e.label,
+            "count": e.count,
+            "frequency": e.frequency,
+            "cumulative_frequency": e.cumulative_frequency,
+        }
+        for e in shown
+    ]
+    cumulative_layer = {
+        "mark": "line",
+        "data": {"values": data},
+        "encoding": {
+            "x": encoding_channel("label", "nominal", sort="-y"),
+            "y": encoding_channel("cumulative_frequency", "quantitative"),
+        },
+    }
+    return VisualizationSpec(
+        mark="pareto",
+        title=title or f"Value frequencies of {name}",
+        data=data,
+        encoding={
+            "x": encoding_channel("label", "nominal", sort="-y"),
+            "y": encoding_channel("count", "quantitative"),
+        },
+        layers=[cumulative_layer],
+        metadata={
+            "column": name,
+            "n_categories_total": len(entries),
+            "n_categories_shown": len(shown),
+        },
+    )
+
+
+def scatter_spec(
+    x: np.ndarray, y: np.ndarray, x_name: str, y_name: str,
+    fit: LinearFit | None = None, max_points: int = 2000, seed: int = 0,
+    title: str | None = None,
+) -> VisualizationSpec:
+    """Scatter plot with best-fit line (linear-relationship insight)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    keep = ~(np.isnan(x) | np.isnan(y))
+    x, y = x[keep], y[keep]
+    if x.size == 0:
+        raise VisualizationError(
+            f"no complete points to plot for ({x_name!r}, {y_name!r})"
+        )
+    if fit is None:
+        fit = linear_fit(x, y)
+    if x.size > max_points:
+        rng = np.random.default_rng(seed)
+        indices = rng.choice(x.size, size=max_points, replace=False)
+        x_plot, y_plot = x[indices], y[indices]
+    else:
+        x_plot, y_plot = x, y
+    data = records_from_arrays(**{x_name: x_plot, y_name: y_plot})
+    line_x = np.array([float(x.min()), float(x.max())])
+    line_y = fit.predict(line_x)
+    fit_layer = {
+        "mark": "line",
+        "data": {"values": records_from_arrays(**{x_name: line_x, y_name: line_y})},
+        "encoding": {
+            "x": encoding_channel(x_name, "quantitative"),
+            "y": encoding_channel(y_name, "quantitative"),
+        },
+    }
+    return VisualizationSpec(
+        mark="point",
+        title=title or f"{y_name} vs {x_name} (r = {fit.r:+.2f})",
+        data=data,
+        encoding={
+            "x": encoding_channel(x_name, "quantitative"),
+            "y": encoding_channel(y_name, "quantitative"),
+        },
+        layers=[fit_layer],
+        metadata={
+            "x": x_name,
+            "y": y_name,
+            "pearson_r": fit.r,
+            "slope": fit.slope,
+            "intercept": fit.intercept,
+            "n_points_plotted": int(x_plot.size),
+            "n_points_total": int(x.size),
+        },
+    )
+
+
+def grouped_scatter_spec(
+    x: np.ndarray, y: np.ndarray, labels: Sequence[object],
+    x_name: str, y_name: str, group_name: str,
+    max_points: int = 2000, seed: int = 0, title: str | None = None,
+) -> VisualizationSpec:
+    """Scatter plot coloured by a categorical column (segmentation insight)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    labels = list(labels)
+    keep = [
+        i for i in range(x.size)
+        if not (np.isnan(x[i]) or np.isnan(y[i]) or labels[i] is None)
+    ]
+    if not keep:
+        raise VisualizationError(
+            f"no complete points to plot for ({x_name!r}, {y_name!r}, {group_name!r})"
+        )
+    if len(keep) > max_points:
+        rng = np.random.default_rng(seed)
+        keep = list(rng.choice(keep, size=max_points, replace=False))
+    data = [
+        {x_name: float(x[i]), y_name: float(y[i]), group_name: str(labels[i])}
+        for i in keep
+    ]
+    return VisualizationSpec(
+        mark="point",
+        title=title or f"{y_name} vs {x_name} by {group_name}",
+        data=data,
+        encoding={
+            "x": encoding_channel(x_name, "quantitative"),
+            "y": encoding_channel(y_name, "quantitative"),
+            "color": encoding_channel(group_name, "nominal"),
+        },
+        metadata={"x": x_name, "y": y_name, "group": group_name,
+                  "n_points_plotted": len(data)},
+    )
+
+
+def heatmap_spec(
+    matrix: np.ndarray, names: Sequence[str], value_name: str = "correlation",
+    title: str | None = None,
+) -> VisualizationSpec:
+    """Heat map of a square matrix over attributes (Figure 2 overview)."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise VisualizationError("heatmap requires a square matrix")
+    if matrix.shape[0] != len(names):
+        raise VisualizationError("names length must match matrix size")
+    data = []
+    for i, row_name in enumerate(names):
+        for j, col_name in enumerate(names):
+            value = float(matrix[i, j])
+            data.append(
+                {
+                    "row": row_name,
+                    "column": col_name,
+                    value_name: value,
+                    "magnitude": abs(value),
+                }
+            )
+    return VisualizationSpec(
+        mark="rect",
+        title=title or f"Pairwise {value_name} overview",
+        data=data,
+        encoding={
+            "x": encoding_channel("column", "nominal"),
+            "y": encoding_channel("row", "nominal"),
+            "color": encoding_channel(value_name, "quantitative",
+                                      scale={"domain": [-1, 1]}),
+            "size": encoding_channel("magnitude", "quantitative"),
+        },
+        metadata={"n_attributes": len(names), "value": value_name},
+    )
+
+
+def bar_spec(
+    labels: Sequence[str], values: Sequence[float], name: str,
+    value_name: str = "value", title: str | None = None,
+) -> VisualizationSpec:
+    """Simple bar chart (used by overview visualizations of univariate insights)."""
+    if len(labels) != len(values):
+        raise VisualizationError("labels and values must have equal length")
+    data = [
+        {name: str(label), value_name: float(value)}
+        for label, value in zip(labels, values)
+    ]
+    return VisualizationSpec(
+        mark="bar",
+        title=title or f"{value_name} by {name}",
+        data=data,
+        encoding={
+            "x": encoding_channel(name, "nominal", sort="-y"),
+            "y": encoding_channel(value_name, "quantitative"),
+        },
+        metadata={"n_bars": len(data)},
+    )

@@ -1,0 +1,123 @@
+"""Declarative visualization specifications.
+
+Foresight's front end renders one preferred chart per insight class
+(histogram, box-and-whisker, Pareto chart, scatter plot with best-fit line,
+heat map).  The research content is *which* chart gets built for *which*
+attribute tuple with *what* derived data; the rendering itself is
+presentation.  A :class:`VisualizationSpec` therefore captures a chart as a
+plain, JSON-serialisable dictionary in a Vega-Lite-flavoured structure:
+``mark``, ``encoding`` and inline ``data``.  The ASCII renderer
+(:mod:`repro.viz.ascii`) can draw any spec in a terminal, which is what the
+examples and benchmarks use.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+
+@dataclass
+class VisualizationSpec:
+    """A declarative chart specification.
+
+    Attributes
+    ----------
+    mark:
+        Chart mark: ``"bar"``, ``"boxplot"``, ``"point"``, ``"rect"``,
+        ``"line"`` or ``"pareto"``.
+    title:
+        Human-readable chart title.
+    data:
+        Inline data: a list of records (dictionaries).
+    encoding:
+        Mapping of visual channels (``x``, ``y``, ``color``, ``size``, ...)
+        to field definitions (``{"field": ..., "type": ...}``).
+    layers:
+        Optional extra layers (e.g. the best-fit line over a scatter plot),
+        each itself a ``{"mark": ..., "data": ..., "encoding": ...}`` dict.
+    metadata:
+        Free-form extras (insight name, metric value, attribute names).
+    """
+
+    mark: str
+    title: str
+    data: list[dict[str, Any]] = field(default_factory=list)
+    encoding: dict[str, dict[str, Any]] = field(default_factory=dict)
+    layers: list[dict[str, Any]] = field(default_factory=list)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Full spec as a plain dictionary (JSON-serialisable)."""
+        spec: dict[str, Any] = {
+            "mark": self.mark,
+            "title": self.title,
+            "data": {"values": self.data},
+            "encoding": self.encoding,
+        }
+        if self.layers:
+            spec["layer"] = self.layers
+        if self.metadata:
+            spec["usermeta"] = self.metadata
+        return spec
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Spec serialised as JSON text."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True, default=float)
+
+    # -- small helpers used by tests/examples --------------------------------
+    def field_names(self) -> list[str]:
+        """Names of fields referenced by the encoding channels."""
+        names = []
+        for channel in self.encoding.values():
+            name = channel.get("field")
+            if name is not None and name not in names:
+                names.append(name)
+        return names
+
+    def n_points(self) -> int:
+        return len(self.data)
+
+
+def encoding_channel(field_name: str, field_type: str, **extra: Any) -> dict[str, Any]:
+    """Build one encoding channel definition."""
+    channel: dict[str, Any] = {"field": field_name, "type": field_type}
+    channel.update(extra)
+    return channel
+
+
+def records_from_arrays(**arrays: Sequence[Any]) -> list[dict[str, Any]]:
+    """Zip equally-long arrays into a list of records."""
+    names = list(arrays)
+    if not names:
+        return []
+    lengths = {len(values) for values in arrays.values()}
+    if len(lengths) != 1:
+        raise ValueError("all arrays must have equal length")
+    size = lengths.pop()
+    return [
+        {name: _plain(arrays[name][i]) for name in names}
+        for i in range(size)
+    ]
+
+
+def _plain(value: Any) -> Any:
+    """Convert NumPy scalars to plain Python values for JSON serialisation."""
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        try:
+            return value.item()
+        except (ValueError, AttributeError):
+            return value
+    return value
+
+
+def spec_summary(spec: VisualizationSpec | Mapping[str, Any]) -> str:
+    """One-line description of a spec, used in carousel printouts."""
+    if isinstance(spec, VisualizationSpec):
+        mark, title, n = spec.mark, spec.title, spec.n_points()
+    else:
+        mark = str(spec.get("mark", "?"))
+        title = str(spec.get("title", ""))
+        n = len(spec.get("data", {}).get("values", []))
+    return f"[{mark}] {title} ({n} marks)"

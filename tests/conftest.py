@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Foresight
+from repro.data import DataTable
+from repro.data.datasets import (
+    load_imdb,
+    load_oecd,
+    load_parkinson,
+    make_clustered_table,
+    make_mixed_table,
+    make_numeric_table,
+)
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def oecd_table() -> DataTable:
+    return load_oecd()
+
+
+@pytest.fixture(scope="session")
+def parkinson_table() -> DataTable:
+    # A reduced row count keeps the suite fast while preserving structure.
+    return load_parkinson(n_rows=600)
+
+
+@pytest.fixture(scope="session")
+def imdb_table() -> DataTable:
+    return load_imdb(n_rows=1200)
+
+
+@pytest.fixture(scope="session")
+def small_mixed_table() -> DataTable:
+    return make_mixed_table(n_rows=500, n_numeric=12, n_categorical=3, seed=3)
+
+
+@pytest.fixture(scope="session")
+def medium_numeric_table() -> DataTable:
+    return make_numeric_table(n_rows=4000, n_columns=20, seed=5)
+
+
+@pytest.fixture(scope="session")
+def clustered_table() -> DataTable:
+    return make_clustered_table(n_rows=900, n_clusters=3, seed=11)
+
+
+@pytest.fixture(scope="session")
+def simple_table() -> DataTable:
+    """A tiny, fully deterministic table used by data-layer unit tests."""
+    return DataTable.from_columns(
+        {
+            "height": [1.62, 1.75, 1.80, None, 1.68, 1.90],
+            "weight": [55.0, 72.0, 80.5, 64.0, None, 95.0],
+            "city": ["Oslo", "Paris", "Paris", "Lima", "Oslo", "Paris"],
+            "smoker": [True, False, False, True, False, False],
+            "children": [0, 2, 1, 3, 2, 1],
+        },
+        name="people",
+    )
+
+
+@pytest.fixture(scope="session")
+def oecd_engine(oecd_table: DataTable) -> Foresight:
+    return Foresight(oecd_table)

@@ -1,0 +1,268 @@
+"""Tests for the twelve concrete insight classes."""
+
+import numpy as np
+import pytest
+
+from repro.core.classes import (
+    DependenceInsight,
+    DispersionInsight,
+    HeavyTailsInsight,
+    HeterogeneousFrequenciesInsight,
+    LinearRelationshipInsight,
+    MissingValuesInsight,
+    MonotonicRelationshipInsight,
+    MultimodalityInsight,
+    NormalityInsight,
+    OutlierInsight,
+    SegmentationInsight,
+    SkewInsight,
+)
+from repro.core.insight import EvaluationContext, MODE_EXACT
+from repro.data import DataTable, numeric_column
+from repro.data.datasets import make_bimodal_column
+
+
+@pytest.fixture(scope="module")
+def shapes_table() -> DataTable:
+    """A table with one column per planted distributional property."""
+    rng = np.random.default_rng(0)
+    n = 3000
+    normal = rng.standard_normal(n)
+    skewed = rng.lognormal(size=n)
+    heavy = rng.standard_t(df=2.5, size=n)
+    outliers = rng.standard_normal(n)
+    outliers[:6] = [25, -22, 28, 30, -26, 24]
+    x = rng.standard_normal(n)
+    linear = 0.95 * x + 0.3 * rng.standard_normal(n)
+    exponential = np.exp(1.5 * x)
+    category = rng.choice(["a", "b", "c", "d", "e"], size=n, p=[0.7, 0.15, 0.08, 0.05, 0.02])
+    group = rng.choice(["g1", "g2", "g3"], size=n)
+    # Different group-to-offset mappings keep the two shifted columns only
+    # moderately correlated with each other while remaining cleanly
+    # separated by group in the (x, y) plane.
+    shifted = x + np.where(group == "g1", -8.0, np.where(group == "g2", 0.0, 8.0))
+    shifted_y = rng.standard_normal(n) + np.where(group == "g1", 8.0, np.where(group == "g2", -8.0, 0.0))
+    gappy = rng.standard_normal(n)
+    gappy[: n // 2] = np.nan
+    bimodal = make_bimodal_column(n, separation=7.0, seed=1).values
+    return DataTable.from_columns(
+        {
+            "normal": normal,
+            "skewed": skewed,
+            "heavy": heavy,
+            "with_outliers": outliers,
+            "x": x,
+            "linear_y": linear,
+            "exp_y": exponential,
+            "bimodal": bimodal,
+            "gappy": gappy,
+            "shifted_x": shifted,
+            "shifted_y": shifted_y,
+            "category": category,
+            "group": group,
+        },
+        name="shapes",
+    )
+
+
+@pytest.fixture(scope="module")
+def context(shapes_table) -> EvaluationContext:
+    return EvaluationContext(table=shapes_table, store=None, mode=MODE_EXACT)
+
+
+def top_attribute(insight_class, context, arity_filter=None):
+    candidates = list(insight_class.candidates(context.table))
+    scored = insight_class.score_all(candidates, context)
+    scored.sort(key=lambda c: -c.score)
+    return scored
+
+
+class TestUnivariateClasses:
+    def test_dispersion_candidates_are_numeric(self, shapes_table, context):
+        insight = DispersionInsight()
+        names = {attrs[0] for attrs in insight.candidates(shapes_table)}
+        assert names == set(shapes_table.numeric_names())
+
+    def test_skew_ranks_planted_right_skewed_columns_first(self, context):
+        ranked = top_attribute(SkewInsight(), context)
+        # Both the lognormal column and exp(1.5 x) are strongly right-skewed;
+        # either may win, but both must dominate the symmetric columns.
+        assert ranked[0].attributes[0] in {"skewed", "exp_y"}
+        assert ranked[0].details["direction"] == "right-skewed"
+        scores = {c.attributes[0]: c.score for c in ranked}
+        assert scores["skewed"] > scores["normal"] + 1.0
+
+    def test_heavy_tails_ranks_student_t_first(self, context):
+        ranked = top_attribute(HeavyTailsInsight(), context)
+        assert ranked[0].attributes in {("heavy",), ("with_outliers",), ("exp_y",), ("skewed",)}
+        assert ranked[0].score > 3.0
+
+    def test_outliers_ranks_planted_column_highly(self, context):
+        ranked = top_attribute(OutlierInsight(detector="zscore", threshold=5.0), context)
+        assert ranked[0].attributes == ("with_outliers",)
+        assert ranked[0].details["n_outliers"] >= 6
+
+    def test_multimodality_ranks_planted_mixtures_first(self, context):
+        ranked = top_attribute(MultimodalityInsight(), context)
+        scored = {c.attributes[0]: c for c in ranked}
+        # The explicit two-component mixture and the group-shifted columns are
+        # all genuinely multimodal; the normal column is not.
+        assert ranked[0].attributes[0] in {"bimodal", "shifted_x", "shifted_y"}
+        assert scored["bimodal"].score > 0.5
+        assert scored["bimodal"].details["n_modes"] >= 2
+        assert scored["bimodal"].score > scored["normal"].score
+
+    def test_normality_flags_skewed_over_normal(self, context):
+        insight = NormalityInsight()
+        scored = {c.attributes[0]: c for c in top_attribute(insight, context)}
+        assert scored["skewed"].score > scored["normal"].score
+        assert scored["normal"].details["shape"] == "approximately normal"
+
+    def test_missing_values_ranks_gappy_first(self, context):
+        ranked = top_attribute(MissingValuesInsight(), context)
+        assert ranked[0].attributes == ("gappy",)
+        assert ranked[0].score == pytest.approx(0.5, abs=0.01)
+
+    def test_summaries_are_strings(self, context):
+        for insight_class in (DispersionInsight(), SkewInsight(), HeavyTailsInsight(),
+                              OutlierInsight(), NormalityInsight()):
+            ranked = top_attribute(insight_class, context)
+            summary = insight_class.summarize(ranked[0])
+            assert isinstance(summary, str) and ranked[0].attributes[0] in summary
+
+    def test_visualizations_have_expected_marks(self, context):
+        histogram_classes = (DispersionInsight(), SkewInsight(), HeavyTailsInsight())
+        for insight_class in histogram_classes:
+            ranked = top_attribute(insight_class, context)
+            spec = insight_class.visualize(insight_class.to_insight(ranked[0]), context)
+            assert spec.mark == "bar"
+        outlier = OutlierInsight()
+        ranked = top_attribute(outlier, context)
+        assert outlier.visualize(outlier.to_insight(ranked[0]), context).mark == "boxplot"
+
+
+class TestFrequencyClass:
+    def test_candidates_include_categorical_and_discrete(self, shapes_table):
+        insight = HeterogeneousFrequenciesInsight()
+        names = {attrs[0] for attrs in insight.candidates(shapes_table)}
+        assert "category" in names
+        assert "group" in names
+
+    def test_skewed_frequencies_beat_uniform(self, context):
+        insight = HeterogeneousFrequenciesInsight(k=1)
+        scored = {c.attributes[0]: c.score for c in top_attribute(insight, context)}
+        assert scored["category"] > scored["group"]
+
+    def test_relfreq_value_matches_exact(self, context):
+        insight = HeterogeneousFrequenciesInsight(k=2)
+        scored = {c.attributes[0]: c for c in top_attribute(insight, context)}
+        assert scored["category"].details["relfreq_topk_raw"] == pytest.approx(0.85, abs=0.03)
+
+    def test_pareto_visualization(self, context):
+        insight = HeterogeneousFrequenciesInsight()
+        ranked = top_attribute(insight, context)
+        spec = insight.visualize(insight.to_insight(ranked[0]), context)
+        assert spec.mark == "pareto"
+        assert spec.metadata["insight_class"] == "heterogeneous_frequencies"
+
+
+class TestBivariateClasses:
+    def test_linear_relationship_top_pair(self, context):
+        ranked = top_attribute(LinearRelationshipInsight(), context)
+        assert set(ranked[0].attributes) == {"x", "linear_y"}
+        assert ranked[0].score > 0.9
+
+    def test_linear_relationship_score_all_matches_individual(self, context):
+        insight = LinearRelationshipInsight()
+        candidates = list(insight.candidates(context.table))[:10]
+        batched = {c.attributes: c.score for c in insight.score_all(candidates, context)}
+        individual = {
+            attrs: insight.score(attrs, context).score for attrs in candidates
+        }
+        for attrs in candidates:
+            assert batched[attrs] == pytest.approx(individual[attrs], abs=1e-9)
+
+    def test_spearman_method(self, context):
+        insight = LinearRelationshipInsight(method="spearman")
+        scored = insight.score(("x", "exp_y"), context)
+        assert scored.score == pytest.approx(1.0, abs=0.01)
+
+    def test_invalid_method(self):
+        with pytest.raises(ValueError):
+            LinearRelationshipInsight(method="kendall")
+
+    def test_overview_is_square_heatmap(self, context):
+        insight = LinearRelationshipInsight()
+        spec = insight.overview(context)
+        d = len(context.table.numeric_names())
+        assert spec.mark == "rect"
+        assert spec.n_points() == d * d
+
+    def test_monotonic_ranks_exponential_over_linear(self, context):
+        insight = MonotonicRelationshipInsight()
+        scored = {frozenset(c.attributes): c.score for c in top_attribute(insight, context)}
+        assert scored[frozenset({"x", "exp_y"})] > scored[frozenset({"x", "linear_y"})]
+
+    def test_monotonic_batch_matches_individual(self, context):
+        insight = MonotonicRelationshipInsight()
+        candidates = [("x", "exp_y"), ("x", "linear_y"), ("normal", "heavy")]
+        batched = {c.attributes: c.score for c in insight.score_all(candidates, context)}
+        for attrs in candidates:
+            assert batched[attrs] == pytest.approx(insight.score(attrs, context).score, abs=1e-6)
+
+    def test_dependence_detects_group_shift(self, context):
+        insight = DependenceInsight()
+        scored = insight.score(("group", "shifted_x"), context)
+        assert scored.score > 0.8
+        assert scored.details["measure"] == "correlation_ratio"
+
+    def test_dependence_categorical_pair(self, context):
+        insight = DependenceInsight()
+        scored = insight.score(("category", "group"), context)
+        assert scored.details["measure"] == "cramers_v"
+        assert scored.score < 0.2
+
+    def test_dependence_skips_identifier_columns(self):
+        table = DataTable.from_columns(
+            {
+                "id": [f"row{i}" for i in range(50)],
+                "group": ["a", "b"] * 25,
+                "value": list(np.random.default_rng(0).standard_normal(50)),
+            }
+        )
+        names = {attrs[0] for attrs in DependenceInsight().candidates(table)}
+        assert "id" not in names
+        assert "group" in names
+
+    def test_scatter_visualization_has_fit_line(self, context):
+        insight = LinearRelationshipInsight()
+        ranked = top_attribute(insight, context)
+        spec = insight.visualize(insight.to_insight(ranked[0]), context)
+        assert spec.mark == "point"
+        assert any(layer["mark"] == "line" for layer in spec.layers)
+
+
+class TestSegmentationClass:
+    def test_candidates_require_bounded_grouping(self, shapes_table):
+        insight = SegmentationInsight(max_categories=5)
+        groupings = {attrs[2] for attrs in insight.candidates(shapes_table)}
+        assert groupings <= {"category", "group"}
+
+    def test_shifted_pair_ranks_top(self, context):
+        insight = SegmentationInsight()
+        ranked = top_attribute(insight, context)
+        top = ranked[0]
+        assert set(top.attributes[:2]) == {"shifted_x", "shifted_y"}
+        assert top.attributes[2] == "group"
+        assert top.score > 0.7
+
+    def test_grouped_scatter_visualization(self, context):
+        insight = SegmentationInsight()
+        ranked = top_attribute(insight, context)
+        spec = insight.visualize(insight.to_insight(ranked[0]), context)
+        assert spec.mark == "point"
+        assert spec.encoding["color"]["field"] == ranked[0].attributes[2]
+
+    def test_candidate_count(self, shapes_table):
+        insight = SegmentationInsight()
+        assert insight.candidate_count(shapes_table) == len(list(insight.candidates(shapes_table)))

@@ -1,0 +1,144 @@
+"""Tests for typed column containers."""
+
+import numpy as np
+import pytest
+
+from repro.data.column import (
+    BooleanColumn,
+    CategoricalColumn,
+    NumericColumn,
+    categorical_column,
+    column_from_raw,
+    numeric_column,
+)
+from repro.data.schema import ColumnKind, Field
+from repro.errors import ColumnTypeError, EmptyColumnError, SchemaError
+
+
+class TestNumericColumn:
+    def test_from_raw_parses_and_masks(self):
+        column = NumericColumn.from_raw("x", ["1.5", "2", None, "oops", "4"])
+        assert len(column) == 5
+        assert column.missing_count() == 2
+        np.testing.assert_allclose(column.valid_values(), [1.5, 2.0, 4.0])
+
+    def test_nan_values_marked_missing(self):
+        column = numeric_column("x", [1.0, float("nan"), 3.0])
+        assert column.missing_count() == 1
+        assert column.valid_count() == 2
+
+    def test_values_are_readonly(self):
+        column = numeric_column("x", [1.0, 2.0])
+        with pytest.raises(ValueError):
+            column.values[0] = 99.0
+
+    def test_require_valid_values_raises_when_too_few(self):
+        column = numeric_column("x", [float("nan")])
+        with pytest.raises(EmptyColumnError):
+            column.require_valid_values(minimum=1)
+
+    def test_kind_mismatch_rejected(self):
+        with pytest.raises(ColumnTypeError):
+            NumericColumn(Field("x", ColumnKind.CATEGORICAL), np.array([1.0]))
+
+    def test_take_preserves_mask(self):
+        column = numeric_column("x", [1.0, float("nan"), 3.0, 4.0])
+        taken = column.take(np.array([1, 3]))
+        assert taken.missing_count() == 1
+        assert taken.valid_values().tolist() == [4.0]
+
+    def test_rename_keeps_values(self):
+        column = numeric_column("x", [1.0, 2.0], unit="m")
+        renamed = column.rename("height")
+        assert renamed.name == "height"
+        assert renamed.field.unit == "m"
+        np.testing.assert_allclose(renamed.values, column.values)
+
+    def test_to_list_uses_none_for_missing(self):
+        column = numeric_column("x", [1.0, float("nan")])
+        assert column.to_list() == [1.0, None]
+
+    def test_is_discrete(self):
+        discrete = numeric_column("x", [1, 2, 2, 3, 1])
+        continuous = numeric_column("y", np.linspace(0, 1, 50))
+        assert discrete.is_discrete()
+        assert not continuous.is_discrete()
+
+    def test_missing_fraction(self):
+        column = numeric_column("x", [1.0, float("nan"), float("nan"), 4.0])
+        assert column.missing_fraction() == pytest.approx(0.5)
+
+    def test_mask_shape_validation(self):
+        with pytest.raises(SchemaError):
+            NumericColumn(
+                Field("x", ColumnKind.NUMERIC),
+                np.array([1.0, 2.0]),
+                np.array([False]),
+            )
+
+
+class TestCategoricalColumn:
+    def test_from_raw_builds_codes(self):
+        column = categorical_column("city", ["a", "b", "a", None, "c"])
+        assert column.n_categories() == 3
+        assert column.missing_count() == 1
+        assert column.labels() == ["a", "b", "a", None, "c"]
+
+    def test_value_counts_descending(self):
+        column = categorical_column("city", ["x", "y", "x", "x", "y", "z"])
+        counts = column.value_counts()
+        assert list(counts.items()) == [("x", 3), ("y", 2), ("z", 1)]
+
+    def test_valid_labels_and_codes(self):
+        column = categorical_column("c", ["a", None, "b"])
+        assert column.valid_labels() == ["a", "b"]
+        assert column.valid_codes().tolist() == [0, 1]
+
+    def test_duplicate_categories_rejected(self):
+        with pytest.raises(SchemaError):
+            CategoricalColumn(
+                Field("c", ColumnKind.CATEGORICAL), np.array([0, 1]), ["a", "a"]
+            )
+
+    def test_code_out_of_range_rejected(self):
+        with pytest.raises(SchemaError):
+            CategoricalColumn(
+                Field("c", ColumnKind.CATEGORICAL), np.array([0, 5]), ["a", "b"]
+            )
+
+    def test_take_and_rename(self):
+        column = categorical_column("c", ["a", "b", "c", "a"])
+        taken = column.take(np.array([0, 3]))
+        assert taken.valid_labels() == ["a", "a"]
+        renamed = column.rename("group")
+        assert renamed.name == "group"
+        assert renamed.categories == column.categories
+
+
+class TestBooleanColumn:
+    def test_from_raw(self):
+        column = BooleanColumn.from_raw("flag", ["yes", "no", None, True, 0])
+        assert column.kind is ColumnKind.BOOLEAN
+        assert column.missing_count() == 1
+        assert column.to_bool_array().tolist() == [True, False, True, False]
+
+    def test_non_boolean_strings_become_missing(self):
+        column = BooleanColumn.from_raw("flag", ["maybe", "yes"])
+        assert column.missing_count() == 1
+
+    def test_take_returns_boolean_column(self):
+        column = BooleanColumn.from_raw("flag", [True, False, True])
+        assert isinstance(column.take(np.array([0, 2])), BooleanColumn)
+
+
+class TestColumnFromRaw:
+    def test_dispatch(self):
+        assert isinstance(
+            column_from_raw("x", ["1", "2"], ColumnKind.NUMERIC), NumericColumn
+        )
+        assert isinstance(
+            column_from_raw("x", ["a", "b"], ColumnKind.CATEGORICAL), CategoricalColumn
+        )
+        assert isinstance(
+            column_from_raw("x", ["yes", "no"], ColumnKind.BOOLEAN), BooleanColumn
+        )

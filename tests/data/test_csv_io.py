@@ -1,0 +1,92 @@
+"""Tests for CSV reading and writing."""
+
+import pytest
+
+from repro.data.csv_io import (
+    column_kinds_from_strings,
+    read_csv,
+    read_csv_text,
+    to_csv_text,
+    write_csv,
+)
+from repro.data.schema import ColumnKind
+from repro.errors import SchemaError
+
+CSV_TEXT = """name,age,member,score
+alice,34,yes,8.5
+bob,28,no,7.25
+carol,,yes,
+dave,41,no,9.0
+"""
+
+
+class TestReadCsvText:
+    def test_basic_parse(self):
+        table = read_csv_text(CSV_TEXT, name="people")
+        assert table.name == "people"
+        assert table.shape == (4, 4)
+        assert table.column("age").kind is ColumnKind.NUMERIC
+        assert table.column("member").kind is ColumnKind.BOOLEAN
+        assert table.column("name").kind is ColumnKind.CATEGORICAL
+
+    def test_missing_cells(self):
+        table = read_csv_text(CSV_TEXT)
+        assert table.column("age").missing_count() == 1
+        assert table.column("score").missing_count() == 1
+
+    def test_kind_override(self):
+        table = read_csv_text(CSV_TEXT, kinds={"age": ColumnKind.CATEGORICAL})
+        assert table.column("age").kind is ColumnKind.CATEGORICAL
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(SchemaError):
+            read_csv_text("")
+
+    def test_duplicate_header_rejected(self):
+        with pytest.raises(SchemaError):
+            read_csv_text("a,a\n1,2\n")
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(SchemaError):
+            read_csv_text("a,b\n1\n")
+
+    def test_custom_delimiter(self):
+        table = read_csv_text("a;b\n1;x\n2;y\n", delimiter=";")
+        assert table.shape == (2, 2)
+
+
+class TestRoundTrip:
+    def test_text_round_trip(self):
+        table = read_csv_text(CSV_TEXT)
+        text = to_csv_text(table)
+        again = read_csv_text(text)
+        assert again.shape == table.shape
+        assert again.column("age").missing_count() == 1
+        assert again.column("name").labels() == table.column("name").labels()
+
+    def test_file_round_trip(self, tmp_path, simple_table):
+        path = tmp_path / "people.csv"
+        write_csv(simple_table, path)
+        loaded = read_csv(path)
+        assert loaded.shape == simple_table.shape
+        assert loaded.name == "people"
+        assert loaded.column("city").labels() == simple_table.column("city").labels()
+
+    def test_numeric_values_preserved(self, tmp_path, simple_table):
+        path = tmp_path / "people.csv"
+        write_csv(simple_table, path)
+        loaded = read_csv(path)
+        original = simple_table.numeric_column("weight").valid_values()
+        reloaded = loaded.numeric_column("weight").valid_values()
+        assert original.tolist() == reloaded.tolist()
+
+
+class TestKindHelpers:
+    def test_column_kinds_from_strings(self):
+        kinds = column_kinds_from_strings({"a": "numeric", "b": "categorical"})
+        assert kinds["a"] is ColumnKind.NUMERIC
+        assert kinds["b"] is ColumnKind.CATEGORICAL
+
+    def test_invalid_kind_string(self):
+        with pytest.raises(SchemaError):
+            column_kinds_from_strings({"a": "integer"})

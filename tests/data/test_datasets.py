@@ -1,0 +1,192 @@
+"""Tests for the synthetic demo datasets and workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import (
+    HEALTH_LIFESATISFACTION_CORRELATION,
+    LEISURE_WORKHOURS_CORRELATION,
+    OECD_COUNTRIES,
+    OECD_INDICATORS,
+    figure2_abbreviations,
+    load_imdb,
+    load_oecd,
+    load_parkinson,
+    make_bimodal_column,
+    make_clustered_table,
+    make_correlated_pair,
+    make_mixed_table,
+    make_numeric_table,
+    make_uniform_categorical,
+    make_zipf_categorical,
+)
+from repro.stats import (
+    multimodality_strength,
+    normality_test,
+    pearson,
+    relative_frequency_topk,
+    segmentation_strength,
+    skewness,
+    top_correlated_pairs,
+)
+
+
+class TestOecd:
+    def test_shape_matches_paper(self, oecd_table):
+        # "25 distinct attributes (indicators) about 35 countries"
+        assert oecd_table.n_rows == len(OECD_COUNTRIES) == 35
+        assert oecd_table.n_columns == 25
+        assert len(oecd_table.numeric_names()) == len(OECD_INDICATORS) == 24
+
+    def test_working_hours_vs_leisure_strongly_negative(self, oecd_table):
+        rho = pearson(
+            oecd_table.numeric_column("EmployeesWorkingVeryLongHours").values,
+            oecd_table.numeric_column("TimeDevotedToLeisure").values,
+        )
+        assert rho == pytest.approx(LEISURE_WORKHOURS_CORRELATION, abs=1e-9)
+
+    def test_leisure_uncorrelated_with_health(self, oecd_table):
+        rho = pearson(
+            oecd_table.numeric_column("TimeDevotedToLeisure").values,
+            oecd_table.numeric_column("SelfReportedHealth").values,
+        )
+        assert abs(rho) < 1e-9
+
+    def test_health_vs_life_satisfaction_high(self, oecd_table):
+        rho = pearson(
+            oecd_table.numeric_column("SelfReportedHealth").values,
+            oecd_table.numeric_column("LifeSatisfaction").values,
+        )
+        assert rho == pytest.approx(HEALTH_LIFESATISFACTION_CORRELATION, abs=1e-9)
+
+    def test_leisure_is_approximately_normal(self, oecd_table):
+        shape = normality_test(
+            oecd_table.numeric_column("TimeDevotedToLeisure").valid_values()
+        )
+        assert shape.shape_label == "approximately normal"
+
+    def test_health_is_left_skewed(self, oecd_table):
+        values = oecd_table.numeric_column("SelfReportedHealth").valid_values()
+        assert skewness(values) < -0.5
+
+    def test_top_pair_is_workhours_leisure(self, oecd_table):
+        matrix, names = oecd_table.numeric_matrix()
+        top = top_correlated_pairs(matrix, names, k=1)[0]
+        assert {top[0], top[1]} == {
+            "EmployeesWorkingVeryLongHours",
+            "TimeDevotedToLeisure",
+        }
+
+    def test_deterministic_for_fixed_seed(self):
+        a = load_oecd(seed=3)
+        b = load_oecd(seed=3)
+        np.testing.assert_allclose(a.numeric_matrix()[0], b.numeric_matrix()[0])
+
+    def test_figure2_abbreviations_cover_all_indicators(self):
+        mapping = figure2_abbreviations()
+        assert set(mapping) == set(OECD_INDICATORS.values())
+        assert len(set(mapping.values())) == len(mapping)
+
+
+class TestParkinson:
+    def test_shape_matches_paper(self):
+        table = load_parkinson()
+        assert table.shape == (2000, 50)
+
+    def test_reduced_table_structure(self, parkinson_table):
+        assert parkinson_table.n_columns == 50
+        assert "UPDRS_Total" in parkinson_table.numeric_names()
+        assert "StudySite" in parkinson_table.categorical_names()
+
+    def test_updrs_parts_correlate_with_total(self, parkinson_table):
+        total = parkinson_table.numeric_column("UPDRS_Total").values
+        part3 = parkinson_table.numeric_column("UPDRS_III").values
+        assert pearson(total, part3) > 0.8
+
+    def test_duration_drives_severity(self, parkinson_table):
+        rho = pearson(
+            parkinson_table.numeric_column("YearsSinceDiagnosis").values,
+            parkinson_table.numeric_column("UPDRS_Total").values,
+        )
+        assert rho > 0.4
+
+    def test_has_missing_clinical_values(self, parkinson_table):
+        assert parkinson_table.numeric_column("CSF_Tau").missing_count() > 0
+
+
+class TestImdb:
+    def test_shape_matches_paper(self):
+        table = load_imdb()
+        assert table.shape == (5000, 28)
+
+    def test_budget_gross_related(self, imdb_table):
+        budget = imdb_table.numeric_column("BudgetMillions").values
+        gross = imdb_table.numeric_column("GrossMillions").values
+        keep = ~(np.isnan(budget) | np.isnan(gross))
+        assert pearson(np.log1p(budget[keep]), np.log1p(gross[keep])) > 0.5
+
+    def test_critic_and_user_scores_related(self, imdb_table):
+        assert (
+            pearson(
+                imdb_table.numeric_column("IMDBScore").values,
+                imdb_table.numeric_column("CriticScore").values,
+            )
+            > 0.5
+        )
+
+    def test_country_has_heavy_hitters(self, imdb_table):
+        labels = imdb_table.categorical_column("Country").valid_labels()
+        assert relative_frequency_topk(labels, k=1) > 0.4
+
+    def test_gross_right_skewed(self, imdb_table):
+        assert skewness(imdb_table.numeric_column("GrossMillions").valid_values()) > 1.0
+
+
+class TestSyntheticGenerators:
+    def test_numeric_table_shape_and_blocks(self):
+        table = make_numeric_table(n_rows=2000, n_columns=10, block_size=5,
+                                   block_correlation=0.9, skewed_fraction=0.0,
+                                   heavy_tailed_fraction=0.0, outlier_fraction=0.0,
+                                   seed=1)
+        assert table.shape == (2000, 10)
+        matrix, names = table.numeric_matrix()
+        within = abs(pearson(matrix[:, 5], matrix[:, 6]))
+        across = abs(pearson(matrix[:, 0], matrix[:, 7]))
+        assert within > 0.7
+        assert across < 0.2
+
+    def test_missing_rate(self):
+        table = make_numeric_table(n_rows=500, n_columns=4, missing_rate=0.2, seed=2)
+        total_missing = sum(c.missing_count() for c in table.columns())
+        assert 200 < total_missing < 600
+
+    def test_correlated_pair(self):
+        table = make_correlated_pair(5000, 0.7, seed=3)
+        rho = pearson(
+            table.numeric_column("x").values, table.numeric_column("y").values
+        )
+        assert rho == pytest.approx(0.7, abs=0.05)
+
+    def test_zipf_categorical_has_heavy_hitters(self):
+        column = make_zipf_categorical(5000, n_categories=200, exponent=1.6, seed=4)
+        assert relative_frequency_topk(column.valid_labels(), k=5) > 0.5
+
+    def test_uniform_categorical_is_flat(self):
+        column = make_uniform_categorical(5000, n_categories=10, seed=5)
+        assert relative_frequency_topk(column.valid_labels(), k=1) < 0.2
+
+    def test_bimodal_column_is_multimodal(self):
+        column = make_bimodal_column(3000, separation=6.0, seed=6)
+        assert multimodality_strength(column.valid_values()) > 0.3
+
+    def test_clustered_table_segments(self, clustered_table):
+        strength = segmentation_strength(
+            clustered_table.numeric_column("x").values,
+            clustered_table.numeric_column("y").values,
+            clustered_table.categorical_column("cluster").labels(),
+        )
+        assert strength > 0.7
+
+    def test_mixed_table_composition(self, small_mixed_table):
+        assert len(small_mixed_table.numeric_names()) == 12
+        assert len(small_mixed_table.categorical_names()) == 3

@@ -1,0 +1,115 @@
+"""Tests for missing-value policies."""
+
+import numpy as np
+import pytest
+
+from repro.data import DataTable
+from repro.data.missing import (
+    complete_rows_mask,
+    dense_numeric_matrix,
+    drop_missing,
+    groupwise_values,
+    impute_mean,
+    impute_median,
+    impute_mode,
+    pairwise_values,
+)
+from repro.errors import EmptyColumnError, SchemaError
+
+
+@pytest.fixture()
+def gappy_table() -> DataTable:
+    return DataTable.from_columns(
+        {
+            "a": [1.0, None, 3.0, 4.0, None],
+            "b": [10.0, 20.0, None, 40.0, 50.0],
+            "g": ["x", "x", "y", "y", None],
+        }
+    )
+
+
+class TestMasksAndDrop:
+    def test_complete_rows_mask(self, gappy_table):
+        mask = complete_rows_mask(gappy_table, ["a", "b"])
+        assert mask.tolist() == [True, False, False, True, False]
+
+    def test_complete_rows_mask_empty_names(self, gappy_table):
+        assert complete_rows_mask(gappy_table, []).all()
+
+    def test_drop_missing_all_columns(self, gappy_table):
+        clean = drop_missing(gappy_table)
+        assert clean.n_rows == 2
+
+    def test_drop_missing_subset(self, gappy_table):
+        clean = drop_missing(gappy_table, ["a"])
+        assert clean.n_rows == 3
+
+
+class TestPairwiseAndGroupwise:
+    def test_pairwise_values(self, gappy_table):
+        x, y = pairwise_values(
+            gappy_table.numeric_column("a"), gappy_table.numeric_column("b")
+        )
+        assert x.tolist() == [1.0, 4.0]
+        assert y.tolist() == [10.0, 40.0]
+
+    def test_pairwise_minimum_enforced(self, gappy_table):
+        with pytest.raises(EmptyColumnError):
+            pairwise_values(
+                gappy_table.numeric_column("a"),
+                gappy_table.numeric_column("b"),
+                minimum=3,
+            )
+
+    def test_pairwise_length_check(self, gappy_table, simple_table):
+        with pytest.raises(SchemaError):
+            pairwise_values(
+                gappy_table.numeric_column("a"), simple_table.numeric_column("height")
+            )
+
+    def test_groupwise_values(self, gappy_table):
+        groups = groupwise_values(
+            gappy_table.numeric_column("b"), gappy_table.categorical_column("g")
+        )
+        assert set(groups) == {"x", "y"}
+        assert groups["x"].tolist() == [10.0, 20.0]
+        assert groups["y"].tolist() == [40.0]
+
+
+class TestImputation:
+    def test_impute_mean(self, gappy_table):
+        filled = impute_mean(gappy_table.numeric_column("a"))
+        assert filled.missing_count() == 0
+        assert filled.values[1] == pytest.approx(np.mean([1.0, 3.0, 4.0]))
+
+    def test_impute_median(self, gappy_table):
+        filled = impute_median(gappy_table.numeric_column("b"))
+        assert filled.missing_count() == 0
+        assert filled.values[2] == pytest.approx(30.0)
+
+    def test_impute_mode(self, gappy_table):
+        filled = impute_mode(gappy_table.categorical_column("g"))
+        assert filled.missing_count() == 0
+        assert filled.labels()[-1] in {"x", "y"}
+
+    def test_impute_empty_column_raises(self):
+        table = DataTable.from_columns({"a": [None, None]},
+                                       kinds={"a": __import__("repro.data.schema", fromlist=["ColumnKind"]).ColumnKind.NUMERIC})
+        with pytest.raises(EmptyColumnError):
+            impute_mean(table.numeric_column("a"))
+
+
+class TestDenseMatrix:
+    def test_impute_mean_policy(self, gappy_table):
+        matrix, names = dense_numeric_matrix(gappy_table, policy="impute_mean")
+        assert names == ["a", "b"]
+        assert not np.isnan(matrix).any()
+        assert matrix.shape == (5, 2)
+
+    def test_drop_policy(self, gappy_table):
+        matrix, _ = dense_numeric_matrix(gappy_table, policy="drop")
+        assert matrix.shape == (2, 2)
+
+    def test_unknown_policy(self, gappy_table):
+        with pytest.raises(ValueError):
+            dense_numeric_matrix(gappy_table, policy="zero")

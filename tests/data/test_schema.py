@@ -1,0 +1,165 @@
+"""Tests for column kinds, fields, schemas and type inference."""
+
+import pytest
+
+from repro.data.schema import (
+    ColumnKind,
+    Field,
+    Schema,
+    infer_kind,
+    infer_schema,
+    is_missing_token,
+    parse_boolean,
+    parse_number,
+)
+from repro.errors import SchemaError, UnknownColumnError
+
+
+class TestColumnKind:
+    def test_numeric_properties(self):
+        assert ColumnKind.NUMERIC.is_numeric
+        assert not ColumnKind.NUMERIC.is_categorical
+
+    def test_categorical_properties(self):
+        assert ColumnKind.CATEGORICAL.is_categorical
+        assert not ColumnKind.CATEGORICAL.is_numeric
+
+    def test_boolean_counts_as_categorical(self):
+        assert ColumnKind.BOOLEAN.is_categorical
+        assert not ColumnKind.BOOLEAN.is_numeric
+
+
+class TestField:
+    def test_requires_name(self):
+        with pytest.raises(SchemaError):
+            Field(name="", kind=ColumnKind.NUMERIC)
+
+    def test_requires_kind(self):
+        with pytest.raises(SchemaError):
+            Field(name="x", kind="numeric")  # type: ignore[arg-type]
+
+    def test_with_description(self):
+        field = Field("x", ColumnKind.NUMERIC).with_description("height in metres")
+        assert field.description == "height in metres"
+        assert field.name == "x"
+
+    def test_with_tags_appends(self):
+        field = Field("price", ColumnKind.NUMERIC, tags=("currency",)).with_tags("usd")
+        assert field.tags == ("currency", "usd")
+
+
+class TestSchema:
+    def make(self) -> Schema:
+        return Schema(
+            [
+                Field("a", ColumnKind.NUMERIC),
+                Field("b", ColumnKind.CATEGORICAL),
+                Field("c", ColumnKind.BOOLEAN),
+            ]
+        )
+
+    def test_names_in_order(self):
+        assert self.make().names() == ["a", "b", "c"]
+
+    def test_duplicate_names_rejected(self):
+        schema = self.make()
+        with pytest.raises(SchemaError):
+            schema.add(Field("a", ColumnKind.NUMERIC))
+
+    def test_numeric_and_categorical_names(self):
+        schema = self.make()
+        assert schema.numeric_names() == ["a"]
+        assert schema.categorical_names() == ["b", "c"]
+
+    def test_getitem_and_contains(self):
+        schema = self.make()
+        assert "b" in schema
+        assert schema["b"].kind is ColumnKind.CATEGORICAL
+        with pytest.raises(UnknownColumnError):
+            schema["missing"]
+
+    def test_index_of(self):
+        assert self.make().index_of("c") == 2
+
+    def test_drop_reindexes(self):
+        schema = self.make()
+        schema.drop("a")
+        assert schema.names() == ["b", "c"]
+        assert schema.index_of("c") == 1
+
+    def test_replace(self):
+        schema = self.make()
+        schema.replace(Field("b", ColumnKind.NUMERIC))
+        assert schema["b"].kind is ColumnKind.NUMERIC
+
+    def test_select_preserves_order(self):
+        selected = self.make().select(["c", "a"])
+        assert selected.names() == ["c", "a"]
+
+    def test_equality(self):
+        assert self.make() == self.make()
+        other = self.make()
+        other.drop("a")
+        assert self.make() != other
+
+
+class TestParsing:
+    @pytest.mark.parametrize("token", ["", "NA", "n/a", "NaN", "null", "None", "?", None])
+    def test_missing_tokens(self, token):
+        assert is_missing_token(token)
+
+    @pytest.mark.parametrize("value", ["0", "hello", 0, 3.5, False])
+    def test_non_missing(self, value):
+        assert not is_missing_token(value)
+
+    def test_nan_is_missing(self):
+        assert is_missing_token(float("nan"))
+
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [("3.5", 3.5), ("1,000", 1000.0), (7, 7.0), (True, 1.0), ("-2e3", -2000.0)],
+    )
+    def test_parse_number(self, raw, expected):
+        assert parse_number(raw) == expected
+
+    @pytest.mark.parametrize("raw", ["abc", "", None, "12px"])
+    def test_parse_number_rejects(self, raw):
+        assert parse_number(raw) is None
+
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [("yes", True), ("No", False), ("t", True), (1, True), (0, False), (True, True)],
+    )
+    def test_parse_boolean(self, raw, expected):
+        assert parse_boolean(raw) is expected
+
+    @pytest.mark.parametrize("raw", ["maybe", 2, 3.7, None])
+    def test_parse_boolean_rejects(self, raw):
+        assert parse_boolean(raw) is None
+
+
+class TestInference:
+    def test_numeric(self):
+        assert infer_kind(["1", "2.5", "-3", None]) is ColumnKind.NUMERIC
+
+    def test_boolean(self):
+        assert infer_kind(["yes", "no", "", "yes"]) is ColumnKind.BOOLEAN
+
+    def test_categorical(self):
+        assert infer_kind(["red", "green", "blue"]) is ColumnKind.CATEGORICAL
+
+    def test_mixed_text_and_numbers_is_categorical(self):
+        assert infer_kind(["1", "two", "3"]) is ColumnKind.CATEGORICAL
+
+    def test_all_missing_defaults_to_categorical(self):
+        assert infer_kind(["", None, "NA"]) is ColumnKind.CATEGORICAL
+
+    def test_zero_one_integers_are_boolean(self):
+        assert infer_kind([0, 1, 1, 0]) is ColumnKind.BOOLEAN
+
+    def test_infer_schema_with_override(self):
+        names = ["x", "label"]
+        rows = [["1", "a"], ["2", "b"]]
+        schema = infer_schema(names, rows, overrides={"x": ColumnKind.CATEGORICAL})
+        assert schema["x"].kind is ColumnKind.CATEGORICAL
+        assert schema["label"].kind is ColumnKind.CATEGORICAL

@@ -1,0 +1,134 @@
+"""Tests for the DataTable."""
+
+import numpy as np
+import pytest
+
+from repro.data import DataTable, numeric_column
+from repro.data.schema import ColumnKind
+from repro.errors import SchemaError, UnknownColumnError
+
+
+class TestConstruction:
+    def test_from_columns_infers_kinds(self, simple_table):
+        assert simple_table.shape == (6, 5)
+        assert simple_table.column("height").kind is ColumnKind.NUMERIC
+        assert simple_table.column("city").kind is ColumnKind.CATEGORICAL
+        assert simple_table.column("smoker").kind is ColumnKind.BOOLEAN
+
+    def test_from_records(self):
+        table = DataTable.from_records(
+            [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}, {"a": 3}]
+        )
+        assert table.shape == (3, 2)
+        assert table.column("b").missing_count() == 1
+
+    def test_from_numeric_matrix(self):
+        matrix = np.arange(12, dtype=float).reshape(4, 3)
+        table = DataTable.from_numeric_matrix(matrix, ["a", "b", "c"])
+        assert table.numeric_names() == ["a", "b", "c"]
+        np.testing.assert_allclose(table.numeric_matrix()[0], matrix)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(SchemaError):
+            DataTable([numeric_column("a", [1.0, 2.0]), numeric_column("b", [1.0])])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            DataTable([numeric_column("a", [1.0]), numeric_column("a", [2.0])])
+
+    def test_kind_override(self):
+        table = DataTable.from_columns(
+            {"code": [1, 2, 3]}, kinds={"code": ColumnKind.CATEGORICAL}
+        )
+        assert table.column("code").kind is ColumnKind.CATEGORICAL
+
+
+class TestAccess:
+    def test_unknown_column(self, simple_table):
+        with pytest.raises(UnknownColumnError):
+            simple_table.column("nope")
+
+    def test_numeric_column_type_check(self, simple_table):
+        with pytest.raises(SchemaError):
+            simple_table.numeric_column("city")
+
+    def test_categorical_column_type_check(self, simple_table):
+        with pytest.raises(SchemaError):
+            simple_table.categorical_column("height")
+
+    def test_numeric_and_categorical_names(self, simple_table):
+        assert set(simple_table.numeric_names()) == {"height", "weight", "children"}
+        assert set(simple_table.categorical_names()) == {"city", "smoker"}
+
+    def test_discrete_names_include_low_cardinality_numeric(self, simple_table):
+        assert "children" in simple_table.discrete_names()
+
+    def test_schema_round_trip(self, simple_table):
+        schema = simple_table.schema
+        assert schema.names() == simple_table.column_names()
+
+
+class TestTransformations:
+    def test_select_order(self, simple_table):
+        selected = simple_table.select(["city", "height"])
+        assert selected.column_names() == ["city", "height"]
+        assert selected.n_rows == simple_table.n_rows
+
+    def test_drop(self, simple_table):
+        dropped = simple_table.drop(["city"])
+        assert "city" not in dropped
+        assert dropped.n_columns == simple_table.n_columns - 1
+
+    def test_rename(self, simple_table):
+        renamed = simple_table.rename({"height": "height_m"})
+        assert "height_m" in renamed
+        assert "height" not in renamed
+
+    def test_take_and_head(self, simple_table):
+        head = simple_table.head(2)
+        assert head.n_rows == 2
+        taken = simple_table.take([5, 0])
+        assert taken.column("city").labels()[0] == "Paris"
+
+    def test_filter_rows(self, simple_table):
+        paris = simple_table.filter_rows(lambda row: row["city"] == "Paris")
+        assert paris.n_rows == 3
+
+    def test_sample_reproducible(self, simple_table):
+        a = simple_table.sample(3, seed=1)
+        b = simple_table.sample(3, seed=1)
+        assert a.to_records() == b.to_records()
+
+    def test_split_partitions_rows(self, simple_table):
+        left, right = simple_table.split(0.5, seed=0)
+        assert left.n_rows + right.n_rows == simple_table.n_rows
+
+    def test_with_column_appends_and_replaces(self, simple_table):
+        extra = numeric_column("bmi", [20, 22, 25, 23, 21, 26])
+        with_extra = simple_table.with_column(extra)
+        assert "bmi" in with_extra
+        replaced = with_extra.with_column(numeric_column("bmi", [1, 1, 1, 1, 1, 1]))
+        assert replaced.numeric_column("bmi").values[0] == 1.0
+
+    def test_with_column_length_check(self, simple_table):
+        with pytest.raises(SchemaError):
+            simple_table.with_column(numeric_column("bad", [1.0]))
+
+
+class TestExport:
+    def test_numeric_matrix_has_nan_for_missing(self, simple_table):
+        matrix, names = simple_table.numeric_matrix(["height", "weight"])
+        assert matrix.shape == (6, 2)
+        assert np.isnan(matrix[3, 0])
+        assert names == ["height", "weight"]
+
+    def test_records_round_trip(self, simple_table):
+        records = simple_table.to_records()
+        rebuilt = DataTable.from_records(records, kinds={"children": ColumnKind.NUMERIC})
+        assert rebuilt.shape == simple_table.shape
+        assert rebuilt.column("city").labels() == simple_table.column("city").labels()
+
+    def test_summary(self, simple_table):
+        summary = simple_table.summary()
+        assert summary["n_rows"] == 6
+        assert summary["missing_cells"] == 2

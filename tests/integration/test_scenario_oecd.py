@@ -1,0 +1,110 @@
+"""Integration test: the full section 4.1 usage scenario on the OECD data.
+
+The paper walks an analyst through a specific discovery sequence; this test
+replays every step against the engine and asserts the findings the paper
+reports.
+"""
+
+import pytest
+
+from repro import Foresight
+from repro.core.session import ExplorationSession
+
+
+@pytest.fixture(scope="module")
+def session(oecd_engine: Foresight) -> ExplorationSession:
+    return ExplorationSession(oecd_engine, name="scenario-4.1")
+
+
+class TestUsageScenario:
+    def test_step1_top_correlation_is_workhours_vs_leisure(self, session):
+        """'She notes instantly that Working Long Hours and Time Devoted To
+        Leisure have a strong negative correlation, since this is one of the
+        top-ranked correlation insights recommended by Foresight.'"""
+        carousel = session.carousels(top_k=3, insight_classes=["linear_relationship"])[0]
+        top = carousel.insights[0]
+        assert set(top.attributes) == {
+            "EmployeesWorkingVeryLongHours", "TimeDevotedToLeisure",
+        }
+        assert top.details["correlation"] < -0.8
+
+    def test_step2_focus_updates_recommendations(self, session, oecd_engine):
+        """'Foresight updates its recommendations by choosing a subset of
+        insights within the neighborhood of the focused insight.'"""
+        top = oecd_engine.query("linear_relationship", top_k=1).top()
+        session.clear_focus()
+        session.focus(top)
+        nearby = session.recommend_near_focus("linear_relationship", top_k=5)
+        assert len(nearby) == 5
+        # The focused insight itself is never recommended back.
+        assert all(i.key != top.key for i in nearby)
+        # "Two insights can be considered similar if their metric scores are
+        # similar or if the sets of fixed attributes are similar" (section
+        # 2.1): the nearest-by-score correlation pair (Self Reported Health
+        # vs Life Satisfaction) must appear in the neighborhood.
+        assert any(
+            set(i.attributes) == {"SelfReportedHealth", "LifeSatisfaction"}
+            for i in nearby
+        )
+
+    def test_step3_spearman_ranking_available(self, oecd_engine):
+        """'The analyst explores the newly recommended correlations through
+        multiple ranking metrics such as Pearson ... and Spearman rank
+        correlation.'"""
+        from repro.core.classes import LinearRelationshipInsight
+
+        spearman_class = LinearRelationshipInsight(method="spearman")
+        context = oecd_engine.context("exact")
+        scored = spearman_class.score(
+            ("TimeDevotedToLeisure", "EmployeesWorkingVeryLongHours"), context
+        )
+        assert scored.score > 0.8
+
+    def test_step4_leisure_uncorrelated_with_health(self, oecd_engine):
+        """'...surprised to learn that Time Devoted To Leisure has no
+        correlation with Self Reported Health.'"""
+        result = oecd_engine.query(
+            "linear_relationship", top_k=50, fixed=("TimeDevotedToLeisure",), mode="exact"
+        )
+        pair = next(
+            i for i in result if i.involves("SelfReportedHealth")
+        )
+        assert abs(pair.details["correlation"]) < 0.1
+
+    def test_step5_distribution_shapes(self, oecd_engine):
+        """'Time Devoted To Leisure has a Normal distribution while Self
+        Reported Health has a left-skewed distribution.'"""
+        shapes = oecd_engine.query("normality", top_k=30, mode="exact")
+        by_attribute = {i.attributes[0]: i for i in shapes}
+        assert by_attribute["SelfReportedHealth"].details["shape"] == "left-skewed"
+        assert by_attribute["TimeDevotedToLeisure"].details["shape"] == "approximately normal"
+        skew = oecd_engine.query("skew", top_k=30, mode="exact")
+        skew_by_attribute = {i.attributes[0]: i for i in skew}
+        assert skew_by_attribute["SelfReportedHealth"].details["direction"] == "left-skewed"
+
+    def test_step6_focus_on_health_surfaces_life_satisfaction(self, session, oecd_engine):
+        """'She clicks on the distribution of Self Reported Health ...
+        Foresight recommends a new set of correlated attributes and she finds
+        that Life Satisfaction and Self Reported Health are highly
+        correlated.'"""
+        shape = next(
+            i for i in oecd_engine.query("normality", top_k=30, mode="exact")
+            if i.attributes == ("SelfReportedHealth",)
+        )
+        session.clear_focus()
+        session.focus(shape)
+        recommended = session.recommend_near_focus("linear_relationship", top_k=5)
+        life_satisfaction = next(
+            (i for i in recommended if set(i.attributes) == {"SelfReportedHealth", "LifeSatisfaction"}),
+            None,
+        )
+        assert life_satisfaction is not None
+        assert life_satisfaction.details["correlation"] > 0.8
+
+    def test_step7_save_state_for_later(self, session, oecd_engine):
+        """'...our analyst saves the current Foresight state to revisit later
+        and to share with her colleagues.'"""
+        payload = session.save_json()
+        restored = ExplorationSession.restore_json(oecd_engine, payload)
+        assert restored.focused_insights
+        assert restored.focused_insights[0].attributes == ("SelfReportedHealth",)

@@ -1,0 +1,171 @@
+"""Property-based tests (hypothesis) for the sketch substrate.
+
+These check the invariants the paper's preprocessing relies on: single-pass
+construction matches batch construction, merging partitions equals sketching
+the union, and the published error bounds hold for arbitrary inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sketch.frequent import MisraGriesSketch, SpaceSavingSketch, exact_counts
+from repro.sketch.hyperplane import HyperplaneSketcher
+from repro.sketch.moments import MomentSketch
+from repro.sketch.quantile import QuantileSketch
+from repro.sketch.reservoir import ReservoirSample
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False, width=64
+)
+float_lists = st.lists(finite_floats, min_size=2, max_size=400)
+label_lists = st.lists(st.sampled_from([f"v{i}" for i in range(12)]), min_size=1, max_size=500)
+
+
+class TestMomentSketchProperties:
+    @given(values=float_lists, split=st.integers(min_value=0, max_value=400))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_equals_single_pass(self, values, split):
+        split = min(split, len(values))
+        array = np.asarray(values)
+        whole = MomentSketch()
+        whole.update_array(array)
+        left, right = MomentSketch(), MomentSketch()
+        left.update_array(array[:split])
+        right.update_array(array[split:])
+        left.merge(right)
+        assert left.count == whole.count
+        assert np.isclose(left.mean(), whole.mean(), rtol=1e-9, atol=1e-9)
+        assert np.isclose(left.variance(), whole.variance(), rtol=1e-7, atol=1e-7)
+
+    @given(values=float_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_numpy(self, values):
+        array = np.asarray(values)
+        sketch = MomentSketch()
+        sketch.update_array(array)
+        assert np.isclose(sketch.mean(), array.mean(), rtol=1e-9, atol=1e-9)
+        assert np.isclose(sketch.variance(), array.var(), rtol=1e-7, atol=1e-7)
+        assert sketch.minimum() == array.min()
+        assert sketch.maximum() == array.max()
+
+
+class TestQuantileSketchProperties:
+    @given(values=st.lists(finite_floats, min_size=10, max_size=800),
+           q=st.sampled_from([0.1, 0.25, 0.5, 0.75, 0.9]))
+    @settings(max_examples=50, deadline=None)
+    def test_rank_error_bound(self, values, q):
+        epsilon = 0.05
+        array = np.asarray(values)
+        sketch = QuantileSketch(epsilon=epsilon)
+        sketch.update_array(array)
+        estimate = sketch.quantile(q)
+        ordered = np.sort(array)
+        rank_low = np.searchsorted(ordered, estimate, side="left")
+        rank_high = np.searchsorted(ordered, estimate, side="right")
+        target = q * (array.size - 1) + 1
+        slack = 2 * epsilon * array.size + 1
+        assert rank_low - slack <= target <= rank_high + slack
+
+    @given(values=st.lists(finite_floats, min_size=4, max_size=300),
+           split=st.integers(min_value=1, max_value=299))
+    @settings(max_examples=40, deadline=None)
+    def test_merge_count_and_bounds(self, values, split):
+        split = min(split, len(values) - 1)
+        array = np.asarray(values)
+        left, right = QuantileSketch(0.05), QuantileSketch(0.05)
+        left.update_array(array[:split])
+        right.update_array(array[split:])
+        left.merge(right)
+        assert left.count == array.size
+        assert array.min() <= left.median() <= array.max()
+
+
+class TestFrequentItemsProperties:
+    @given(labels=label_lists, capacity=st.integers(min_value=2, max_value=32))
+    @settings(max_examples=60, deadline=None)
+    def test_misra_gries_never_overestimates(self, labels, capacity):
+        sketch = MisraGriesSketch(capacity=capacity)
+        sketch.update_many(labels)
+        truth = exact_counts(labels)
+        bound = len(labels) / capacity
+        for label, count in truth.items():
+            estimate = sketch.estimate(label)
+            assert estimate <= count
+            assert estimate >= count - bound - 1e-9
+
+    @given(labels=label_lists, capacity=st.integers(min_value=2, max_value=32))
+    @settings(max_examples=60, deadline=None)
+    def test_space_saving_never_underestimates_tracked(self, labels, capacity):
+        sketch = SpaceSavingSketch(capacity=capacity)
+        sketch.update_many(labels)
+        truth = exact_counts(labels)
+        for label, estimate in sketch.top_k(capacity):
+            assert estimate >= truth.get(label, 0)
+
+    @given(labels=label_lists, k=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_relfreq_topk_bounded(self, labels, k):
+        sketch = MisraGriesSketch(capacity=32)
+        sketch.update_many(labels)
+        value = sketch.relative_frequency_topk(k)
+        assert 0.0 <= value <= 1.0
+
+
+class TestReservoirProperties:
+    @given(n=st.integers(min_value=0, max_value=2000),
+           capacity=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=50, deadline=None)
+    def test_sample_size_invariant(self, n, capacity):
+        sample = ReservoirSample(capacity=capacity, seed=0)
+        sample.update_many(range(n))
+        assert len(sample.sample) == min(n, capacity)
+        assert sample.count == n
+        assert set(sample.sample) <= set(range(n))
+
+
+class TestHyperplaneProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        scale=st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+        shift=st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_estimator_invariant_to_affine_transform(self, seed, scale, shift):
+        """Pearson correlation is invariant to positive affine maps; the
+        hyperplane sketch operates on centred columns so its estimate must be
+        exactly invariant too."""
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(400)
+        y = 0.6 * x + 0.8 * rng.standard_normal(400)
+        sketcher = HyperplaneSketcher(n_rows=400, width=128, seed=seed)
+        base = sketcher.sketch_matrix(np.column_stack([x, y]))
+        transformed = sketcher.sketch_matrix(np.column_stack([scale * x + shift, y]))
+        assert base[0].estimate_correlation(base[1]) == transformed[0].estimate_correlation(
+            transformed[1]
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_symmetry_and_self_similarity(self, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.standard_normal((300, 3))
+        sketcher = HyperplaneSketcher(n_rows=300, width=256, seed=seed)
+        sketches = sketcher.sketch_matrix(matrix)
+        for i in range(3):
+            assert sketches[i].estimate_correlation(sketches[i]) == 1.0
+            for j in range(3):
+                assert sketches[i].estimate_correlation(sketches[j]) == (
+                    sketches[j].estimate_correlation(sketches[i])
+                )
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_estimates_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.lognormal(size=(200, 4))
+        sketcher = HyperplaneSketcher(n_rows=200, width=64, seed=seed)
+        estimate = sketcher.correlation_matrix(sketcher.sketch_matrix(matrix))
+        assert np.all(estimate <= 1.0 + 1e-12)
+        assert np.all(estimate >= -1.0 - 1e-12)

@@ -1,0 +1,163 @@
+"""Tests for correlation statistics (the Linear-Relationship metric)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EmptyColumnError
+from repro.stats.correlation import (
+    correlation_confidence_interval,
+    correlation_matrix,
+    fisher_z,
+    kendall_tau,
+    linear_fit,
+    pearson,
+    spearman,
+    top_correlated_pairs,
+)
+
+
+@pytest.fixture(scope="module")
+def correlated_pair():
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(5000)
+    y = 0.8 * x + 0.6 * rng.standard_normal(5000)
+    return x, y
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        x = np.arange(10.0)
+        assert pearson(x, 2 * x + 1) == pytest.approx(1.0)
+        assert pearson(x, -x) == pytest.approx(-1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(1)
+        assert abs(pearson(rng.standard_normal(5000), rng.standard_normal(5000))) < 0.05
+
+    def test_constant_column_gives_zero(self):
+        assert pearson(np.ones(10), np.arange(10.0)) == 0.0
+
+    def test_nan_pairs_dropped(self):
+        x = np.array([1.0, 2.0, np.nan, 4.0])
+        y = np.array([2.0, 4.0, 6.0, 8.0])
+        assert pearson(x, y) == pytest.approx(1.0)
+
+    def test_too_few_pairs_raises(self):
+        with pytest.raises(EmptyColumnError):
+            pearson(np.array([1.0, np.nan]), np.array([np.nan, 2.0]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson(np.array([1.0, 2.0]), np.array([1.0, 2.0, 3.0]))
+
+    def test_planted_correlation_recovered(self, correlated_pair):
+        x, y = correlated_pair
+        assert pearson(x, y) == pytest.approx(0.8, abs=0.03)
+
+
+class TestRankCorrelations:
+    def test_spearman_equals_one_for_monotone(self):
+        x = np.linspace(0.1, 5.0, 200)
+        assert spearman(x, np.exp(x)) == pytest.approx(1.0)
+        assert spearman(x, -np.log(x)) == pytest.approx(-1.0)
+
+    def test_spearman_handles_ties(self):
+        x = np.array([1.0, 1.0, 2.0, 2.0, 3.0])
+        y = np.array([1.0, 2.0, 2.0, 3.0, 3.0])
+        from scipy import stats as scipy_stats
+
+        expected = scipy_stats.spearmanr(x, y).statistic
+        assert spearman(x, y) == pytest.approx(expected)
+
+    def test_kendall_tau_matches_scipy(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal(60)
+        y = 0.5 * x + rng.standard_normal(60)
+        from scipy import stats as scipy_stats
+
+        expected = scipy_stats.kendalltau(x, y).statistic
+        assert kendall_tau(x, y) == pytest.approx(expected, abs=1e-9)
+
+    def test_kendall_constant(self):
+        assert kendall_tau(np.ones(10), np.arange(10.0)) == 0.0
+
+
+class TestLinearFit:
+    def test_recovers_slope_and_intercept(self):
+        x = np.linspace(0, 10, 100)
+        y = 3.0 * x - 2.0
+        fit = linear_fit(x, y)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(-2.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = linear_fit(np.array([0.0, 1.0, 2.0]), np.array([1.0, 3.0, 5.0]))
+        np.testing.assert_allclose(fit.predict(np.array([3.0])), [7.0])
+
+    def test_constant_x(self):
+        fit = linear_fit(np.ones(5), np.array([1.0, 2.0, 3.0, 4.0, 5.0]))
+        assert fit.slope == 0.0
+        assert fit.intercept == pytest.approx(3.0)
+
+
+class TestCorrelationMatrix:
+    def test_matches_numpy_corrcoef(self):
+        rng = np.random.default_rng(4)
+        matrix = rng.standard_normal((2000, 6))
+        ours = correlation_matrix(matrix)
+        expected = np.corrcoef(matrix, rowvar=False)
+        np.testing.assert_allclose(ours, expected, atol=1e-10)
+
+    def test_diagonal_is_one(self):
+        rng = np.random.default_rng(5)
+        matrix = rng.standard_normal((100, 4))
+        np.testing.assert_allclose(np.diag(correlation_matrix(matrix)), 1.0)
+
+    def test_constant_column_rows_zeroed(self):
+        rng = np.random.default_rng(6)
+        matrix = np.column_stack([rng.standard_normal(100), np.ones(100)])
+        corr = correlation_matrix(matrix)
+        assert corr[0, 1] == 0.0
+        assert corr[1, 1] == 1.0
+
+    def test_pairwise_complete_with_nans(self):
+        rng = np.random.default_rng(7)
+        matrix = rng.standard_normal((500, 3))
+        matrix[::7, 0] = np.nan
+        corr = correlation_matrix(matrix)
+        keep = ~np.isnan(matrix[:, 0])
+        expected = pearson(matrix[keep, 0], matrix[keep, 1])
+        assert corr[0, 1] == pytest.approx(expected)
+
+    def test_spearman_method(self):
+        x = np.linspace(0.1, 5, 300)
+        matrix = np.column_stack([x, np.exp(x)])
+        corr = correlation_matrix(matrix, method="spearman")
+        assert corr[0, 1] == pytest.approx(1.0)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            correlation_matrix(np.ones((10, 2)), method="cosine")
+
+    def test_top_correlated_pairs_order(self, oecd_table):
+        matrix, names = oecd_table.numeric_matrix()
+        pairs = top_correlated_pairs(matrix, names, k=5)
+        magnitudes = [abs(p[2]) for p in pairs]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+        assert {pairs[0][0], pairs[0][1]} == {
+            "EmployeesWorkingVeryLongHours", "TimeDevotedToLeisure",
+        }
+
+
+class TestInference:
+    def test_fisher_z_monotone(self):
+        assert fisher_z(0.5) > fisher_z(0.2)
+
+    def test_confidence_interval_contains_estimate(self):
+        low, high = correlation_confidence_interval(0.6, n=200)
+        assert low < 0.6 < high
+        assert -1.0 <= low <= high <= 1.0
+
+    def test_confidence_interval_small_n(self):
+        assert correlation_confidence_interval(0.5, n=3) == (-1.0, 1.0)

@@ -1,0 +1,127 @@
+"""Tests for multimodality, normality and histogram binning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EmptyColumnError
+from repro.stats.histogram import (
+    auto_bin_count,
+    freedman_diaconis_bin_width,
+    histogram,
+    histogram_counts,
+    scott_bin_width,
+    sturges_bins,
+)
+from repro.stats.multimodality import (
+    bimodality_coefficient,
+    find_modes,
+    mode_count,
+    multimodality_strength,
+)
+from repro.stats.normality import (
+    non_normality_score,
+    normality_score,
+    normality_test,
+)
+
+
+@pytest.fixture(scope="module")
+def normal_sample() -> np.ndarray:
+    return np.random.default_rng(0).standard_normal(5000)
+
+
+@pytest.fixture(scope="module")
+def bimodal_sample() -> np.ndarray:
+    rng = np.random.default_rng(1)
+    return np.concatenate([rng.normal(-4, 1, 2500), rng.normal(4, 1, 2500)])
+
+
+class TestHistogramRules:
+    def test_sturges(self):
+        assert sturges_bins(np.arange(1024.0)) == 11
+
+    def test_scott_and_fd_positive(self, normal_sample):
+        assert scott_bin_width(normal_sample) > 0
+        assert freedman_diaconis_bin_width(normal_sample) > 0
+
+    def test_constant_column_widths_zero(self):
+        constant = np.full(100, 5.0)
+        assert scott_bin_width(constant) == 0.0
+        assert freedman_diaconis_bin_width(constant) == 0.0
+        assert auto_bin_count(constant) == 1
+
+    def test_auto_bin_count_bounded(self, normal_sample):
+        assert 1 <= auto_bin_count(normal_sample, max_bins=50) <= 50
+
+    def test_histogram_counts_sum_to_n(self, normal_sample):
+        counts, edges = histogram_counts(normal_sample, bins=20)
+        assert counts.sum() == normal_sample.size
+        assert edges.size == 21
+
+    def test_histogram_bins_structure(self, normal_sample):
+        bars = histogram(normal_sample, bins=10)
+        assert len(bars) == 10
+        assert sum(b.frequency for b in bars) == pytest.approx(1.0)
+        assert all(b.left < b.right for b in bars)
+        assert bars[0].center == pytest.approx((bars[0].left + bars[0].right) / 2)
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyColumnError):
+            histogram(np.array([np.nan]))
+
+
+class TestMultimodality:
+    def test_unimodal_scores_zero(self, normal_sample):
+        assert multimodality_strength(normal_sample) == pytest.approx(0.0, abs=0.2)
+
+    def test_bimodal_scores_high(self, bimodal_sample):
+        assert multimodality_strength(bimodal_sample) > 0.5
+
+    def test_mode_count(self, bimodal_sample, normal_sample):
+        assert mode_count(bimodal_sample) == 2
+        assert mode_count(normal_sample) <= 2
+
+    def test_find_modes_locations(self, bimodal_sample):
+        modes = find_modes(bimodal_sample)
+        locations = sorted(m.location for m in modes[:2])
+        assert locations[0] == pytest.approx(-4.0, abs=1.0)
+        assert locations[1] == pytest.approx(4.0, abs=1.0)
+
+    def test_constant_column_single_mode(self):
+        modes = find_modes(np.full(100, 3.0))
+        assert len(modes) == 1
+        assert modes[0].location == 3.0
+
+    def test_bimodality_coefficient_orders_shapes(self, bimodal_sample, normal_sample):
+        assert bimodality_coefficient(bimodal_sample) > bimodality_coefficient(normal_sample)
+
+    def test_too_few_values(self):
+        with pytest.raises(EmptyColumnError):
+            find_modes(np.array([1.0, 2.0]))
+
+
+class TestNormality:
+    def test_normal_sample_scores_high(self, normal_sample):
+        assert normality_score(normal_sample) > 0.7
+        assert normality_test(normal_sample).shape_label == "approximately normal"
+
+    def test_skewed_sample_detected(self):
+        skewed = np.random.default_rng(2).lognormal(size=5000)
+        result = normality_test(skewed)
+        assert result.shape_label == "right-skewed"
+        assert non_normality_score(skewed) > 0.3
+
+    def test_left_skew_detected(self):
+        left = -np.random.default_rng(3).lognormal(size=5000)
+        assert normality_test(left).shape_label == "left-skewed"
+
+    def test_scores_complementary(self, normal_sample):
+        assert normality_score(normal_sample) + non_normality_score(normal_sample) == pytest.approx(1.0)
+
+    def test_constant_column(self):
+        result = normality_test(np.full(100, 1.0))
+        assert result.ks_statistic == 1.0
+
+    def test_too_few_values(self):
+        with pytest.raises(EmptyColumnError):
+            normality_test(np.array([1.0, 2.0, 3.0]))

@@ -1,0 +1,107 @@
+"""Tests for frequency statistics (RelFreq, entropy, Pareto data)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EmptyColumnError
+from repro.stats.frequency import (
+    distinct_count,
+    frequency_table,
+    gini_impurity,
+    heavy_hitters,
+    mode,
+    normalized_entropy,
+    numeric_value_frequencies,
+    relative_frequency_topk,
+    shannon_entropy,
+)
+
+LABELS = ["a"] * 50 + ["b"] * 30 + ["c"] * 15 + ["d"] * 5
+
+
+class TestFrequencyTable:
+    def test_descending_order(self):
+        table = frequency_table(LABELS)
+        assert [entry.label for entry in table] == ["a", "b", "c", "d"]
+        assert [entry.count for entry in table] == [50, 30, 15, 5]
+
+    def test_frequencies_sum_to_one(self):
+        table = frequency_table(LABELS)
+        assert sum(entry.frequency for entry in table) == pytest.approx(1.0)
+        assert table[-1].cumulative_frequency == pytest.approx(1.0)
+
+    def test_missing_labels_ignored(self):
+        table = frequency_table(["x", None, "x", None])
+        assert table[0].count == 2
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyColumnError):
+            frequency_table([None, None])
+
+    def test_ties_broken_lexicographically(self):
+        table = frequency_table(["b", "a", "a", "b"])
+        assert [entry.label for entry in table] == ["a", "b"]
+
+
+class TestRelFreq:
+    def test_relfreq_topk_matches_paper_definition(self):
+        # RelFreq(2, c) = (50 + 30) / 100
+        assert relative_frequency_topk(LABELS, k=2) == pytest.approx(0.8)
+
+    def test_relfreq_top1(self):
+        assert relative_frequency_topk(LABELS, k=1) == pytest.approx(0.5)
+
+    def test_k_larger_than_distinct(self):
+        assert relative_frequency_topk(LABELS, k=10) == pytest.approx(1.0)
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            relative_frequency_topk(LABELS, k=0)
+
+    def test_uniform_distribution_scores_low(self):
+        uniform = [f"v{i}" for i in range(100)] * 3
+        assert relative_frequency_topk(uniform, k=3) == pytest.approx(0.03)
+
+
+class TestHeavyHitters:
+    def test_threshold_filtering(self):
+        hitters = heavy_hitters(LABELS, threshold=0.2)
+        assert [entry.label for entry in hitters] == ["a", "b"]
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            heavy_hitters(LABELS, threshold=0.0)
+
+
+class TestEntropyAndImpurity:
+    def test_entropy_uniform_is_log2(self):
+        labels = ["a", "b", "c", "d"] * 25
+        assert shannon_entropy(labels) == pytest.approx(2.0)
+
+    def test_entropy_single_value_is_zero(self):
+        assert shannon_entropy(["x"] * 10) == 0.0
+
+    def test_normalized_entropy_bounds(self):
+        skewed = ["a"] * 99 + ["b"]
+        uniform = ["a", "b"] * 50
+        assert 0.0 < normalized_entropy(skewed) < normalized_entropy(uniform)
+        assert normalized_entropy(uniform) == pytest.approx(1.0)
+
+    def test_gini_impurity(self):
+        assert gini_impurity(["x"] * 5) == 0.0
+        assert gini_impurity(["a", "b"] * 10) == pytest.approx(0.5)
+
+    def test_distinct_count_and_mode(self):
+        assert distinct_count(LABELS) == 4
+        assert mode(LABELS) == "a"
+
+
+class TestNumericFrequencies:
+    def test_integer_values_render_without_decimals(self):
+        table = numeric_value_frequencies(np.array([1.0, 1.0, 2.0, np.nan]))
+        assert table[0].label == "1"
+        assert table[0].count == 2
+
+    def test_non_integer_values(self):
+        table = numeric_value_frequencies(np.array([0.5, 0.5, 1.25]))
+        assert table[0].label == "0.5"

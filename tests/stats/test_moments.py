@@ -1,0 +1,138 @@
+"""Tests for moment statistics (dispersion, skew, heavy-tails metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EmptyColumnError
+from repro.stats.moments import (
+    RunningMoments,
+    coefficient_of_variation,
+    excess_kurtosis,
+    kurtosis,
+    mean,
+    moment_summary,
+    skewness,
+    std,
+    variance,
+)
+
+
+@pytest.fixture(scope="module")
+def normal_sample() -> np.ndarray:
+    return np.random.default_rng(0).standard_normal(50_000)
+
+
+class TestArrayMoments:
+    def test_mean_variance_std(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        assert mean(values) == pytest.approx(2.5)
+        assert variance(values) == pytest.approx(np.var(values))
+        assert std(values) == pytest.approx(np.std(values))
+
+    def test_nan_ignored(self):
+        values = np.array([1.0, np.nan, 3.0])
+        assert mean(values) == pytest.approx(2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyColumnError):
+            mean(np.array([np.nan]))
+
+    def test_skewness_of_symmetric_is_zero(self, normal_sample):
+        assert skewness(normal_sample) == pytest.approx(0.0, abs=0.05)
+
+    def test_skewness_sign(self):
+        right = np.random.default_rng(1).lognormal(size=10_000)
+        assert skewness(right) > 1.0
+        assert skewness(-right) < -1.0
+
+    def test_constant_column_has_zero_skew_and_kurtosis(self):
+        values = np.full(10, 7.0)
+        assert skewness(values) == 0.0
+        assert kurtosis(values) == 0.0
+
+    def test_kurtosis_of_normal_is_three(self, normal_sample):
+        assert kurtosis(normal_sample) == pytest.approx(3.0, abs=0.1)
+
+    def test_excess_kurtosis(self, normal_sample):
+        assert excess_kurtosis(normal_sample) == pytest.approx(0.0, abs=0.1)
+
+    def test_heavy_tails_have_higher_kurtosis(self):
+        heavy = np.random.default_rng(2).standard_t(df=3, size=20_000)
+        assert kurtosis(heavy) > 4.0
+
+    def test_coefficient_of_variation(self):
+        values = np.array([10.0, 12.0, 8.0, 10.0])
+        assert coefficient_of_variation(values) == pytest.approx(np.std(values) / 10.0)
+
+    def test_coefficient_of_variation_zero_mean(self):
+        assert coefficient_of_variation(np.array([-1.0, 1.0])) == np.inf
+
+    def test_moment_summary_fields(self):
+        summary = moment_summary(np.array([1.0, 2.0, 3.0]))
+        assert summary.count == 3
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert set(summary.as_dict()) == {
+            "count", "mean", "variance", "std", "skewness", "kurtosis", "min", "max",
+        }
+
+
+class TestRunningMoments:
+    def test_matches_array_computation(self, normal_sample):
+        running = RunningMoments()
+        running.update_array(normal_sample)
+        assert running.mean == pytest.approx(float(np.mean(normal_sample)))
+        assert running.variance == pytest.approx(float(np.var(normal_sample)))
+        assert running.skewness == pytest.approx(skewness(normal_sample), abs=1e-9)
+        assert running.kurtosis == pytest.approx(kurtosis(normal_sample), abs=1e-9)
+
+    def test_single_value_updates(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        running = RunningMoments()
+        running.update_many(values)
+        assert running.n == 8
+        assert running.mean == pytest.approx(np.mean(values))
+        assert running.variance == pytest.approx(np.var(values))
+
+    def test_nan_values_skipped(self):
+        running = RunningMoments()
+        running.update(float("nan"))
+        running.update(2.0)
+        assert running.n == 1
+
+    def test_merge_equals_single_pass(self, normal_sample):
+        left, right = normal_sample[:20_000], normal_sample[20_000:]
+        a = RunningMoments()
+        a.update_array(left)
+        b = RunningMoments()
+        b.update_array(right)
+        merged = a.merged(b)
+        whole = RunningMoments()
+        whole.update_array(normal_sample)
+        assert merged.n == whole.n
+        assert merged.mean == pytest.approx(whole.mean)
+        assert merged.variance == pytest.approx(whole.variance)
+        assert merged.skewness == pytest.approx(whole.skewness, abs=1e-9)
+        assert merged.kurtosis == pytest.approx(whole.kurtosis, abs=1e-9)
+
+    def test_merge_with_empty(self):
+        a = RunningMoments()
+        b = RunningMoments()
+        b.update_many([1.0, 2.0])
+        assert a.merged(b).n == 2
+        assert b.merged(a).mean == pytest.approx(1.5)
+
+    def test_min_max_tracked(self):
+        running = RunningMoments()
+        running.update_many([5.0, -2.0, 7.0])
+        assert running.minimum == -2.0
+        assert running.maximum == 7.0
+
+    def test_summary_requires_data(self):
+        with pytest.raises(EmptyColumnError):
+            RunningMoments().summary()
+
+    def test_empty_statistics_are_nan(self):
+        running = RunningMoments()
+        assert np.isnan(running.variance)
+        assert np.isnan(running.skewness)

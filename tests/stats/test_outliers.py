@@ -1,0 +1,104 @@
+"""Tests for outlier detection and the Outlier insight metric."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EmptyColumnError
+from repro.stats.outliers import (
+    average_standardized_distance,
+    detect_outliers,
+    get_detector,
+    iqr_detector,
+    mad_detector,
+    outlier_strength,
+    zscore_detector,
+)
+
+
+@pytest.fixture(scope="module")
+def data_with_outliers() -> np.ndarray:
+    rng = np.random.default_rng(0)
+    values = rng.standard_normal(2000)
+    values[:5] = [15.0, -14.0, 18.0, 20.0, -17.0]
+    return values
+
+
+class TestDetectors:
+    def test_zscore_flags_planted_outliers(self, data_with_outliers):
+        result = detect_outliers(data_with_outliers, "zscore", threshold=4.0)
+        assert result.count == 5
+
+    def test_iqr_flags_planted_outliers(self, data_with_outliers):
+        result = detect_outliers(data_with_outliers, "iqr", k=3.0)
+        assert result.count >= 5
+
+    def test_mad_flags_planted_outliers(self, data_with_outliers):
+        result = detect_outliers(data_with_outliers, "mad", threshold=6.0)
+        assert result.count >= 5
+
+    def test_clean_data_has_few_outliers(self):
+        clean = np.random.default_rng(1).uniform(0, 1, 1000)
+        assert detect_outliers(clean, "zscore").count == 0
+
+    def test_constant_column_has_no_outliers(self):
+        assert detect_outliers(np.full(100, 3.0), "iqr").count == 0
+        assert detect_outliers(np.full(100, 3.0), "zscore").count == 0
+        assert detect_outliers(np.full(100, 3.0), "mad").count == 0
+
+    def test_result_metadata(self, data_with_outliers):
+        result = detect_outliers(data_with_outliers, "iqr")
+        assert result.n_total == data_with_outliers.size
+        assert 0.0 < result.fraction < 0.1
+        assert "iqr" in result.detector
+
+    def test_custom_callable_detector(self, data_with_outliers):
+        result = detect_outliers(data_with_outliers, lambda v: v > 10.0)
+        assert result.count == 3
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            zscore_detector(0.0)
+        with pytest.raises(ValueError):
+            iqr_detector(-1.0)
+        with pytest.raises(ValueError):
+            mad_detector(0.0)
+
+    def test_get_detector_unknown(self):
+        with pytest.raises(ValueError):
+            get_detector("dbscan")
+
+    def test_too_few_values(self):
+        with pytest.raises(EmptyColumnError):
+            detect_outliers(np.array([1.0, 2.0]))
+
+
+class TestMetric:
+    def test_metric_zero_without_outliers(self):
+        clean = np.random.default_rng(2).uniform(0, 1, 500)
+        assert average_standardized_distance(clean, "zscore") == 0.0
+
+    def test_metric_grows_with_outlier_extremity(self):
+        rng = np.random.default_rng(3)
+        base = rng.standard_normal(1000)
+        mild = base.copy()
+        mild[0] = 6.0
+        extreme = base.copy()
+        extreme[0] = 30.0
+        assert average_standardized_distance(extreme, "zscore") > (
+            average_standardized_distance(mild, "zscore")
+        )
+
+    def test_metric_is_in_standard_deviations(self):
+        values = np.concatenate([np.random.default_rng(4).standard_normal(1000), [10.0]])
+        metric = average_standardized_distance(values, "zscore", threshold=5.0)
+        assert metric == pytest.approx(10.0, abs=1.0)
+
+    def test_outlier_strength_returns_result(self, data_with_outliers):
+        strength, result = outlier_strength(data_with_outliers, "zscore", threshold=4.0)
+        assert strength > 10.0
+        assert result.count == 5
+
+    def test_constant_column_scores_zero(self):
+        strength, result = outlier_strength(np.full(50, 2.0))
+        assert strength == 0.0
+        assert result.count == 0

@@ -1,0 +1,89 @@
+"""Tests for exact quantile statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EmptyColumnError
+from repro.stats.quantiles import (
+    five_number_summary,
+    iqr,
+    median,
+    quantile,
+    quantile_skewness,
+    quantiles,
+    rank_of,
+    trimmed_mean,
+)
+
+
+class TestQuantiles:
+    def test_quantile_endpoints(self):
+        values = np.arange(1.0, 101.0)
+        assert quantile(values, 0.0) == 1.0
+        assert quantile(values, 1.0) == 100.0
+
+    def test_median_odd_even(self):
+        assert median(np.array([3.0, 1.0, 2.0])) == 2.0
+        assert median(np.array([1.0, 2.0, 3.0, 4.0])) == 2.5
+
+    def test_quantile_bounds_validated(self):
+        with pytest.raises(ValueError):
+            quantile(np.array([1.0]), 1.5)
+
+    def test_multiple_quantiles(self):
+        values = np.arange(0.0, 101.0)
+        q = quantiles(values, [0.25, 0.5, 0.75])
+        assert q == [25.0, 50.0, 75.0]
+
+    def test_nan_ignored(self):
+        assert median(np.array([1.0, np.nan, 3.0])) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyColumnError):
+            median(np.array([np.nan, np.nan]))
+
+    def test_iqr(self):
+        values = np.arange(0.0, 101.0)
+        assert iqr(values) == 50.0
+
+    def test_rank_of(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert rank_of(values, 3.0) == 3
+        assert rank_of(values, 0.0) == 0
+        assert rank_of(values, 10.0) == 5
+
+
+class TestFiveNumberSummary:
+    def test_fields_ordered(self):
+        summary = five_number_summary(np.arange(0.0, 101.0))
+        assert summary.minimum <= summary.q1 <= summary.median <= summary.q3 <= summary.maximum
+        assert summary.iqr == summary.q3 - summary.q1
+
+    def test_whiskers_clipped_to_data(self):
+        summary = five_number_summary(np.arange(0.0, 11.0))
+        low, high = summary.whiskers()
+        assert low >= summary.minimum
+        assert high <= summary.maximum
+
+    def test_as_dict(self):
+        summary = five_number_summary(np.array([1.0, 2.0, 3.0]))
+        assert set(summary.as_dict()) == {"min", "q1", "median", "q3", "max"}
+
+
+class TestRobustStatistics:
+    def test_trimmed_mean_removes_outliers(self):
+        values = np.concatenate([np.ones(98), [1000.0, -1000.0]])
+        assert trimmed_mean(values, 0.05) == pytest.approx(1.0)
+
+    def test_trimmed_mean_validation(self):
+        with pytest.raises(ValueError):
+            trimmed_mean(np.array([1.0]), 0.6)
+
+    def test_quantile_skewness_sign(self):
+        right_skewed = np.random.default_rng(0).lognormal(size=5000)
+        symmetric = np.random.default_rng(1).standard_normal(5000)
+        assert quantile_skewness(right_skewed) > 0.1
+        assert abs(quantile_skewness(symmetric)) < 0.1
+
+    def test_quantile_skewness_constant(self):
+        assert quantile_skewness(np.full(10, 3.0)) == 0.0

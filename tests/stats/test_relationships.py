@@ -1,0 +1,118 @@
+"""Tests for monotonic-relationship and segmentation measures."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EmptyColumnError
+from repro.stats.monotonic import (
+    monotonic_relation,
+    monotonic_strength,
+    monotonicity_score,
+)
+from repro.stats.segmentation import (
+    anova,
+    anova_f_statistic,
+    eta_squared,
+    group_centroids,
+    segmentation_strength,
+)
+
+
+class TestMonotonic:
+    def test_exponential_relationship_flagged(self):
+        x = np.linspace(0.1, 6.0, 500)
+        y = np.exp(x)
+        relation = monotonic_relation(x, y)
+        assert relation.spearman == pytest.approx(1.0)
+        assert abs(relation.pearson) < 0.95
+        assert relation.nonlinearity_gap > 0.0
+        assert monotonic_strength(x, y) > 0.05
+
+    def test_linear_relationship_scores_low(self):
+        x = np.linspace(0, 1, 500)
+        y = 2 * x + 1
+        assert monotonic_strength(x, y) == pytest.approx(0.0, abs=1e-9)
+
+    def test_direction(self):
+        x = np.linspace(0.1, 5, 100)
+        assert monotonic_relation(x, 1.0 / x).direction == "decreasing"
+        assert monotonic_relation(x, x**3).direction == "increasing"
+
+    def test_independent_scores_near_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(3000)
+        y = rng.standard_normal(3000)
+        assert monotonic_strength(x, y) < 0.05
+
+    def test_monotonicity_score_is_abs_spearman(self):
+        x = np.linspace(0.1, 5, 100)
+        assert monotonicity_score(x, -np.sqrt(x)) == pytest.approx(1.0)
+
+
+class TestAnova:
+    def test_separated_groups(self):
+        values = np.concatenate([np.zeros(50), np.ones(50) * 10])
+        labels = ["a"] * 50 + ["b"] * 50
+        result = anova(values, labels)
+        assert result.eta_squared > 0.95
+        assert result.f_statistic > 100
+        assert result.n_groups == 2
+
+    def test_no_group_effect(self):
+        rng = np.random.default_rng(1)
+        values = rng.standard_normal(3000)
+        labels = rng.choice(["a", "b", "c"], 3000).tolist()
+        assert eta_squared(values, labels) < 0.01
+
+    def test_identical_groups_zero_f(self):
+        values = np.concatenate([np.ones(10) * 5, np.ones(10) * 5])
+        labels = ["a"] * 10 + ["b"] * 10
+        assert anova_f_statistic(values, labels) == 0.0
+
+    def test_requires_two_groups(self):
+        with pytest.raises(EmptyColumnError):
+            anova(np.arange(10.0), ["only"] * 10)
+
+    def test_missing_values_dropped(self):
+        values = np.array([1.0, np.nan, 2.0, 10.0, 11.0, np.nan])
+        labels = ["a", "a", "a", "b", "b", "b"]
+        result = anova(values, labels)
+        assert result.n_values == 4
+
+
+class TestSegmentation:
+    def test_clustered_points_score_high(self, clustered_table):
+        strength = segmentation_strength(
+            clustered_table.numeric_column("x").values,
+            clustered_table.numeric_column("y").values,
+            clustered_table.categorical_column("cluster").labels(),
+        )
+        assert strength > 0.7
+
+    def test_random_grouping_scores_low(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(2000)
+        y = rng.standard_normal(2000)
+        labels = rng.choice(["a", "b", "c"], 2000).tolist()
+        assert segmentation_strength(x, y, labels) < 0.05
+
+    def test_single_group_scores_zero(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal(100)
+        y = rng.standard_normal(100)
+        assert segmentation_strength(x, y, ["only"] * 100) == 0.0
+
+    def test_group_centroids(self):
+        x = np.array([0.0, 0.0, 10.0, 10.0])
+        y = np.array([0.0, 2.0, 10.0, 12.0])
+        centroids = group_centroids(x, y, ["a", "a", "b", "b"])
+        assert centroids["a"] == (0.0, 1.0)
+        assert centroids["b"] == (10.0, 11.0)
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            segmentation_strength(np.ones(3), np.ones(4), ["a"] * 3)
+
+    def test_too_few_rows(self):
+        with pytest.raises(EmptyColumnError):
+            segmentation_strength(np.ones(2), np.ones(2), ["a", "b"])

@@ -1,0 +1,201 @@
+"""Tests for visualization specs, chart builders and ASCII rendering."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import VisualizationError
+from repro.stats.correlation import linear_fit
+from repro.viz.ascii import render, render_table
+from repro.viz.charts import (
+    bar_spec,
+    boxplot_spec,
+    grouped_scatter_spec,
+    heatmap_spec,
+    histogram_spec,
+    pareto_spec,
+    scatter_spec,
+)
+from repro.viz.spec import (
+    VisualizationSpec,
+    encoding_channel,
+    records_from_arrays,
+    spec_summary,
+)
+
+
+@pytest.fixture(scope="module")
+def values() -> np.ndarray:
+    return np.random.default_rng(0).standard_normal(500)
+
+
+class TestSpec:
+    def test_to_dict_and_json(self):
+        spec = VisualizationSpec(
+            mark="bar",
+            title="t",
+            data=[{"a": 1}],
+            encoding={"x": encoding_channel("a", "quantitative")},
+            metadata={"note": "hello"},
+        )
+        payload = spec.to_dict()
+        assert payload["mark"] == "bar"
+        assert payload["data"]["values"] == [{"a": 1}]
+        assert payload["usermeta"]["note"] == "hello"
+        parsed = json.loads(spec.to_json())
+        assert parsed["encoding"]["x"]["field"] == "a"
+
+    def test_field_names_and_n_points(self):
+        spec = VisualizationSpec(
+            mark="point", title="t", data=[{"a": 1, "b": 2}] * 3,
+            encoding={
+                "x": encoding_channel("a", "quantitative"),
+                "y": encoding_channel("b", "quantitative"),
+            },
+        )
+        assert spec.field_names() == ["a", "b"]
+        assert spec.n_points() == 3
+
+    def test_records_from_arrays(self):
+        records = records_from_arrays(x=np.array([1.0, 2.0]), label=["a", "b"])
+        assert records == [{"x": 1.0, "label": "a"}, {"x": 2.0, "label": "b"}]
+
+    def test_records_from_arrays_length_check(self):
+        with pytest.raises(ValueError):
+            records_from_arrays(x=[1, 2], y=[1])
+
+    def test_spec_summary(self):
+        spec = VisualizationSpec(mark="bar", title="Counts", data=[{"a": 1}])
+        assert "bar" in spec_summary(spec)
+        assert "Counts" in spec_summary(spec)
+
+
+class TestChartBuilders:
+    def test_histogram_spec(self, values):
+        spec = histogram_spec(values, "x", bins=12)
+        assert spec.mark == "bar"
+        assert spec.n_points() == 12
+        assert sum(r["count"] for r in spec.data) == values.size
+        assert spec.metadata["column"] == "x"
+
+    def test_boxplot_spec(self, values):
+        noisy = np.concatenate([values, [40.0, -35.0]])
+        spec = boxplot_spec(noisy, "x")
+        assert spec.mark == "boxplot"
+        record = spec.data[0]
+        assert record["q1"] <= record["median"] <= record["q3"]
+        assert spec.metadata["n_outliers"] >= 2
+        assert spec.layers and spec.layers[0]["mark"] == "point"
+
+    def test_pareto_spec(self):
+        labels = ["a"] * 60 + ["b"] * 25 + ["c"] * 15
+        spec = pareto_spec(labels, "letter")
+        assert spec.mark == "pareto"
+        assert [r["label"] for r in spec.data] == ["a", "b", "c"]
+        assert spec.data[-1]["cumulative_frequency"] == pytest.approx(1.0)
+
+    def test_pareto_category_cap(self):
+        labels = [f"v{i}" for i in range(100)]
+        spec = pareto_spec(labels, "many", max_categories=10)
+        assert spec.n_points() == 10
+        assert spec.metadata["n_categories_total"] == 100
+
+    def test_scatter_spec_with_fit(self, values):
+        x = values
+        y = 2.0 * x + 0.1 * np.random.default_rng(1).standard_normal(values.size)
+        spec = scatter_spec(x, y, "x", "y")
+        assert spec.mark == "point"
+        assert spec.metadata["pearson_r"] == pytest.approx(1.0, abs=0.01)
+        assert spec.layers[0]["mark"] == "line"
+        assert len(spec.layers[0]["data"]["values"]) == 2
+
+    def test_scatter_spec_downsamples(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(5000)
+        y = rng.standard_normal(5000)
+        spec = scatter_spec(x, y, "x", "y", max_points=100)
+        assert spec.n_points() == 100
+        assert spec.metadata["n_points_total"] == 5000
+
+    def test_scatter_spec_empty_raises(self):
+        with pytest.raises(VisualizationError):
+            scatter_spec(np.array([np.nan]), np.array([1.0]), "x", "y")
+
+    def test_scatter_with_precomputed_fit(self, values):
+        fit = linear_fit(values, values)
+        spec = scatter_spec(values, values, "x", "x2", fit=fit)
+        assert spec.metadata["slope"] == pytest.approx(1.0)
+
+    def test_grouped_scatter_spec(self, clustered_table):
+        spec = grouped_scatter_spec(
+            clustered_table.numeric_column("x").values,
+            clustered_table.numeric_column("y").values,
+            clustered_table.categorical_column("cluster").labels(),
+            "x", "y", "cluster",
+        )
+        assert spec.encoding["color"]["field"] == "cluster"
+        assert spec.n_points() <= 2000
+
+    def test_heatmap_spec(self):
+        matrix = np.array([[1.0, -0.5], [-0.5, 1.0]])
+        spec = heatmap_spec(matrix, ["a", "b"])
+        assert spec.mark == "rect"
+        assert spec.n_points() == 4
+        assert {r["correlation"] for r in spec.data} == {1.0, -0.5}
+
+    def test_heatmap_validation(self):
+        with pytest.raises(VisualizationError):
+            heatmap_spec(np.ones((2, 3)), ["a", "b"])
+        with pytest.raises(VisualizationError):
+            heatmap_spec(np.ones((2, 2)), ["a"])
+
+    def test_bar_spec(self):
+        spec = bar_spec(["x", "y"], [3, 5], "label", value_name="count")
+        assert spec.mark == "bar"
+        assert spec.data[1]["count"] == 5.0
+        with pytest.raises(VisualizationError):
+            bar_spec(["x"], [1, 2], "label")
+
+
+class TestAsciiRendering:
+    def test_histogram_rendering(self, values):
+        text = render(histogram_spec(values, "x", bins=8))
+        assert "Distribution of x" in text
+        assert "#" in text
+
+    def test_boxplot_rendering(self, values):
+        text = render(boxplot_spec(values, "x"))
+        assert "median" in text
+        assert "M" in text
+
+    def test_scatter_rendering(self, values):
+        y = values * 2
+        text = render(scatter_spec(values, y, "x", "y"), width=40, height=10)
+        assert "o" in text
+        assert "x:" in text and "y:" in text
+
+    def test_heatmap_rendering(self):
+        matrix = np.array([[1.0, 0.2], [0.2, 1.0]])
+        text = render(heatmap_spec(matrix, ["alpha", "beta"]))
+        assert "alpha" in text
+
+    def test_pareto_rendering(self):
+        text = render(pareto_spec(["a", "a", "b"], "letter"))
+        assert "a" in text and "|" in text
+
+    def test_unknown_mark_message(self):
+        spec = VisualizationSpec(mark="sankey", title="weird")
+        assert "no ASCII renderer" in render(spec)
+
+    def test_empty_spec(self):
+        spec = VisualizationSpec(mark="bar", title="empty",
+                                 encoding={"x": encoding_channel("a", "nominal"),
+                                           "y": encoding_channel("b", "quantitative")})
+        assert "(empty)" in render(spec)
+
+    def test_render_table(self):
+        rows = [{"name": "a", "value": 1.23456}, {"name": "b", "value": 2.0}]
+        text = render_table(rows)
+        assert "name" in text and "1.235" in text
+        assert render_table([]) == "(no rows)"
