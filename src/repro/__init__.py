@@ -2,16 +2,51 @@
 
 Public API highlights
 ---------------------
-* :class:`repro.Foresight` — the recommendation engine (preprocess a table,
-  get carousels of top insights, run insight queries, build visualizations).
+Serving layer (multi-user, transport-agnostic):
+
+* :class:`repro.Workspace` — registers named datasets (tables or lazy
+  loaders), builds one preprocessed engine per dataset, serves
+  :class:`repro.InsightRequest` → :class:`repro.InsightResponse` DTOs
+  with LRU result caching, version-aware invalidation and pagination,
+  and restores exploration sessions by dataset name.
+* :class:`repro.InsightRequest` / :class:`repro.InsightResponse` — the
+  versioned, JSON-serialisable wire protocol: one or many insight
+  classes per request, shared query constraints, pagination cursors and
+  cache/mode provenance on every response.
+* :class:`repro.service.QueryPipeline` — the staged execution pipeline
+  (plan → enumerate → score → rank); multi-class requests enumerate each
+  shared candidate domain once instead of once per class.
+
+Single-process embedding:
+
+* :class:`repro.Foresight` — the recommendation engine (preprocess a
+  table, get carousels of top insights, run insight queries, build
+  visualizations).
 * :class:`repro.ExplorationSession` — the interactive exploration loop
-  (focus insights, neighborhood recommendations, save/restore state).
+  (focus insights, neighborhood recommendations, save/restore state
+  through the DTO layer).
 * :mod:`repro.data` — the columnar data substrate and the demo datasets.
 * :mod:`repro.stats` — exact statistics behind every insight metric.
 * :mod:`repro.sketch` — single-pass, mergeable sketches for fast
   approximate insight metrics (random hyperplane, moments, quantile,
   frequent items, entropy, random projection, reservoir sampling).
 * :mod:`repro.viz` — declarative visualization specs and ASCII renderers.
+
+Quick serving example::
+
+    from repro import InsightRequest, Workspace
+    from repro.data.datasets import load_oecd
+
+    workspace = Workspace()
+    workspace.register("oecd", load_oecd)
+    response = workspace.handle(InsightRequest(
+        dataset="oecd",
+        insight_classes=("linear_relationship", "skew", "outliers"),
+        top_k=3,
+    ))
+    print(response.provenance["cache"], response.top("skew"))
+
+See ``docs/API.md`` for the full serving-layer guide.
 """
 
 from repro.core.engine import Carousel, EngineConfig, Foresight
@@ -21,9 +56,10 @@ from repro.core.ranking import RankingResult
 from repro.core.registry import InsightRegistry, default_registry
 from repro.core.session import ExplorationSession
 from repro.data.table import DataTable
+from repro.service import InsightRequest, InsightResponse, SessionState, Workspace
 from repro.sketch.store import SketchStore, SketchStoreConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Carousel",
@@ -36,10 +72,14 @@ __all__ = [
     "InsightClass",
     "InsightQuery",
     "InsightRegistry",
+    "InsightRequest",
+    "InsightResponse",
     "MetricRange",
     "RankingResult",
+    "SessionState",
     "SketchStore",
     "SketchStoreConfig",
+    "Workspace",
     "__version__",
     "default_registry",
     "query",

@@ -54,6 +54,9 @@ class LinearRelationshipInsight(InsightClass):
     def candidates(self, table: DataTable) -> Iterator[tuple[str, ...]]:
         yield from pairs(table.numeric_names())
 
+    def candidate_domain(self) -> str | None:
+        return "numeric-pairs"
+
     def candidate_count(self, table: DataTable) -> int:
         d = len(table.numeric_names())
         return d * (d - 1) // 2
@@ -195,6 +198,9 @@ class MonotonicRelationshipInsight(InsightClass):
 
     def candidates(self, table: DataTable) -> Iterator[tuple[str, ...]]:
         yield from pairs(table.numeric_names())
+
+    def candidate_domain(self) -> str | None:
+        return "numeric-pairs"
 
     def candidate_count(self, table: DataTable) -> int:
         d = len(table.numeric_names())

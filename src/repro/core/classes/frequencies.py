@@ -48,6 +48,11 @@ class HeterogeneousFrequenciesInsight(InsightClass):
     def candidates(self, table: DataTable) -> Iterator[tuple[str, ...]]:
         yield from singletons(table.discrete_names(self.max_distinct_numeric))
 
+    def candidate_domain(self) -> str | None:
+        # Parameterised by max_distinct_numeric: two instances only share an
+        # enumeration when their discreteness cut-off matches.
+        return f"discrete-singletons-{self.max_distinct_numeric}"
+
     def _labels(self, name: str, context: EvaluationContext) -> list[object]:
         column = context.table.column(name)
         return column.to_list()

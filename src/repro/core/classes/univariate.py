@@ -42,6 +42,9 @@ class _UnivariateNumericInsight(InsightClass):
     def candidates(self, table: DataTable) -> Iterator[tuple[str, ...]]:
         yield from singletons(table.numeric_names())
 
+    def candidate_domain(self) -> str | None:
+        return "numeric-singletons"
+
     # -- helpers ---------------------------------------------------------------
     def _values(self, name: str, context: EvaluationContext) -> np.ndarray:
         return context.table.numeric_column(name).valid_values()
@@ -372,6 +375,9 @@ class MissingValuesInsight(InsightClass):
 
     def candidates(self, table: DataTable) -> Iterator[tuple[str, ...]]:
         yield from singletons(table.column_names())
+
+    def candidate_domain(self) -> str | None:
+        return "all-singletons"
 
     def score(self, attributes: tuple[str, ...], context: EvaluationContext) -> ScoredCandidate | None:
         name = attributes[0]

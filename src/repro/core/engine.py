@@ -18,7 +18,6 @@ neighborhood machinery.  Typical use::
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -34,6 +33,7 @@ from repro.core.insight import (
 from repro.core.neighborhood import NeighborhoodConfig, NeighborhoodRecommender
 from repro.core.query import InsightQuery, query as build_query
 from repro.core.ranking import RankingEngine, RankingResult
+from repro.core.pipeline import PipelineStats
 from repro.core.registry import InsightRegistry, default_registry
 from repro.sketch.store import SketchStore, SketchStoreConfig
 from repro.viz.spec import VisualizationSpec
@@ -149,6 +149,27 @@ class Foresight:
             insight_query = self._apply_default_caps(insight_query)
         return self._ranking.rank(insight_query, self.context(insight_query.mode))
 
+    def rank_many(
+        self,
+        queries: Sequence[InsightQuery],
+        stats: PipelineStats | None = None,
+        apply_caps: bool = True,
+    ) -> list[RankingResult]:
+        """Execute several queries on the staged pipeline, in query order.
+
+        Classes that enumerate the same candidate domain (see
+        :meth:`~repro.core.insight.InsightClass.candidate_domain`) share a
+        single enumeration pass, so a multi-class request does not pay the
+        candidate walk once per class.  ``stats`` (when given) accumulates
+        the pipeline's enumeration/sharing counters.
+        """
+        return self._ranking.pipeline.execute(
+            queries,
+            self.context(),
+            default_caps=self._apply_default_caps if apply_caps else None,
+            stats=stats,
+        )
+
     def carousels(
         self,
         top_k: int | None = None,
@@ -158,29 +179,25 @@ class Foresight:
         """The Figure 1 view: top-k insights for every (requested) class."""
         top_k = top_k or self._config.default_top_k
         names = list(insight_classes) if insight_classes else self._registry.names()
-        carousels = []
-        for name in names:
-            insight_class = self._registry.get(name)
-            insight_query = self._apply_default_caps(
-                InsightQuery(
-                    insight_class=name,
-                    top_k=top_k,
-                    mode=mode or self._config.mode,
-                )
+        queries = [
+            InsightQuery(
+                insight_class=name,
+                top_k=top_k,
+                mode=mode or self._config.mode,
             )
-            start = time.perf_counter()
-            result = self._ranking.rank(insight_query, self.context(insight_query.mode))
-            elapsed = time.perf_counter() - start
-            carousels.append(
-                Carousel(
-                    insight_class=name,
-                    label=insight_class.label or name,
-                    insights=result.insights,
-                    result=result,
-                    elapsed_seconds=elapsed,
-                )
+            for name in names
+        ]
+        results = self.rank_many(queries)
+        return [
+            Carousel(
+                insight_class=name,
+                label=self._registry.get(name).label or name,
+                insights=result.insights,
+                result=result,
+                elapsed_seconds=float(result.details.get("elapsed_seconds", 0.0)),
             )
-        return carousels
+            for name, result in zip(names, results)
+        ]
 
     def recommend_near(
         self,

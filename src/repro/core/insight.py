@@ -96,6 +96,18 @@ class Insight:
             "details": dict(self.details),
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Insight":
+        """Exact inverse of :meth:`as_dict` (used by sessions and the DTO layer)."""
+        return cls(
+            insight_class=str(payload["insight_class"]),
+            attributes=tuple(payload["attributes"]),
+            score=float(payload["score"]),
+            metric_name=str(payload.get("metric", "")),
+            summary=str(payload.get("summary", "")),
+            details=dict(payload.get("details", {})),
+        )
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         attrs = ", ".join(self.attributes)
         return f"[{self.insight_class}] ({attrs}) {self.metric_name}={self.score:.3f}"
@@ -142,6 +154,18 @@ class InsightClass(abc.ABC):
     def candidate_count(self, table: DataTable) -> int:
         """Number of candidate tuples (default: exhausts the iterator)."""
         return sum(1 for _ in self.candidates(table))
+
+    def candidate_domain(self) -> str | None:
+        """Key identifying the candidate enumeration domain, or None.
+
+        Two classes that return the same non-None key (and have equal
+        ``arity``) promise to yield *identical* candidate sequences for any
+        table.  The staged query pipeline
+        (:mod:`repro.service.pipeline`) uses this to enumerate a shared
+        domain once per multi-class request instead of once per class.
+        Returning None (the default) opts the class out of sharing.
+        """
+        return None
 
     # -- scoring ------------------------------------------------------------------
     @abc.abstractmethod

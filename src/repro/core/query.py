@@ -43,6 +43,16 @@ class MetricRange:
     def as_dict(self) -> dict[str, float]:
         return {"min": self.minimum, "max": self.maximum}
 
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "MetricRange":
+        """Exact inverse of :meth:`as_dict` (missing/None bounds = unbounded)."""
+        minimum = payload.get("min")
+        maximum = payload.get("max")
+        return cls(
+            minimum=float("-inf") if minimum is None else float(minimum),
+            maximum=float("inf") if maximum is None else float(maximum),
+        )
+
 
 @dataclass(frozen=True)
 class InsightQuery:
@@ -184,6 +194,26 @@ class InsightQuery:
             "max_candidates": self.max_candidates,
             "required_tags": list(self.required_tags),
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "InsightQuery":
+        """Exact inverse of :meth:`as_dict`.
+
+        Accepts any mapping with the keys :meth:`as_dict` produces; optional
+        keys may be omitted and fall back to the dataclass defaults, so the
+        method also deserialises hand-written or truncated payloads.
+        """
+        max_candidates = payload.get("max_candidates")
+        return cls(
+            insight_class=str(payload["insight_class"]),
+            top_k=int(payload.get("top_k", 5)),
+            fixed_attributes=tuple(payload.get("fixed_attributes", ())),
+            excluded_attributes=tuple(payload.get("excluded_attributes", ())),
+            metric_range=MetricRange.from_dict(payload.get("metric_range", {}) or {}),
+            mode=str(payload.get("mode", MODE_APPROXIMATE)),
+            max_candidates=None if max_candidates is None else int(max_candidates),
+            required_tags=tuple(payload.get("required_tags", ())),
+        )
 
 
 def query(insight_class: str, **kwargs) -> InsightQuery:

@@ -1,50 +1,32 @@
 """The ranking engine: execute an insight query against a table.
 
-Given an :class:`~repro.core.query.InsightQuery`, the engine
+Execution is delegated to the staged query pipeline
+(:class:`repro.core.pipeline.QueryPipeline`), which runs the classic
+four steps — enumerate the candidate attribute tuples, apply the query's
+attribute constraints, score the survivors (batched / sketch-backed where
+the class supports it), filter by metric range and return the top-k as
+:class:`~repro.core.insight.Insight` objects sorted by descending metric
+value (ties broken by attribute names for determinism).
 
-1. enumerates the candidate attribute tuples of the insight class,
-2. applies the query's attribute constraints (fixed / excluded),
-3. scores the surviving candidates (batched where the class supports it,
-   sketch-backed in approximate mode),
-4. applies the metric-range filter, and
-5. returns the top-k candidates as :class:`~repro.core.insight.Insight`
-   objects sorted by descending metric value (ties broken by attribute
-   names for determinism).
+:class:`RankingEngine` remains the single-query execution façade used by
+the engine and the neighborhood recommender; multi-query callers (the
+carousel view, the serving layer) go through the pipeline directly so that
+classes enumerating the same candidate domain share one enumeration.
+
+:class:`RankingResult` is defined in :mod:`repro.core.pipeline` and
+re-exported here for backwards compatibility.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.core.insight import EvaluationContext, Insight, InsightClass, ScoredCandidate
+from repro.core.insight import EvaluationContext
+from repro.core.pipeline import PipelineStats, QueryPipeline, RankingResult
 from repro.core.query import InsightQuery
 from repro.core.registry import InsightRegistry
 
-
-@dataclass
-class RankingResult:
-    """Ranked insights plus bookkeeping about the search."""
-
-    query: InsightQuery
-    insights: list[Insight]
-    n_candidates: int = 0
-    n_scored: int = 0
-    n_admitted: int = 0
-    truncated: bool = False
-    details: dict[str, object] = field(default_factory=dict)
-
-    def __iter__(self):
-        return iter(self.insights)
-
-    def __len__(self) -> int:
-        return len(self.insights)
-
-    def top(self) -> Insight | None:
-        return self.insights[0] if self.insights else None
-
-    def attribute_sets(self) -> list[tuple[str, ...]]:
-        return [insight.attributes for insight in self.insights]
+__all__ = ["RankingEngine", "RankingResult"]
 
 
 class RankingEngine:
@@ -52,75 +34,34 @@ class RankingEngine:
 
     def __init__(self, registry: InsightRegistry):
         self._registry = registry
+        self._pipeline = QueryPipeline(registry)
 
     @property
     def registry(self) -> InsightRegistry:
         return self._registry
 
+    @property
+    def pipeline(self) -> QueryPipeline:
+        """The staged pipeline this engine executes queries on."""
+        return self._pipeline
+
     def rank(self, query: InsightQuery, context: EvaluationContext) -> RankingResult:
         """Run a query and return the ranked insights."""
-        insight_class = self._registry.get(query.insight_class)
-        context = self._apply_mode(query, context)
-
-        candidates, truncated, n_candidates = self._admissible_candidates(
-            insight_class, query, context
-        )
-        scored = insight_class.score_all(candidates, context) if candidates else []
-        admitted = [
-            candidate for candidate in scored if query.admits_score(candidate.score)
-        ]
-        ranked = self._sort(admitted)[: query.top_k]
-        insights = [insight_class.to_insight(candidate) for candidate in ranked]
-        return RankingResult(
-            query=query,
-            insights=insights,
-            n_candidates=n_candidates,
-            n_scored=len(scored),
-            n_admitted=len(admitted),
-            truncated=truncated,
-            details={"mode": context.mode},
-        )
+        return self._pipeline.execute([query], context)[0]
 
     def rank_all(
-        self, queries: Sequence[InsightQuery], context: EvaluationContext
+        self,
+        queries: Sequence[InsightQuery],
+        context: EvaluationContext,
+        stats: PipelineStats | None = None,
     ) -> dict[str, RankingResult]:
-        """Run several queries (one carousel per insight class)."""
-        return {q.insight_class: self.rank(q, context) for q in queries}
+        """Run several queries (one carousel per insight class).
 
-    # -- helpers --------------------------------------------------------------------
-    @staticmethod
-    def _apply_mode(query: InsightQuery, context: EvaluationContext) -> EvaluationContext:
-        if query.mode == context.mode:
-            return context
-        return EvaluationContext(table=context.table, store=context.store, mode=query.mode)
-
-    @staticmethod
-    def _sort(candidates: list[ScoredCandidate]) -> list[ScoredCandidate]:
-        return sorted(candidates, key=lambda c: (-c.score, c.attributes))
-
-    @staticmethod
-    def _admissible_candidates(
-        insight_class: InsightClass, query: InsightQuery, context: EvaluationContext
-    ) -> tuple[list[tuple[str, ...]], bool, int]:
-        admissible: list[tuple[str, ...]] = []
-        truncated = False
-        n_candidates = 0
-        attribute_tags = (
-            {field.name: field.tags for field in context.table.schema}
-            if query.required_tags
-            else {}
-        )
-        for attributes in insight_class.candidates(context.table):
-            n_candidates += 1
-            if not query.admits_attributes(attributes):
-                continue
-            if not query.admits_tags(attribute_tags, attributes):
-                continue
-            admissible.append(attributes)
-            if (
-                query.max_candidates is not None
-                and len(admissible) >= query.max_candidates
-            ):
-                truncated = True
-                break
-        return admissible, truncated, n_candidates
+        Classes that enumerate the same candidate domain share a single
+        enumeration pass (see
+        :meth:`~repro.core.insight.InsightClass.candidate_domain`).
+        """
+        results = self._pipeline.execute(queries, context, stats=stats)
+        return {
+            query.insight_class: result for query, result in zip(queries, results)
+        }

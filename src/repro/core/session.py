@@ -12,7 +12,14 @@ later and to share with her colleagues".
   towards the focus set when one exists;
 * ``focus(insight)`` / ``unfocus(insight)`` — manage the focus set;
 * a history log of every action;
-* ``save()`` / ``restore()`` — JSON-serialisable session state.
+* ``save()`` / ``restore()`` — session state round-tripped through the
+  :class:`~repro.service.dto.SessionState` DTO.  Restoring carries the
+  original event log forward verbatim (no re-logging, no fresh
+  timestamps), so save → restore → save is byte-identical and sessions
+  can be re-shared losslessly.  Sessions are workspace-addressable: the
+  saved state embeds the dataset name, and
+  :meth:`repro.service.workspace.Workspace.restore_session` resolves the
+  engine from it.
 """
 
 from __future__ import annotations
@@ -20,13 +27,65 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Mapping, Sequence
 
-from repro.errors import InsightError
+from repro.errors import InsightError, ProtocolError
 from repro.core.engine import Carousel, Foresight
 from repro.core.insight import Insight
 from repro.core.query import InsightQuery
 from repro.core.ranking import RankingResult
+
+
+@dataclass
+class SessionState:
+    """Persistent form of an exploration session (save/restore payload).
+
+    This is the session's DTO (re-exported by :mod:`repro.service.dto`):
+    ``focused_insights`` and ``history`` are stored as the plain dicts the
+    session produces (``Insight.as_dict`` / ``SessionEvent.as_dict``), so
+    a save → restore → save cycle is byte-identical: nothing is re-logged
+    or re-stamped on the way through.
+    """
+
+    name: str
+    dataset: str
+    focused_insights: list[dict[str, Any]] = field(default_factory=list)
+    history: list[dict[str, Any]] = field(default_factory=list)
+
+    def focused(self) -> list[Insight]:
+        """The focused insights as :class:`Insight` objects."""
+        return [Insight.from_dict(payload) for payload in self.focused_insights]
+
+    # -- wire format -------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "dataset": self.dataset,
+            "focused_insights": [dict(p) for p in self.focused_insights],
+            "history": [dict(p) for p in self.history],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SessionState":
+        return cls(
+            name=str(payload.get("name", "session")),
+            dataset=str(payload.get("dataset", "")),
+            focused_insights=[dict(p) for p in payload.get("focused_insights", [])],
+            history=[dict(p) for p in payload.get("history", [])],
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=float)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SessionState":
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise ProtocolError(f"session state is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ProtocolError("session state JSON must be an object")
+        return cls.from_dict(payload)
 
 
 @dataclass
@@ -45,12 +104,14 @@ class SessionEvent:
 class ExplorationSession:
     """Stateful exploration of a dataset through the Foresight engine."""
 
-    def __init__(self, engine: Foresight, name: str = "session"):
+    def __init__(self, engine: Foresight, name: str = "session",
+                 dataset: str | None = None):
         self._engine = engine
         self._name = name
+        self._dataset = dataset or engine.table.name
         self._focus: list[Insight] = []
         self._history: list[SessionEvent] = []
-        self._log("session_started", dataset=engine.table.name,
+        self._log("session_started", dataset=self._dataset,
                   shape=list(engine.table.shape))
 
     # ------------------------------------------------------------------
@@ -63,6 +124,11 @@ class ExplorationSession:
     @property
     def name(self) -> str:
         return self._name
+
+    @property
+    def dataset(self) -> str:
+        """Name of the dataset this session explores (workspace address)."""
+        return self._dataset
 
     @property
     def focused_insights(self) -> list[Insight]:
@@ -114,23 +180,16 @@ class ExplorationSession:
         )
         top_k = top_k or self._engine.config.default_top_k
         carousels = []
-        for name in names:
-            start = time.perf_counter()
-            if self._focus:
+        if self._focus:
+            for name in names:
+                start = time.perf_counter()
                 result = self._engine.recommend_near(self._focus, name, top_k=top_k)
-            else:
-                result = self._engine.query(name, top_k=top_k)
-            elapsed = time.perf_counter() - start
-            insight_class = self._engine.registry.get(name)
-            carousels.append(
-                Carousel(
-                    insight_class=name,
-                    label=insight_class.label or name,
-                    insights=result.insights,
-                    result=result,
-                    elapsed_seconds=elapsed,
-                )
-            )
+                elapsed = time.perf_counter() - start
+                carousels.append(self._carousel(name, result, elapsed))
+        else:
+            # Open-ended first stage: one pipeline execution for all classes,
+            # sharing candidate enumeration across same-domain classes.
+            carousels = self._engine.carousels(top_k=top_k, insight_classes=names)
         self._log(
             "carousels",
             top_k=top_k,
@@ -158,43 +217,66 @@ class ExplorationSession:
     # ------------------------------------------------------------------
     # Persistence ("saves the current Foresight state to revisit later")
     # ------------------------------------------------------------------
+    def save_state(self) -> SessionState:
+        """The session state as a :class:`~repro.service.dto.SessionState`."""
+        return SessionState(
+            name=self._name,
+            dataset=self.dataset,
+            focused_insights=[insight.as_dict() for insight in self._focus],
+            history=[event.as_dict() for event in self._history],
+        )
+
     def save(self) -> dict[str, Any]:
         """The session state as a JSON-serialisable dictionary."""
-        return {
-            "name": self._name,
-            "dataset": self._engine.table.name,
-            "focused_insights": [insight.as_dict() for insight in self._focus],
-            "history": [event.as_dict() for event in self._history],
-        }
+        return self.save_state().to_dict()
 
     def save_json(self, indent: int = 2) -> str:
-        return json.dumps(self.save(), indent=indent, default=float)
+        return self.save_state().to_json(indent=indent)
 
     @classmethod
-    def restore(cls, engine: Foresight, state: dict[str, Any]) -> "ExplorationSession":
-        """Rebuild a session from a saved state dictionary."""
-        session = cls(engine, name=str(state.get("name", "session")))
-        for payload in state.get("focused_insights", []):
-            session.focus(
-                Insight(
-                    insight_class=payload["insight_class"],
-                    attributes=tuple(payload["attributes"]),
-                    score=float(payload["score"]),
-                    metric_name=payload.get("metric", ""),
-                    summary=payload.get("summary", ""),
-                    details=dict(payload.get("details", {})),
-                )
+    def restore(
+        cls, engine: Foresight, state: SessionState | dict[str, Any]
+    ) -> "ExplorationSession":
+        """Rebuild a session from saved state.
+
+        The original event log is carried forward verbatim — nothing is
+        re-logged and no timestamps are refreshed — so
+        ``restore(save()).save()`` reproduces the saved state exactly.
+        """
+        if not isinstance(state, SessionState):
+            state = SessionState.from_dict(state)
+        session = cls.__new__(cls)
+        session._engine = engine
+        session._name = state.name
+        session._dataset = state.dataset or engine.table.name
+        session._focus = state.focused()
+        session._history = [
+            SessionEvent(
+                action=str(payload.get("action", "")),
+                timestamp=float(payload.get("timestamp", 0.0)),
+                payload=dict(payload.get("payload", {})),
             )
-        session._log("session_restored", n_focused=len(session._focus))
+            for payload in state.history
+        ]
         return session
 
     @classmethod
     def restore_json(cls, engine: Foresight, text: str) -> "ExplorationSession":
-        return cls.restore(engine, json.loads(text))
+        return cls.restore(engine, SessionState.from_json(text))
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _carousel(self, name: str, result: RankingResult, elapsed: float) -> Carousel:
+        insight_class = self._engine.registry.get(name)
+        return Carousel(
+            insight_class=name,
+            label=insight_class.label or name,
+            insights=result.insights,
+            result=result,
+            elapsed_seconds=elapsed,
+        )
+
     def _log(self, action: str, **payload: Any) -> None:
         self._history.append(
             SessionEvent(action=action, timestamp=time.time(), payload=payload)

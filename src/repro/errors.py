@@ -70,3 +70,23 @@ class SketchNotAvailableError(SketchError):
 
 class VisualizationError(ForesightError):
     """A visualization spec could not be produced for the given data."""
+
+
+class ServiceError(ForesightError):
+    """Base class for errors raised by the serving layer (workspace / DTOs)."""
+
+
+class UnknownDatasetError(ServiceError):
+    """A referenced dataset is not registered in the workspace."""
+
+    def __init__(self, name: str, available: list[str] | None = None):
+        self.name = name
+        self.available = list(available or [])
+        message = f"unknown dataset {name!r}"
+        if self.available:
+            message += f"; registered datasets: {', '.join(self.available)}"
+        super().__init__(message)
+
+
+class ProtocolError(ServiceError):
+    """A request, response or cursor payload violates the DTO protocol."""

@@ -1,0 +1,47 @@
+"""The serving layer: Workspace, DTO protocol, result cache, query pipeline.
+
+This package separates the *serving interface* from the *execution
+engine*: any transport (HTTP handler, RPC server, CLI, notebook) can park
+a :class:`Workspace` behind it and exchange versioned, JSON-serialisable
+:class:`InsightRequest` / :class:`InsightResponse` DTOs, while the staged
+:class:`QueryPipeline` (plan → enumerate → score → rank) executes the
+queries with shared candidate enumeration and the :class:`ResultCache`
+absorbs repeated traffic.
+"""
+
+from repro.service.cache import ResultCache
+from repro.service.cursor import decode_cursor, encode_cursor
+from repro.service.dto import (
+    PROTOCOL_VERSION,
+    InsightRequest,
+    InsightResponse,
+    SessionState,
+)
+from repro.service.pipeline import (
+    Enumeration,
+    ExecutionPlan,
+    PipelineStats,
+    PlannedQuery,
+    QueryPipeline,
+    RankingResult,
+    ScoredBatch,
+)
+from repro.service.workspace import Workspace
+
+__all__ = [
+    "Enumeration",
+    "ExecutionPlan",
+    "InsightRequest",
+    "InsightResponse",
+    "PROTOCOL_VERSION",
+    "PipelineStats",
+    "PlannedQuery",
+    "QueryPipeline",
+    "RankingResult",
+    "ResultCache",
+    "ScoredBatch",
+    "SessionState",
+    "Workspace",
+    "decode_cursor",
+    "encode_cursor",
+]

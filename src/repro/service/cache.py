@@ -1,0 +1,88 @@
+"""LRU result cache for the serving layer.
+
+Responses are cached under ``(dataset, dataset_version, canonical_query)``
+keys.  Including the dataset version in the key makes stale entries
+unreachable the moment a dataset is reloaded, and
+:meth:`ResultCache.invalidate` additionally evicts them eagerly so the
+memory is reclaimed rather than waiting for LRU pressure.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+#: Cache keys are (dataset_name, dataset_version, canonical_query_json).
+CacheKey = tuple[str, int, str]
+
+
+class ResultCache:
+    """A small LRU cache with per-dataset invalidation and hit statistics."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._entries: OrderedDict[CacheKey, Any] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def get(self, key: CacheKey) -> Any | None:
+        """Return the cached value (refreshing its recency), or None."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return self._entries[key]
+        self._misses += 1
+        return None
+
+    def put(self, key: CacheKey, value: Any) -> None:
+        """Insert a value, evicting the least recently used entry if full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def invalidate(self, dataset: str | None = None) -> int:
+        """Evict entries for one dataset (or everything); returns the count."""
+        if dataset is None:
+            evicted = len(self._entries)
+            self._entries.clear()
+            return evicted
+        stale = [key for key in self._entries if key[0] == dataset]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def keys(self) -> list[CacheKey]:
+        """Keys from least to most recently used."""
+        return list(self._entries)
+
+    def info(self) -> dict[str, int]:
+        """Hit/miss/eviction counters plus current occupancy."""
+        return {
+            "capacity": self._capacity,
+            "size": len(self._entries),
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+        }

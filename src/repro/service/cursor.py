@@ -1,0 +1,46 @@
+"""Opaque pagination cursors for the DTO protocol.
+
+A cursor encodes the offset of the next page as URL-safe base64 over a
+tiny versioned JSON payload.  Clients must treat cursors as opaque tokens:
+the only valid operations are "pass it back verbatim" and "drop it to
+restart from the first page".
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+
+from repro.errors import ProtocolError
+
+#: Version tag embedded in every cursor payload.
+CURSOR_VERSION = 1
+
+
+def encode_cursor(offset: int) -> str:
+    """Encode a page offset as an opaque token."""
+    if offset < 0:
+        raise ProtocolError(f"cursor offset must be >= 0, got {offset}")
+    payload = json.dumps(
+        {"v": CURSOR_VERSION, "offset": int(offset)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return base64.urlsafe_b64encode(payload.encode("utf-8")).decode("ascii")
+
+
+def decode_cursor(cursor: str | None) -> int:
+    """Decode a token back to a page offset (None = first page)."""
+    if cursor is None:
+        return 0
+    try:
+        payload = json.loads(base64.urlsafe_b64decode(cursor.encode("ascii")))
+    except (binascii.Error, UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"malformed pagination cursor: {cursor!r}") from exc
+    if not isinstance(payload, dict) or payload.get("v") != CURSOR_VERSION:
+        raise ProtocolError(f"unsupported cursor version in {cursor!r}")
+    offset = payload.get("offset")
+    if not isinstance(offset, int) or offset < 0:
+        raise ProtocolError(f"invalid cursor offset in {cursor!r}")
+    return offset

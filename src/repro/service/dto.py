@@ -1,0 +1,294 @@
+"""Versioned, JSON-serialisable request/response DTOs for the serving layer.
+
+The wire protocol is deliberately tiny and transport-agnostic: a client
+builds an :class:`InsightRequest` (dataset name, one or many insight
+classes, shared query constraints and an optional pagination cursor),
+ships it as canonical JSON, and gets back an :class:`InsightResponse`
+(one carousel per requested class, timing, cache/mode provenance and a
+next-page cursor).  :class:`SessionState` is the analogous DTO for
+:class:`~repro.core.session.ExplorationSession` persistence.
+
+Canonicality matters: ``to_json`` always emits sorted keys with compact
+separators, so equal DTOs serialise to byte-identical strings.  The
+serving layer relies on this to derive cache keys, and clients can rely
+on it for request de-duplication.  Unbounded metric ranges are expressed
+with ``null`` rather than IEEE infinities, keeping payloads strict JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from repro.errors import ProtocolError
+from repro.core.insight import Insight
+from repro.core.query import InsightQuery, MetricRange
+
+#: Version of the request/response wire protocol.
+PROTOCOL_VERSION = 1
+
+_MODES = ("approximate", "exact")
+
+
+def _canonical_json(payload: Mapping[str, Any]) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _check_protocol(payload: Mapping[str, Any], what: str) -> None:
+    version = payload.get("protocol", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported {what} protocol version {version!r}; "
+            f"this library speaks version {PROTOCOL_VERSION}"
+        )
+
+
+@dataclass(frozen=True)
+class InsightRequest:
+    """One serving-layer query: dataset + insight classes + constraints.
+
+    Parameters
+    ----------
+    dataset:
+        Name of a dataset registered in the workspace.
+    insight_classes:
+        One class name or a sequence of them; a multi-class request is the
+        carousel view, and classes enumerating the same candidate domain
+        share a single enumeration pass.
+    top_k:
+        Page size per class.
+    fixed / excluded / tags / metric_min / metric_max / max_candidates:
+        The :class:`~repro.core.query.InsightQuery` constraints, applied
+        uniformly to every requested class.  ``metric_min``/``metric_max``
+        of None mean unbounded.
+    mode:
+        ``"approximate"``, ``"exact"`` or None (engine default).
+    cursor:
+        Opaque pagination token from a previous response, or None for the
+        first page.
+    """
+
+    dataset: str
+    insight_classes: tuple[str, ...]
+    top_k: int = 5
+    fixed: tuple[str, ...] = ()
+    excluded: tuple[str, ...] = ()
+    tags: tuple[str, ...] = ()
+    metric_min: float | None = None
+    metric_max: float | None = None
+    mode: str | None = None
+    max_candidates: int | None = None
+    cursor: str | None = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.insight_classes, str):
+            object.__setattr__(self, "insight_classes", (self.insight_classes,))
+        else:
+            object.__setattr__(self, "insight_classes", tuple(self.insight_classes))
+        for attr in ("fixed", "excluded", "tags"):
+            value = getattr(self, attr)
+            if isinstance(value, str):
+                object.__setattr__(self, attr, (value,))
+            else:
+                object.__setattr__(self, attr, tuple(value))
+        if not self.dataset:
+            raise ProtocolError("request dataset must be a non-empty string")
+        if not self.insight_classes:
+            raise ProtocolError("request must name at least one insight class")
+        if self.top_k < 1:
+            raise ProtocolError(f"request top_k must be >= 1, got {self.top_k}")
+        if self.mode is not None and self.mode not in _MODES:
+            raise ProtocolError(
+                f"request mode must be one of {_MODES} or None, got {self.mode!r}"
+            )
+
+    # -- conversion to executable queries ---------------------------------------
+    def metric_range(self) -> MetricRange:
+        return MetricRange.from_dict({"min": self.metric_min, "max": self.metric_max})
+
+    def to_queries(self, default_mode: str = "approximate",
+                   top_k: int | None = None) -> list[InsightQuery]:
+        """One :class:`InsightQuery` per requested class.
+
+        ``top_k`` overrides the page size (the workspace passes
+        ``offset + page_size`` so later pages rank deep enough to slice).
+        """
+        effective_top_k = self.top_k if top_k is None else top_k
+        return [
+            InsightQuery(
+                insight_class=name,
+                top_k=effective_top_k,
+                fixed_attributes=self.fixed,
+                excluded_attributes=self.excluded,
+                metric_range=self.metric_range(),
+                mode=self.mode or default_mode,
+                max_candidates=self.max_candidates,
+                required_tags=self.tags,
+            )
+            for name in self.insight_classes
+        ]
+
+    def next_page(self, cursor: str | None) -> "InsightRequest":
+        """A copy of this request pointing at the given cursor."""
+        return replace(self, cursor=cursor)
+
+    # -- wire format -------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "dataset": self.dataset,
+            "insight_classes": list(self.insight_classes),
+            "top_k": self.top_k,
+            "fixed": list(self.fixed),
+            "excluded": list(self.excluded),
+            "tags": list(self.tags),
+            "metric_min": self.metric_min,
+            "metric_max": self.metric_max,
+            "mode": self.mode,
+            "max_candidates": self.max_candidates,
+            "cursor": self.cursor,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "InsightRequest":
+        _check_protocol(payload, "request")
+        try:
+            dataset = payload["dataset"]
+            insight_classes = payload["insight_classes"]
+        except KeyError as exc:
+            raise ProtocolError(f"request is missing required key {exc}") from exc
+        max_candidates = payload.get("max_candidates")
+        return cls(
+            dataset=str(dataset),
+            insight_classes=insight_classes,
+            top_k=int(payload.get("top_k", 5)),
+            fixed=tuple(payload.get("fixed", ())),
+            excluded=tuple(payload.get("excluded", ())),
+            tags=tuple(payload.get("tags", ())),
+            metric_min=payload.get("metric_min"),
+            metric_max=payload.get("metric_max"),
+            mode=payload.get("mode"),
+            max_candidates=None if max_candidates is None else int(max_candidates),
+            cursor=payload.get("cursor"),
+        )
+
+    def to_json(self) -> str:
+        return _canonical_json(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "InsightRequest":
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ProtocolError("request JSON must be an object")
+        return cls.from_dict(payload)
+
+    def canonical_key(self) -> str:
+        """Canonical form of the request, used in result-cache keys."""
+        return self.to_json()
+
+
+@dataclass
+class InsightResponse:
+    """One serving-layer answer: carousels + timing + provenance + cursor.
+
+    ``carousels`` holds one entry per requested class (in request order),
+    each a plain dict::
+
+        {"insight_class": str, "label": str, "insights": [<insight dict>],
+         "n_admitted": int, "truncated": bool}
+
+    ``provenance`` records how the answer was produced: ``cache`` ("hit" /
+    "miss"), evaluation ``mode``, and the pipeline's enumeration counters.
+    """
+
+    dataset: str
+    dataset_version: int
+    carousels: list[dict[str, Any]] = field(default_factory=list)
+    timing: dict[str, Any] = field(default_factory=dict)
+    provenance: dict[str, Any] = field(default_factory=dict)
+    next_cursor: str | None = None
+
+    # -- convenience accessors -----------------------------------------------------
+    def classes(self) -> list[str]:
+        return [carousel["insight_class"] for carousel in self.carousels]
+
+    def insights_for(self, insight_class: str) -> list[Insight]:
+        """The returned insights of one class, as :class:`Insight` objects."""
+        for carousel in self.carousels:
+            if carousel["insight_class"] == insight_class:
+                return [Insight.from_dict(p) for p in carousel["insights"]]
+        raise ProtocolError(
+            f"response has no carousel for {insight_class!r}; "
+            f"classes: {self.classes()}"
+        )
+
+    def top(self, insight_class: str | None = None) -> Insight | None:
+        """Strongest insight of the given (default: first) carousel."""
+        name = insight_class or (self.carousels[0]["insight_class"]
+                                 if self.carousels else None)
+        if name is None:
+            return None
+        insights = self.insights_for(name)
+        return insights[0] if insights else None
+
+    def __len__(self) -> int:
+        return sum(len(carousel["insights"]) for carousel in self.carousels)
+
+    # -- wire format -------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "dataset": self.dataset,
+            "dataset_version": self.dataset_version,
+            "carousels": [dict(carousel) for carousel in self.carousels],
+            "timing": dict(self.timing),
+            "provenance": dict(self.provenance),
+            "next_cursor": self.next_cursor,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "InsightResponse":
+        _check_protocol(payload, "response")
+        try:
+            dataset = payload["dataset"]
+            dataset_version = payload["dataset_version"]
+        except KeyError as exc:
+            raise ProtocolError(f"response is missing required key {exc}") from exc
+        return cls(
+            dataset=str(dataset),
+            dataset_version=int(dataset_version),
+            carousels=[dict(carousel) for carousel in payload.get("carousels", [])],
+            timing=dict(payload.get("timing", {})),
+            provenance=dict(payload.get("provenance", {})),
+            next_cursor=payload.get("next_cursor"),
+        )
+
+    def to_json(self) -> str:
+        return _canonical_json(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "InsightResponse":
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise ProtocolError(f"response is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ProtocolError("response JSON must be an object")
+        return cls.from_dict(payload)
+
+
+# SessionState is defined next to the session it persists (the DTO must
+# not pull the serving layer into the core import graph); re-exported
+# here as part of the public DTO namespace.
+from repro.core.session import SessionState  # noqa: E402
+
+__all__ = [
+    "InsightRequest",
+    "InsightResponse",
+    "PROTOCOL_VERSION",
+    "SessionState",
+]

@@ -1,0 +1,27 @@
+"""Public serving-namespace re-export of the staged query pipeline.
+
+The implementation lives in :mod:`repro.core.pipeline` (it is
+execution-engine machinery and must not depend on the serving layer);
+this module re-exports it so serving-side code and documentation can
+refer to ``repro.service.pipeline`` / ``repro.service.QueryPipeline``.
+"""
+
+from repro.core.pipeline import (
+    Enumeration,
+    ExecutionPlan,
+    PipelineStats,
+    PlannedQuery,
+    QueryPipeline,
+    RankingResult,
+    ScoredBatch,
+)
+
+__all__ = [
+    "Enumeration",
+    "ExecutionPlan",
+    "PipelineStats",
+    "PlannedQuery",
+    "QueryPipeline",
+    "RankingResult",
+    "ScoredBatch",
+]

@@ -1,0 +1,303 @@
+"""The Workspace: multi-dataset serving façade over the Foresight engine.
+
+A :class:`Workspace` owns named datasets and serves
+:class:`~repro.service.dto.InsightRequest` DTOs against them:
+
+* datasets are registered as concrete tables or as zero-argument loader
+  callables; loaders run lazily on first use, and each dataset gets one
+  preprocessed :class:`~repro.core.engine.Foresight` engine, built once
+  and reused across requests;
+* every dataset carries a monotonically increasing *version*; reloading
+  bumps it, rebuilds the engine on demand and invalidates cached results;
+* responses are cached in an LRU keyed by
+  ``(dataset, dataset_version, canonical_request)``, with hit/miss
+  provenance recorded on every response;
+* multi-class requests execute on the staged query pipeline, so classes
+  that enumerate the same candidate domain share one enumeration pass;
+* exploration sessions become workspace-addressable: they are created by
+  dataset name and their saved state (which embeds the dataset name)
+  restores through the workspace without the caller touching engines.
+
+Typical use::
+
+    from repro.service import InsightRequest, Workspace
+    from repro.data.datasets import load_oecd
+
+    workspace = Workspace()
+    workspace.register("oecd", load_oecd)
+    response = workspace.handle(InsightRequest(
+        dataset="oecd",
+        insight_classes=("linear_relationship", "skew", "outliers"),
+        top_k=3,
+    ))
+    for carousel in response.carousels:
+        print(carousel["insight_class"], len(carousel["insights"]))
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.errors import ServiceError, UnknownDatasetError
+from repro.core.engine import EngineConfig, Foresight
+from repro.core.session import ExplorationSession
+from repro.data.table import DataTable
+from repro.service.cache import ResultCache
+from repro.service.cursor import decode_cursor, encode_cursor
+from repro.service.dto import InsightRequest, InsightResponse, SessionState
+from repro.service.pipeline import PipelineStats
+
+
+@dataclass
+class _DatasetEntry:
+    """Registration record for one named dataset."""
+
+    name: str
+    loader: Callable[[], DataTable] | None
+    table: DataTable | None
+    engine_config: EngineConfig | None
+    engine: Foresight | None = None
+    version: int = 1
+
+
+class Workspace:
+    """Registers named datasets and serves insight requests against them."""
+
+    def __init__(self, cache_size: int = 128):
+        self._entries: dict[str, _DatasetEntry] = {}
+        self._cache = ResultCache(capacity=cache_size)
+
+    # ------------------------------------------------------------------
+    # Dataset management
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        source: DataTable | Callable[[], DataTable],
+        engine_config: EngineConfig | None = None,
+        replace: bool = False,
+    ) -> None:
+        """Register a dataset under ``name``.
+
+        ``source`` is either a concrete :class:`DataTable` or a
+        zero-argument callable returning one; callables run lazily on
+        first use and again on :meth:`reload`.  Re-registering an existing
+        name requires ``replace=True`` and behaves like a reload (version
+        bump + cache invalidation).
+        """
+        if not name:
+            raise ServiceError("dataset name must be a non-empty string")
+        existing = self._entries.get(name)
+        if existing is not None and not replace:
+            raise ServiceError(
+                f"dataset {name!r} is already registered; pass replace=True "
+                "to override it"
+            )
+        if isinstance(source, DataTable):
+            loader, table = None, source
+        elif callable(source):
+            loader, table = source, None
+        else:
+            raise ServiceError(
+                "dataset source must be a DataTable or a zero-argument callable, "
+                f"got {type(source).__name__}"
+            )
+        version = existing.version + 1 if existing is not None else 1
+        self._entries[name] = _DatasetEntry(
+            name=name,
+            loader=loader,
+            table=table,
+            engine_config=engine_config,
+            version=version,
+        )
+        if existing is not None:
+            self._cache.invalidate(name)
+
+    def datasets(self) -> list[str]:
+        """Registered dataset names, in registration order."""
+        return list(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def version(self, name: str) -> int:
+        """The current version of a dataset (bumped on every reload)."""
+        return self._entry(name).version
+
+    def table(self, name: str) -> DataTable:
+        """The dataset's table, running its loader if not yet materialised."""
+        entry = self._entry(name)
+        if entry.table is None:
+            assert entry.loader is not None
+            entry.table = entry.loader()
+        return entry.table
+
+    def engine(self, name: str) -> Foresight:
+        """The dataset's preprocessed engine, built lazily and cached."""
+        entry = self._entry(name)
+        if entry.engine is None:
+            entry.engine = Foresight(self.table(name), config=entry.engine_config)
+        return entry.engine
+
+    def reload(self, name: str) -> int:
+        """Re-run the dataset's loader, bump its version, drop cached state.
+
+        Returns the new version.  Datasets registered as concrete tables
+        (no loader) keep their table but still get a version bump and
+        cache/engine invalidation, which is the explicit way to signal
+        "the underlying data changed" after in-place mutation.
+        """
+        entry = self._entry(name)
+        if entry.loader is not None:
+            entry.table = None
+        entry.engine = None
+        entry.version += 1
+        self._cache.invalidate(name)
+        return entry.version
+
+    def invalidate(self, name: str | None = None) -> int:
+        """Evict cached responses for one dataset (or all); returns the count."""
+        if name is not None:
+            self._entry(name)
+        return self._cache.invalidate(name)
+
+    # ------------------------------------------------------------------
+    # Request serving
+    # ------------------------------------------------------------------
+    def handle(
+        self, request: InsightRequest | Mapping[str, Any] | str
+    ) -> InsightResponse:
+        """Serve one insight request (DTO, dict payload, or JSON text)."""
+        request = self._coerce_request(request)
+        engine = self.engine(request.dataset)
+        version = self._entry(request.dataset).version
+        key = (request.dataset, version, request.canonical_key())
+
+        # The cache stores canonical JSON, so hits rehydrate into fresh
+        # objects and callers can never mutate a cached entry in place.
+        cached = self._cache.get(key)
+        if cached is not None:
+            response = InsightResponse.from_json(cached)
+            response.provenance = {**response.provenance, "cache": "hit"}
+            return response
+
+        start = time.perf_counter()
+        offset = decode_cursor(request.cursor)
+        page_size = request.top_k
+        queries = request.to_queries(
+            default_mode=engine.config.mode, top_k=offset + page_size
+        )
+        stats = PipelineStats()
+        results = engine.rank_many(queries, stats=stats)
+
+        carousels = []
+        has_more = False
+        for name, result in zip(request.insight_classes, results):
+            page = result.insights[offset : offset + page_size]
+            carousels.append(
+                {
+                    "insight_class": name,
+                    "label": engine.registry.get(name).label or name,
+                    "insights": [insight.as_dict() for insight in page],
+                    "n_admitted": result.n_admitted,
+                    "truncated": result.truncated,
+                }
+            )
+            if result.n_admitted > offset + page_size:
+                has_more = True
+        elapsed = time.perf_counter() - start
+
+        response = InsightResponse(
+            dataset=request.dataset,
+            dataset_version=version,
+            carousels=carousels,
+            timing={"total_seconds": elapsed},
+            provenance={
+                "cache": "miss",
+                "mode": request.mode or engine.config.mode,
+                "enumerations": stats.enumerations,
+                "shared_queries": stats.shared_queries,
+            },
+            next_cursor=encode_cursor(offset + page_size) if has_more else None,
+        )
+        self._cache.put(key, response.to_json())
+        return response
+
+    def handle_json(self, text: str) -> str:
+        """JSON-in / JSON-out convenience for transport adapters."""
+        return self.handle(InsightRequest.from_json(text)).to_json()
+
+    # ------------------------------------------------------------------
+    # Sessions (workspace-addressable by dataset name)
+    # ------------------------------------------------------------------
+    def session(self, dataset: str, name: str = "session") -> ExplorationSession:
+        """Start an exploration session on a registered dataset."""
+        return ExplorationSession(self.engine(dataset), name=name, dataset=dataset)
+
+    def restore_session(
+        self, state: SessionState | Mapping[str, Any] | str
+    ) -> ExplorationSession:
+        """Rebuild a session from saved state, resolving its dataset by name."""
+        if isinstance(state, str):
+            state = SessionState.from_json(state)
+        elif not isinstance(state, SessionState):
+            state = SessionState.from_dict(state)
+        if state.dataset not in self._entries:
+            raise UnknownDatasetError(state.dataset, self.datasets())
+        return ExplorationSession.restore(self.engine(state.dataset), state)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def cache_info(self) -> dict[str, int]:
+        """Hit/miss/eviction counters of the result cache."""
+        return self._cache.info()
+
+    @property
+    def cache(self) -> ResultCache:
+        return self._cache
+
+    def describe(self) -> list[dict[str, Any]]:
+        """Status of every registered dataset (for ops endpoints)."""
+        return [
+            {
+                "name": entry.name,
+                "version": entry.version,
+                "loaded": entry.table is not None,
+                "engine_built": entry.engine is not None,
+                "lazy": entry.loader is not None,
+            }
+            for entry in self._entries.values()
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Workspace(datasets={self.datasets()!r}, "
+            f"cache={self._cache.info()['size']}/{self._cache.capacity})"
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _entry(self, name: str) -> _DatasetEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise UnknownDatasetError(name, self.datasets()) from None
+
+    @staticmethod
+    def _coerce_request(
+        request: InsightRequest | Mapping[str, Any] | str
+    ) -> InsightRequest:
+        if isinstance(request, InsightRequest):
+            return request
+        if isinstance(request, str):
+            return InsightRequest.from_json(request)
+        if isinstance(request, Mapping):
+            return InsightRequest.from_dict(request)
+        raise ServiceError(
+            "request must be an InsightRequest, a mapping or JSON text, "
+            f"got {type(request).__name__}"
+        )

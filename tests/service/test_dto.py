@@ -1,0 +1,179 @@
+"""Tests for the request/response/session DTO protocol."""
+
+import json
+
+import pytest
+
+from repro.core.insight import Insight
+from repro.core.query import InsightQuery, MetricRange, query
+from repro.errors import ProtocolError
+from repro.service import (
+    PROTOCOL_VERSION,
+    InsightRequest,
+    InsightResponse,
+    SessionState,
+)
+
+
+class TestInsightRequest:
+    def test_single_class_string_is_normalised(self):
+        request = InsightRequest(dataset="oecd", insight_classes="skew")
+        assert request.insight_classes == ("skew",)
+
+    def test_constraint_strings_are_normalised(self):
+        request = InsightRequest(
+            dataset="oecd", insight_classes=["skew"],
+            fixed="A", excluded="B", tags="currency",
+        )
+        assert request.fixed == ("A",)
+        assert request.excluded == ("B",)
+        assert request.tags == ("currency",)
+
+    def test_json_round_trip_is_byte_identical(self):
+        request = InsightRequest(
+            dataset="oecd",
+            insight_classes=("linear_relationship", "skew"),
+            top_k=3,
+            fixed=("LifeSatisfaction",),
+            metric_min=0.2,
+            mode="exact",
+        )
+        text = request.to_json()
+        assert InsightRequest.from_json(text) == request
+        assert InsightRequest.from_json(text).to_json() == text
+
+    def test_dict_round_trip(self):
+        request = InsightRequest(dataset="d", insight_classes=("a", "b"),
+                                 tags=("currency",), max_candidates=10)
+        assert InsightRequest.from_dict(request.to_dict()) == request
+
+    def test_canonical_json_has_sorted_keys(self):
+        text = InsightRequest(dataset="d", insight_classes="a").to_json()
+        payload = json.loads(text)
+        assert list(payload) == sorted(payload)
+        assert payload["protocol"] == PROTOCOL_VERSION
+
+    def test_to_queries_applies_shared_constraints(self):
+        request = InsightRequest(
+            dataset="d", insight_classes=("a", "b"), top_k=4,
+            fixed=("X",), metric_min=0.1, metric_max=0.9, tags=("t",),
+        )
+        queries = request.to_queries(default_mode="exact")
+        assert [q.insight_class for q in queries] == ["a", "b"]
+        for q in queries:
+            assert q.top_k == 4
+            assert q.fixed_attributes == ("X",)
+            assert q.metric_range == MetricRange(0.1, 0.9)
+            assert q.required_tags == ("t",)
+            assert q.mode == "exact"
+
+    def test_to_queries_top_k_override_for_pagination(self):
+        request = InsightRequest(dataset="d", insight_classes="a", top_k=2)
+        (q,) = request.to_queries(top_k=6)
+        assert q.top_k == 6
+
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            InsightRequest(dataset="", insight_classes="a")
+        with pytest.raises(ProtocolError):
+            InsightRequest(dataset="d", insight_classes=())
+        with pytest.raises(ProtocolError):
+            InsightRequest(dataset="d", insight_classes="a", top_k=0)
+        with pytest.raises(ProtocolError):
+            InsightRequest(dataset="d", insight_classes="a", mode="psychic")
+
+    def test_unsupported_protocol_version_rejected(self):
+        payload = InsightRequest(dataset="d", insight_classes="a").to_dict()
+        payload["protocol"] = 99
+        with pytest.raises(ProtocolError):
+            InsightRequest.from_dict(payload)
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ProtocolError):
+            InsightRequest.from_json("{not json")
+        with pytest.raises(ProtocolError):
+            InsightRequest.from_json("[1, 2]")
+
+
+class TestInsightResponse:
+    def _response(self) -> InsightResponse:
+        insight = Insight("skew", ("A",), 1.5, "abs_skewness", summary="s")
+        return InsightResponse(
+            dataset="d",
+            dataset_version=2,
+            carousels=[{
+                "insight_class": "skew", "label": "Skewed Marginals",
+                "insights": [insight.as_dict()], "n_admitted": 7,
+                "truncated": False,
+            }],
+            timing={"total_seconds": 0.01},
+            provenance={"cache": "miss", "mode": "approximate",
+                        "enumerations": 1, "shared_queries": 0},
+            next_cursor=None,
+        )
+
+    def test_json_round_trip_is_byte_identical(self):
+        response = self._response()
+        text = response.to_json()
+        assert InsightResponse.from_json(text) == response
+        assert InsightResponse.from_json(text).to_json() == text
+
+    def test_insight_accessors(self):
+        response = self._response()
+        assert response.classes() == ["skew"]
+        assert len(response) == 1
+        top = response.top()
+        assert isinstance(top, Insight)
+        assert top.attributes == ("A",)
+        assert response.insights_for("skew")[0].score == 1.5
+        with pytest.raises(ProtocolError):
+            response.insights_for("outliers")
+
+
+class TestSessionState:
+    def test_round_trip_preserves_history_verbatim(self):
+        state = SessionState(
+            name="analyst-1", dataset="oecd",
+            focused_insights=[Insight("skew", ("A",), 2.0, "abs_skewness").as_dict()],
+            history=[{"action": "session_started", "timestamp": 123.5,
+                      "payload": {"dataset": "oecd"}}],
+        )
+        text = state.to_json()
+        assert SessionState.from_json(text) == state
+        assert SessionState.from_json(text).to_json() == text
+
+    def test_focused_builds_insight_objects(self):
+        insight = Insight("skew", ("A",), 2.0, "abs_skewness",
+                          details={"n": 3})
+        state = SessionState(name="s", dataset="d",
+                             focused_insights=[insight.as_dict()])
+        assert state.focused() == [insight]
+        assert state.focused()[0].details == {"n": 3}
+
+
+class TestInsightQueryFromDict:
+    """The satellite fix: as_dict finally has an exact inverse."""
+
+    def test_round_trip_with_all_constraints(self):
+        original = query(
+            "linear_relationship", top_k=7, fixed=("A", "B"), excluded="C",
+            metric_min=0.25, metric_max=0.75, mode="exact",
+            max_candidates=100, tags=("currency", "date"),
+        )
+        assert InsightQuery.from_dict(original.as_dict()) == original
+
+    def test_round_trip_with_defaults(self):
+        original = InsightQuery(insight_class="skew")
+        assert InsightQuery.from_dict(original.as_dict()) == original
+
+    def test_metric_range_round_trip(self):
+        assert MetricRange.from_dict(MetricRange(0.5, 0.8).as_dict()) == MetricRange(0.5, 0.8)
+        # Unbounded ranges round-trip through infinities ...
+        assert MetricRange.from_dict(MetricRange().as_dict()) == MetricRange()
+        # ... and through JSON-friendly nulls / missing keys.
+        assert MetricRange.from_dict({"min": None, "max": None}) == MetricRange()
+        assert MetricRange.from_dict({}) == MetricRange()
+
+    def test_missing_optional_keys_use_defaults(self):
+        restored = InsightQuery.from_dict({"insight_class": "skew"})
+        assert restored == InsightQuery(insight_class="skew")

@@ -1,0 +1,236 @@
+"""Tests for the Workspace serving façade."""
+
+import json
+
+import pytest
+
+from repro import Foresight, Insight, Workspace
+from repro.core.engine import EngineConfig
+from repro.data.datasets import load_oecd, make_numeric_table
+from repro.errors import ProtocolError, ServiceError, UnknownDatasetError
+from repro.service import InsightRequest, InsightResponse
+
+
+@pytest.fixture()
+def workspace(oecd_table):
+    workspace = Workspace(cache_size=8)
+    workspace.register("oecd", oecd_table)
+    return workspace
+
+
+def _request(**overrides) -> InsightRequest:
+    payload = dict(dataset="oecd", insight_classes=("dispersion", "skew", "outliers"),
+                   top_k=3)
+    payload.update(overrides)
+    return InsightRequest(**payload)
+
+
+class TestDatasetManagement:
+    def test_loader_runs_lazily_and_once(self):
+        calls = []
+
+        def loader():
+            calls.append(1)
+            return make_numeric_table(n_rows=80, n_columns=5, seed=1)
+
+        workspace = Workspace()
+        workspace.register("synthetic", loader)
+        assert calls == []  # nothing loaded at registration time
+        engine = workspace.engine("synthetic")
+        assert isinstance(engine, Foresight)
+        assert workspace.engine("synthetic") is engine  # cached
+        assert calls == [1]
+
+    def test_unknown_dataset_raises(self, workspace):
+        with pytest.raises(UnknownDatasetError):
+            workspace.engine("nope")
+        with pytest.raises(UnknownDatasetError):
+            workspace.handle(_request(dataset="nope"))
+
+    def test_duplicate_registration_needs_replace(self, workspace, oecd_table):
+        with pytest.raises(ServiceError):
+            workspace.register("oecd", oecd_table)
+        workspace.register("oecd", oecd_table, replace=True)
+        assert workspace.version("oecd") == 2
+
+    def test_engine_config_respected(self, oecd_table):
+        workspace = Workspace()
+        workspace.register("oecd", oecd_table,
+                           engine_config=EngineConfig(mode="exact"))
+        assert workspace.engine("oecd").store is None
+
+    def test_describe_reports_lifecycle(self, oecd_table):
+        workspace = Workspace()
+        workspace.register("oecd", load_oecd)
+        (status,) = workspace.describe()
+        assert status == {"name": "oecd", "version": 1, "loaded": False,
+                          "engine_built": False, "lazy": True}
+        workspace.engine("oecd")
+        (status,) = workspace.describe()
+        assert status["loaded"] and status["engine_built"]
+
+
+class TestRequestServing:
+    def test_multi_class_response_in_request_order(self, workspace):
+        response = workspace.handle(_request())
+        assert response.classes() == ["dispersion", "skew", "outliers"]
+        assert all(len(c["insights"]) == 3 for c in response.carousels)
+        assert response.dataset_version == 1
+        assert response.timing["total_seconds"] >= 0
+
+    def test_multi_class_request_enumerates_once(self, workspace):
+        response = workspace.handle(_request())
+        assert response.provenance["enumerations"] == 1
+        assert response.provenance["shared_queries"] == 2
+
+    def test_repeat_request_served_from_cache_with_provenance(self, workspace):
+        first = workspace.handle(_request())
+        assert first.provenance["cache"] == "miss"
+        second = workspace.handle(_request())
+        assert second.provenance["cache"] == "hit"
+        assert second.carousels == first.carousels
+        info = workspace.cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+
+    def test_cache_hit_does_not_mutate_cached_entry(self, workspace):
+        workspace.handle(_request())
+        hit = workspace.handle(_request())
+        hit.carousels[0]["insights"].clear()
+        hit.provenance["cache"] = "tampered"
+        again = workspace.handle(_request())
+        assert again.provenance["cache"] == "hit"
+        assert again.carousels[0]["insights"]
+
+    def test_results_match_direct_engine_queries(self, workspace, oecd_engine):
+        response = workspace.handle(_request())
+        for name in ("dispersion", "skew", "outliers"):
+            direct = oecd_engine.query(name, top_k=3)
+            assert [i.attributes for i in response.insights_for(name)] == (
+                direct.attribute_sets()
+            )
+
+    def test_dict_and_json_requests_accepted(self, workspace):
+        response = workspace.handle(_request().to_dict())
+        assert isinstance(response, InsightResponse)
+        text = workspace.handle_json(_request().to_json())
+        assert InsightResponse.from_json(text).classes() == [
+            "dispersion", "skew", "outliers",
+        ]
+
+    def test_response_json_round_trip_is_byte_identical(self, workspace):
+        response = workspace.handle(_request())
+        text = response.to_json()
+        assert InsightResponse.from_json(text).to_json() == text
+        json.loads(text)  # strict JSON (no IEEE infinities etc.)
+
+    def test_constraints_forwarded(self, workspace):
+        response = workspace.handle(InsightRequest(
+            dataset="oecd", insight_classes="linear_relationship", top_k=3,
+            fixed=("SelfReportedHealth",), mode="exact",
+        ))
+        insights = response.insights_for("linear_relationship")
+        assert insights
+        assert all(i.involves("SelfReportedHealth") for i in insights)
+
+    def test_bad_request_type_rejected(self, workspace):
+        with pytest.raises(ServiceError):
+            workspace.handle(42)
+
+
+class TestPagination:
+    def test_pages_are_disjoint_and_ordered(self, workspace):
+        page1 = workspace.handle(InsightRequest(
+            dataset="oecd", insight_classes="skew", top_k=2, mode="exact"))
+        assert page1.next_cursor is not None
+        page2 = workspace.handle(InsightRequest(
+            dataset="oecd", insight_classes="skew", top_k=2, mode="exact",
+            cursor=page1.next_cursor))
+        first = page1.insights_for("skew")
+        second = page2.insights_for("skew")
+        assert len(first) == 2 and second
+        assert not {i.key for i in first} & {i.key for i in second}
+        # Concatenated pages must equal one deep query.
+        deep = workspace.engine("oecd").query("skew", top_k=4, mode="exact")
+        assert [i.attributes for i in first + second] == deep.attribute_sets()[:len(first + second)]
+
+    def test_pagination_terminates(self, workspace):
+        cursor = None
+        seen = []
+        for _ in range(30):  # far more pages than insights exist
+            response = workspace.handle(InsightRequest(
+                dataset="oecd", insight_classes="skew", top_k=3, mode="exact",
+                cursor=cursor))
+            seen.extend(response.insights_for("skew"))
+            cursor = response.next_cursor
+            if cursor is None:
+                break
+        assert cursor is None
+        assert len({i.key for i in seen}) == len(seen)
+
+    def test_invalid_cursor_rejected(self, workspace):
+        with pytest.raises(ProtocolError):
+            workspace.handle(_request(cursor="garbage-cursor"))
+
+
+class TestReloadAndInvalidation:
+    def test_reload_bumps_version_and_invalidates_cache(self):
+        calls = []
+
+        def loader():
+            calls.append(1)
+            return make_numeric_table(n_rows=80, n_columns=5, seed=1)
+
+        workspace = Workspace()
+        workspace.register("synthetic", loader)
+        request = InsightRequest(dataset="synthetic", insight_classes="skew", top_k=2)
+        assert workspace.handle(request).provenance["cache"] == "miss"
+        assert workspace.handle(request).provenance["cache"] == "hit"
+
+        assert workspace.reload("synthetic") == 2
+        assert workspace.version("synthetic") == 2
+        response = workspace.handle(request)
+        assert response.provenance["cache"] == "miss"
+        assert response.dataset_version == 2
+        assert len(calls) == 2  # loader re-ran after reload
+
+    def test_explicit_invalidation(self, workspace):
+        workspace.handle(_request())
+        assert len(workspace.cache) == 1
+        assert workspace.invalidate("oecd") == 1
+        assert len(workspace.cache) == 0
+        assert workspace.handle(_request()).provenance["cache"] == "miss"
+
+
+class TestWorkspaceSessions:
+    def test_session_addressable_by_dataset_name(self, workspace):
+        session = workspace.session("oecd", name="analyst-1")
+        assert session.dataset == "oecd"
+        assert session.engine is workspace.engine("oecd")
+
+    def test_save_restore_save_is_byte_identical(self, workspace):
+        session = workspace.session("oecd", name="analyst-1")
+        insight = Insight("normality", ("SelfReportedHealth",), 0.7,
+                          "non_normality", summary="left-skewed",
+                          details={"shape": "left-skewed"})
+        session.focus(insight)
+        session.query("skew", top_k=1)
+        saved = session.save_json()
+        restored = workspace.restore_session(saved)
+        assert restored.save_json() == saved
+        assert restored.focused_insights == [insight]
+        # And once more through the dict form.
+        assert workspace.restore_session(restored.save()).save_json() == saved
+
+    def test_restored_session_keeps_exploring(self, workspace):
+        session = workspace.session("oecd")
+        session.focus(Insight("skew", ("SelfReportedHealth",), 2.0, "abs_skewness"))
+        restored = workspace.restore_session(session.save())
+        result = restored.recommend_near_focus("linear_relationship", top_k=2)
+        assert len(result) == 2
+
+    def test_restore_unknown_dataset_raises(self, workspace):
+        session = workspace.session("oecd")
+        state = session.save()
+        state["dataset"] = "elsewhere"
+        with pytest.raises(UnknownDatasetError):
+            workspace.restore_session(state)
