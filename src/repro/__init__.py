@@ -5,17 +5,23 @@ Public API highlights
 Serving layer (multi-user, transport-agnostic):
 
 * :class:`repro.Workspace` — registers named datasets (tables or lazy
-  loaders), builds one preprocessed engine per dataset, serves
+  loaders), builds one preprocessed engine per dataset (single-flight
+  under concurrent callers), serves
   :class:`repro.InsightRequest` → :class:`repro.InsightResponse` DTOs
   with LRU result caching, version-aware invalidation and pagination,
-  and restores exploration sessions by dataset name.
+  executes request batches concurrently (``handle_many``), and restores
+  exploration sessions by dataset name.  Thread-safe throughout.
 * :class:`repro.InsightRequest` / :class:`repro.InsightResponse` — the
   versioned, JSON-serialisable wire protocol: one or many insight
   classes per request, shared query constraints, pagination cursors and
   cache/mode provenance on every response.
 * :class:`repro.service.QueryPipeline` — the staged execution pipeline
   (plan → enumerate → score → rank); multi-class requests enumerate each
-  shared candidate domain once instead of once per class.
+  shared candidate domain once instead of once per class, unpruned
+  same-class queries share scored batches, and the score stage shards
+  deterministically across :class:`repro.ExecutorConfig`-driven workers
+  (``max_workers=1``, the default, is byte-identical to parallel runs
+  and preserves the historical serial behavior exactly).
 
 Single-process embedding:
 
@@ -50,6 +56,7 @@ See ``docs/API.md`` for the full serving-layer guide.
 """
 
 from repro.core.engine import Carousel, EngineConfig, Foresight
+from repro.core.executor import ExecutorConfig
 from repro.core.insight import Insight, InsightClass, EvaluationContext
 from repro.core.query import InsightQuery, MetricRange, query
 from repro.core.ranking import RankingResult
@@ -66,6 +73,7 @@ __all__ = [
     "DataTable",
     "EngineConfig",
     "EvaluationContext",
+    "ExecutorConfig",
     "ExplorationSession",
     "Foresight",
     "Insight",

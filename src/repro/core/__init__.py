@@ -1,5 +1,12 @@
 """Core contribution: the insight framework, ranking engine and exploration API."""
 
+from repro.core.executor import (
+    Executor,
+    ExecutorConfig,
+    ParallelExecutor,
+    SerialExecutor,
+    create_executor,
+)
 from repro.core.insight import (
     EvaluationContext,
     Insight,
@@ -41,8 +48,13 @@ __all__ = [
     "DispersionInsight",
     "EngineConfig",
     "EvaluationContext",
+    "Executor",
+    "ExecutorConfig",
     "ExplorationSession",
     "Foresight",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "create_executor",
     "HeavyTailsInsight",
     "HeterogeneousFrequenciesInsight",
     "Insight",

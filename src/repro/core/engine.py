@@ -23,6 +23,7 @@ from typing import Iterable, Sequence
 
 from repro.errors import InsightError
 from repro.data.table import DataTable
+from repro.core.executor import Executor, ExecutorConfig, create_executor
 from repro.core.insight import (
     EvaluationContext,
     Insight,
@@ -64,6 +65,11 @@ class EngineConfig:
     default_top_k: int = 5
     sketch: SketchStoreConfig = field(default_factory=SketchStoreConfig)
     neighborhood: NeighborhoodConfig = field(default_factory=NeighborhoodConfig)
+    #: Execution-layer knobs: ``max_workers=1`` (the default) runs
+    #: everything serially on the caller's thread; higher values
+    #: parallelise preprocessing and the score stage without changing
+    #: any output byte.
+    executor: ExecutorConfig = field(default_factory=ExecutorConfig)
     #: Cap on scored candidates for 3-attribute classes to stay interactive.
     max_candidates_triples: int = 5000
 
@@ -81,10 +87,13 @@ class Foresight:
         self._table = table
         self._registry = registry or default_registry()
         self._config = config or EngineConfig()
+        self._executor = create_executor(self._config.executor)
         self._store: SketchStore | None = None
         if preprocess and self._config.mode == MODE_APPROXIMATE:
-            self._store = SketchStore(table, config=self._config.sketch)
-        self._ranking = RankingEngine(self._registry)
+            self._store = SketchStore(
+                table, config=self._config.sketch, executor=self._executor
+            )
+        self._ranking = RankingEngine(self._registry, executor=self._executor)
         self._neighborhood = NeighborhoodRecommender(
             self._ranking, config=self._config.neighborhood
         )
@@ -108,6 +117,11 @@ class Foresight:
     @property
     def config(self) -> EngineConfig:
         return self._config
+
+    @property
+    def executor(self) -> Executor:
+        """The execution layer shared by preprocessing and the pipeline."""
+        return self._executor
 
     def insight_classes(self) -> list[dict[str, object]]:
         """Catalogue of the registered insight classes."""
@@ -255,8 +269,10 @@ class Foresight:
             default_top_k=self._config.default_top_k,
             sketch=self._config.sketch,
             neighborhood=self._config.neighborhood,
+            executor=self._config.executor,
             max_candidates_triples=self._config.max_candidates_triples,
         )
+        clone._executor = self._executor
         clone._store = self._store
         clone._ranking = self._ranking
         clone._neighborhood = self._neighborhood

@@ -175,13 +175,32 @@ class InsightClass(abc.ABC):
     def score_all(
         self, candidate_tuples: Sequence[tuple[str, ...]], context: EvaluationContext
     ) -> list[ScoredCandidate]:
-        """Score many candidates (subclasses may override with batched code)."""
+        """Score many candidates (subclasses may override with batched code).
+
+        Contract: results preserve candidate order, and each candidate's
+        value must not depend on which *other* candidates share the batch
+        (``score_all(a + b) == score_all(a) + score_all(b)``, bit for
+        bit).  The default implementation satisfies this trivially; a
+        batched override that computes shared intermediates (e.g. a
+        correlation matrix) must derive each pair's value from that
+        pair's columns only.
+        """
         results = []
         for attributes in candidate_tuples:
             scored = self.score(attributes, context)
             if scored is not None:
                 results.append(scored)
         return results
+
+    def scores_elementwise(self) -> bool:
+        """Whether scoring is a plain per-candidate loop (no batched override).
+
+        The query pipeline shards the score stage of such classes across
+        executor workers; classes overriding :meth:`score_all` vectorise
+        internally (one matrix product beats four chunked ones), so they
+        are scored in a single batch instead.
+        """
+        return type(self).score_all is InsightClass.score_all
 
     # -- presentation ----------------------------------------------------------------
     @abc.abstractmethod

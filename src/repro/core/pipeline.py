@@ -16,14 +16,34 @@ executed by :class:`QueryPipeline`:
    ``max_candidates`` cap, which must keep the lazy early-stop that avoids
    materialising a large domain to serve a few tuples — iterate privately;
 3. **score** — evaluate the insight metric over the admissible candidates
-   (batched / sketch-backed where the class supports it);
+   (batched / sketch-backed where the class supports it).  Two pieces of
+   machinery live here:
+
+   * **sharded scoring** — classes that score candidates one at a time
+     (:meth:`~repro.core.insight.InsightClass.scores_elementwise`) have
+     their admissible list split into deterministic contiguous chunks
+     (:func:`repro.core.executor.shard`) and fanned out over the
+     pipeline's :class:`~repro.core.executor.Executor`.  Because chunking
+     is a pure function of the candidate count and ``score_all`` is
+     order-preserving and element-independent, a parallel run produces
+     byte-identical rankings to a serial one;
+   * **cross-query score sharing** — queries over the same shared
+     candidate domain whose constraints don't prune (their admissible
+     list *is* the full domain) share scored candidates, not just
+     enumerated tuples: the first query of each
+     ``(class, mode, domain)`` group pays for scoring and the rest reuse
+     its batch, so a batch of unpruned same-class queries scores each
+     candidate once;
+
 4. **rank** — apply the metric-range filter, sort (score descending, ties
    broken by attribute names for determinism) and take the top-k.
 
-:class:`PipelineStats` counts raw enumerations and shared queries; the
-serving layer (:mod:`repro.service.workspace`) surfaces those counters as
-response provenance, and the pipeline tests use them to prove that a
-multi-class request over same-arity classes enumerates only once.
+:class:`PipelineStats` counts raw enumerations, shared queries, actual
+metric evaluations and score-batch reuse; the serving layer
+(:mod:`repro.service.workspace`) surfaces those counters as response
+provenance, and the pipeline tests use them to prove that a multi-class
+request over same-arity classes enumerates only once and that unpruned
+same-class queries score each candidate once, not twice.
 
 The implementation lives in :mod:`repro.core` (it is execution-engine
 machinery); :mod:`repro.service.pipeline` re-exports it as part of the
@@ -37,6 +57,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro.core.executor import Executor, SerialExecutor, shard
 from repro.core.insight import (
     EvaluationContext,
     Insight,
@@ -82,8 +103,18 @@ class PipelineStats:
     shared_queries: int = 0
     #: Total queries executed.
     n_queries: int = 0
-    #: Total candidate tuples scored across all queries.
+    #: Total candidate tuples scored across all queries (reuse included).
     n_scored: int = 0
+    #: Candidate tuples actually submitted to a metric evaluation.  When
+    #: cross-query score sharing engages this stays below the sum of
+    #: per-query admissible counts — the proof that a shared candidate
+    #: was scored once, not once per query.
+    score_evaluations: int = 0
+    #: Queries whose scored batch was reused from an earlier query of the
+    #: same (class, mode, domain) group.
+    shared_score_queries: int = 0
+    #: Chunks dispatched by the sharded score stage (0 = no sharding).
+    score_shards: int = 0
     #: Wall-clock seconds for the whole execution.
     elapsed_seconds: float = 0.0
 
@@ -93,6 +124,9 @@ class PipelineStats:
             "shared_queries": self.shared_queries,
             "n_queries": self.n_queries,
             "n_scored": self.n_scored,
+            "score_evaluations": self.score_evaluations,
+            "shared_score_queries": self.shared_score_queries,
+            "score_shards": self.score_shards,
             "elapsed_seconds": self.elapsed_seconds,
         }
 
@@ -134,6 +168,10 @@ class Enumeration:
     #: materialisation of a shared domain is charged to the first query of
     #: its group (whose ``candidates()`` call actually paid for it).
     elapsed_seconds: float = 0.0
+    #: Set to the enumeration share key when the admissible list is the
+    #: *unpruned* shared domain — the precondition for the score stage to
+    #: share this query's scored batch with its domain-mates.
+    score_share_key: tuple[str, int] | None = None
 
 
 @dataclass
@@ -145,14 +183,28 @@ class ScoredBatch:
 
 
 class QueryPipeline:
-    """Executes insight queries in explicit stages with shared enumeration."""
+    """Executes insight queries in explicit stages with shared enumeration.
 
-    def __init__(self, registry: InsightRegistry):
+    The optional ``executor`` fans the score stage out across workers;
+    the default :class:`~repro.core.executor.SerialExecutor` preserves
+    single-threaded behavior exactly.  One pipeline instance is safe to
+    use from many threads concurrently: every per-execution structure is
+    call-local, and the executor's thread pool supports concurrent
+    submitters.
+    """
+
+    def __init__(self, registry: InsightRegistry, executor: Executor | None = None):
         self._registry = registry
+        self._executor = executor or SerialExecutor()
 
     @property
     def registry(self) -> InsightRegistry:
         return self._registry
+
+    @property
+    def executor(self) -> Executor:
+        """The executor the score stage fans out on."""
+        return self._executor
 
     # ------------------------------------------------------------------
     # Stage 1: plan
@@ -204,6 +256,7 @@ class QueryPipeline:
         for planned in plan.queries:
             start = time.perf_counter()
             key = planned.share_key
+            domain_size = None
             if key is not None and group_sizes.get(key, 0) >= 2:
                 if key not in shared:
                     shared[key] = list(
@@ -213,10 +266,19 @@ class QueryPipeline:
                 else:
                     stats.shared_queries += 1
                 candidates = iter(shared[key])
+                domain_size = len(shared[key])
             else:
                 candidates = planned.insight_class.candidates(context.table)
                 stats.enumerations += 1
             enumeration = self._filter_candidates(candidates, planned.query, context)
+            if (
+                domain_size is not None
+                and not enumeration.truncated
+                and len(enumeration.admissible) == domain_size
+            ):
+                # Constraints pruned nothing: the admissible list is the
+                # whole shared domain, so scored batches are shareable too.
+                enumeration.score_share_key = key
             enumeration.elapsed_seconds = time.perf_counter() - start
             enumerations.append(enumeration)
         return enumerations
@@ -231,16 +293,41 @@ class QueryPipeline:
         context: EvaluationContext,
         stats: PipelineStats | None = None,
     ) -> list[ScoredBatch]:
-        """Metric values for every admissible candidate of every query."""
+        """Metric values for every admissible candidate of every query.
+
+        Queries whose enumeration carries a ``score_share_key`` (same
+        shared domain, nothing pruned) additionally share scoring per
+        ``(class, mode, domain)`` group — the first query pays, the rest
+        reuse its scored batch.  Scoring of element-wise classes is
+        sharded across the executor's workers in deterministic chunks.
+        """
         batches = []
+        shared_scores: dict[tuple[str, str, tuple[str, int]], list[ScoredCandidate]] = {}
         for planned, enumeration in zip(plan.queries, enumerations):
             start = time.perf_counter()
             query_context = self._apply_mode(planned.query, context)
-            scored = (
-                planned.insight_class.score_all(enumeration.admissible, query_context)
-                if enumeration.admissible
-                else []
+            share_key = (
+                (
+                    planned.insight_class.name,
+                    query_context.mode,
+                    enumeration.score_share_key,
+                )
+                if enumeration.score_share_key is not None
+                else None
             )
+            if share_key is not None and share_key in shared_scores:
+                scored = shared_scores[share_key]
+                if stats is not None:
+                    stats.shared_score_queries += 1
+            else:
+                scored = self._score_one(
+                    planned.insight_class,
+                    enumeration.admissible,
+                    query_context,
+                    stats,
+                )
+                if share_key is not None:
+                    shared_scores[share_key] = scored
             if stats is not None:
                 stats.n_scored += len(scored)
             batches.append(
@@ -250,6 +337,45 @@ class QueryPipeline:
                 )
             )
         return batches
+
+    def _score_one(
+        self,
+        insight_class: InsightClass,
+        admissible: list[tuple[str, ...]],
+        query_context: EvaluationContext,
+        stats: PipelineStats | None,
+    ) -> list[ScoredCandidate]:
+        """Score one query's admissible candidates, sharding when worthwhile.
+
+        Only element-wise classes shard: a batched ``score_all`` override
+        computes shared intermediates (one correlation matrix beats four
+        chunked ones), so it runs as a single batch.  Chunk boundaries are
+        a pure function of the candidate count, and ``score_all`` is
+        order-preserving and element-independent, so concatenating the
+        chunk results is bit-identical to one serial pass.
+        """
+        if not admissible:
+            return []
+        if stats is not None:
+            stats.score_evaluations += len(admissible)
+        if (
+            self._executor.max_workers > 1
+            and insight_class.scores_elementwise()
+        ):
+            chunks = shard(
+                admissible,
+                self._executor.max_workers,
+                self._executor.config.min_chunk_size,
+            )
+            if len(chunks) > 1:
+                if stats is not None:
+                    stats.score_shards += len(chunks)
+                parts = self._executor.map(
+                    lambda chunk: insight_class.score_all(chunk, query_context),
+                    chunks,
+                )
+                return [scored for part in parts for scored in part]
+        return insight_class.score_all(admissible, query_context)
 
     # ------------------------------------------------------------------
     # Stage 4: rank

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.core.executor import Executor
 from repro.core.insight import EvaluationContext
 from repro.core.pipeline import PipelineStats, QueryPipeline, RankingResult
 from repro.core.query import InsightQuery
@@ -32,9 +33,9 @@ __all__ = ["RankingEngine", "RankingResult"]
 class RankingEngine:
     """Executes insight queries using a registry of insight classes."""
 
-    def __init__(self, registry: InsightRegistry):
+    def __init__(self, registry: InsightRegistry, executor: Executor | None = None):
         self._registry = registry
-        self._pipeline = QueryPipeline(registry)
+        self._pipeline = QueryPipeline(registry, executor=executor)
 
     @property
     def registry(self) -> InsightRegistry:

@@ -7,8 +7,14 @@ a :class:`Workspace` behind it and exchange versioned, JSON-serialisable
 :class:`QueryPipeline` (plan → enumerate → score → rank) executes the
 queries with shared candidate enumeration and the :class:`ResultCache`
 absorbs repeated traffic.
+
+The whole path is safe under concurrent callers: the cache is locked,
+engine builds are single-flight, and :meth:`Workspace.handle_many` fans a
+batch of requests out over a thread pool configured by
+:class:`ExecutorConfig` (re-exported from :mod:`repro.core.executor`).
 """
 
+from repro.core.executor import Executor, ExecutorConfig
 from repro.service.cache import ResultCache
 from repro.service.cursor import decode_cursor, encode_cursor
 from repro.service.dto import (
@@ -31,6 +37,8 @@ from repro.service.workspace import Workspace
 __all__ = [
     "Enumeration",
     "ExecutionPlan",
+    "Executor",
+    "ExecutorConfig",
     "InsightRequest",
     "InsightResponse",
     "PROTOCOL_VERSION",

@@ -5,10 +5,18 @@ keys.  Including the dataset version in the key makes stale entries
 unreachable the moment a dataset is reloaded, and
 :meth:`ResultCache.invalidate` additionally evicts them eagerly so the
 memory is reclaimed rather than waiting for LRU pressure.
+
+The cache is thread-safe: every operation — including the LRU recency
+update inside :meth:`ResultCache.get` — runs under one internal lock, so
+concurrent serving threads can hit it freely and the hit/miss/eviction
+counters stay exact.  Evictions are counted whether they come from LRU
+pressure or from explicit invalidation; ``info()["invalidations"]``
+additionally breaks out the explicit ones.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable
 
@@ -24,41 +32,55 @@ class ResultCache:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
         self._capacity = capacity
         self._entries: OrderedDict[CacheKey, Any] = OrderedDict()
+        self._lock = threading.RLock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._invalidations = 0
 
     # ------------------------------------------------------------------
     # Core operations
     # ------------------------------------------------------------------
     def get(self, key: CacheKey) -> Any | None:
         """Return the cached value (refreshing its recency), or None."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self._hits += 1
-            return self._entries[key]
-        self._misses += 1
-        return None
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return self._entries[key]
+            self._misses += 1
+            return None
 
     def put(self, key: CacheKey, value: Any) -> None:
         """Insert a value, evicting the least recently used entry if full."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self._capacity:
-            self._entries.popitem(last=False)
-            self._evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
 
     def invalidate(self, dataset: str | None = None) -> int:
-        """Evict entries for one dataset (or everything); returns the count."""
-        if dataset is None:
-            evicted = len(self._entries)
-            self._entries.clear()
+        """Evict entries for one dataset (or everything); returns the count.
+
+        Explicit removals count toward ``info()["evictions"]`` exactly
+        like LRU-pressure evictions (and toward ``"invalidations"``
+        specifically), so the counters account for every entry that ever
+        left the cache.
+        """
+        with self._lock:
+            if dataset is None:
+                evicted = len(self._entries)
+                self._entries.clear()
+            else:
+                stale = [key for key in self._entries if key[0] == dataset]
+                for key in stale:
+                    del self._entries[key]
+                evicted = len(stale)
+            self._evictions += evicted
+            self._invalidations += evicted
             return evicted
-        stale = [key for key in self._entries if key[0] == dataset]
-        for key in stale:
-            del self._entries[key]
-        return len(stale)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -68,21 +90,32 @@ class ResultCache:
         return self._capacity
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def keys(self) -> list[CacheKey]:
         """Keys from least to most recently used."""
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     def info(self) -> dict[str, int]:
-        """Hit/miss/eviction counters plus current occupancy."""
-        return {
-            "capacity": self._capacity,
-            "size": len(self._entries),
-            "hits": self._hits,
-            "misses": self._misses,
-            "evictions": self._evictions,
-        }
+        """Hit/miss/eviction counters plus current occupancy.
+
+        ``evictions`` counts every removal (LRU pressure **and** explicit
+        invalidation); ``invalidations`` is the explicit subset.  Taken
+        under the cache lock, so the snapshot is internally consistent
+        even under concurrent traffic.
+        """
+        with self._lock:
+            return {
+                "capacity": self._capacity,
+                "size": len(self._entries),
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "invalidations": self._invalidations,
+            }

@@ -13,10 +13,19 @@ A :class:`Workspace` owns named datasets and serves
   ``(dataset, dataset_version, canonical_request)``, with hit/miss
   provenance recorded on every response;
 * multi-class requests execute on the staged query pipeline, so classes
-  that enumerate the same candidate domain share one enumeration pass;
+  that enumerate the same candidate domain share one enumeration pass —
+  and, when their constraints don't prune, scored batches too;
 * exploration sessions become workspace-addressable: they are created by
   dataset name and their saved state (which embeds the dataset name)
   restores through the workspace without the caller touching engines.
+
+The workspace is safe under concurrent callers: the result cache is
+internally locked, every dataset entry carries its own lock, and engine
+builds are *single-flight* — when N threads race on a cold dataset,
+exactly one pays for the build (``engine_builds`` in :meth:`describe`
+proves it) while the rest wait and reuse it.  :meth:`handle_many`
+executes a batch of requests concurrently on a thread pool, stamping
+per-request batch provenance on each response.
 
 Typical use::
 
@@ -36,18 +45,24 @@ Typical use::
 
 from __future__ import annotations
 
+import threading
 import time
-from dataclasses import dataclass
-from typing import Any, Callable, Mapping
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.errors import ServiceError, UnknownDatasetError
 from repro.core.engine import EngineConfig, Foresight
+from repro.core.executor import ExecutorConfig, create_executor
 from repro.core.session import ExplorationSession
 from repro.data.table import DataTable
 from repro.service.cache import ResultCache
 from repro.service.cursor import decode_cursor, encode_cursor
 from repro.service.dto import InsightRequest, InsightResponse, SessionState
 from repro.service.pipeline import PipelineStats
+
+#: Concurrency used by :meth:`Workspace.handle_many` when neither the
+#: call nor the workspace's executor config asks for a specific width.
+_DEFAULT_BATCH_WORKERS = 4
 
 
 @dataclass
@@ -60,14 +75,46 @@ class _DatasetEntry:
     engine_config: EngineConfig | None
     engine: Foresight | None = None
     version: int = 1
+    #: Guards lazy loading/building and version bumps for this dataset.
+    #: Reentrant because building the engine loads the table under the
+    #: same lock.
+    lock: threading.RLock = field(default_factory=threading.RLock)
+    #: How many times the engine was (re)built — the single-flight tests
+    #: assert this stays at 1 when N threads race on a cold dataset.
+    engine_builds: int = 0
+    #: How many times the loader actually ran.
+    loads: int = 0
 
 
 class Workspace:
-    """Registers named datasets and serves insight requests against them."""
+    """Registers named datasets and serves insight requests against them.
 
-    def __init__(self, cache_size: int = 128):
+    ``executor`` configures concurrency: it is the default pool width for
+    :meth:`handle_many`, and datasets registered without an explicit
+    ``engine_config`` inherit it into their engines, parallelising sketch
+    preprocessing and the pipeline's score stage.  The default
+    (``max_workers=1``, unless ``REPRO_MAX_WORKERS`` says otherwise) is
+    fully serial inside each request, exactly as before.
+    """
+
+    def __init__(self, cache_size: int = 128, executor: ExecutorConfig | None = None):
         self._entries: dict[str, _DatasetEntry] = {}
         self._cache = ResultCache(capacity=cache_size)
+        self._executor_config = executor or ExecutorConfig()
+        #: Guards the registry of entries (not per-dataset state).
+        self._lock = threading.RLock()
+        #: Monotonic per-name version counters.  Versions must never
+        #: repeat across re-registrations: a reload racing a
+        #: register(replace=True) that minted the same number twice would
+        #: make a stale cached response reachable under the new
+        #: generation's key.
+        self._version_counters: dict[str, int] = {}
+
+    def _next_version(self, name: str) -> int:
+        with self._lock:
+            version = self._version_counters.get(name, 0) + 1
+            self._version_counters[name] = version
+            return version
 
     # ------------------------------------------------------------------
     # Dataset management
@@ -89,12 +136,6 @@ class Workspace:
         """
         if not name:
             raise ServiceError("dataset name must be a non-empty string")
-        existing = self._entries.get(name)
-        if existing is not None and not replace:
-            raise ServiceError(
-                f"dataset {name!r} is already registered; pass replace=True "
-                "to override it"
-            )
         if isinstance(source, DataTable):
             loader, table = None, source
         elif callable(source):
@@ -104,42 +145,69 @@ class Workspace:
                 "dataset source must be a DataTable or a zero-argument callable, "
                 f"got {type(source).__name__}"
             )
-        version = existing.version + 1 if existing is not None else 1
-        self._entries[name] = _DatasetEntry(
-            name=name,
-            loader=loader,
-            table=table,
-            engine_config=engine_config,
-            version=version,
-        )
+        with self._lock:
+            existing = self._entries.get(name)
+            if existing is not None and not replace:
+                raise ServiceError(
+                    f"dataset {name!r} is already registered; pass replace=True "
+                    "to override it"
+                )
+            version = self._next_version(name)
+            self._entries[name] = _DatasetEntry(
+                name=name,
+                loader=loader,
+                table=table,
+                engine_config=engine_config,
+                version=version,
+            )
         if existing is not None:
             self._cache.invalidate(name)
 
     def datasets(self) -> list[str]:
         """Registered dataset names, in registration order."""
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     def __contains__(self, name: object) -> bool:
-        return name in self._entries
+        with self._lock:
+            return name in self._entries
 
     def version(self, name: str) -> int:
         """The current version of a dataset (bumped on every reload)."""
-        return self._entry(name).version
+        entry = self._entry(name)
+        with entry.lock:
+            return entry.version
 
     def table(self, name: str) -> DataTable:
-        """The dataset's table, running its loader if not yet materialised."""
+        """The dataset's table, running its loader if not yet materialised.
+
+        Loading is single-flight: concurrent callers on a cold dataset
+        run the loader exactly once.
+        """
         entry = self._entry(name)
-        if entry.table is None:
-            assert entry.loader is not None
-            entry.table = entry.loader()
-        return entry.table
+        with entry.lock:
+            if entry.table is None:
+                assert entry.loader is not None
+                entry.table = entry.loader()
+                entry.loads += 1
+            return entry.table
 
     def engine(self, name: str) -> Foresight:
-        """The dataset's preprocessed engine, built lazily and cached."""
+        """The dataset's preprocessed engine, built lazily and cached.
+
+        Builds are single-flight: when N threads race on a cold dataset,
+        one thread pays for preprocessing under the entry lock while the
+        rest wait and reuse the finished engine (``engine_builds`` stays
+        at 1).  Datasets registered without an explicit ``engine_config``
+        inherit the workspace's executor configuration.
+        """
+        return self._engine_snapshot(name)[0]
+
+    def engine_builds(self, name: str) -> int:
+        """How many times this dataset's engine has been built."""
         entry = self._entry(name)
-        if entry.engine is None:
-            entry.engine = Foresight(self.table(name), config=entry.engine_config)
-        return entry.engine
+        with entry.lock:
+            return entry.engine_builds
 
     def reload(self, name: str) -> int:
         """Re-run the dataset's loader, bump its version, drop cached state.
@@ -150,12 +218,13 @@ class Workspace:
         "the underlying data changed" after in-place mutation.
         """
         entry = self._entry(name)
-        if entry.loader is not None:
-            entry.table = None
-        entry.engine = None
-        entry.version += 1
+        with entry.lock:
+            if entry.loader is not None:
+                entry.table = None
+            entry.engine = None
+            entry.version = version = self._next_version(name)
         self._cache.invalidate(name)
-        return entry.version
+        return version
 
     def invalidate(self, name: str | None = None) -> int:
         """Evict cached responses for one dataset (or all); returns the count."""
@@ -169,10 +238,17 @@ class Workspace:
     def handle(
         self, request: InsightRequest | Mapping[str, Any] | str
     ) -> InsightResponse:
-        """Serve one insight request (DTO, dict payload, or JSON text)."""
+        """Serve one insight request (DTO, dict payload, or JSON text).
+
+        Safe to call from many threads at once.  The engine/version pair
+        is snapshotted atomically, so a response's ``dataset_version``
+        always matches the engine that produced it; a reload racing with
+        an in-flight request at worst leaves one response cached under
+        the superseded version, where the version-qualified key makes it
+        unreachable.
+        """
         request = self._coerce_request(request)
-        engine = self.engine(request.dataset)
-        version = self._entry(request.dataset).version
+        engine, version = self._engine_snapshot(request.dataset)
         key = (request.dataset, version, request.canonical_key())
 
         # The cache stores canonical JSON, so hits rehydrate into fresh
@@ -219,11 +295,57 @@ class Workspace:
                 "mode": request.mode or engine.config.mode,
                 "enumerations": stats.enumerations,
                 "shared_queries": stats.shared_queries,
+                "score_evaluations": stats.score_evaluations,
+                "shared_score_queries": stats.shared_score_queries,
+                "max_workers": engine.executor.max_workers,
             },
             next_cursor=encode_cursor(offset + page_size) if has_more else None,
         )
         self._cache.put(key, response.to_json())
         return response
+
+    def handle_many(
+        self,
+        requests: Sequence[InsightRequest | Mapping[str, Any] | str],
+        max_workers: int | None = None,
+    ) -> list[InsightResponse]:
+        """Serve a batch of requests concurrently, preserving order.
+
+        Each request runs through :meth:`handle` on a worker thread, so
+        batches get the full machinery — result cache, single-flight
+        engine builds, shared enumeration and scoring — plus per-request
+        batch provenance (``provenance["batch"]`` carries the request's
+        index, the batch size and the pool width).  ``max_workers``
+        defaults to the workspace's executor configuration, or
+        4 when that is serial; pass 1 to force a serial batch.  The first
+        request failure propagates, mirroring :meth:`handle`.
+        """
+        coerced = [self._coerce_request(request) for request in requests]
+        if not coerced:
+            return []
+        if max_workers is None:
+            configured = self._executor_config.max_workers
+            max_workers = configured if configured > 1 else _DEFAULT_BATCH_WORKERS
+        workers = max(1, min(int(max_workers), len(coerced)))
+        batch_size = len(coerced)
+
+        def _serve(indexed: tuple[int, InsightRequest]) -> InsightResponse:
+            index, request = indexed
+            response = self.handle(request)
+            # Annotate after handle() has cached the canonical JSON, so
+            # batch position never leaks into cached responses.
+            response.provenance = {
+                **response.provenance,
+                "batch": {"index": index, "size": batch_size,
+                          "max_workers": workers},
+            }
+            return response
+
+        executor = create_executor(ExecutorConfig(max_workers=workers))
+        try:
+            return executor.map(_serve, list(enumerate(coerced)))
+        finally:
+            executor.close()
 
     def handle_json(self, text: str) -> str:
         """JSON-in / JSON-out convenience for transport adapters."""
@@ -261,16 +383,22 @@ class Workspace:
 
     def describe(self) -> list[dict[str, Any]]:
         """Status of every registered dataset (for ops endpoints)."""
-        return [
-            {
-                "name": entry.name,
-                "version": entry.version,
-                "loaded": entry.table is not None,
-                "engine_built": entry.engine is not None,
-                "lazy": entry.loader is not None,
-            }
-            for entry in self._entries.values()
-        ]
+        with self._lock:
+            entries = list(self._entries.values())
+        described = []
+        for entry in entries:
+            with entry.lock:
+                described.append(
+                    {
+                        "name": entry.name,
+                        "version": entry.version,
+                        "loaded": entry.table is not None,
+                        "engine_built": entry.engine is not None,
+                        "engine_builds": entry.engine_builds,
+                        "lazy": entry.loader is not None,
+                    }
+                )
+        return described
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -282,10 +410,37 @@ class Workspace:
     # Internals
     # ------------------------------------------------------------------
     def _entry(self, name: str) -> _DatasetEntry:
-        try:
-            return self._entries[name]
-        except KeyError:
-            raise UnknownDatasetError(name, self.datasets()) from None
+        with self._lock:
+            try:
+                return self._entries[name]
+            except KeyError:
+                raise UnknownDatasetError(name, self.datasets()) from None
+
+    def _engine_snapshot(self, name: str) -> tuple[Foresight, int]:
+        """The dataset's engine and version, consistent under concurrency.
+
+        Runs the single-flight build when the engine is cold: the first
+        caller holds the entry lock through load + preprocess while
+        racing threads block on it, then everyone reads the same built
+        engine.  Taking engine and version under one lock hold keeps a
+        response's provenance consistent even when reloads race.
+        """
+        entry = self._entry(name)
+        with entry.lock:
+            if entry.engine is None:
+                if entry.table is None:
+                    assert entry.loader is not None
+                    entry.table = entry.loader()
+                    entry.loads += 1
+                config = entry.engine_config
+                if config is None:
+                    # Inherit the workspace's executor configuration, so
+                    # an explicit Workspace(executor=...) wins over the
+                    # REPRO_MAX_WORKERS environment default either way.
+                    config = EngineConfig(executor=self._executor_config)
+                entry.engine = Foresight(entry.table, config=config)
+                entry.engine_builds += 1
+            return entry.engine, entry.version
 
     @staticmethod
     def _coerce_request(

@@ -28,6 +28,7 @@ from typing import Mapping
 import numpy as np
 
 from repro.errors import SketchNotAvailableError
+from repro.core.executor import Executor, SerialExecutor
 from repro.data.column import CategoricalColumn, NumericColumn
 from repro.data.table import DataTable
 from repro.sketch.entropy import EntropySketch
@@ -94,11 +95,25 @@ class PreprocessStats:
 
 
 class SketchStore:
-    """Per-column sketches for a table, plus approximate metric queries."""
+    """Per-column sketches for a table, plus approximate metric queries.
 
-    def __init__(self, table: DataTable, config: SketchStoreConfig | None = None):
+    Preprocessing is embarrassingly parallel across columns, so the
+    per-column builds fan out over ``executor`` when one with workers is
+    supplied.  Each column derives its own RNG stream from
+    ``(seed, column index)``, making the built store independent of both
+    column build order and worker count — a parallel build is identical
+    to a serial one.
+    """
+
+    def __init__(
+        self,
+        table: DataTable,
+        config: SketchStoreConfig | None = None,
+        executor: Executor | None = None,
+    ):
         self._table = table
         self._config = config or SketchStoreConfig()
+        self._executor = executor or SerialExecutor()
         self._columns: dict[str, ColumnSketches] = {}
         self._sketcher: HyperplaneSketcher | None = None
         self._sample_indices: np.ndarray = np.empty(0, dtype=np.int64)
@@ -128,41 +143,22 @@ class SketchStore:
         self._stats.per_stage_seconds["hyperplane"] = time.perf_counter() - stage_start
 
         stage_start = time.perf_counter()
-        quantile_rng = np.random.default_rng(config.seed)
-        for idx, name in enumerate(numeric_names):
-            column = table.numeric_column(name)
-            values = column.valid_values()
-            moments = MomentSketch()
-            moments.update_array(values)
-            quantiles = QuantileSketch(epsilon=config.quantile_epsilon)
-            if values.size > config.quantile_sample_cap:
-                sampled = quantile_rng.choice(
-                    values, size=config.quantile_sample_cap, replace=False
-                )
-                quantiles.update_array(sampled)
-            else:
-                quantiles.update_array(values)
-            bundle = ColumnSketches(
-                name=name,
-                moments=moments,
-                quantiles=quantiles,
-                hyperplane=signatures[idx] if signatures else None,
-            )
-            if column.is_discrete():
-                bundle.frequent = self._build_frequent(column.to_list())
-                bundle.entropy = self._build_entropy(column.to_list())
+        numeric_bundles = self._executor.map(
+            lambda item: self._build_numeric_column(
+                item[1], signatures[item[0]] if signatures else None, item[0]
+            ),
+            list(enumerate(numeric_names)),
+        )
+        for name, bundle in zip(numeric_names, numeric_bundles):
             self._columns[name] = bundle
         self._stats.per_stage_seconds["numeric"] = time.perf_counter() - stage_start
 
         stage_start = time.perf_counter()
-        for name in categorical_names:
-            column = table.categorical_column(name)
-            labels = column.labels()
-            self._columns[name] = ColumnSketches(
-                name=name,
-                frequent=self._build_frequent(labels),
-                entropy=self._build_entropy(labels),
-            )
+        categorical_bundles = self._executor.map(
+            self._build_categorical_column, categorical_names
+        )
+        for name, bundle in zip(categorical_names, categorical_bundles):
+            self._columns[name] = bundle
         self._stats.per_stage_seconds["categorical"] = time.perf_counter() - stage_start
 
         self._sample_indices = reservoir_row_indices(
@@ -176,6 +172,51 @@ class SketchStore:
         self._stats.hyperplane_width = width
         self._stats.total_sketch_bytes = sum(
             bundle.memory_bytes() for bundle in self._columns.values()
+        )
+
+    def _build_numeric_column(
+        self, name: str, signature: HyperplaneSketch | None, index: int
+    ) -> ColumnSketches:
+        """Build one numeric column's sketch bundle (runs on a worker).
+
+        The quantile sampling RNG is seeded from ``(seed, column index)``
+        rather than drawn from one sequential stream, so the sampled rows
+        — and therefore the built store — do not depend on the order in
+        which workers finish.
+        """
+        config = self._config
+        column = self._table.numeric_column(name)
+        values = column.valid_values()
+        moments = MomentSketch()
+        moments.update_array(values)
+        quantiles = QuantileSketch(epsilon=config.quantile_epsilon)
+        if values.size > config.quantile_sample_cap:
+            rng = np.random.default_rng([config.seed, index])
+            sampled = rng.choice(
+                values, size=config.quantile_sample_cap, replace=False
+            )
+            quantiles.update_array(sampled)
+        else:
+            quantiles.update_array(values)
+        bundle = ColumnSketches(
+            name=name,
+            moments=moments,
+            quantiles=quantiles,
+            hyperplane=signature,
+        )
+        if column.is_discrete():
+            bundle.frequent = self._build_frequent(column.to_list())
+            bundle.entropy = self._build_entropy(column.to_list())
+        return bundle
+
+    def _build_categorical_column(self, name: str) -> ColumnSketches:
+        """Build one categorical column's sketch bundle (runs on a worker)."""
+        column = self._table.categorical_column(name)
+        labels = column.labels()
+        return ColumnSketches(
+            name=name,
+            frequent=self._build_frequent(labels),
+            entropy=self._build_entropy(labels),
         )
 
     def _build_frequent(self, labels: list[object]) -> MisraGriesSketch:

@@ -14,7 +14,8 @@ class TestResultCache:
         cache.put(key, "value")
         assert cache.get(key) == "value"
         assert cache.info() == {"capacity": 4, "size": 1, "hits": 1,
-                                "misses": 1, "evictions": 0}
+                                "misses": 1, "evictions": 0,
+                                "invalidations": 0}
 
     def test_lru_eviction_order(self):
         cache = ResultCache(capacity=2)
@@ -44,6 +45,19 @@ class TestResultCache:
         assert ("b", 1, "q1") in cache
         assert cache.invalidate() == 1
         assert len(cache) == 0
+
+    def test_invalidate_counts_as_evictions(self):
+        # info()["evictions"] must account for every removal, whether it
+        # came from LRU pressure or an explicit invalidate call.
+        cache = ResultCache(capacity=2)
+        cache.put(("a", 1, "q1"), 1)
+        cache.put(("a", 1, "q2"), 2)
+        cache.put(("a", 1, "q3"), 3)  # LRU-evicts q1
+        assert cache.invalidate("a") == 2
+        info = cache.info()
+        assert info["evictions"] == 3
+        assert info["invalidations"] == 2
+        assert info["size"] == 0
 
     def test_version_in_key_separates_generations(self):
         cache = ResultCache(capacity=8)

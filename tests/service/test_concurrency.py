@@ -1,0 +1,226 @@
+"""Concurrency tests: parallel/serial determinism and thread-safe serving.
+
+Two guarantees are pinned down here:
+
+* **determinism** — for every bundled dataset, a multi-class request
+  produces byte-identical response payloads under ``max_workers=1`` and
+  ``max_workers=4`` (sharded scoring and parallel preprocessing must
+  never change a single byte of the rankings);
+* **thread safety** — one :class:`Workspace` hammered by many threads
+  (concurrent ``handle`` + ``reload`` + ``invalidate``) never corrupts
+  its counters: engine builds are single-flight, every cache lookup is
+  accounted for, and the LRU never exceeds capacity.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import ExecutorConfig, InsightRequest, Workspace
+from repro.core.registry import default_registry
+from repro.data.datasets import make_mixed_table
+
+ALL_CLASSES = tuple(default_registry().names())
+
+#: ALL_CLASSES minus the 3-attribute / quadratic classes whose candidate
+#: spaces make the larger bundled datasets slow to rank twice; the full
+#: list still runs on the two fast datasets, so every class is covered.
+FAST_CLASSES = tuple(
+    name for name in ALL_CLASSES if name not in ("segmentation", "dependence")
+)
+
+#: Element-wise univariate classes — the scoring-bound workload that the
+#: sharded score stage fans out across workers.
+SHARDED_CLASSES = ("dispersion", "skew", "heavy_tails", "outliers",
+                   "normality", "multimodality")
+
+
+def _comparable_payload(response) -> str:
+    """Canonical response JSON minus fields that legitimately vary.
+
+    Wall-clock timing and the advertised worker count differ between a
+    serial and a parallel run by construction; everything else —
+    rankings, scores, summaries, pagination, cache/pipeline provenance —
+    must match byte for byte.
+    """
+    payload = response.to_dict()
+    payload.pop("timing")
+    payload["provenance"].pop("max_workers")
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class TestParallelSerialDeterminism:
+    @pytest.mark.parametrize("table_fixture, mode, classes", [
+        ("oecd_table", None, ALL_CLASSES),
+        ("oecd_table", "exact", ALL_CLASSES),
+        ("small_mixed_table", None, ALL_CLASSES),
+        ("small_mixed_table", "exact", ALL_CLASSES),
+        ("parkinson_table", None, FAST_CLASSES),
+        ("imdb_table", None, FAST_CLASSES),
+    ])
+    def test_every_bundled_dataset_identical_under_parallelism(
+        self, request, table_fixture, mode, classes
+    ):
+        table = request.getfixturevalue(table_fixture)
+        dto = InsightRequest(
+            dataset="data", insight_classes=classes, top_k=3, mode=mode
+        )
+        payloads = []
+        for workers in (1, 4):
+            workspace = Workspace(
+                executor=ExecutorConfig(max_workers=workers, min_chunk_size=1)
+            )
+            workspace.register("data", table)
+            response = workspace.handle(dto)
+            assert response.provenance["cache"] == "miss"
+            assert response.provenance["max_workers"] == workers
+            payloads.append(_comparable_payload(response))
+            workspace.engine("data").executor.close()
+        assert payloads[0] == payloads[1]
+
+    def test_sharding_engages_on_scoring_bound_request(self, oecd_table):
+        workspace = Workspace(
+            executor=ExecutorConfig(max_workers=4, min_chunk_size=1)
+        )
+        workspace.register("data", oecd_table)
+        response = workspace.handle(
+            InsightRequest(dataset="data", insight_classes=SHARDED_CLASSES, top_k=3)
+        )
+        try:
+            assert response.provenance["max_workers"] == 4
+            # The univariate classes share one enumeration of the numeric
+            # singletons; sharding happened inside the score stage.
+            assert response.provenance["enumerations"] == 1
+            assert response.provenance["shared_queries"] == len(SHARDED_CLASSES) - 1
+        finally:
+            workspace.engine("data").executor.close()
+
+    def test_handle_many_matches_sequential_handles(self, small_mixed_table):
+        requests = [
+            InsightRequest(dataset="data", insight_classes=("skew", "outliers"),
+                           top_k=k)
+            for k in (1, 2, 3, 4)
+        ]
+        serial_ws = Workspace()
+        serial_ws.register("data", small_mixed_table)
+        sequential = [_comparable_payload(serial_ws.handle(r)) for r in requests]
+
+        batch_ws = Workspace()
+        batch_ws.register("data", small_mixed_table)
+        batched = batch_ws.handle_many(requests, max_workers=4)
+        for index, (response, request_dto) in enumerate(zip(batched, requests)):
+            batch = response.provenance["batch"]
+            assert batch["index"] == index
+            assert batch["size"] == len(requests)
+            response.provenance = {
+                k: v for k, v in response.provenance.items() if k != "batch"
+            }
+            assert _comparable_payload(response) == sequential[index]
+
+
+class TestWorkspaceUnderConcurrency:
+    def _make_workspace(self, loads: list[int]) -> Workspace:
+        def loader():
+            loads.append(1)
+            return make_mixed_table(n_rows=200, n_numeric=8, n_categorical=2, seed=9)
+
+        workspace = Workspace(cache_size=8)
+        workspace.register("data", loader)
+        return workspace
+
+    def test_cold_start_race_builds_engine_exactly_once(self):
+        loads: list[int] = []
+        workspace = self._make_workspace(loads)
+        request = InsightRequest(dataset="data", insight_classes=("skew", "outliers"),
+                                 top_k=3)
+        n_threads = 12
+        errors: list[Exception] = []
+        start_gate = threading.Barrier(n_threads, timeout=10)
+
+        def serve():
+            try:
+                start_gate.wait()
+                response = workspace.handle(request)
+                assert response.dataset_version == 1
+            except Exception as exc:  # pragma: no cover - failure diagnostics
+                errors.append(exc)
+
+        threads = [threading.Thread(target=serve) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert errors == []
+        # Single-flight: N racing threads, one build, one loader run.
+        assert workspace.engine_builds("data") == 1
+        assert len(loads) == 1
+        info = workspace.cache_info()
+        # Every handle() does exactly one cache lookup.
+        assert info["hits"] + info["misses"] == n_threads
+        assert info["misses"] >= 1
+        assert info["size"] <= info["capacity"]
+
+    def test_stress_handle_reload_invalidate(self):
+        loads: list[int] = []
+        workspace = self._make_workspace(loads)
+        requests = [
+            InsightRequest(dataset="data", insight_classes=("skew",), top_k=k)
+            for k in (1, 2, 3)
+        ]
+        n_handle_threads, handles_per_thread, n_reloads, n_invalidates = 6, 10, 3, 3
+        errors: list[Exception] = []
+
+        def hammer_handles(seed: int):
+            try:
+                for i in range(handles_per_thread):
+                    response = workspace.handle(requests[(seed + i) % len(requests)])
+                    assert response.carousels[0]["insight_class"] == "skew"
+            except Exception as exc:  # pragma: no cover - failure diagnostics
+                errors.append(exc)
+
+        def hammer_reloads():
+            try:
+                for _ in range(n_reloads):
+                    workspace.reload("data")
+            except Exception as exc:  # pragma: no cover - failure diagnostics
+                errors.append(exc)
+
+        def hammer_invalidates():
+            try:
+                for _ in range(n_invalidates):
+                    workspace.invalidate("data")
+            except Exception as exc:  # pragma: no cover - failure diagnostics
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer_handles, args=(seed,))
+            for seed in range(n_handle_threads)
+        ]
+        threads.append(threading.Thread(target=hammer_reloads))
+        threads.append(threading.Thread(target=hammer_invalidates))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert errors == []
+        total_handles = n_handle_threads * handles_per_thread
+        info = workspace.cache_info()
+        # Counter consistency survives the races: one lookup per handle,
+        # every removal accounted for, occupancy within bounds.
+        assert info["hits"] + info["misses"] == total_handles
+        assert info["evictions"] >= info["invalidations"]
+        assert 0 <= info["size"] <= info["capacity"]
+        # Reloads bump the version linearly and rebuild at most once per
+        # generation (single-flight within each).
+        assert workspace.version("data") == 1 + n_reloads
+        assert 1 <= workspace.engine_builds("data") <= 1 + n_reloads
+        assert 1 <= len(loads) <= 1 + n_reloads
+        # The workspace still serves correct, current answers afterwards.
+        response = workspace.handle(requests[0])
+        assert response.dataset_version == 1 + n_reloads
+        assert len(response.insights_for("skew")) == 1

@@ -4,20 +4,22 @@ from typing import Iterator
 
 import pytest
 
+from repro.core.executor import ExecutorConfig, ParallelExecutor
 from repro.core.insight import EvaluationContext, InsightClass, ScoredCandidate, singletons
-from repro.core.query import InsightQuery
+from repro.core.query import InsightQuery, MetricRange
 from repro.core.ranking import RankingEngine
 from repro.core.registry import InsightRegistry, default_registry
 from repro.service.pipeline import PipelineStats, QueryPipeline
 
 
 class _CountingInsight(InsightClass):
-    """Scores columns by name length and counts enumeration passes."""
+    """Scores columns by name length and counts enumeration/score passes."""
 
     arity = 1
     visualization = "histogram"
-    #: Class-level counter shared by all three registered variants.
+    #: Class-level counters shared by all three registered variants.
     enumeration_calls = 0
+    score_calls = 0
 
     def candidates(self, table) -> Iterator[tuple[str, ...]]:
         _CountingInsight.enumeration_calls += 1
@@ -27,6 +29,7 @@ class _CountingInsight(InsightClass):
         return "counting-singletons"
 
     def score(self, attributes, context):
+        _CountingInsight.score_calls += 1
         return ScoredCandidate(attributes=attributes, score=float(len(attributes[0])))
 
     def visualize(self, insight, context):  # pragma: no cover - not exercised
@@ -112,6 +115,113 @@ class TestSharedEnumeration:
             assert [i.score for i in shared_result] == [i.score for i in solo]
             assert shared_result.n_candidates == solo.n_candidates
             assert shared_result.n_admitted == solo.n_admitted
+
+
+class TestSharedScoring:
+    """Batched cross-query scoring: unpruned same-domain queries share scores."""
+
+    def test_unpruned_same_class_queries_score_each_candidate_once(self, oecd_engine):
+        n_columns = oecd_engine.registry.get("skew").candidate_count(oecd_engine.table)
+        stats = PipelineStats()
+        queries = [
+            InsightQuery("skew", top_k=2, mode="exact"),
+            InsightQuery("skew", top_k=5, mode="exact",
+                         metric_range=MetricRange(minimum=0.1)),
+        ]
+        first, second = oecd_engine.rank_many(queries, stats=stats)
+        assert stats.enumerations == 1
+        assert stats.shared_queries == 1
+        assert stats.shared_score_queries == 1
+        # The proof: each of the shared domain's candidates was submitted
+        # to a metric evaluation once, not once per query.
+        assert stats.score_evaluations == n_columns
+        assert stats.n_scored == 2 * n_columns
+        # Sharing must not change outputs: each query still ranks as solo.
+        for query, shared_result in zip(queries, (first, second)):
+            solo = oecd_engine.query(query)
+            assert shared_result.attribute_sets() == solo.attribute_sets()
+            assert [i.score for i in shared_result] == [i.score for i in solo]
+
+    def test_score_calls_counted_at_metric_level(self, oecd_table, exact_context):
+        registry = _counting_registry()
+        pipeline = QueryPipeline(registry)
+        _CountingInsight.score_calls = 0
+        stats = PipelineStats()
+        pipeline.execute(
+            [InsightQuery("count_a", top_k=3, mode="exact"),
+             InsightQuery("count_a", top_k=1, mode="exact")],
+            exact_context,
+            stats=stats,
+        )
+        assert _CountingInsight.score_calls == len(oecd_table.numeric_names())
+        assert stats.shared_score_queries == 1
+
+    def test_different_classes_do_not_share_scores(self, oecd_engine):
+        stats = PipelineStats()
+        oecd_engine.rank_many(
+            [InsightQuery("skew", top_k=2), InsightQuery("dispersion", top_k=2)],
+            stats=stats,
+        )
+        assert stats.shared_queries == 1       # enumeration is shared...
+        assert stats.shared_score_queries == 0  # ...their metrics are not
+
+    def test_pruned_queries_do_not_share_scores(self, oecd_engine):
+        stats = PipelineStats()
+        oecd_engine.rank_many(
+            [InsightQuery("skew", top_k=2, mode="exact"),
+             InsightQuery("skew", top_k=2, mode="exact",
+                          fixed_attributes=("LifeSatisfaction",))],
+            stats=stats,
+        )
+        assert stats.shared_score_queries == 0
+
+    def test_mode_mismatch_does_not_share_scores(self, oecd_engine):
+        stats = PipelineStats()
+        oecd_engine.rank_many(
+            [InsightQuery("skew", top_k=2, mode="approximate"),
+             InsightQuery("skew", top_k=2, mode="exact")],
+            stats=stats,
+        )
+        assert stats.shared_score_queries == 0
+
+
+class TestShardedScoring:
+    def test_parallel_pipeline_shards_elementwise_classes(self, oecd_table, exact_context):
+        registry = _counting_registry()
+        executor = ParallelExecutor(ExecutorConfig(max_workers=4, min_chunk_size=1))
+        try:
+            pipeline = QueryPipeline(registry, executor=executor)
+            stats = PipelineStats()
+            sharded = pipeline.execute(
+                [InsightQuery("count_a", top_k=3, mode="exact")],
+                exact_context,
+                stats=stats,
+            )
+            assert stats.score_shards > 1
+            serial = QueryPipeline(registry).execute(
+                [InsightQuery("count_a", top_k=3, mode="exact")], exact_context
+            )
+            assert sharded[0].attribute_sets() == serial[0].attribute_sets()
+            assert [i.score for i in sharded[0]] == [i.score for i in serial[0]]
+        finally:
+            executor.close()
+
+    def test_batched_score_all_classes_are_not_sharded(self, oecd_table):
+        executor = ParallelExecutor(ExecutorConfig(max_workers=4, min_chunk_size=1))
+        try:
+            pipeline = QueryPipeline(default_registry(), executor=executor)
+            stats = PipelineStats()
+            context = EvaluationContext(table=oecd_table, store=None, mode="exact")
+            # linear_relationship overrides score_all with one matrix
+            # computation; chunking it would forfeit the batching.
+            pipeline.execute(
+                [InsightQuery("linear_relationship", top_k=3, mode="exact")],
+                context,
+                stats=stats,
+            )
+            assert stats.score_shards == 0
+        finally:
+            executor.close()
 
 
 class TestStagedExecution:

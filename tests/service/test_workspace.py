@@ -64,10 +64,12 @@ class TestDatasetManagement:
         workspace.register("oecd", load_oecd)
         (status,) = workspace.describe()
         assert status == {"name": "oecd", "version": 1, "loaded": False,
-                          "engine_built": False, "lazy": True}
+                          "engine_built": False, "engine_builds": 0,
+                          "lazy": True}
         workspace.engine("oecd")
         (status,) = workspace.describe()
         assert status["loaded"] and status["engine_built"]
+        assert status["engine_builds"] == 1
 
 
 class TestRequestServing:
