@@ -1,0 +1,247 @@
+"""SERVER — HTTP transport benchmark (direct vs coalesced vs cached).
+
+Exercises the full asyncio transport end to end over real sockets and
+reports requests/sec and client-observed latency percentiles for three
+regimes:
+
+1. **direct** — coalescing disabled (``coalesce_window=0``): every
+   ``POST /v1/insights`` dispatches its own ``Workspace.handle``;
+2. **coalesced** — concurrent singles micro-batch into
+   ``Workspace.handle_many`` calls through the request coalescer;
+3. **cached** — the same traffic repeated warm: the transport ceiling,
+   every answer from the LRU result cache.
+
+Alongside the human-readable tables it emits ``BENCH_server.json`` (in
+the working directory, overridable via ``BENCH_SERVER_JSON``) so CI can
+archive the transport's perf trajectory across PRs.
+
+Designed as a CI smoke benchmark: seconds on a laptop, and it exits
+non-zero if the transport misbehaves (failed requests, coalescing not
+engaging under concurrent load, metrics inconsistent with the traffic,
+admission rejecting an unloaded workload).  Relative speedups print as
+information only — single-core CI machines make them noisy.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_server_throughput.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import InsightRequest, Workspace  # noqa: E402
+from repro.data.datasets import make_numeric_table  # noqa: E402
+from repro.server import ReproClient, ServerConfig, serving  # noqa: E402
+from repro.viz.ascii import render_table  # noqa: E402
+
+N_ROWS = 10_000
+N_COLUMNS = 24
+CLASSES = ("dispersion", "skew", "heavy_tails", "outliers", "normality")
+N_THREADS = 8
+N_REQUESTS = 24
+ROUNDS = 3
+COALESCE_WINDOW = 0.004
+
+
+def _make_workspace() -> Workspace:
+    table = make_numeric_table(n_rows=N_ROWS, n_columns=N_COLUMNS,
+                               block_correlation=0.6, seed=7)
+    workspace = Workspace(cache_size=256)
+    workspace.register("bench", lambda: table)
+    workspace.engine("bench")   # build outside the timed region
+    return workspace
+
+
+def _request_mix() -> list[InsightRequest]:
+    requests = []
+    for i in range(N_REQUESTS):
+        classes = CLASSES[: 1 + (i % len(CLASSES))]
+        requests.append(
+            InsightRequest(dataset="bench", insight_classes=classes,
+                           top_k=3 + (i % 4))
+        )
+    return requests
+
+
+def _percentile(latencies: list[float], q: float) -> float:
+    ordered = sorted(latencies)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _run_workload(address, requests, invalidate=None):
+    """Fire ``requests`` from N_THREADS concurrent clients; best of ROUNDS."""
+    best = None
+    for _ in range(ROUNDS):
+        if invalidate is not None:
+            invalidate()
+        latencies: list[float] = []
+        failures: list[str] = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(N_THREADS)
+        work = list(enumerate(requests))
+
+        def worker(thread_index: int) -> None:
+            mine = work[thread_index::N_THREADS]
+            with ReproClient(*address, timeout=120) as client:
+                barrier.wait()
+                for index, request in mine:
+                    started = time.perf_counter()
+                    try:
+                        response = client.insights(request)
+                    except Exception as exc:  # noqa: BLE001 - reported below
+                        with lock:
+                            failures.append(f"request {index}: {exc}")
+                        continue
+                    elapsed = time.perf_counter() - started
+                    with lock:
+                        latencies.append(elapsed)
+                    if response.dataset != "bench":
+                        with lock:
+                            failures.append(f"request {index}: bad dataset")
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(N_THREADS)]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        if failures:
+            return {"failures": failures}
+        stats = {
+            "seconds": elapsed,
+            "ops_sec": len(requests) / elapsed,
+            "p50_seconds": _percentile(latencies, 0.50),
+            "p95_seconds": _percentile(latencies, 0.95),
+            "failures": [],
+        }
+        if best is None or stats["seconds"] < best["seconds"]:
+            best = stats
+    return best
+
+
+def main() -> int:
+    ok = True
+    requests = _request_mix()
+    results: dict[str, dict] = {}
+    metrics_by_regime: dict[str, dict] = {}
+
+    # -- regime 1: direct (no coalescing) ------------------------------------
+    workspace = _make_workspace()
+    config = ServerConfig(port=0, coalesce_window=0.0,
+                          max_in_flight=N_THREADS, queue_limit=256)
+    with serving(workspace, config) as handle:
+        results["direct"] = _run_workload(
+            handle.address, requests,
+            invalidate=lambda: workspace.invalidate("bench"),
+        )
+        with ReproClient(*handle.address) as client:
+            metrics_by_regime["direct"] = client.metrics()
+
+    # -- regime 2: coalesced -------------------------------------------------
+    workspace = _make_workspace()
+    config = ServerConfig(port=0, coalesce_window=COALESCE_WINDOW,
+                          coalesce_max_batch=N_THREADS,
+                          max_in_flight=N_THREADS, queue_limit=256)
+    with serving(workspace, config) as handle:
+        results["coalesced"] = _run_workload(
+            handle.address, requests,
+            invalidate=lambda: workspace.invalidate("bench"),
+        )
+        # -- regime 3: cached (same server, nothing invalidated) -------------
+        results["cached"] = _run_workload(handle.address, requests)
+        with ReproClient(*handle.address) as client:
+            metrics_by_regime["coalesced"] = client.metrics()
+
+    for regime, stats in results.items():
+        if stats.get("failures"):
+            print(f"FAIL: {regime} workload had failures: "
+                  f"{stats['failures'][:3]}", file=sys.stderr)
+            ok = False
+    if not ok:
+        return 1
+
+    # -- smoke checks against the metrics surface ----------------------------
+    direct_coalesce = metrics_by_regime["direct"]["server"]["coalesce"]
+    if direct_coalesce["batches"] != 0:
+        print("FAIL: coalescing engaged with a zero window", file=sys.stderr)
+        ok = False
+    coalesced_server = metrics_by_regime["coalesced"]["server"]
+    # The coalescing server saw both the cold regime and the cached
+    # regime, each ROUNDS full passes over the request mix.
+    sent = len(requests) * ROUNDS * 2
+    if coalesced_server["coalesce"]["coalesced_requests"] != sent:
+        print(
+            "FAIL: coalesced_requests "
+            f"{coalesced_server['coalesce']['coalesced_requests']} != "
+            f"{sent} singles sent",
+            file=sys.stderr,
+        )
+        ok = False
+    if coalesced_server["coalesce"]["max_batch_size"] < 2:
+        print("FAIL: no multi-request batch formed under "
+              f"{N_THREADS} concurrent clients", file=sys.stderr)
+        ok = False
+    admission = metrics_by_regime["coalesced"]["admission"]
+    if admission["rejected_quota_total"] or admission["rejected_overload_total"]:
+        print("FAIL: admission rejected requests in an unloaded benchmark",
+              file=sys.stderr)
+        ok = False
+
+    # -- report ---------------------------------------------------------------
+    rows = [
+        {
+            "regime": regime,
+            "ops/sec": f"{stats['ops_sec']:.1f}",
+            "p50": f"{stats['p50_seconds'] * 1000:.1f} ms",
+            "p95": f"{stats['p95_seconds'] * 1000:.1f} ms",
+        }
+        for regime, stats in results.items()
+    ]
+    print()
+    print(f"== SERVER: {N_REQUESTS} requests x {N_THREADS} client threads, "
+          f"{N_ROWS} rows x {N_COLUMNS} cols ==")
+    print(render_table(rows))
+    print(
+        f"coalesced batches: {coalesced_server['coalesce']['batches']} "
+        f"(max size {coalesced_server['coalesce']['max_batch_size']})   "
+        f"throughput direct -> coalesced: "
+        f"{results['direct']['ops_sec']:.1f} -> "
+        f"{results['coalesced']['ops_sec']:.1f} ops/sec   "
+        f"cached ceiling: {results['cached']['ops_sec']:.1f} ops/sec"
+    )
+
+    payload = {
+        "benchmark": "server_throughput",
+        "workload": {
+            "n_rows": N_ROWS,
+            "n_columns": N_COLUMNS,
+            "n_requests": N_REQUESTS,
+            "n_threads": N_THREADS,
+            "rounds": ROUNDS,
+            "coalesce_window_seconds": COALESCE_WINDOW,
+            "insight_classes": list(CLASSES),
+        },
+        "results": results,
+        "coalesce": coalesced_server["coalesce"],
+        "server_latency_histogram": coalesced_server["latency"],
+        "ok": ok,
+    }
+    out_path = Path(os.environ.get("BENCH_SERVER_JSON", "BENCH_server.json"))
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

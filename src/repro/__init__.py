@@ -2,6 +2,19 @@
 
 Public API highlights
 ---------------------
+HTTP transport (:mod:`repro.server`, stdlib-only asyncio):
+
+* :class:`repro.server.ReproServer` — HTTP/1.1 server over a workspace
+  (``repro-serve`` console script): ``POST /v1/insights`` with request
+  coalescing (concurrent singles micro-batch into one ``handle_many``
+  call), ``POST /v1/insights:batch``, and an operations surface
+  (``/v1/datasets``, ``/healthz``, ``/metrics`` with cache / engine /
+  pipeline / admission / latency-histogram counters).  Admission
+  control (bounded queue, in-flight cap, per-dataset and per-class
+  quotas) rejects overload with 429/503 + ``Retry-After``; shutdown
+  drains in-flight requests.  :class:`repro.server.ReproClient` is the
+  blocking client counterpart.
+
 Serving layer (multi-user, transport-agnostic):
 
 * :class:`repro.Workspace` — registers named datasets (tables or lazy
@@ -66,7 +79,7 @@ from repro.data.table import DataTable
 from repro.service import InsightRequest, InsightResponse, SessionState, Workspace
 from repro.sketch.store import SketchStore, SketchStoreConfig
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Carousel",

@@ -17,7 +17,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.executor import shard
 from repro.core.insight import EvaluationContext, Insight
+from repro.core.pipeline import PipelineStats
 from repro.core.query import InsightQuery
 from repro.core.ranking import RankingEngine, RankingResult
 
@@ -103,6 +105,14 @@ class NeighborhoodRecommender:
         attribute appears in the class's candidate tuples, candidates
         containing at least one focus attribute are preferred; the pool is
         then re-ranked by a blend of strength and similarity.
+
+        All pool queries (one per focus attribute plus the unconstrained
+        top-up) execute as **one** pipeline run, so they share a single
+        candidate enumeration and their score stages shard across the
+        engine's executor exactly like the main serving path; the blended
+        re-ranking itself is likewise sharded over the executor's
+        workers.  Both fan-outs are order-preserving and per-item pure,
+        so parallel and serial recommendations are identical.
         """
         config = self._config
         query = base_query or InsightQuery(insight_class=insight_class)
@@ -111,47 +121,77 @@ class NeighborhoodRecommender:
             attribute for insight in focus for attribute in insight.attributes
         }
 
-        # First try restricting to candidates that mention a focus attribute.
+        # One pipeline execution for the whole pool: the per-attribute
+        # queries first (preferring candidates that mention a focus
+        # attribute), the unconstrained top-up last so the neighborhood
+        # is never empty just because no candidate touches the focus.
+        queries = [
+            pool_query.with_fixed(attribute)
+            for attribute in sorted(focus_attributes)
+        ]
+        queries.append(pool_query)
+        stats = PipelineStats()
+        results = self._engine.pipeline.execute(queries, context, stats=stats)
+
         pooled: list[Insight] = []
         seen: set[tuple[str, tuple[str, ...]]] = set()
         n_candidates = n_scored = 0
-        if focus_attributes:
-            for attribute in sorted(focus_attributes):
-                fixed_query = pool_query.with_fixed(attribute)
-                result = self._engine.rank(fixed_query, context)
-                n_candidates += result.n_candidates
-                n_scored += result.n_scored
-                for insight in result.insights:
-                    if insight.key not in seen:
-                        seen.add(insight.key)
-                        pooled.append(insight)
-        # Always top up with the unconstrained pool so the neighborhood is
-        # never empty just because no candidate touches the focus attributes.
-        unconstrained = self._engine.rank(pool_query, context)
-        n_candidates += unconstrained.n_candidates
-        n_scored += unconstrained.n_scored
-        for insight in unconstrained.insights:
-            if insight.key not in seen:
-                seen.add(insight.key)
-                pooled.append(insight)
+        for result in results:
+            n_candidates += result.n_candidates
+            n_scored += result.n_scored
+            for insight in result.insights:
+                if insight.key not in seen:
+                    seen.add(insight.key)
+                    pooled.append(insight)
 
+        # Normalisation uses the full pool (focus included) so excluding
+        # the focus insights below never rescales the survivors.
         strength_weight = config.strength_weight
         max_score = max((abs(i.score) for i in pooled), default=1.0) or 1.0
+
+        # Exclude the focused insights themselves from the recommendations.
+        focus_keys = {insight.key for insight in focus}
+        pooled = [insight for insight in pooled if insight.key not in focus_keys]
 
         def blended(insight: Insight) -> float:
             normalised_strength = abs(insight.score) / max_score
             similarity = self.similarity_to_focus(insight, focus)
             return strength_weight * normalised_strength + (1 - strength_weight) * similarity
 
-        # Exclude the focused insights themselves from the recommendations.
-        focus_keys = {insight.key for insight in focus}
-        pooled = [insight for insight in pooled if insight.key not in focus_keys]
-        pooled.sort(key=lambda insight: (-blended(insight), insight.attributes))
+        blended_scores = self._blend_scores(pooled, blended)
+        order = sorted(
+            range(len(pooled)),
+            key=lambda i: (-blended_scores[i], pooled[i].attributes),
+        )
+        pooled = [pooled[i] for i in order]
         return RankingResult(
             query=query.with_top_k(top_k),
             insights=pooled[:top_k],
             n_candidates=n_candidates,
             n_scored=n_scored,
             n_admitted=len(pooled),
-            details={"focus": [list(insight.attributes) for insight in focus]},
+            details={
+                "focus": [list(insight.attributes) for insight in focus],
+                "pipeline": stats.as_dict(),
+            },
         )
+
+    def _blend_scores(self, pooled, blended) -> list[float]:
+        """Blended scores for the pool, sharded across the engine executor.
+
+        Chunk boundaries are a pure function of the pool size and each
+        blended score depends only on its own insight, so concatenating
+        the chunk results is identical to one serial pass.
+        """
+        executor = self._engine.pipeline.executor
+        if executor.max_workers > 1 and len(pooled) > 1:
+            chunks = shard(
+                pooled, executor.max_workers, executor.config.min_chunk_size
+            )
+            if len(chunks) > 1:
+                parts = executor.map(
+                    lambda chunk: [blended(insight) for insight in chunk],
+                    chunks,
+                )
+                return [score for part in parts for score in part]
+        return [blended(insight) for insight in pooled]

@@ -130,6 +130,23 @@ class PipelineStats:
             "elapsed_seconds": self.elapsed_seconds,
         }
 
+    def merge(self, other: "PipelineStats") -> None:
+        """Fold another execution's counters into this accumulator.
+
+        The serving layer keeps one long-lived ``PipelineStats`` per
+        workspace and merges every request's per-execution stats into it,
+        so operational surfaces (``/metrics``) can report lifetime
+        pipeline totals without the pipeline itself holding shared state.
+        """
+        self.enumerations += other.enumerations
+        self.shared_queries += other.shared_queries
+        self.n_queries += other.n_queries
+        self.n_scored += other.n_scored
+        self.score_evaluations += other.score_evaluations
+        self.shared_score_queries += other.shared_score_queries
+        self.score_shards += other.score_shards
+        self.elapsed_seconds += other.elapsed_seconds
+
 
 @dataclass(frozen=True)
 class PlannedQuery:

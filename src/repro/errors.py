@@ -90,3 +90,23 @@ class UnknownDatasetError(ServiceError):
 
 class ProtocolError(ServiceError):
     """A request, response or cursor payload violates the DTO protocol."""
+
+
+class ServerError(ServiceError):
+    """Base class for errors raised by the HTTP server layer."""
+
+
+class AdmissionRejected(ServerError):
+    """A request was turned away by admission control.
+
+    Carries the HTTP semantics the transport needs: ``status`` is 429
+    (quota exceeded) or 503 (capacity overload), ``code`` is the
+    machine-readable envelope code, and ``retry_after`` is the hint (in
+    seconds) for the ``Retry-After`` header.
+    """
+
+    def __init__(self, code: str, message: str, status: int, retry_after: float):
+        self.code = code
+        self.status = status
+        self.retry_after = retry_after
+        super().__init__(message)

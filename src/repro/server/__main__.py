@@ -1,0 +1,93 @@
+"""``repro-serve`` / ``python -m repro.server``: serve the bundled datasets.
+
+Builds a :class:`~repro.service.Workspace` with lazily-loaded demo
+datasets (the paper's three scenarios), wraps it in
+:class:`~repro.server.ReproServer` and blocks until Ctrl-C, which drains
+in-flight requests before exiting.  Every :class:`ServerConfig` knob is
+available as a flag (``repro-serve --help``) or a ``REPRO_SERVER_*``
+environment variable; ``--workers`` additionally sets the engines'
+executor width (sharded scoring / parallel preprocessing).
+
+Examples::
+
+    repro-serve --port 8765
+    repro-serve --port 0 --coalesce-window-ms 10 --dataset-quota 4
+    REPRO_SERVER_PORT=9000 python -m repro.server --preload
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.executor import ExecutorConfig
+from repro.data.datasets import load_imdb, load_oecd, load_parkinson
+from repro.service.workspace import Workspace
+from repro.server.app import ReproServer
+from repro.server.config import ServerConfig
+
+#: The datasets ``repro-serve`` offers out of the box.
+BUNDLED_DATASETS = {
+    "oecd": load_oecd,
+    "imdb": load_imdb,
+    "parkinson": load_parkinson,
+}
+
+
+def build_workspace(
+    datasets: list[str] | None = None,
+    max_workers: int | None = None,
+    preload: bool = False,
+) -> Workspace:
+    """A workspace with the requested bundled datasets registered lazily."""
+    names = datasets or sorted(BUNDLED_DATASETS)
+    executor = (
+        ExecutorConfig(max_workers=max_workers)
+        if max_workers is not None else None
+    )
+    workspace = Workspace(executor=executor)
+    for name in names:
+        try:
+            loader = BUNDLED_DATASETS[name]
+        except KeyError:
+            raise SystemExit(
+                f"unknown dataset {name!r}; bundled datasets: "
+                f"{', '.join(sorted(BUNDLED_DATASETS))}"
+            ) from None
+        workspace.register(name, loader)
+    if preload:
+        for name in names:
+            workspace.engine(name)
+    return workspace
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve the Foresight reproduction over HTTP.",
+    )
+    ServerConfig.add_cli_arguments(parser)
+    parser.add_argument(
+        "--datasets", nargs="*", metavar="NAME",
+        help="bundled datasets to register "
+             f"(default: {' '.join(sorted(BUNDLED_DATASETS))})",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="engine executor width (sharded scoring, parallel "
+             "preprocessing); default honors REPRO_MAX_WORKERS",
+    )
+    parser.add_argument(
+        "--preload", action="store_true",
+        help="build every engine at startup instead of on first request",
+    )
+    args = parser.parse_args(argv)
+    config = ServerConfig.from_args(args)
+    workspace = build_workspace(
+        datasets=args.datasets, max_workers=args.workers, preload=args.preload
+    )
+    ReproServer(workspace, config).run()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,226 @@
+"""Admission control: bounded queue, in-flight cap, per-workload quotas.
+
+The Polynesia-style workload isolation from PAPERS.md, applied at the
+transport: concurrent clients with mixed workloads must not be able to
+starve each other, so every request passes the
+:class:`AdmissionController` before it touches the workspace.
+
+Three independent gates, checked in order:
+
+1. **quotas** — per-dataset and per-insight-class caps on concurrent
+   in-flight requests.  A request over quota is rejected *immediately*
+   with 429 and ``Retry-After``; it never occupies a queue slot, so one
+   hot dataset cannot fill the queue and starve the others;
+2. **in-flight cap** — at most ``max_in_flight`` requests execute
+   concurrently.  Arrivals beyond it wait in the admission queue;
+3. **bounded queue** — at most ``queue_limit`` requests wait.  An
+   arrival finding the queue full is rejected with 503 and
+   ``Retry-After`` (overload, as opposed to the 429 policy rejection).
+
+The controller is event-loop native: waiting uses an
+:class:`asyncio.Condition` (FIFO wakeups), and all state is mutated only
+from the owning loop, which is what makes the synchronous
+:meth:`snapshot` safe to call from request handlers without extra
+locking.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Sequence
+
+from repro.errors import AdmissionRejected
+
+
+class AdmissionController:
+    """Gates request execution behind quotas, an in-flight cap and a queue."""
+
+    def __init__(
+        self,
+        max_in_flight: int = 8,
+        queue_limit: int = 32,
+        dataset_quota: int | None = None,
+        class_quota: int | None = None,
+        retry_after: float = 1.0,
+    ):
+        if max_in_flight < 1:
+            raise ValueError(f"max_in_flight must be >= 1, got {max_in_flight}")
+        if queue_limit < 0:
+            raise ValueError(f"queue_limit must be >= 0, got {queue_limit}")
+        self.max_in_flight = max_in_flight
+        self.queue_limit = queue_limit
+        self.dataset_quota = dataset_quota
+        self.class_quota = class_quota
+        self.retry_after = retry_after
+        self._cond = asyncio.Condition()
+        self._in_flight = 0
+        self._queued = 0
+        self._by_dataset: dict[str, int] = {}
+        self._by_class: dict[str, int] = {}
+        # Lifetime totals for /metrics.
+        self._admitted_total = 0
+        self._queued_total = 0
+        self._rejected_quota_total = 0
+        self._rejected_overload_total = 0
+        self._peak_in_flight = 0
+        self._peak_queued = 0
+
+    # ------------------------------------------------------------------
+    # Acquire / release
+    # ------------------------------------------------------------------
+    async def acquire(
+        self, datasets: Sequence[str], insight_classes: Sequence[str]
+    ) -> None:
+        """Admit one transport request, queueing if capacity is full.
+
+        ``datasets`` is usually one name; the batch endpoint passes every
+        distinct dataset its batch touches, so a whole batch occupies one
+        capacity slot but counts against each dataset/class quota it
+        uses.  Raises :class:`~repro.errors.AdmissionRejected` with
+        status 429 (quota) or 503 (queue overflow).  On success the
+        caller **must** pair this with :meth:`release` (use :meth:`admit`
+        to get that for free).
+        """
+        names = _distinct(datasets)
+        classes = _distinct(insight_classes)
+        async with self._cond:
+            self._check_quotas(names, classes)
+            if self._in_flight >= self.max_in_flight:
+                if self._queued >= self.queue_limit:
+                    self._rejected_overload_total += 1
+                    raise AdmissionRejected(
+                        "overloaded",
+                        f"server is at capacity ({self.max_in_flight} in flight, "
+                        f"{self._queued} queued); retry later",
+                        status=503,
+                        retry_after=self.retry_after,
+                    )
+                self._queued += 1
+                self._queued_total += 1
+                self._peak_queued = max(self._peak_queued, self._queued)
+                try:
+                    await self._cond.wait_for(
+                        lambda: self._in_flight < self.max_in_flight
+                    )
+                finally:
+                    self._queued -= 1
+                # Quotas may have been consumed while we waited.
+                self._check_quotas(names, classes)
+            self._in_flight += 1
+            self._peak_in_flight = max(self._peak_in_flight, self._in_flight)
+            self._admitted_total += 1
+            for name in names:
+                self._by_dataset[name] = self._by_dataset.get(name, 0) + 1
+            for name in classes:
+                self._by_class[name] = self._by_class.get(name, 0) + 1
+
+    async def release(
+        self, datasets: Sequence[str], insight_classes: Sequence[str]
+    ) -> None:
+        """Return one admitted request's capacity and wake queued waiters."""
+        names = _distinct(datasets)
+        classes = _distinct(insight_classes)
+        async with self._cond:
+            self._in_flight -= 1
+            for name in names:
+                self._decrement(self._by_dataset, name)
+            for name in classes:
+                self._decrement(self._by_class, name)
+            self._cond.notify_all()
+
+    def admit(
+        self, datasets: Sequence[str], insight_classes: Sequence[str]
+    ) -> "_Admission":
+        """``async with controller.admit(datasets, classes): ...``"""
+        return _Admission(self, _distinct(datasets), _distinct(insight_classes))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """Gauges and lifetime totals for ``/metrics``.
+
+        Safe to call without awaiting because every mutation happens on
+        the owning event loop — a handler reading this between awaits
+        sees a consistent state.
+        """
+        return {
+            "in_flight": self._in_flight,
+            "queued": self._queued,
+            "peak_in_flight": self._peak_in_flight,
+            "peak_queued": self._peak_queued,
+            "admitted_total": self._admitted_total,
+            "queued_total": self._queued_total,
+            "rejected_quota_total": self._rejected_quota_total,
+            "rejected_overload_total": self._rejected_overload_total,
+            "limits": {
+                "max_in_flight": self.max_in_flight,
+                "queue_limit": self.queue_limit,
+                "dataset_quota": self.dataset_quota,
+                "class_quota": self.class_quota,
+            },
+            "in_flight_by_dataset": dict(self._by_dataset),
+            "in_flight_by_class": dict(self._by_class),
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_quotas(
+        self, datasets: tuple[str, ...], classes: tuple[str, ...]
+    ) -> None:
+        if self.dataset_quota is not None:
+            for name in datasets:
+                if self._by_dataset.get(name, 0) >= self.dataset_quota:
+                    self._rejected_quota_total += 1
+                    raise AdmissionRejected(
+                        "dataset_quota_exceeded",
+                        f"dataset {name!r} already has {self.dataset_quota} "
+                        "request(s) in flight; retry later",
+                        status=429,
+                        retry_after=self.retry_after,
+                    )
+        if self.class_quota is not None:
+            for name in classes:
+                if self._by_class.get(name, 0) >= self.class_quota:
+                    self._rejected_quota_total += 1
+                    raise AdmissionRejected(
+                        "class_quota_exceeded",
+                        f"insight class {name!r} already has "
+                        f"{self.class_quota} request(s) in flight; retry later",
+                        status=429,
+                        retry_after=self.retry_after,
+                    )
+
+    @staticmethod
+    def _decrement(counts: dict[str, int], key: str) -> None:
+        remaining = counts.get(key, 0) - 1
+        if remaining <= 0:
+            counts.pop(key, None)
+        else:
+            counts[key] = remaining
+
+
+def _distinct(names: Sequence[str]) -> tuple[str, ...]:
+    """Order-preserving dedup, so one request never double-counts a key."""
+    return tuple(dict.fromkeys(names))
+
+
+class _Admission:
+    """Async context manager pairing acquire with release."""
+
+    def __init__(self, controller: AdmissionController,
+                 datasets: tuple[str, ...], classes: tuple[str, ...]):
+        self._controller = controller
+        self._datasets = datasets
+        self._classes = classes
+
+    async def __aenter__(self) -> "_Admission":
+        await self._controller.acquire(self._datasets, self._classes)
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self._controller.release(self._datasets, self._classes)
+
+
+__all__ = ["AdmissionController", "AdmissionRejected"]

@@ -1,0 +1,637 @@
+"""The asyncio HTTP transport over :class:`~repro.service.Workspace`.
+
+A deliberately small, dependency-free HTTP/1.1 server (``asyncio`` +
+stdlib only) that parks a workspace behind five endpoints:
+
+========================  ====================================================
+``POST /v1/insights``     one :class:`InsightRequest` → one response; single
+                          arrivals inside the coalescing window are
+                          micro-batched into one ``handle_many`` call
+``POST /v1/insights:batch``  ``{"requests": [...]}`` → ``{"responses": [...]}``
+                          via ``Workspace.handle_many`` (client-side batching)
+``GET /v1/datasets``      registration/engine status of every dataset
+``GET /healthz``          liveness + bind address + config echo
+``GET /metrics``          JSON counters: transport, coalescing, admission,
+                          result cache, engine builds, pipeline stats,
+                          latency histograms
+========================  ====================================================
+
+Request flow for the insight endpoints: **parse** (protocol violations →
+400 envelope, unknown datasets → 404 envelope — the same structured
+error envelope :meth:`Workspace.handle_json` returns) → **admission**
+(:class:`~repro.server.admission.AdmissionController`; 429/503 with
+``Retry-After``) → **dispatch** (coalesced or direct, always on a worker
+thread — the event loop never blocks on the engine) → **respond**.
+
+Shutdown is graceful: :meth:`ReproServer.stop` stops accepting, waits up
+to ``drain_timeout`` for in-flight requests (including a pending
+coalescing batch) to finish, then closes lingering keep-alive
+connections.  Tests and examples use :func:`serving` /
+:meth:`ReproServer.start_in_thread`, which run the loop on a background
+thread and hand back a :class:`ServerHandle`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import math
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Awaitable, Callable, Iterator
+
+from repro.errors import (
+    AdmissionRejected,
+    ForesightError,
+    ProtocolError,
+    QueryError,
+    ServerError,
+    UnknownDatasetError,
+    UnknownInsightClassError,
+)
+from repro.service.dto import InsightRequest, error_envelope
+from repro.service.workspace import Workspace
+from repro.server.admission import AdmissionController
+from repro.server.coalesce import RequestCoalescer
+from repro.server.config import ServerConfig
+from repro.server.metrics import ServerMetrics
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Endpoints whose latency feeds the request-latency histogram.
+_TIMED_ENDPOINTS = ("insights", "insights_batch")
+
+
+def _canonical(payload: Any) -> bytes:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+class _HttpError(Exception):
+    """A request that failed HTTP framing (before routing)."""
+
+    def __init__(self, status: int, code: str, message: str):
+        self.status = status
+        self.code = code
+        super().__init__(message)
+
+
+class _HttpRequest:
+    __slots__ = ("method", "path", "headers", "body", "keep_alive")
+
+    def __init__(self, method: str, path: str, headers: dict[str, str],
+                 body: bytes):
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+        self.keep_alive = headers.get("connection", "").lower() != "close"
+
+
+class ReproServer:
+    """Serves a :class:`Workspace` over asyncio HTTP/1.1."""
+
+    def __init__(self, workspace: Workspace, config: ServerConfig | None = None):
+        self._workspace = workspace
+        self.config = config or ServerConfig()
+        self.metrics = ServerMetrics()
+        self.admission = AdmissionController(
+            max_in_flight=self.config.max_in_flight,
+            queue_limit=self.config.queue_limit,
+            dataset_quota=self.config.dataset_quota,
+            class_quota=self.config.class_quota,
+            retry_after=self.config.retry_after,
+        )
+        self._coalescer: RequestCoalescer | None = None
+        self._pool: ThreadPoolExecutor | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._address: tuple[str, int] | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._active_requests = 0
+        self._started_at: float | None = None
+        self._stopping = False
+        #: path -> (endpoint name for metrics, allowed method, handler).
+        self._routes: dict[str, tuple[str, str, Any]] = {
+            "/v1/insights": ("insights", "POST", self._post_insights),
+            "/v1/insights:batch": (
+                "insights_batch", "POST", self._post_insights_batch
+            ),
+            "/v1/datasets": ("datasets", "GET", self._get_datasets),
+            "/healthz": ("healthz", "GET", self._get_healthz),
+            "/metrics": ("metrics", "GET", self._get_metrics),
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def workspace(self) -> Workspace:
+        return self._workspace
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port); resolves port 0 to the real port."""
+        if self._address is None:
+            raise ServerError("server is not started")
+        return self._address
+
+    async def start(self) -> None:
+        """Bind the listening socket and start accepting connections."""
+        if self._server is not None:
+            raise ServerError("server is already started")
+        self._stopping = False
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.handler_workers,
+            thread_name_prefix="repro-serve",
+        )
+        if self.config.coalesce_window > 0:
+            self._coalescer = RequestCoalescer(
+                self._dispatch_coalesced_batch,
+                window=self.config.coalesce_window,
+                max_batch=self.config.coalesce_max_batch,
+                metrics=self.metrics,
+                executor=self._pool,
+            )
+        self._server = await asyncio.start_server(
+            self._serve_connection, host=self.config.host, port=self.config.port
+        )
+        sock = self._server.sockets[0]
+        self._address = sock.getsockname()[:2]
+        self._started_at = time.time()
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop accepting, optionally drain in-flight work, close everything.
+
+        With ``drain=True`` (the default) the server waits up to
+        ``config.drain_timeout`` seconds for in-flight requests — and the
+        coalescer's pending batch — to finish before force-closing the
+        remaining (idle keep-alive) connections.
+        """
+        if self._server is None:
+            return
+        self._stopping = True
+        # close() stops accepting immediately.  Deliberately NOT
+        # wait_closed() here: on Python >= 3.12 it blocks until every
+        # connection handler returns, and idle keep-alive handlers only
+        # return once we force-close them below — after the drain.
+        self._server.close()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.drain_timeout
+        if drain:
+            while self._active_requests > 0 and loop.time() < deadline:
+                await asyncio.sleep(0.005)
+        if self._coalescer is not None:
+            # Bound by what is left of the drain budget: a dispatch stuck
+            # in a slow engine call must not hold shutdown hostage.
+            remaining = max(0.1, deadline - loop.time()) if drain else 0.1
+            await self._coalescer.aclose(timeout=remaining)
+        for writer in list(self._connections):
+            with contextlib.suppress(Exception):
+                writer.close()
+        self._connections.clear()
+        with contextlib.suppress(asyncio.TimeoutError):
+            await asyncio.wait_for(self._server.wait_closed(), timeout=2.0)
+        if self._pool is not None:
+            # wait=False: the drain above already honored drain_timeout;
+            # blocking the event loop on a stuck worker thread here would
+            # un-bound it again.
+            self._pool.shutdown(wait=False)
+        self._server = None
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until cancelled."""
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    def run(self) -> None:
+        """Blocking entry point for the CLI; Ctrl-C shuts down gracefully."""
+
+        async def _main() -> None:
+            await self.start()
+            host, port = self.address
+            print(f"repro-serve listening on http://{host}:{port} "
+                  f"(datasets: {', '.join(self._workspace.datasets()) or 'none'})")
+            try:
+                await self._server.serve_forever()
+            except asyncio.CancelledError:
+                pass
+            finally:
+                await self.stop()
+
+        try:
+            asyncio.run(_main())
+        except KeyboardInterrupt:
+            pass
+
+    def start_in_thread(self, timeout: float = 30.0) -> "ServerHandle":
+        """Run the server on a dedicated event-loop thread.
+
+        Returns once the socket is bound; the returned
+        :class:`ServerHandle` stops the server and joins the thread.
+        """
+        started = threading.Event()
+        failures: list[BaseException] = []
+        holder: dict[str, Any] = {}
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            holder["loop"] = loop
+            stop_event = asyncio.Event()
+            holder["stop_event"] = stop_event
+
+            async def _main() -> None:
+                try:
+                    await self.start()
+                except BaseException as exc:  # noqa: BLE001 - reported to caller
+                    failures.append(exc)
+                    return
+                finally:
+                    started.set()
+                await stop_event.wait()
+
+            try:
+                loop.run_until_complete(_main())
+            finally:
+                loop.close()
+
+        thread = threading.Thread(target=_run, name="repro-serve-loop", daemon=True)
+        thread.start()
+        if not started.wait(timeout):
+            raise ServerError("server did not start within the timeout")
+        if failures:
+            thread.join(timeout=5)
+            raise failures[0]
+        return ServerHandle(self, holder["loop"], holder["stop_event"], thread)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while not self._stopping:
+                try:
+                    request = await self._read_request(reader)
+                except _HttpError as exc:
+                    await self._respond(
+                        writer, exc.status,
+                        error_envelope(exc.code, str(exc)), keep_alive=False,
+                    )
+                    break
+                if request is None:
+                    break
+                keep_alive = request.keep_alive and not self._stopping
+                await self._handle_request(request, writer, keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> _HttpRequest | None:
+        try:
+            request_line = await reader.readline()
+        except (ValueError, asyncio.LimitOverrunError):
+            raise _HttpError(400, "bad_request", "request line too long") from None
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise _HttpError(400, "bad_request", "malformed HTTP request line")
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            try:
+                line = await reader.readline()
+            except (ValueError, asyncio.LimitOverrunError):
+                raise _HttpError(400, "bad_request", "header line too long") from None
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = line.decode("latin-1").partition(":")
+            if not sep:
+                raise _HttpError(400, "bad_request", "malformed header line")
+            headers[name.strip().lower()] = value.strip()
+            if len(headers) > 100:
+                raise _HttpError(400, "bad_request", "too many headers")
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _HttpError(400, "bad_request",
+                             "malformed Content-Length header") from None
+        if length < 0:
+            raise _HttpError(400, "bad_request", "negative Content-Length")
+        if length > self.config.max_body_bytes:
+            raise _HttpError(
+                413, "payload_too_large",
+                f"request body of {length} bytes exceeds the "
+                f"{self.config.max_body_bytes}-byte limit",
+            )
+        body = b""
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                return None
+        path = target.split("?", 1)[0]
+        return _HttpRequest(method.upper(), path, headers, body)
+
+    async def _handle_request(
+        self, request: _HttpRequest, writer: asyncio.StreamWriter,
+        keep_alive: bool,
+    ) -> None:
+        self._active_requests += 1
+        start = time.perf_counter()
+        try:
+            endpoint, handler = self._route(request)
+            self.metrics.record_request(endpoint)
+            extra_headers: dict[str, str] = {}
+            try:
+                status, payload = await handler(request)
+            except Exception as exc:  # noqa: BLE001 - mapped to envelopes
+                status, payload = self._error_payload(exc)
+                if isinstance(exc, AdmissionRejected):
+                    self.metrics.record_rejection(exc.status)
+                    extra_headers["Retry-After"] = str(
+                        max(0, math.ceil(exc.retry_after))
+                    )
+            elapsed = time.perf_counter() - start
+            self.metrics.record_response(
+                status, elapsed if endpoint in _TIMED_ENDPOINTS else None
+            )
+            await self._respond(
+                writer, status, payload, keep_alive=keep_alive,
+                extra_headers=extra_headers,
+            )
+        finally:
+            self._active_requests -= 1
+
+    def _route(
+        self, request: _HttpRequest
+    ) -> tuple[str, Callable[[_HttpRequest], Awaitable[tuple[int, Any]]]]:
+        entry = self._routes.get(request.path)
+        if entry is None:
+            async def _not_found(_request: _HttpRequest) -> tuple[int, Any]:
+                return 404, error_envelope(
+                    "not_found", f"no such endpoint: {_request.path}"
+                )
+            return "unknown", _not_found
+        endpoint, method, handler = entry
+        if request.method != method:
+            async def _wrong_method(_request: _HttpRequest) -> tuple[int, Any]:
+                return 405, error_envelope(
+                    "method_not_allowed",
+                    f"{_request.method} is not allowed on {_request.path}; "
+                    f"use {method}",
+                )
+            return endpoint, _wrong_method
+        return endpoint, handler
+
+    async def _respond(
+        self, writer: asyncio.StreamWriter, status: int, payload: Any,
+        keep_alive: bool, extra_headers: dict[str, str] | None = None,
+    ) -> None:
+        body = payload if isinstance(payload, bytes) else _canonical(payload)
+        reason = _REASONS.get(status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {status} {reason}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    # ------------------------------------------------------------------
+    # Endpoint handlers
+    # ------------------------------------------------------------------
+    async def _post_insights(self, http_request: _HttpRequest) -> tuple[int, Any]:
+        request = self._parse_insight_request(http_request.body)
+        self._require_dataset(request.dataset)
+        loop = asyncio.get_running_loop()
+        async with self.admission.admit([request.dataset], request.insight_classes):
+            if self._coalescer is not None:
+                response = await self._coalescer.submit(request)
+            else:
+                self.metrics.record_direct()
+                response = await loop.run_in_executor(
+                    self._pool, self._workspace.handle, request
+                )
+        return 200, response.to_json().encode()
+
+    async def _post_insights_batch(
+        self, http_request: _HttpRequest
+    ) -> tuple[int, Any]:
+        payload = self._parse_json(http_request.body)
+        if isinstance(payload, dict):
+            items = payload.get("requests")
+        elif isinstance(payload, list):
+            items = payload
+        else:
+            items = None
+        if not isinstance(items, list) or not items:
+            raise ProtocolError(
+                'batch body must be {"requests": [...]} with at least one request'
+            )
+        requests = []
+        for index, item in enumerate(items):
+            if not isinstance(item, dict):
+                raise ProtocolError(f"batch request #{index} must be an object")
+            try:
+                requests.append(InsightRequest.from_dict(item))
+            except ProtocolError as exc:
+                raise ProtocolError(f"batch request #{index}: {exc}") from None
+        for request in requests:
+            self._require_dataset(request.dataset)
+        datasets = [request.dataset for request in requests]
+        classes = [
+            name for request in requests for name in request.insight_classes
+        ]
+        loop = asyncio.get_running_loop()
+        async with self.admission.admit(datasets, classes):
+            responses = await loop.run_in_executor(
+                self._pool, self._workspace.handle_many, requests
+            )
+        return 200, {
+            "protocol": 1,
+            "responses": [response.to_dict() for response in responses],
+        }
+
+    async def _get_datasets(self, _request: _HttpRequest) -> tuple[int, Any]:
+        return 200, {"protocol": 1, "datasets": self._workspace.describe()}
+
+    async def _get_healthz(self, _request: _HttpRequest) -> tuple[int, Any]:
+        host, port = self.address
+        return 200, {
+            "status": "draining" if self._stopping else "ok",
+            "host": host,
+            "port": port,
+            "uptime_seconds": (
+                time.time() - self._started_at if self._started_at else 0.0
+            ),
+            "datasets": self._workspace.datasets(),
+            "in_flight": self.admission.snapshot()["in_flight"],
+            "config": self.config.as_dict(),
+        }
+
+    async def _get_metrics(self, _request: _HttpRequest) -> tuple[int, Any]:
+        datasets = self._workspace.describe()
+        return 200, {
+            "server": self.metrics.snapshot(),
+            "admission": self.admission.snapshot(),
+            "workspace": {
+                "cache": self._workspace.cache_info(),
+                "pipeline": self._workspace.pipeline_stats(),
+                "datasets": datasets,
+                "engine_builds": sum(d["engine_builds"] for d in datasets),
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Dispatch helpers
+    # ------------------------------------------------------------------
+    def _dispatch_coalesced_batch(
+        self, requests: list[InsightRequest]
+    ) -> list[Any]:
+        """Coalescer dispatch: one ``handle_many``, per-request fallback.
+
+        ``handle_many`` propagates the first failure, which would poison
+        every request that happened to share the batch; on failure each
+        request is retried individually so one bad request (e.g. an
+        unknown insight class) only fails its own caller.  Successful
+        requests re-run from the result cache, so the fallback is cheap.
+        """
+        try:
+            return list(self._workspace.handle_many(requests))
+        except Exception:  # noqa: BLE001 - isolate per request below
+            results: list[Any] = []
+            for request in requests:
+                try:
+                    results.append(self._workspace.handle(request))
+                except Exception as exc:  # noqa: BLE001 - forwarded per caller
+                    results.append(exc)
+            return results
+
+    def _parse_json(self, body: bytes) -> Any:
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}") from None
+
+    def _parse_insight_request(self, body: bytes) -> InsightRequest:
+        payload = self._parse_json(body)
+        if not isinstance(payload, dict):
+            raise ProtocolError("request JSON must be an object")
+        return InsightRequest.from_dict(payload)
+
+    def _require_dataset(self, name: str) -> None:
+        if name not in self._workspace:
+            raise UnknownDatasetError(name, self._workspace.datasets())
+
+    @staticmethod
+    def _error_payload(exc: Exception) -> tuple[int, dict[str, Any]]:
+        """Map an exception to (status, structured error envelope)."""
+        if isinstance(exc, AdmissionRejected):
+            return exc.status, error_envelope(
+                exc.code, str(exc), retry_after=exc.retry_after
+            )
+        if isinstance(exc, UnknownDatasetError):
+            return 404, error_envelope(
+                "unknown_dataset", str(exc), available=exc.available
+            )
+        if isinstance(exc, UnknownInsightClassError):
+            return 400, error_envelope(
+                "unknown_insight_class", str(exc), available=exc.available
+            )
+        if isinstance(exc, ProtocolError):
+            return 400, error_envelope("protocol_error", str(exc))
+        if isinstance(exc, QueryError):
+            return 400, error_envelope("invalid_query", str(exc))
+        if isinstance(exc, ForesightError):
+            return 500, error_envelope("internal_error", str(exc))
+        return 500, error_envelope(
+            "internal_error", f"{type(exc).__name__}: {exc}"
+        )
+
+
+class ServerHandle:
+    """Controls a server running on a background event-loop thread."""
+
+    def __init__(self, server: ReproServer, loop: asyncio.AbstractEventLoop,
+                 stop_event: asyncio.Event, thread: threading.Thread):
+        self.server = server
+        self._loop = loop
+        self._stop_event = stop_event
+        self._thread = thread
+        self._stopped = False
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server.address
+
+    @property
+    def host(self) -> str:
+        return self.server.address[0]
+
+    @property
+    def port(self) -> int:
+        return self.server.address[1]
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Gracefully stop the server and join its loop thread (idempotent)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.stop(drain=drain), self._loop
+        )
+        try:
+            future.result(timeout=timeout)
+        finally:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+            self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+@contextlib.contextmanager
+def serving(
+    workspace: Workspace, config: ServerConfig | None = None
+) -> Iterator[ServerHandle]:
+    """Run a server for the duration of a ``with`` block (tests, demos)."""
+    handle = ReproServer(workspace, config).start_in_thread()
+    try:
+        yield handle
+    finally:
+        handle.stop()
+
+
+__all__ = ["ReproServer", "ServerHandle", "serving"]

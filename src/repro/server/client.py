@@ -1,0 +1,164 @@
+"""A small blocking client for the repro HTTP server.
+
+:class:`ReproClient` speaks the DTO protocol over stdlib
+``http.client``: typed methods take/return the same
+:class:`~repro.service.dto.InsightRequest` /
+:class:`~repro.service.dto.InsightResponse` objects the in-process
+``Workspace`` uses, so swapping a direct workspace for a remote server
+is a one-line change.  Error envelopes come back as
+:class:`ServerResponseError` (status, code, message, ``retry_after``
+parsed from the header), and :meth:`request_raw` exposes the unmapped
+``(status, headers, payload)`` triple for tests that assert on the wire
+format.
+
+One client wraps one keep-alive connection and is **not** thread-safe —
+give each thread its own instance (they are cheap; the TCP connection
+opens lazily on first use).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ServerError
+from repro.service.dto import InsightRequest, InsightResponse, is_error_envelope
+
+
+class ServerResponseError(ServerError):
+    """The server answered with a structured error envelope."""
+
+    def __init__(self, status: int, payload: Mapping[str, Any],
+                 retry_after: float | None = None):
+        self.status = status
+        self.payload = dict(payload)
+        self.code = payload.get("code", "unknown")
+        self.retry_after = retry_after
+        super().__init__(
+            f"HTTP {status} [{self.code}]: {payload.get('message', '')}"
+        )
+
+
+class RawResponse:
+    """One undecoded exchange: status, headers and parsed JSON payload."""
+
+    __slots__ = ("status", "headers", "payload")
+
+    def __init__(self, status: int, headers: dict[str, str], payload: Any):
+        self.status = status
+        self.headers = headers
+        self.payload = payload
+
+
+class ReproClient:
+    """Blocking JSON-over-HTTP client for :class:`~repro.server.ReproServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self._conn = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Raw transport
+    # ------------------------------------------------------------------
+    def request_raw(self, method: str, path: str,
+                    payload: Any | None = None) -> RawResponse:
+        """One HTTP exchange; JSON decoded, no error mapping."""
+        body = None
+        headers = {}
+        if payload is not None:
+            text = payload if isinstance(payload, str) else json.dumps(payload)
+            body = text.encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        try:
+            self._conn.request(method, path, body=body, headers=headers)
+            raw = self._conn.getresponse()
+            data = raw.read()
+        except (http.client.HTTPException, ConnectionError):
+            # One reconnect, only for a stale keep-alive connection the
+            # server closed under us (RemoteDisconnected / reset pipe).
+            # Timeouts and other OSErrors propagate: the request may be
+            # executing server-side, and silently re-sending it would
+            # duplicate work and double the caller's effective timeout.
+            self._conn.close()
+            self._conn.request(method, path, body=body, headers=headers)
+            raw = self._conn.getresponse()
+            data = raw.read()
+        decoded = json.loads(data.decode("utf-8")) if data else None
+        return RawResponse(
+            raw.status, {k.lower(): v for k, v in raw.getheaders()}, decoded
+        )
+
+    def _request(self, method: str, path: str,
+                 payload: Any | None = None) -> Any:
+        response = self.request_raw(method, path, payload)
+        if response.status >= 400 or is_error_envelope(response.payload):
+            retry_after = response.headers.get("retry-after")
+            raise ServerResponseError(
+                response.status,
+                response.payload if isinstance(response.payload, dict) else {},
+                retry_after=float(retry_after) if retry_after else None,
+            )
+        return response.payload
+
+    # ------------------------------------------------------------------
+    # Typed endpoints
+    # ------------------------------------------------------------------
+    def insights(
+        self, request: InsightRequest | Mapping[str, Any]
+    ) -> InsightResponse:
+        """``POST /v1/insights``: one request, one response."""
+        payload = (
+            request.to_dict() if isinstance(request, InsightRequest)
+            else dict(request)
+        )
+        return InsightResponse.from_dict(
+            self._request("POST", "/v1/insights", payload)
+        )
+
+    def insights_batch(
+        self, requests: Sequence[InsightRequest | Mapping[str, Any]]
+    ) -> list[InsightResponse]:
+        """``POST /v1/insights:batch``: a client-side batch, in order."""
+        items = [
+            request.to_dict() if isinstance(request, InsightRequest)
+            else dict(request)
+            for request in requests
+        ]
+        payload = self._request(
+            "POST", "/v1/insights:batch", {"requests": items}
+        )
+        return [
+            InsightResponse.from_dict(item) for item in payload["responses"]
+        ]
+
+    def datasets(self) -> list[dict[str, Any]]:
+        """``GET /v1/datasets``: registration/engine status per dataset."""
+        return self._request("GET", "/v1/datasets")["datasets"]
+
+    def healthz(self) -> dict[str, Any]:
+        """``GET /healthz``: liveness and config echo."""
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict[str, Any]:
+        """``GET /metrics``: the full operations counter document."""
+        return self._request("GET", "/metrics")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ReproClient(http://{self.host}:{self.port})"
+
+
+__all__ = ["RawResponse", "ReproClient", "ServerResponseError"]

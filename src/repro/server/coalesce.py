@@ -1,0 +1,175 @@
+"""Request coalescing: micro-batch concurrent singles into one batch call.
+
+PR 2 made ``Workspace.handle_many`` share candidate enumeration and
+scored batches *across* the requests of one batch — but only callers who
+already hold a batch benefit.  :class:`RequestCoalescer` realises that
+sharing at the transport layer: concurrent ``POST /v1/insights``
+arrivals within a small window are collected and dispatched as **one**
+``handle_many`` call, so unrelated clients asking similar questions at
+the same moment pay for enumeration and scoring once.
+
+Mechanics: the first arrival opens a batch and starts the window timer;
+later arrivals join the pending batch; the batch flushes when the window
+elapses or it reaches ``max_batch``, whichever comes first.  The
+blocking dispatch runs on a worker thread (the event loop never blocks),
+and each caller's future resolves with its own response.
+
+Responses get transport provenance: the per-request ``batch`` entry that
+``handle_many`` stamps is replaced by ``coalesced`` (``{"index", "size"}``)
+recording how the transport batched it.  Like ``batch``, the entry is
+stamped after the response left the result cache, so cached payloads
+stay byte-identical however requests were coalesced.
+
+The coalescer is event-loop native: ``submit`` must be called from the
+owning loop.  :meth:`aclose` flushes whatever is pending and waits for
+outstanding dispatches — the server's graceful drain calls it so no
+accepted request is dropped on shutdown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor
+from typing import Any, Callable
+
+from repro.service.dto import InsightRequest, InsightResponse
+from repro.server.metrics import ServerMetrics
+
+#: A blocking batch dispatcher — in production ``Workspace.handle_many``.
+DispatchFn = Callable[[list[InsightRequest]], list[InsightResponse]]
+
+
+class RequestCoalescer:
+    """Collects concurrent single requests and dispatches them as batches."""
+
+    def __init__(
+        self,
+        dispatch: DispatchFn,
+        window: float = 0.005,
+        max_batch: int = 16,
+        metrics: ServerMetrics | None = None,
+        executor: Executor | None = None,
+    ):
+        if window < 0:
+            raise ValueError(f"window must be >= 0, got {window}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self._dispatch = dispatch
+        self.window = window
+        self.max_batch = max_batch
+        self._metrics = metrics
+        self._executor = executor
+        self._pending: list[tuple[InsightRequest, asyncio.Future, float]] = []
+        self._timer: asyncio.Task | None = None
+        self._tasks: set[asyncio.Task] = set()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    async def submit(self, request: InsightRequest) -> InsightResponse:
+        """Join the pending batch and wait for this request's response."""
+        if self._closed:
+            raise RuntimeError("coalescer is closed")
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((request, future, loop.time()))
+        if len(self._pending) >= self.max_batch:
+            self._flush()
+        elif self._timer is None:
+            self._timer = asyncio.create_task(self._flush_after_window())
+        return await future
+
+    # ------------------------------------------------------------------
+    # Flushing
+    # ------------------------------------------------------------------
+    def _flush(self) -> None:
+        """Dispatch the pending batch (no-op when nothing is pending)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._pending:
+            return
+        batch, self._pending = self._pending, []
+        task = asyncio.ensure_future(self._dispatch_batch(batch))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _flush_after_window(self) -> None:
+        try:
+            await asyncio.sleep(self.window)
+        except asyncio.CancelledError:
+            return
+        self._timer = None
+        self._flush()
+
+    async def _dispatch_batch(
+        self, batch: list[tuple[InsightRequest, asyncio.Future, float]]
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        requests = [request for request, _, _ in batch]
+        wait_seconds = loop.time() - batch[0][2]
+        try:
+            responses = await loop.run_in_executor(
+                self._executor, self._dispatch, requests
+            )
+        except Exception as exc:  # noqa: BLE001 - forwarded to each caller
+            for _, future, _ in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        if self._metrics is not None:
+            self._metrics.record_batch(len(batch), wait_seconds)
+        size = len(batch)
+        for index, ((_, future, _), response) in enumerate(zip(batch, responses)):
+            if future.done():
+                continue
+            # Dispatchers may isolate per-request failures by returning
+            # the exception in that request's slot (see the server's
+            # batch dispatcher); forward it to just that caller.
+            if isinstance(response, BaseException):
+                future.set_exception(response)
+                continue
+            provenance = dict(response.provenance)
+            provenance.pop("batch", None)
+            provenance["coalesced"] = {"index": index, "size": size}
+            response.provenance = provenance
+            future.set_result(response)
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Requests currently waiting in the open batch."""
+        return len(self._pending)
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "window_seconds": self.window,
+            "max_batch": self.max_batch,
+            "pending": len(self._pending),
+            "dispatching": len(self._tasks),
+        }
+
+    async def aclose(self, timeout: float | None = None) -> None:
+        """Flush the open batch and wait for every outstanding dispatch.
+
+        With a ``timeout``, dispatches still running when it expires are
+        cancelled (their callers see ``CancelledError``) so shutdown
+        stays bounded even when the engine is stuck mid-call.
+        """
+        self._closed = True
+        self._flush()
+        while self._tasks:
+            pending = asyncio.gather(*list(self._tasks), return_exceptions=True)
+            if timeout is None:
+                await pending
+            else:
+                try:
+                    await asyncio.wait_for(pending, timeout)
+                except asyncio.TimeoutError:
+                    break
+
+
+__all__ = ["DispatchFn", "RequestCoalescer"]

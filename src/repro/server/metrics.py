@@ -1,0 +1,165 @@
+"""Operational counters for the HTTP transport.
+
+:class:`ServerMetrics` is the single sink every transport component
+reports into — request/response counts per endpoint and status, the
+coalescer's batch accounting and per-request latency histograms — and
+the producer of the ``/metrics`` JSON document, which merges in the
+workspace-side state (result-cache counters, per-dataset engine builds,
+lifetime pipeline stats) and the admission controller's gauges.
+
+Histograms use fixed logarithmic bucket bounds (1 ms … 10 s) so
+percentile estimates are stable across runs and cheap to compute: p50
+and p95 are read off the cumulative bucket counts, reported as the upper
+bound of the bucket containing the percentile — an upper-bound estimate,
+exactly like Prometheus ``histogram_quantile``.
+
+Everything is guarded by one internal lock: the event loop, the handler
+worker threads and scraping clients may all touch it concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+#: Upper bounds (seconds) of the latency histogram buckets.
+LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with percentile estimates."""
+
+    def __init__(self, bounds: tuple[float, ...] = LATENCY_BUCKETS):
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1 = overflow bucket
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        index = len(self._bounds)
+        for i, bound in enumerate(self._bounds):
+            if seconds <= bound:
+                index = i
+                break
+        self._counts[index] += 1
+        self._count += 1
+        self._sum += seconds
+        if seconds > self._max:
+            self._max = seconds
+
+    def quantile(self, q: float) -> float | None:
+        """Upper-bound estimate of the q-quantile (None when empty)."""
+        if self._count == 0:
+            return None
+        target = q * self._count
+        cumulative = 0
+        for i, bound in enumerate(self._bounds):
+            cumulative += self._counts[i]
+            if cumulative >= target:
+                return bound
+        return self._max
+
+    def snapshot(self) -> dict[str, Any]:
+        buckets = {
+            f"le_{bound:g}": self._counts[i]
+            for i, bound in enumerate(self._bounds)
+        }
+        buckets["le_inf"] = self._counts[-1]
+        return {
+            "count": self._count,
+            "sum_seconds": self._sum,
+            "max_seconds": self._max,
+            "p50_seconds": self.quantile(0.50),
+            "p95_seconds": self.quantile(0.95),
+            "buckets": buckets,
+        }
+
+
+class ServerMetrics:
+    """Counter sink for the transport; renders the ``/metrics`` document."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._requests_by_endpoint: dict[str, int] = {}
+        self._responses_by_status: dict[str, int] = {}
+        self._rejected_quota = 0
+        self._rejected_overload = 0
+        self._coalesced_batches = 0
+        self._coalesced_requests = 0
+        self._coalesce_max_batch = 0
+        self._direct_requests = 0
+        self._latency = LatencyHistogram()
+        self._coalesce_wait = LatencyHistogram()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_request(self, endpoint: str) -> None:
+        with self._lock:
+            self._requests_by_endpoint[endpoint] = (
+                self._requests_by_endpoint.get(endpoint, 0) + 1
+            )
+
+    def record_response(self, status: int, seconds: float | None = None) -> None:
+        with self._lock:
+            key = str(status)
+            self._responses_by_status[key] = (
+                self._responses_by_status.get(key, 0) + 1
+            )
+            if seconds is not None:
+                self._latency.observe(seconds)
+
+    def record_rejection(self, status: int) -> None:
+        """Count an admission rejection (429 = quota, 503 = overload)."""
+        with self._lock:
+            if status == 429:
+                self._rejected_quota += 1
+            else:
+                self._rejected_overload += 1
+
+    def record_batch(self, size: int, wait_seconds: float) -> None:
+        """Count one coalesced dispatch of ``size`` requests."""
+        with self._lock:
+            self._coalesced_batches += 1
+            self._coalesced_requests += size
+            if size > self._coalesce_max_batch:
+                self._coalesce_max_batch = size
+            self._coalesce_wait.observe(wait_seconds)
+
+    def record_direct(self) -> None:
+        """Count one request dispatched without coalescing."""
+        with self._lock:
+            self._direct_requests += 1
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            requests_total = sum(self._requests_by_endpoint.values())
+            return {
+                "requests": {
+                    "total": requests_total,
+                    "by_endpoint": dict(self._requests_by_endpoint),
+                },
+                "responses": {
+                    "by_status": dict(self._responses_by_status),
+                    "rejected_quota": self._rejected_quota,
+                    "rejected_overload": self._rejected_overload,
+                },
+                "coalesce": {
+                    "batches": self._coalesced_batches,
+                    "coalesced_requests": self._coalesced_requests,
+                    "max_batch_size": self._coalesce_max_batch,
+                    "direct_requests": self._direct_requests,
+                    "wait": self._coalesce_wait.snapshot(),
+                },
+                "latency": self._latency.snapshot(),
+            }
+
+
+__all__ = ["LATENCY_BUCKETS", "LatencyHistogram", "ServerMetrics"]

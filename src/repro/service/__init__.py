@@ -22,6 +22,9 @@ from repro.service.dto import (
     InsightRequest,
     InsightResponse,
     SessionState,
+    error_envelope,
+    error_envelope_json,
+    is_error_envelope,
 )
 from repro.service.pipeline import (
     Enumeration,
@@ -52,4 +55,7 @@ __all__ = [
     "Workspace",
     "decode_cursor",
     "encode_cursor",
+    "error_envelope",
+    "error_envelope_json",
+    "is_error_envelope",
 ]

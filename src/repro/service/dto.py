@@ -288,6 +288,37 @@ class InsightResponse:
         return cls.from_dict(payload)
 
 
+# -- error envelope ---------------------------------------------------------
+def error_envelope(code: str, message: str, **details: Any) -> dict[str, Any]:
+    """The structured DTO error payload every transport returns on failure.
+
+    Shape: ``{"protocol": 1, "status": "error", "code": ..., "message":
+    ...}`` plus optional detail keys (e.g. ``available`` dataset names,
+    ``retry_after`` seconds).  Success payloads never carry a ``status``
+    key, so ``is_error_envelope`` distinguishes the two without a schema.
+    """
+    payload: dict[str, Any] = {
+        "protocol": PROTOCOL_VERSION,
+        "status": "error",
+        "code": code,
+        "message": message,
+    }
+    for key, value in details.items():
+        if value is not None:
+            payload[key] = value
+    return payload
+
+
+def error_envelope_json(code: str, message: str, **details: Any) -> str:
+    """Canonical-JSON form of :func:`error_envelope`."""
+    return _canonical_json(error_envelope(code, message, **details))
+
+
+def is_error_envelope(payload: Any) -> bool:
+    """True when a decoded payload is a structured error envelope."""
+    return isinstance(payload, Mapping) and payload.get("status") == "error"
+
+
 # SessionState is defined next to the session it persists (the DTO must
 # not pull the serving layer into the core import graph); re-exported
 # here as part of the public DTO namespace.
@@ -298,4 +329,7 @@ __all__ = [
     "InsightResponse",
     "PROTOCOL_VERSION",
     "SessionState",
+    "error_envelope",
+    "error_envelope_json",
+    "is_error_envelope",
 ]

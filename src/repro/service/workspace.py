@@ -50,14 +50,24 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
-from repro.errors import ServiceError, UnknownDatasetError
+from repro.errors import (
+    ProtocolError,
+    ServiceError,
+    UnknownDatasetError,
+    UnknownInsightClassError,
+)
 from repro.core.engine import EngineConfig, Foresight
 from repro.core.executor import ExecutorConfig, create_executor
 from repro.core.session import ExplorationSession
 from repro.data.table import DataTable
 from repro.service.cache import ResultCache
 from repro.service.cursor import decode_cursor, encode_cursor
-from repro.service.dto import InsightRequest, InsightResponse, SessionState
+from repro.service.dto import (
+    InsightRequest,
+    InsightResponse,
+    SessionState,
+    error_envelope_json,
+)
 from repro.service.pipeline import PipelineStats
 
 #: Concurrency used by :meth:`Workspace.handle_many` when neither the
@@ -101,6 +111,10 @@ class Workspace:
         self._entries: dict[str, _DatasetEntry] = {}
         self._cache = ResultCache(capacity=cache_size)
         self._executor_config = executor or ExecutorConfig()
+        #: Lifetime pipeline counters across every cache-miss request,
+        #: for operational surfaces (the server's ``/metrics``).
+        self._stats = PipelineStats()
+        self._stats_lock = threading.Lock()
         #: Guards the registry of entries (not per-dataset state).
         self._lock = threading.RLock()
         #: Monotonic per-name version counters.  Versions must never
@@ -267,6 +281,8 @@ class Workspace:
         )
         stats = PipelineStats()
         results = engine.rank_many(queries, stats=stats)
+        with self._stats_lock:
+            self._stats.merge(stats)
 
         carousels = []
         has_more = False
@@ -348,8 +364,30 @@ class Workspace:
             executor.close()
 
     def handle_json(self, text: str) -> str:
-        """JSON-in / JSON-out convenience for transport adapters."""
-        return self.handle(InsightRequest.from_json(text)).to_json()
+        """JSON-in / JSON-out convenience for transport adapters.
+
+        Client-input failures never raise: malformed JSON / protocol
+        violations, unknown dataset names and unknown insight classes
+        come back as the structured DTO error envelope
+        (``{"status": "error", "code": ..., "message": ...}``), so a
+        transport can ship the payload verbatim with the matching status
+        code.  Engine-side failures (a buggy loader, say) still
+        propagate — they are server faults, not request faults.
+        """
+        try:
+            request = InsightRequest.from_json(text)
+        except ProtocolError as exc:
+            return error_envelope_json("protocol_error", str(exc))
+        try:
+            return self.handle(request).to_json()
+        except UnknownDatasetError as exc:
+            return error_envelope_json(
+                "unknown_dataset", str(exc), available=exc.available
+            )
+        except UnknownInsightClassError as exc:
+            return error_envelope_json(
+                "unknown_insight_class", str(exc), available=exc.available
+            )
 
     # ------------------------------------------------------------------
     # Sessions (workspace-addressable by dataset name)
@@ -377,17 +415,35 @@ class Workspace:
         """Hit/miss/eviction counters of the result cache."""
         return self._cache.info()
 
+    def pipeline_stats(self) -> dict[str, Any]:
+        """Lifetime pipeline counters summed over every cache-miss request.
+
+        A consistent snapshot (taken under the accumulator lock) of
+        enumerations, sharing, score evaluations, shards and elapsed
+        seconds — the raw material for the server's ``/metrics``.
+        """
+        with self._stats_lock:
+            return self._stats.as_dict()
+
     @property
     def cache(self) -> ResultCache:
         return self._cache
 
     def describe(self) -> list[dict[str, Any]]:
-        """Status of every registered dataset (for ops endpoints)."""
+        """Status of every registered dataset (for ops endpoints).
+
+        Never blocks: a dataset whose entry lock is held (a load or
+        engine build in progress) is reported from a lock-free snapshot
+        with ``busy=True`` instead of waiting the build out — health and
+        metrics endpoints must stay responsive while a cold dataset
+        preprocesses.
+        """
         with self._lock:
             entries = list(self._entries.values())
         described = []
         for entry in entries:
-            with entry.lock:
+            busy = not entry.lock.acquire(blocking=False)
+            try:
                 described.append(
                     {
                         "name": entry.name,
@@ -396,8 +452,12 @@ class Workspace:
                         "engine_built": entry.engine is not None,
                         "engine_builds": entry.engine_builds,
                         "lazy": entry.loader is not None,
+                        "busy": busy,
                     }
                 )
+            finally:
+                if not busy:
+                    entry.lock.release()
         return described
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

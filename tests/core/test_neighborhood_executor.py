@@ -1,0 +1,114 @@
+"""Executor wiring through the neighborhood recommender's scoring path.
+
+PR 2 left one path outside the execution layer: the neighborhood
+recommender issued one ``rank`` call per focus attribute, each with its
+own enumeration and an unsharded score stage.  These tests pin the new
+behavior: the whole pool executes as one pipeline run (shared
+enumeration, sharded scoring under a parallel executor) and the blended
+re-ranking itself fans out over the engine's executor — with results
+identical to the serial recommender, per bundled dataset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.executor import ExecutorConfig, create_executor
+from repro.core.insight import EvaluationContext, MODE_EXACT
+from repro.core.neighborhood import NeighborhoodConfig, NeighborhoodRecommender
+from repro.core.query import InsightQuery
+from repro.core.ranking import RankingEngine
+from repro.core.registry import default_registry
+
+
+def _recommender(executor_config: ExecutorConfig | None = None,
+                 config: NeighborhoodConfig | None = None) -> RankingEngine:
+    executor = create_executor(executor_config) if executor_config else None
+    engine = RankingEngine(default_registry(), executor=executor)
+    return engine, NeighborhoodRecommender(engine, config=config)
+
+
+def _focus(engine: RankingEngine, context: EvaluationContext):
+    return engine.rank(
+        InsightQuery("linear_relationship", top_k=1, mode=MODE_EXACT), context
+    ).top()
+
+
+class TestSharedEnumeration:
+    def test_nearby_runs_one_pipeline_execution(self, oecd_table):
+        engine, recommender = _recommender()
+        context = EvaluationContext(table=oecd_table, store=None, mode=MODE_EXACT)
+        focus = _focus(engine, context)
+        result = recommender.nearby([focus], "linear_relationship", context,
+                                    top_k=5)
+        stats = result.details["pipeline"]
+        # One pool = one enumeration paid, every other pool query shared it
+        # (2 focus attributes + 1 unconstrained top-up = 3 queries).
+        assert stats["n_queries"] == 3
+        assert stats["enumerations"] == 1
+        assert stats["shared_queries"] == stats["n_queries"] - 1
+
+    def test_focusless_nearby_still_works(self, oecd_table):
+        engine, recommender = _recommender()
+        context = EvaluationContext(table=oecd_table, store=None, mode=MODE_EXACT)
+        result = recommender.nearby([], "skew", context, top_k=3)
+        assert len(result) > 0
+        assert result.details["pipeline"]["n_queries"] == 1
+
+
+class TestSerialParallelEquivalence:
+    @pytest.mark.parametrize("fixture_name", [
+        "oecd_table", "small_mixed_table", "clustered_table",
+    ])
+    def test_parallel_recommendations_identical(self, fixture_name, request):
+        table = request.getfixturevalue(fixture_name)
+        context = EvaluationContext(table=table, store=None, mode=MODE_EXACT)
+
+        serial_engine, serial_recommender = _recommender(
+            ExecutorConfig(max_workers=1)
+        )
+        parallel_engine, parallel_recommender = _recommender(
+            ExecutorConfig(max_workers=4, min_chunk_size=1)
+        )
+        focus = _focus(serial_engine, context)
+        assert focus == _focus(parallel_engine, context)
+
+        for insight_class in ("linear_relationship", "skew"):
+            serial = serial_recommender.nearby(
+                [focus], insight_class, context, top_k=6
+            )
+            parallel = parallel_recommender.nearby(
+                [focus], insight_class, context, top_k=6
+            )
+            assert serial.attribute_sets() == parallel.attribute_sets()
+            assert [i.score for i in serial] == [i.score for i in parallel]
+
+    def test_sharded_scoring_engages_under_parallel_executor(self, oecd_table):
+        context = EvaluationContext(table=oecd_table, store=None, mode=MODE_EXACT)
+        engine, recommender = _recommender(
+            ExecutorConfig(max_workers=4, min_chunk_size=1)
+        )
+        focus = _focus(engine, context)
+        result = recommender.nearby([focus], "skew", context, top_k=5)
+        # Univariate classes score element-wise, so the pool's score stage
+        # must have sharded across the workers.
+        assert result.details["pipeline"]["score_shards"] > 1
+
+    def test_blended_reranking_unchanged_by_pool_sharding(self, oecd_table):
+        """Strength/similarity blending weights behave identically."""
+        context = EvaluationContext(table=oecd_table, store=None, mode=MODE_EXACT)
+        config = NeighborhoodConfig(strength_weight=0.2, candidate_pool=30)
+        serial_engine, serial_recommender = _recommender(
+            ExecutorConfig(max_workers=1), config=config
+        )
+        _, parallel_recommender = _recommender(
+            ExecutorConfig(max_workers=3, min_chunk_size=1), config=config
+        )
+        focus = _focus(serial_engine, context)
+        serial = serial_recommender.nearby(
+            [focus], "linear_relationship", context, top_k=8
+        )
+        parallel = parallel_recommender.nearby(
+            [focus], "linear_relationship", context, top_k=8
+        )
+        assert serial.attribute_sets() == parallel.attribute_sets()

@@ -1,0 +1,40 @@
+"""Shared fixtures and helpers for the HTTP server tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.data import DataTable
+from repro.data.datasets import make_mixed_table
+from repro.service import InsightResponse, Workspace
+
+
+@pytest.fixture(scope="session")
+def server_table() -> DataTable:
+    """A small mixed table: fast engine builds, non-trivial insights."""
+    return make_mixed_table(n_rows=300, n_numeric=6, n_categorical=2, seed=3)
+
+
+@pytest.fixture()
+def server_workspace(server_table: DataTable) -> Workspace:
+    """A fresh workspace per test (counters start at zero)."""
+    workspace = Workspace()
+    workspace.register("demo", lambda: server_table)
+    return workspace
+
+
+def stable_payload(response: InsightResponse | dict) -> str:
+    """Canonical JSON of a response minus its volatile fields.
+
+    ``timing`` is wall-clock and ``provenance`` records *how* the answer
+    was produced (cache hit/miss, batch/coalesce position) — both vary
+    run to run by design.  Everything else (the carousels, dataset,
+    version, cursor) must be byte-identical however a request was
+    transported, and this helper is what the equivalence tests compare.
+    """
+    payload = response.to_dict() if isinstance(response, InsightResponse) else dict(response)
+    payload.pop("timing", None)
+    payload.pop("provenance", None)
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))

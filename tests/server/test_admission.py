@@ -1,0 +1,147 @@
+"""AdmissionController unit tests (event-loop level, no sockets)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import AdmissionRejected
+from repro.server import AdmissionController
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestCapacityAndQueue:
+    def test_admit_and_release_track_in_flight(self):
+        async def scenario():
+            controller = AdmissionController(max_in_flight=2, queue_limit=0)
+            await controller.acquire(["a"], ["skew"])
+            assert controller.snapshot()["in_flight"] == 1
+            async with controller.admit(["b"], ["outliers"]):
+                assert controller.snapshot()["in_flight"] == 2
+            await controller.release(["a"], ["skew"])
+            snapshot = controller.snapshot()
+            assert snapshot["in_flight"] == 0
+            assert snapshot["admitted_total"] == 2
+            assert snapshot["in_flight_by_dataset"] == {}
+            assert snapshot["in_flight_by_class"] == {}
+
+        run(scenario())
+
+    def test_queueing_waits_for_a_slot(self):
+        async def scenario():
+            controller = AdmissionController(max_in_flight=1, queue_limit=2)
+            await controller.acquire(["a"], ["skew"])
+            admitted = []
+
+            async def queued(tag):
+                async with controller.admit(["a"], ["skew"]):
+                    admitted.append(tag)
+
+            tasks = [asyncio.create_task(queued(i)) for i in range(2)]
+            await asyncio.sleep(0.01)
+            snapshot = controller.snapshot()
+            assert snapshot["queued"] == 2
+            assert admitted == []
+            await controller.release(["a"], ["skew"])
+            await asyncio.gather(*tasks)
+            assert sorted(admitted) == [0, 1]
+            assert controller.snapshot()["queued_total"] == 2
+
+        run(scenario())
+
+    def test_queue_overflow_rejects_503(self):
+        async def scenario():
+            controller = AdmissionController(
+                max_in_flight=1, queue_limit=0, retry_after=0.5
+            )
+            await controller.acquire(["a"], ["skew"])
+            with pytest.raises(AdmissionRejected) as info:
+                await controller.acquire(["b"], ["skew"])
+            assert info.value.status == 503
+            assert info.value.code == "overloaded"
+            assert info.value.retry_after == 0.5
+            assert controller.snapshot()["rejected_overload_total"] == 1
+
+        run(scenario())
+
+
+class TestQuotas:
+    def test_dataset_quota_rejects_429_without_queueing(self):
+        async def scenario():
+            controller = AdmissionController(
+                max_in_flight=8, queue_limit=8, dataset_quota=1
+            )
+            await controller.acquire(["a"], ["skew"])
+            with pytest.raises(AdmissionRejected) as info:
+                await controller.acquire(["a"], ["outliers"])
+            assert info.value.status == 429
+            assert info.value.code == "dataset_quota_exceeded"
+            snapshot = controller.snapshot()
+            assert snapshot["rejected_quota_total"] == 1
+            assert snapshot["queued"] == 0
+            # Another dataset is unaffected by the quota of the first.
+            await controller.acquire(["b"], ["outliers"])
+
+        run(scenario())
+
+    def test_class_quota_rejects_429(self):
+        async def scenario():
+            controller = AdmissionController(
+                max_in_flight=8, queue_limit=8, class_quota=1
+            )
+            await controller.acquire(["a"], ["skew", "outliers"])
+            with pytest.raises(AdmissionRejected) as info:
+                await controller.acquire(["b"], ["skew"])
+            assert info.value.status == 429
+            assert info.value.code == "class_quota_exceeded"
+            # A class not in flight is still admissible.
+            await controller.acquire(["b"], ["dispersion"])
+
+        run(scenario())
+
+    def test_batch_counts_each_distinct_key_once(self):
+        async def scenario():
+            controller = AdmissionController(max_in_flight=4, dataset_quota=2)
+            # The same dataset twice in one batch consumes one quota unit.
+            await controller.acquire(["a", "a", "b"], ["skew", "skew"])
+            snapshot = controller.snapshot()
+            assert snapshot["in_flight"] == 1
+            assert snapshot["in_flight_by_dataset"] == {"a": 1, "b": 1}
+            assert snapshot["in_flight_by_class"] == {"skew": 1}
+            await controller.release(["a", "a", "b"], ["skew", "skew"])
+            assert controller.snapshot()["in_flight_by_dataset"] == {}
+
+        run(scenario())
+
+    def test_release_wakes_queued_waiter(self):
+        async def scenario():
+            controller = AdmissionController(max_in_flight=1, queue_limit=4)
+            await controller.acquire(["a"], ["skew"])
+            order = []
+
+            async def waiter():
+                await controller.acquire(["a"], ["skew"])
+                order.append("waiter")
+                await controller.release(["a"], ["skew"])
+
+            task = asyncio.create_task(waiter())
+            await asyncio.sleep(0.01)
+            order.append("releasing")
+            await controller.release(["a"], ["skew"])
+            await task
+            assert order == ["releasing", "waiter"]
+            assert controller.snapshot()["peak_queued"] == 1
+
+        run(scenario())
+
+
+class TestValidation:
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_in_flight=0)
+        with pytest.raises(ValueError):
+            AdmissionController(queue_limit=-1)

@@ -1,0 +1,87 @@
+"""LatencyHistogram and ServerMetrics unit tests."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.server import LatencyHistogram, ServerMetrics
+
+
+class TestLatencyHistogram:
+    def test_empty_histogram_has_no_percentiles(self):
+        histogram = LatencyHistogram()
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["p50_seconds"] is None
+        assert snapshot["p95_seconds"] is None
+
+    def test_observations_land_in_the_right_buckets(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.0005)   # <= 1ms
+        histogram.observe(0.003)    # <= 5ms
+        histogram.observe(0.2)      # <= 250ms
+        histogram.observe(99.0)     # overflow
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 4
+        assert snapshot["buckets"]["le_0.001"] == 1
+        assert snapshot["buckets"]["le_0.005"] == 1
+        assert snapshot["buckets"]["le_0.25"] == 1
+        assert snapshot["buckets"]["le_inf"] == 1
+        assert snapshot["max_seconds"] == 99.0
+
+    def test_quantiles_are_upper_bound_estimates(self):
+        histogram = LatencyHistogram()
+        for _ in range(95):
+            histogram.observe(0.002)   # bucket le_0.0025
+        for _ in range(5):
+            histogram.observe(0.4)     # bucket le_0.5
+        assert histogram.quantile(0.50) == 0.0025
+        assert histogram.quantile(0.95) == 0.0025
+        assert histogram.quantile(0.99) == 0.5
+
+    def test_overflow_quantile_reports_observed_max(self):
+        histogram = LatencyHistogram()
+        histogram.observe(42.0)
+        assert histogram.quantile(0.95) == 42.0
+
+
+class TestServerMetrics:
+    def test_snapshot_shape_and_counting(self):
+        metrics = ServerMetrics()
+        metrics.record_request("insights")
+        metrics.record_request("insights")
+        metrics.record_request("healthz")
+        metrics.record_response(200, 0.01)
+        metrics.record_response(200, 0.02)
+        metrics.record_response(404)
+        metrics.record_rejection(429)
+        metrics.record_rejection(503)
+        metrics.record_batch(3, 0.004)
+        metrics.record_direct()
+        snapshot = metrics.snapshot()
+        assert snapshot["requests"]["total"] == 3
+        assert snapshot["requests"]["by_endpoint"] == {"insights": 2, "healthz": 1}
+        assert snapshot["responses"]["by_status"] == {"200": 2, "404": 1}
+        assert snapshot["responses"]["rejected_quota"] == 1
+        assert snapshot["responses"]["rejected_overload"] == 1
+        assert snapshot["coalesce"]["batches"] == 1
+        assert snapshot["coalesce"]["coalesced_requests"] == 3
+        assert snapshot["coalesce"]["direct_requests"] == 1
+        assert snapshot["latency"]["count"] == 2
+
+    def test_thread_safety_of_counters(self):
+        metrics = ServerMetrics()
+
+        def hammer():
+            for _ in range(500):
+                metrics.record_request("insights")
+                metrics.record_response(200, 0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = metrics.snapshot()
+        assert snapshot["requests"]["total"] == 2000
+        assert snapshot["latency"]["count"] == 2000

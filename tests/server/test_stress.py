@@ -1,0 +1,90 @@
+"""Concurrency stress: server responses == direct Workspace.handle output.
+
+Many client threads hammer one coalescing server with a shared request
+mix (repeats included, so cache hits, coalesced batches and admission
+queueing all engage at once).  Every response must match the output of a
+direct ``Workspace.handle`` call on an identically-registered reference
+workspace, byte for byte (volatile timing/provenance excluded — see
+``stable_payload``).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.service import InsightRequest, Workspace
+from repro.server import ReproClient, ServerConfig, serving
+
+from tests.server.conftest import stable_payload
+
+N_THREADS = 8
+ROUNDS = 3
+
+
+def _request_mix() -> list[InsightRequest]:
+    return [
+        InsightRequest(dataset="demo", insight_classes=("skew",), top_k=3),
+        InsightRequest(dataset="demo", insight_classes=("outliers",), top_k=2),
+        InsightRequest(dataset="demo",
+                       insight_classes=("dispersion", "heavy_tails"), top_k=4),
+        InsightRequest(dataset="demo", insight_classes=("skew", "outliers"),
+                       top_k=5, mode="exact"),
+        InsightRequest(dataset="demo", insight_classes=("normality",), top_k=3,
+                       metric_min=0.0),
+    ]
+
+
+def test_stress_responses_identical_to_direct_handle(
+    server_workspace, server_table
+):
+    requests = _request_mix()
+    reference = Workspace()
+    reference.register("demo", lambda: server_table)
+    expected = [stable_payload(reference.handle(r)) for r in requests]
+
+    server_workspace.engine("demo")
+    config = ServerConfig(
+        port=0, coalesce_window=0.01, coalesce_max_batch=8,
+        max_in_flight=4, queue_limit=64,
+    )
+    failures: list[str] = []
+    barrier = threading.Barrier(N_THREADS)
+
+    with serving(server_workspace, config) as handle:
+        def hammer(thread_index: int) -> None:
+            with ReproClient(*handle.address, timeout=60) as client:
+                barrier.wait()
+                for round_index in range(ROUNDS):
+                    # Stagger the mix per thread so concurrent traffic is
+                    # a blend of distinct and identical requests.
+                    offset = (thread_index + round_index) % len(requests)
+                    for step in range(len(requests)):
+                        index = (offset + step) % len(requests)
+                        response = client.insights(requests[index])
+                        got = stable_payload(response)
+                        if got != expected[index]:
+                            failures.append(
+                                f"thread {thread_index} round {round_index} "
+                                f"request {index} diverged"
+                            )
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        with ReproClient(*handle.address) as client:
+            metrics = client.metrics()
+
+    assert not failures, failures[:5]
+    total = N_THREADS * ROUNDS * len(requests)
+    server = metrics["server"]
+    assert server["requests"]["by_endpoint"]["insights"] == total
+    assert server["responses"]["by_status"]["200"] == total
+    assert server["coalesce"]["coalesced_requests"] == total
+    assert metrics["admission"]["admitted_total"] == total
+    assert metrics["admission"]["in_flight"] == 0
+    # One engine, however many threads raced on it.
+    assert metrics["workspace"]["engine_builds"] == 1

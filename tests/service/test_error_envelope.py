@@ -1,0 +1,120 @@
+"""Structured DTO error envelopes from ``Workspace.handle_json``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.data.datasets import make_mixed_table
+from repro.service import (
+    PROTOCOL_VERSION,
+    InsightRequest,
+    Workspace,
+    error_envelope,
+    is_error_envelope,
+)
+
+
+@pytest.fixture()
+def workspace() -> Workspace:
+    table = make_mixed_table(n_rows=200, n_numeric=5, n_categorical=1, seed=3)
+    workspace = Workspace()
+    workspace.register("demo", lambda: table)
+    return workspace
+
+
+class TestEnvelopeHelpers:
+    def test_envelope_shape(self):
+        payload = error_envelope("some_code", "what happened", available=["a"])
+        assert payload == {
+            "protocol": PROTOCOL_VERSION,
+            "status": "error",
+            "code": "some_code",
+            "message": "what happened",
+            "available": ["a"],
+        }
+
+    def test_none_details_are_omitted(self):
+        payload = error_envelope("c", "m", retry_after=None)
+        assert "retry_after" not in payload
+
+    def test_is_error_envelope(self):
+        assert is_error_envelope(error_envelope("c", "m"))
+        assert not is_error_envelope({"status": "ok"})
+        assert not is_error_envelope({"dataset": "demo"})
+        assert not is_error_envelope("nope")
+        assert not is_error_envelope(None)
+
+
+class TestHandleJsonErrors:
+    def test_malformed_json_returns_envelope_not_raise(self, workspace):
+        payload = json.loads(workspace.handle_json("{this is not json"))
+        assert is_error_envelope(payload)
+        assert payload["code"] == "protocol_error"
+        assert payload["message"]
+
+    def test_non_object_json_returns_envelope(self, workspace):
+        payload = json.loads(workspace.handle_json("[1, 2, 3]"))
+        assert is_error_envelope(payload)
+        assert payload["code"] == "protocol_error"
+
+    def test_missing_required_keys_returns_envelope(self, workspace):
+        payload = json.loads(workspace.handle_json('{"top_k": 3}'))
+        assert is_error_envelope(payload)
+        assert payload["code"] == "protocol_error"
+
+    def test_unknown_dataset_returns_envelope_with_alternatives(self, workspace):
+        request = InsightRequest(dataset="nope", insight_classes=("skew",))
+        payload = json.loads(workspace.handle_json(request.to_json()))
+        assert is_error_envelope(payload)
+        assert payload["code"] == "unknown_dataset"
+        assert payload["available"] == ["demo"]
+
+    def test_successful_request_is_not_an_envelope(self, workspace):
+        request = InsightRequest(dataset="demo", insight_classes=("skew",),
+                                 top_k=2)
+        payload = json.loads(workspace.handle_json(request.to_json()))
+        assert not is_error_envelope(payload)
+        assert payload["dataset"] == "demo"
+        assert len(payload["carousels"]) == 1
+
+    def test_unknown_insight_class_returns_envelope(self, workspace):
+        """A class-name typo is client input, same as an unknown dataset."""
+        request = InsightRequest(dataset="demo",
+                                 insight_classes=("not_a_class",))
+        payload = json.loads(workspace.handle_json(request.to_json()))
+        assert is_error_envelope(payload)
+        assert payload["code"] == "unknown_insight_class"
+        assert "skew" in payload["available"]
+
+    def test_engine_faults_still_raise(self, workspace):
+        """Server faults (not client input) must propagate, not envelope."""
+        def broken_loader():
+            raise RuntimeError("disk on fire")
+
+        workspace.register("broken", broken_loader)
+        request = InsightRequest(dataset="broken", insight_classes=("skew",))
+        with pytest.raises(RuntimeError, match="disk on fire"):
+            workspace.handle_json(request.to_json())
+
+
+class TestPipelineStatsAccumulator:
+    def test_stats_accumulate_across_requests(self, workspace):
+        assert workspace.pipeline_stats()["n_queries"] == 0
+        request = InsightRequest(dataset="demo",
+                                 insight_classes=("skew", "outliers"), top_k=2)
+        workspace.handle(request)
+        first = workspace.pipeline_stats()
+        assert first["n_queries"] == 2
+        assert first["enumerations"] >= 1
+        # A cache hit executes no pipeline stages: totals must not move.
+        workspace.handle(request)
+        assert workspace.pipeline_stats() == first
+        # A distinct request adds to the totals.
+        workspace.handle(
+            InsightRequest(dataset="demo", insight_classes=("dispersion",))
+        )
+        second = workspace.pipeline_stats()
+        assert second["n_queries"] == 3
+        assert second["elapsed_seconds"] >= first["elapsed_seconds"]

@@ -65,7 +65,7 @@ class TestDatasetManagement:
         (status,) = workspace.describe()
         assert status == {"name": "oecd", "version": 1, "loaded": False,
                           "engine_built": False, "engine_builds": 0,
-                          "lazy": True}
+                          "lazy": True, "busy": False}
         workspace.engine("oecd")
         (status,) = workspace.describe()
         assert status["loaded"] and status["engine_built"]
