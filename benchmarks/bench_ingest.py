@@ -1,0 +1,225 @@
+"""INGEST — live-dataset benchmark (delta merge vs rebuild, query p95).
+
+Measures the three numbers that justify incremental sketch maintenance:
+
+1. **ingestion throughput** — rows/sec absorbed through
+   ``Workspace.append`` when every batch delta-merges into the live
+   store;
+2. **delta-merge vs full-rebuild latency** — the same appends with the
+   accuracy budget forced to zero (every append re-preprocesses), i.e.
+   what each append would cost without mergeable sketches;
+3. **query latency under sustained appends** — reader threads issue
+   approximate insight queries while a writer streams batches in;
+   p50/p95 of the reader-observed latency show the analytical path
+   staying responsive through continuous updates.
+
+Alongside the human-readable tables it emits ``BENCH_ingest.json`` (in
+the working directory, overridable via ``BENCH_INGEST_JSON``) so CI can
+archive the ingest perf trajectory across PRs.
+
+Designed as a CI smoke benchmark: seconds on a laptop, exits non-zero on
+correctness problems (failed appends/queries, wrong counters, torn
+provenance).  The delta-vs-rebuild speedup prints as information and
+warns (not fails) below 2x — CI machines are noisy.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_ingest.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import InsightRequest, Workspace  # noqa: E402
+from repro.data.datasets import make_mixed_table  # noqa: E402
+from repro.ingest import IngestConfig  # noqa: E402
+from repro.viz.ascii import render_table  # noqa: E402
+
+BASE_ROWS = 20_000
+N_COLUMNS = 12
+BATCH_ROWS = 500
+N_BATCHES = 10
+N_READERS = 2
+CLASSES = ("skew", "outliers", "heavy_tails")
+
+
+def _base_table():
+    return make_mixed_table(n_rows=BASE_ROWS, n_numeric=N_COLUMNS,
+                            n_categorical=2, seed=17)
+
+
+def _batches():
+    rows = make_mixed_table(n_rows=BATCH_ROWS * N_BATCHES,
+                            n_numeric=N_COLUMNS, n_categorical=2,
+                            seed=18).to_records()
+    return [rows[i * BATCH_ROWS:(i + 1) * BATCH_ROWS]
+            for i in range(N_BATCHES)]
+
+
+def _workspace(rebuild_fraction: float) -> Workspace:
+    table = _base_table()
+    workspace = Workspace(
+        ingest=IngestConfig(rebuild_fraction=rebuild_fraction))
+    workspace.register("bench", lambda: table)
+    workspace.engine("bench")   # build outside the timed region
+    return workspace
+
+
+def _percentile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _time_appends(workspace: Workspace, batches) -> dict:
+    latencies = []
+    for batch in batches:
+        started = time.perf_counter()
+        workspace.append("bench", batch)
+        latencies.append(time.perf_counter() - started)
+    total = sum(latencies)
+    return {
+        "batches": len(batches),
+        "batch_rows": BATCH_ROWS,
+        "rows_per_sec": BATCH_ROWS * len(batches) / total,
+        "p50_seconds": _percentile(latencies, 0.50),
+        "p95_seconds": _percentile(latencies, 0.95),
+        "total_seconds": total,
+    }
+
+
+def main() -> int:
+    ok = True
+    batches = _batches()
+    results: dict[str, dict] = {}
+
+    # -- regime 1: every append delta-merges ---------------------------------
+    workspace = _workspace(rebuild_fraction=float("inf"))
+    results["delta_merge"] = _time_appends(workspace, batches)
+    stats = workspace.ingest_stats()["totals"]
+    if stats["delta_merges"] != N_BATCHES or stats["rebuilds"] != 0:
+        print(f"FAIL: delta regime counters off: {stats}", file=sys.stderr)
+        ok = False
+
+    # -- regime 2: every append pays a full rebuild --------------------------
+    workspace = _workspace(rebuild_fraction=0.0)
+    results["rebuild"] = _time_appends(workspace, batches)
+    stats = workspace.ingest_stats()["totals"]
+    if stats["rebuilds"] != N_BATCHES:
+        print(f"FAIL: rebuild regime counters off: {stats}", file=sys.stderr)
+        ok = False
+
+    # -- regime 3: queries racing sustained appends --------------------------
+    workspace = _workspace(rebuild_fraction=float("inf"))
+    request = InsightRequest(dataset="bench", insight_classes=CLASSES,
+                             top_k=3, mode="approximate")
+    workspace.handle(request)   # warm the first snapshot
+    query_latencies: list[float] = []
+    failures: list[str] = []
+    lock = threading.Lock()
+    stop = threading.Event()
+
+    def reader() -> None:
+        try:
+            while not stop.is_set():
+                started = time.perf_counter()
+                response = workspace.handle(request)
+                elapsed = time.perf_counter() - started
+                with lock:
+                    query_latencies.append(elapsed)
+                if response.dataset_version != 1:
+                    with lock:
+                        failures.append("unexpected version "
+                                        f"{response.dataset_version}")
+        except Exception as exc:  # noqa: BLE001 - reported below
+            with lock:
+                failures.append(repr(exc))
+
+    readers = [threading.Thread(target=reader) for _ in range(N_READERS)]
+    for thread in readers:
+        thread.start()
+    ingest_started = time.perf_counter()
+    for batch in batches:
+        workspace.append("bench", batch)
+    ingest_seconds = time.perf_counter() - ingest_started
+    # Let the readers observe the final snapshot before stopping.
+    final = workspace.handle(request)
+    stop.set()
+    for thread in readers:
+        thread.join()
+    if failures:
+        print(f"FAIL: racing queries failed: {failures[:3]}", file=sys.stderr)
+        ok = False
+    if final.dataset_seq != N_BATCHES:
+        print(f"FAIL: final seq {final.dataset_seq} != {N_BATCHES}",
+              file=sys.stderr)
+        ok = False
+    stats = workspace.ingest_stats()["totals"]
+    if stats["rebuilds"] != 0:
+        print("FAIL: sustained-append regime rebuilt the store",
+              file=sys.stderr)
+        ok = False
+    results["under_appends"] = {
+        "queries": len(query_latencies),
+        "readers": N_READERS,
+        "ingest_rows_per_sec": BATCH_ROWS * N_BATCHES / ingest_seconds,
+        "query_p50_seconds": _percentile(query_latencies, 0.50),
+        "query_p95_seconds": _percentile(query_latencies, 0.95),
+    }
+
+    # -- report ---------------------------------------------------------------
+    speedup = (results["rebuild"]["p50_seconds"]
+               / max(results["delta_merge"]["p50_seconds"], 1e-9))
+    rows = [
+        {
+            "regime": regime,
+            "rows/sec": f"{stats['rows_per_sec']:.0f}",
+            "append p50": f"{stats['p50_seconds'] * 1000:.1f} ms",
+            "append p95": f"{stats['p95_seconds'] * 1000:.1f} ms",
+        }
+        for regime, stats in results.items()
+        if "rows_per_sec" in stats
+    ]
+    print()
+    print(f"== INGEST: {N_BATCHES} batches x {BATCH_ROWS} rows onto "
+          f"{BASE_ROWS} x {N_COLUMNS + 2} base ==")
+    print(render_table(rows))
+    under = results["under_appends"]
+    print(f"delta-merge vs rebuild append p50: {speedup:.1f}x faster   "
+          f"query p95 under sustained appends: "
+          f"{under['query_p95_seconds'] * 1000:.1f} ms "
+          f"({under['queries']} queries from {N_READERS} readers)")
+    if speedup < 2.0:
+        print(f"WARN: delta-merge speedup {speedup:.2f}x below the 2x "
+              "target (noisy CI hardware?)", file=sys.stderr)
+
+    payload = {
+        "benchmark": "ingest",
+        "workload": {
+            "base_rows": BASE_ROWS,
+            "n_columns": N_COLUMNS + 2,
+            "batch_rows": BATCH_ROWS,
+            "n_batches": N_BATCHES,
+            "n_readers": N_READERS,
+            "insight_classes": list(CLASSES),
+        },
+        "results": results,
+        "delta_vs_rebuild_speedup_p50": speedup,
+        "ok": ok,
+    }
+    out_path = Path(os.environ.get("BENCH_INGEST_JSON", "BENCH_ingest.json"))
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

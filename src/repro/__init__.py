@@ -76,7 +76,14 @@ from repro.core.ranking import RankingResult
 from repro.core.registry import InsightRegistry, default_registry
 from repro.core.session import ExplorationSession
 from repro.data.table import DataTable
-from repro.service import InsightRequest, InsightResponse, SessionState, Workspace
+from repro.service import (
+    AppendResult,
+    IngestConfig,
+    InsightRequest,
+    InsightResponse,
+    SessionState,
+    Workspace,
+)
 from repro.sketch.store import SketchStore, SketchStoreConfig
 
 __version__ = "1.2.0"
@@ -93,6 +100,8 @@ __all__ = [
     "InsightClass",
     "InsightQuery",
     "InsightRegistry",
+    "AppendResult",
+    "IngestConfig",
     "InsightRequest",
     "InsightResponse",
     "MetricRange",

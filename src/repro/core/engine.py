@@ -83,13 +83,24 @@ class Foresight:
         registry: InsightRegistry | None = None,
         config: EngineConfig | None = None,
         preprocess: bool = True,
+        store: SketchStore | None = None,
+        executor: Executor | None = None,
     ):
+        """Build an engine for ``table``.
+
+        ``store`` injects an already-built sketch store (the live-ingest
+        path merges delta sketches into a copy of the previous store and
+        swaps in a new engine without re-preprocessing); ``executor``
+        likewise shares an existing execution pool instead of creating
+        one per engine.  Both default to being built from ``config``.
+        """
         self._table = table
         self._registry = registry or default_registry()
         self._config = config or EngineConfig()
-        self._executor = create_executor(self._config.executor)
-        self._store: SketchStore | None = None
-        if preprocess and self._config.mode == MODE_APPROXIMATE:
+        self._executor = executor or create_executor(self._config.executor)
+        self._store: SketchStore | None = store
+        if (store is None and preprocess
+                and self._config.mode == MODE_APPROXIMATE):
             self._store = SketchStore(
                 table, config=self._config.sketch, executor=self._executor
             )

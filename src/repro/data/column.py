@@ -100,6 +100,30 @@ class Column:
         """Return the column as a Python list with None for missing values."""
         raise NotImplementedError
 
+    def concat(self, other: "Column") -> "Column":
+        """Return a new column with ``other``'s rows appended after this one's.
+
+        Both columns must have the same name and kind; the result keeps
+        this column's field metadata.  Used by the live-ingestion path to
+        extend a dataset with a validated delta batch.
+        """
+        raise NotImplementedError
+
+    def _require_concat_compatible(self, other: "Column") -> None:
+        if type(self) is not type(other):
+            raise ColumnTypeError(
+                f"cannot concat {type(other).__name__} onto {type(self).__name__} "
+                f"(column {self.name!r})"
+            )
+        if self.name != other.name:
+            raise SchemaError(
+                f"cannot concat column {other.name!r} onto column {self.name!r}"
+            )
+        if self.kind is not other.kind:
+            raise SchemaError(
+                f"cannot concat column {self.name!r}: kind {other.kind} != {self.kind}"
+            )
+
 
 class NumericColumn(Column):
     """A numeric column stored as float64 with an explicit missing mask."""
@@ -196,6 +220,15 @@ class NumericColumn(Column):
             None if missing else float(value)
             for value, missing in zip(self._values, self._mask)
         ]
+
+    def concat(self, other: "Column") -> "NumericColumn":
+        self._require_concat_compatible(other)
+        assert isinstance(other, NumericColumn)
+        return NumericColumn(
+            self._field,
+            np.concatenate([self._values, other._values]),
+            np.concatenate([self._mask, other._mask]),
+        )
 
 
 class CategoricalColumn(Column):
@@ -306,6 +339,23 @@ class CategoricalColumn(Column):
     def to_list(self) -> list[object]:
         return self.labels()
 
+    def concat(self, other: "Column") -> "CategoricalColumn":
+        self._require_concat_compatible(other)
+        assert isinstance(other, CategoricalColumn)
+        categories = list(self._categories)
+        category_index = {label: code for code, label in enumerate(categories)}
+        remap = np.empty(len(other._categories) + 1, dtype=np.int64)
+        remap[-1] = self.MISSING_CODE
+        for code, label in enumerate(other._categories):
+            if label not in category_index:
+                category_index[label] = len(categories)
+                categories.append(label)
+            remap[code] = category_index[label]
+        remapped = remap[other._codes]
+        return CategoricalColumn(
+            self._field, np.concatenate([self._codes, remapped]), categories
+        )
+
 
 class BooleanColumn(CategoricalColumn):
     """A boolean column, represented as a two-level categorical column."""
@@ -349,6 +399,13 @@ class BooleanColumn(CategoricalColumn):
     def to_bool_array(self) -> np.ndarray:
         """Return a boolean array over non-missing entries."""
         return self.valid_codes().astype(bool)
+
+    def concat(self, other: "Column") -> "BooleanColumn":
+        self._require_concat_compatible(other)
+        assert isinstance(other, BooleanColumn)
+        return BooleanColumn(
+            self._field, np.concatenate([self._codes, other._codes])
+        )
 
 
 def column_from_raw(name: str, raw_values: Sequence[object], kind: ColumnKind) -> Column:

@@ -92,6 +92,29 @@ class ProtocolError(ServiceError):
     """A request, response or cursor payload violates the DTO protocol."""
 
 
+class IngestError(ServiceError):
+    """Base class for errors raised by the live-ingestion subsystem."""
+
+
+class DeltaValidationError(IngestError):
+    """An appended row batch violates the dataset's schema.
+
+    Carries the per-row problems so transports can report exactly which
+    records were rejected (the whole batch is refused — appends are
+    all-or-nothing).
+    """
+
+    def __init__(self, dataset: str, problems: list[str]):
+        self.dataset = dataset
+        self.problems = list(problems)
+        shown = "; ".join(self.problems[:3])
+        if len(self.problems) > 3:
+            shown += f"; ... ({len(self.problems)} problems total)"
+        super().__init__(
+            f"delta batch rejected for dataset {dataset!r}: {shown}"
+        )
+
+
 class ServerError(ServiceError):
     """Base class for errors raised by the HTTP server layer."""
 

@@ -1,0 +1,62 @@
+"""Live datasets: append-only ingestion and incremental sketch maintenance.
+
+This package makes a served dataset *live* — a hybrid update/analytics
+path in the spirit of HTAP designs: appends land continuously without
+stalling (or invalidating) the analytical path, because every sketch the
+preprocessing step builds is mergeable.
+
+The pieces, bottom-up:
+
+* :class:`DeltaBatch` — a batch of appended rows validated against the
+  dataset schema (type / arity / missing-value rules from
+  :mod:`repro.data`); rejection is all-or-nothing with per-row problems;
+* :func:`build_delta_partials` / :func:`merge_delta` — per-column sketch
+  partials over just the delta rows (parallelised via the engine's
+  executor), copy-merged into a brand-new
+  :class:`~repro.sketch.store.SketchStore` so in-flight readers never
+  observe a mutation;
+* :class:`IngestConfig` / :func:`should_rebuild` — the accuracy budget:
+  hyperplane signatures go stale under appends, and once accumulated
+  delta rows exceed ``rebuild_fraction`` of the base rows, the next
+  append pays for a full rebuild instead of a merge;
+* :class:`IngestLog` — the append journal minting monotone sequence
+  numbers, making a dataset's cache/provenance identity the pair
+  ``(version, seq)``.
+
+``Workspace.append`` (:mod:`repro.service.workspace`) orchestrates these
+under the dataset's single-flight lock, and the HTTP transport exposes
+them as ``PUT /v1/datasets/{name}``, ``POST /v1/datasets/{name}/rows``
+and ``POST /v1/datasets/{name}/reload``.
+"""
+
+from repro.errors import DeltaValidationError, IngestError
+from repro.ingest.delta import DeltaBatch, MAX_BATCH_ROWS
+from repro.ingest.log import (
+    APPLIED_DEFERRED,
+    APPLIED_DELTA_MERGE,
+    APPLIED_REBUILD,
+    IngestLog,
+    IngestRecord,
+)
+from repro.ingest.maintenance import (
+    IngestConfig,
+    build_delta_partials,
+    merge_delta,
+    should_rebuild,
+)
+
+__all__ = [
+    "APPLIED_DEFERRED",
+    "APPLIED_DELTA_MERGE",
+    "APPLIED_REBUILD",
+    "DeltaBatch",
+    "DeltaValidationError",
+    "IngestConfig",
+    "IngestError",
+    "IngestLog",
+    "IngestRecord",
+    "MAX_BATCH_ROWS",
+    "build_delta_partials",
+    "merge_delta",
+    "should_rebuild",
+]

@@ -1,0 +1,145 @@
+"""Validated append batches: the unit of live ingestion.
+
+A :class:`DeltaBatch` is a set of appended rows checked against the
+target dataset's schema *before* anything touches the serving path:
+
+* **arity** — every record must be a mapping whose keys are a subset of
+  the schema's columns; unknown columns reject the batch (a typo'd
+  column name must not silently create a hole of missing values);
+* **types** — values must parse under the column's
+  :class:`~repro.data.schema.ColumnKind` rules (``parse_number`` for
+  numeric columns, ``parse_boolean`` for boolean ones); a numeric column
+  receiving ``"abc"`` rejects the batch rather than coercing to NaN;
+* **missing values** — ``None``, absent keys and the standard missing
+  tokens (:data:`repro.data.schema.MISSING_TOKENS`) are allowed and
+  become masked entries, exactly as a fresh load would treat them.
+
+Validation is all-or-nothing: one bad record rejects the whole batch
+with a :class:`~repro.errors.DeltaValidationError` listing the per-row
+problems, so a client can fix and resubmit without wondering which rows
+landed.  A validated batch materialises as a
+:class:`~repro.data.table.DataTable` with the dataset's exact schema
+(kinds forced, never re-inferred — a delta of integer-looking strings in
+a categorical column stays categorical).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.errors import DeltaValidationError
+from repro.data.column import column_from_raw
+from repro.data.schema import (
+    ColumnKind,
+    Schema,
+    is_missing_token,
+    parse_boolean,
+    parse_number,
+)
+from repro.data.table import DataTable
+
+#: Refuse pathologically large single batches; callers should chunk.
+MAX_BATCH_ROWS = 100_000
+
+
+@dataclass(frozen=True)
+class DeltaBatch:
+    """A schema-validated batch of rows to append to one dataset.
+
+    Build via :meth:`from_records`; the ``table`` attribute holds the
+    rows as a :class:`DataTable` whose schema matches the target
+    dataset's column names and kinds, ready for
+    :meth:`DataTable.concat`.
+    """
+
+    dataset: str
+    table: DataTable
+
+    @property
+    def n_rows(self) -> int:
+        return self.table.n_rows
+
+    @classmethod
+    def from_records(
+        cls,
+        dataset: str,
+        records: Sequence[Mapping[str, Any]],
+        schema: Schema,
+    ) -> "DeltaBatch":
+        """Validate ``records`` against ``schema`` and materialise them.
+
+        Raises :class:`DeltaValidationError` carrying every problem found
+        (not just the first), so clients get one round trip of feedback.
+        """
+        problems: list[str] = []
+        if not isinstance(records, Sequence) or isinstance(records, (str, bytes)):
+            raise DeltaValidationError(
+                dataset, ["rows must be a list of record objects"]
+            )
+        if not records:
+            raise DeltaValidationError(dataset, ["batch contains no rows"])
+        if len(records) > MAX_BATCH_ROWS:
+            raise DeltaValidationError(
+                dataset,
+                [f"batch has {len(records)} rows; the per-batch limit is "
+                 f"{MAX_BATCH_ROWS} (split into smaller appends)"],
+            )
+        names = schema.names()
+        known = set(names)
+        columns: dict[str, list[Any]] = {name: [] for name in names}
+        for index, record in enumerate(records):
+            if not isinstance(record, Mapping):
+                problems.append(f"row {index}: not a record object")
+                continue
+            unknown = [key for key in record if key not in known]
+            if unknown:
+                problems.append(
+                    f"row {index}: unknown column(s) {sorted(unknown)}"
+                )
+                continue
+            for name in names:
+                value = record.get(name)
+                kind = schema[name].kind
+                problem = _check_value(kind, value)
+                if problem is not None:
+                    problems.append(
+                        f"row {index}, column {name!r}: {problem}"
+                    )
+                else:
+                    columns[name].append(value)
+        if problems:
+            # Any problem rejects the whole batch, so the (possibly
+            # ragged) accumulated columns are never materialised.
+            raise DeltaValidationError(dataset, problems)
+        built = [
+            column_from_raw(name, columns[name], schema[name].kind)
+            for name in names
+        ]
+        return cls(dataset=dataset, table=DataTable(built, name=f"{dataset}-delta"))
+
+    def to_records(self) -> list[dict[str, Any]]:
+        """The validated rows (None marks missing values)."""
+        return self.table.to_records()
+
+
+def _check_value(kind: ColumnKind, value: Any) -> str | None:
+    """Return a problem description, or None when the value is admissible."""
+    if is_missing_token(value):
+        return None
+    if kind is ColumnKind.NUMERIC:
+        if parse_number(value) is None:
+            return f"value {value!r} is not numeric"
+        return None
+    if kind is ColumnKind.BOOLEAN:
+        if parse_boolean(value) is None:
+            return f"value {value!r} is not boolean"
+        return None
+    # Categorical columns accept any scalar; reject containers, which
+    # almost always indicate a malformed payload rather than a label.
+    if isinstance(value, (list, tuple, dict, set)):
+        return f"value of type {type(value).__name__} is not a categorical label"
+    return None
+
+
+__all__ = ["DeltaBatch", "MAX_BATCH_ROWS"]

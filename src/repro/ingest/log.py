@@ -1,0 +1,130 @@
+"""The ingest journal: monotone sequence numbers and append provenance.
+
+Every dataset carries an :class:`IngestLog`.  Each accepted append is
+journalled as an :class:`IngestRecord` with a **monotone, gap-free
+sequence number**, so a dataset's identity for caching and provenance is
+the pair ``(version, seq)``:
+
+* ``version`` bumps on reload / re-registration (a new *generation* of
+  the data — the journal resets with it);
+* ``seq`` bumps on every append within a generation.
+
+A response stamped ``(version, seq)`` therefore names the exact
+ingestion state it was computed from: the base load identified by
+``version`` plus the first ``seq`` journalled appends.  The log also
+accumulates the ingestion counters (rows appended, delta merges, full
+rebuilds) surfaced by ``Workspace.ingest_stats`` and the server's
+``/metrics``.
+
+The log is deliberately not thread-safe on its own: every mutation
+happens under the owning dataset entry's lock (the same single-flight
+lock that guards engine swaps), which is what makes an append's
+journal-write and engine-swap atomic together.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+#: How an accepted append was absorbed into the serving state.
+APPLIED_DELTA_MERGE = "delta_merge"   # sketch partials merged into the store
+APPLIED_REBUILD = "rebuild"           # accuracy budget exhausted: full rebuild
+APPLIED_DEFERRED = "deferred"         # no engine/store yet: rows concat only
+
+
+@dataclass(frozen=True)
+class IngestRecord:
+    """One journalled append."""
+
+    seq: int
+    n_rows: int
+    applied: str
+    timestamp: float
+    #: Total table rows after this append (provenance for debugging).
+    total_rows: int
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "n_rows": self.n_rows,
+            "applied": self.applied,
+            "timestamp": self.timestamp,
+            "total_rows": self.total_rows,
+        }
+
+
+@dataclass
+class IngestLog:
+    """Append journal for one dataset generation."""
+
+    records: list[IngestRecord] = field(default_factory=list)
+    #: Rows absorbed by delta merges since the last full build — the
+    #: accuracy-budget numerator.
+    rows_since_rebuild: int = 0
+    #: Table size at the last full (re)build — the budget denominator.
+    base_rows: int = 0
+    rows_appended: int = 0
+    delta_merges: int = 0
+    rebuilds: int = 0
+
+    @property
+    def seq(self) -> int:
+        """The current sequence number (0 before any append)."""
+        return self.records[-1].seq if self.records else 0
+
+    def append(self, n_rows: int, applied: str, total_rows: int) -> IngestRecord:
+        """Journal one accepted append; returns the minted record."""
+        record = IngestRecord(
+            seq=self.seq + 1,
+            n_rows=n_rows,
+            applied=applied,
+            timestamp=time.time(),
+            total_rows=total_rows,
+        )
+        self.records.append(record)
+        self.rows_appended += n_rows
+        if applied == APPLIED_REBUILD:
+            self.rebuilds += 1
+            self.rows_since_rebuild = 0
+            self.base_rows = total_rows
+        else:
+            if applied == APPLIED_DELTA_MERGE:
+                self.delta_merges += 1
+            self.rows_since_rebuild += n_rows
+        return record
+
+    def mark_rebuilt(self, total_rows: int) -> None:
+        """Reset the accuracy budget after an out-of-band full build.
+
+        Called when the engine is (re)built from the full table outside
+        the append path — a lazy first build or an explicit reload — so
+        the budget starts counting from the freshly sketched base.
+        """
+        self.rows_since_rebuild = 0
+        self.base_rows = total_rows
+
+    def counters(self) -> dict[str, int]:
+        """The ingestion counters (merged into ops surfaces)."""
+        return {
+            "seq": self.seq,
+            "rows_appended": self.rows_appended,
+            "delta_merges": self.delta_merges,
+            "rebuilds": self.rebuilds,
+            "rows_since_rebuild": self.rows_since_rebuild,
+            "base_rows": self.base_rows,
+        }
+
+    def tail(self, n: int = 10) -> list[dict[str, Any]]:
+        """The most recent ``n`` journal records, oldest first."""
+        return [record.as_dict() for record in self.records[-n:]]
+
+
+__all__ = [
+    "APPLIED_DEFERRED",
+    "APPLIED_DELTA_MERGE",
+    "APPLIED_REBUILD",
+    "IngestLog",
+    "IngestRecord",
+]

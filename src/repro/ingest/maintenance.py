@@ -1,0 +1,259 @@
+"""Incremental sketch maintenance: absorb appends without rebuilding.
+
+The sketches in :mod:`repro.sketch` are *mergeable* — that is the whole
+point of single-pass summaries (paper section 3) — and this module turns
+that property into a live-update path.  For a validated
+:class:`~repro.ingest.delta.DeltaBatch` it
+
+1. builds **per-column sketch partials** over just the delta rows
+   (:func:`build_delta_partials`, fanned out over the engine's
+   :class:`~repro.core.executor.Executor` exactly like the base
+   preprocessing), then
+2. **merges** them into copies of the live store's sketches and packages
+   the result as a brand-new :class:`~repro.sketch.store.SketchStore`
+   over the grown table (:func:`merge_delta`).
+
+Per-sketch-type merge semantics:
+
+=================  =========================================================
+moments            running sums add exactly (merge is lossless)
+quantile (GK)      tuple interleave + compress; rank error stays ≤ ε·n
+count-min          counter tables add; overestimate bound ε·n preserved
+Misra–Gries        counter union + (k+1)-th-largest reduction; undercount
+                   bound n/capacity preserved
+entropy            Space-Saving head merge + distinct-bucket union
+reservoir sample   algorithm-R advance over the appended row indices — each
+                   new row enters with probability capacity/(rows so far),
+                   keeping the maintained row sample uniform (correct
+                   weighting) over the grown table
+hyperplane         **not merged**: signatures come from one shared
+                   hyperplane draw over a fixed row count, so they go
+                   *stale* under appends — correlation estimates ignore
+                   delta rows until the accuracy budget (below) forces a
+                   full rebuild
+=================  =========================================================
+
+The **accuracy budget** bounds that staleness: once the rows absorbed by
+delta merges since the last full build exceed
+``rebuild_fraction × base_rows``, :func:`should_rebuild` tells the
+workspace to pay for one full preprocess instead of another merge.  The
+copy-on-merge discipline is what makes the swap safe: the old store's
+sketch objects are never mutated, so queries holding the previous engine
+snapshot keep reading a consistent view.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass, replace as dataclass_replace
+
+import numpy as np
+
+from repro.core.executor import Executor
+from repro.data.table import DataTable
+from repro.errors import IngestError
+from repro.ingest.log import IngestLog
+from repro.sketch.countmin import CountMinSketch
+from repro.sketch.entropy import EntropySketch
+from repro.sketch.frequent import MisraGriesSketch
+from repro.sketch.moments import MomentSketch
+from repro.sketch.quantile import QuantileSketch
+from repro.sketch.reservoir import advance_row_indices
+from repro.sketch.store import ColumnSketches, SketchStore
+
+
+@dataclass(frozen=True)
+class IngestConfig:
+    """Tuning knobs for the live-ingestion subsystem.
+
+    Parameters
+    ----------
+    rebuild_fraction:
+        The accuracy budget: when the rows absorbed by delta merges since
+        the last full build would exceed this fraction of the base row
+        count, the append triggers a full sketch rebuild instead of a
+        merge (refreshing the hyperplane signatures and the quantile
+        summaries' compression).  ``0`` rebuilds on every append;
+        ``float("inf")`` never rebuilds.
+    """
+
+    rebuild_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.rebuild_fraction < 0:
+            raise ValueError(
+                f"rebuild_fraction must be >= 0, got {self.rebuild_fraction}"
+            )
+
+
+def should_rebuild(log: IngestLog, incoming_rows: int,
+                   config: IngestConfig) -> bool:
+    """Does absorbing ``incoming_rows`` more delta rows exhaust the budget?"""
+    if log.base_rows <= 0:
+        # No full build has been accounted yet (e.g. appends before the
+        # engine ever built); there is nothing stale to refresh.
+        return False
+    budget = config.rebuild_fraction * log.base_rows
+    return (log.rows_since_rebuild + incoming_rows) > budget
+
+
+# ---------------------------------------------------------------------------
+# Delta partials
+# ---------------------------------------------------------------------------
+def build_delta_partials(
+    delta_table: DataTable,
+    store: SketchStore,
+    executor: Executor,
+) -> dict[str, ColumnSketches]:
+    """Per-column sketch partials over just the delta rows.
+
+    Each partial mirrors the *shape* of the base store's bundle for that
+    column (a numeric column that is not discrete in the base gets no
+    frequent/entropy/count-min partial), and is built with the base
+    config's parameters so every merge passes the sketches'
+    compatibility checks.  Column builds fan out over ``executor``; each
+    column's work is independent, so parallel and serial builds are
+    identical.
+    """
+    names = [
+        name for name in delta_table.column_names() if store.has_column(name)
+    ]
+    indexed = list(enumerate(names))
+    bundles = executor.map(
+        lambda item: _build_column_partial(delta_table, store, item[1], item[0]),
+        indexed,
+    )
+    return {name: bundle for name, bundle in zip(names, bundles)}
+
+
+def _build_column_partial(
+    delta_table: DataTable, store: SketchStore, name: str, index: int
+) -> ColumnSketches:
+    config = store.config
+    base = store.column_sketches(name)
+    partial = ColumnSketches(name=name)
+    column = delta_table.column(name)
+    if base.moments is not None or base.quantiles is not None:
+        values = delta_table.numeric_column(name).valid_values()
+        if base.moments is not None:
+            moments = MomentSketch()
+            moments.update_array(values)
+            partial.moments = moments
+        if base.quantiles is not None:
+            quantiles = QuantileSketch(epsilon=config.quantile_epsilon)
+            if values.size > config.quantile_sample_cap:
+                # Mirror the base build's sampling policy; the stream
+                # position (rows already absorbed) keys the RNG so
+                # repeated large appends draw independent samples.
+                rng = np.random.default_rng(
+                    [config.seed, index, store.table.n_rows]
+                )
+                sampled = rng.choice(
+                    values, size=config.quantile_sample_cap, replace=False
+                )
+                quantiles.update_array(sampled)
+            else:
+                quantiles.update_array(values)
+            partial.quantiles = quantiles
+    needs_labels = (base.frequent is not None or base.entropy is not None
+                    or base.countmin is not None)
+    if needs_labels:
+        labels = [label for label in column.to_list() if label is not None]
+        if base.frequent is not None:
+            frequent = MisraGriesSketch(capacity=config.frequent_capacity)
+            frequent.update_many(labels)
+            partial.frequent = frequent
+        if base.entropy is not None:
+            entropy = EntropySketch(capacity=config.entropy_capacity,
+                                    seed=config.seed)
+            entropy.update_many(labels)
+            partial.entropy = entropy
+        if base.countmin is not None:
+            countmin = CountMinSketch(width=config.countmin_width,
+                                      depth=config.countmin_depth,
+                                      seed=config.seed)
+            countmin.update_many(labels)
+            partial.countmin = countmin
+    return partial
+
+
+# ---------------------------------------------------------------------------
+# Merge
+# ---------------------------------------------------------------------------
+def merge_delta(
+    store: SketchStore,
+    new_table: DataTable,
+    delta_rows: int,
+    partials: dict[str, ColumnSketches],
+) -> SketchStore:
+    """A new store over ``new_table`` with the partials merged in.
+
+    Copy-on-merge: every sketch that absorbs a partial is deep-copied
+    first, so the input store — possibly still being read by in-flight
+    queries — is never mutated.  Sketches without a partial (and the
+    immutable hyperplane signatures) are shared between the old and new
+    store.  The uniform row sample advances by algorithm R over the
+    appended row indices, keeping it uniform over the grown table.
+    """
+    if new_table.n_rows != store.table.n_rows + delta_rows:
+        raise IngestError(
+            f"merge_delta row accounting is off: base {store.table.n_rows} + "
+            f"delta {delta_rows} != new table {new_table.n_rows}"
+        )
+    start = time.perf_counter()
+    config = store.config
+    columns: dict[str, ColumnSketches] = {}
+    for name, base in store.column_map().items():
+        partial = partials.get(name)
+        if partial is None:
+            columns[name] = base
+            continue
+        merged = ColumnSketches(name=name, hyperplane=base.hyperplane)
+        for attribute in ColumnSketches.MERGEABLE:
+            base_sketch = getattr(base, attribute)
+            delta_sketch = getattr(partial, attribute)
+            if base_sketch is None or delta_sketch is None:
+                setattr(merged, attribute, base_sketch)
+                continue
+            combined = copy.deepcopy(base_sketch)
+            combined.merge(delta_sketch)
+            setattr(merged, attribute, combined)
+        columns[name] = merged
+
+    n_seen = store.table.n_rows
+    rng = np.random.default_rng([config.seed, n_seen])
+    sample_indices = advance_row_indices(
+        store.sample_indices, n_seen=n_seen, n_new=delta_rows,
+        capacity=config.sample_capacity, rng=rng,
+    )
+
+    stats = dataclass_replace(
+        store.stats,
+        per_stage_seconds=dict(store.stats.per_stage_seconds),
+        n_rows=new_table.n_rows,
+        delta_rows=store.stats.delta_rows + delta_rows,
+        delta_batches=store.stats.delta_batches + 1,
+    )
+    stats.total_sketch_bytes = sum(
+        bundle.memory_bytes() for bundle in columns.values()
+    )
+    stats.per_stage_seconds["delta_merge"] = time.perf_counter() - start
+
+    return SketchStore.from_parts(
+        table=new_table,
+        config=config,
+        executor=store.executor,
+        columns=columns,
+        sketcher=store.sketcher,
+        sample_indices=sample_indices,
+        stats=stats,
+    )
+
+
+__all__ = [
+    "IngestConfig",
+    "build_delta_partials",
+    "merge_delta",
+    "should_rebuild",
+]

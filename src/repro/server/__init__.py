@@ -44,9 +44,16 @@ from repro.server.app import ReproServer, ServerHandle, serving
 from repro.server.client import RawResponse, ReproClient, ServerResponseError
 from repro.server.coalesce import RequestCoalescer
 from repro.server.config import ServerConfig
-from repro.server.metrics import LatencyHistogram, ServerMetrics
+from repro.server.metrics import (
+    PROMETHEUS_CONTENT_TYPE,
+    LatencyHistogram,
+    ServerMetrics,
+    render_prometheus,
+)
 
 __all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
+    "render_prometheus",
     "AdmissionController",
     "AdmissionRejected",
     "LatencyHistogram",

@@ -85,7 +85,9 @@ def main(argv: list[str] | None = None) -> int:
     workspace = build_workspace(
         datasets=args.datasets, max_workers=args.workers, preload=args.preload
     )
-    ReproServer(workspace, config).run()
+    # The bundled loaders double as the PUT /v1/datasets/{name} loader
+    # registry, so clients can (re)register them by name over the wire.
+    ReproServer(workspace, config, loaders=BUNDLED_DATASETS).run()
     return 0
 
 

@@ -41,6 +41,7 @@ class AdmissionController:
         queue_limit: int = 32,
         dataset_quota: int | None = None,
         class_quota: int | None = None,
+        write_quota: int | None = None,
         retry_after: float = 1.0,
     ):
         if max_in_flight < 1:
@@ -51,12 +52,14 @@ class AdmissionController:
         self.queue_limit = queue_limit
         self.dataset_quota = dataset_quota
         self.class_quota = class_quota
+        self.write_quota = write_quota
         self.retry_after = retry_after
         self._cond = asyncio.Condition()
         self._in_flight = 0
         self._queued = 0
         self._by_dataset: dict[str, int] = {}
         self._by_class: dict[str, int] = {}
+        self._writes_by_dataset: dict[str, int] = {}
         # Lifetime totals for /metrics.
         self._admitted_total = 0
         self._queued_total = 0
@@ -69,22 +72,30 @@ class AdmissionController:
     # Acquire / release
     # ------------------------------------------------------------------
     async def acquire(
-        self, datasets: Sequence[str], insight_classes: Sequence[str]
+        self,
+        datasets: Sequence[str],
+        insight_classes: Sequence[str],
+        writes: Sequence[str] = (),
     ) -> None:
         """Admit one transport request, queueing if capacity is full.
 
         ``datasets`` is usually one name; the batch endpoint passes every
         distinct dataset its batch touches, so a whole batch occupies one
         capacity slot but counts against each dataset/class quota it
-        uses.  Raises :class:`~repro.errors.AdmissionRejected` with
-        status 429 (quota) or 503 (queue overflow).  On success the
-        caller **must** pair this with :meth:`release` (use :meth:`admit`
-        to get that for free).
+        uses.  ``writes`` names the datasets the request *mutates*
+        (appends, registrations, reloads); those additionally count
+        against the per-dataset write quota, so a burst of appends cannot
+        monopolise a dataset's engine lock while reads starve.  Raises
+        :class:`~repro.errors.AdmissionRejected` with status 429 (quota)
+        or 503 (queue overflow).  On success the caller **must** pair
+        this with :meth:`release` (use :meth:`admit` to get that for
+        free).
         """
         names = _distinct(datasets)
         classes = _distinct(insight_classes)
+        write_names = _distinct(writes)
         async with self._cond:
-            self._check_quotas(names, classes)
+            self._check_quotas(names, classes, write_names)
             if self._in_flight >= self.max_in_flight:
                 if self._queued >= self.queue_limit:
                     self._rejected_overload_total += 1
@@ -105,7 +116,7 @@ class AdmissionController:
                 finally:
                     self._queued -= 1
                 # Quotas may have been consumed while we waited.
-                self._check_quotas(names, classes)
+                self._check_quotas(names, classes, write_names)
             self._in_flight += 1
             self._peak_in_flight = max(self._peak_in_flight, self._in_flight)
             self._admitted_total += 1
@@ -113,26 +124,40 @@ class AdmissionController:
                 self._by_dataset[name] = self._by_dataset.get(name, 0) + 1
             for name in classes:
                 self._by_class[name] = self._by_class.get(name, 0) + 1
+            for name in write_names:
+                self._writes_by_dataset[name] = (
+                    self._writes_by_dataset.get(name, 0) + 1
+                )
 
     async def release(
-        self, datasets: Sequence[str], insight_classes: Sequence[str]
+        self,
+        datasets: Sequence[str],
+        insight_classes: Sequence[str],
+        writes: Sequence[str] = (),
     ) -> None:
         """Return one admitted request's capacity and wake queued waiters."""
         names = _distinct(datasets)
         classes = _distinct(insight_classes)
+        write_names = _distinct(writes)
         async with self._cond:
             self._in_flight -= 1
             for name in names:
                 self._decrement(self._by_dataset, name)
             for name in classes:
                 self._decrement(self._by_class, name)
+            for name in write_names:
+                self._decrement(self._writes_by_dataset, name)
             self._cond.notify_all()
 
     def admit(
-        self, datasets: Sequence[str], insight_classes: Sequence[str]
+        self,
+        datasets: Sequence[str],
+        insight_classes: Sequence[str],
+        writes: Sequence[str] = (),
     ) -> "_Admission":
         """``async with controller.admit(datasets, classes): ...``"""
-        return _Admission(self, _distinct(datasets), _distinct(insight_classes))
+        return _Admission(self, _distinct(datasets),
+                          _distinct(insight_classes), _distinct(writes))
 
     # ------------------------------------------------------------------
     # Introspection
@@ -158,17 +183,33 @@ class AdmissionController:
                 "queue_limit": self.queue_limit,
                 "dataset_quota": self.dataset_quota,
                 "class_quota": self.class_quota,
+                "write_quota": self.write_quota,
             },
             "in_flight_by_dataset": dict(self._by_dataset),
             "in_flight_by_class": dict(self._by_class),
+            "in_flight_writes_by_dataset": dict(self._writes_by_dataset),
         }
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _check_quotas(
-        self, datasets: tuple[str, ...], classes: tuple[str, ...]
+        self,
+        datasets: tuple[str, ...],
+        classes: tuple[str, ...],
+        writes: tuple[str, ...] = (),
     ) -> None:
+        if self.write_quota is not None:
+            for name in writes:
+                if self._writes_by_dataset.get(name, 0) >= self.write_quota:
+                    self._rejected_quota_total += 1
+                    raise AdmissionRejected(
+                        "write_quota_exceeded",
+                        f"dataset {name!r} already has {self.write_quota} "
+                        "write(s) in flight; retry later",
+                        status=429,
+                        retry_after=self.retry_after,
+                    )
         if self.dataset_quota is not None:
             for name in datasets:
                 if self._by_dataset.get(name, 0) >= self.dataset_quota:
@@ -210,17 +251,21 @@ class _Admission:
     """Async context manager pairing acquire with release."""
 
     def __init__(self, controller: AdmissionController,
-                 datasets: tuple[str, ...], classes: tuple[str, ...]):
+                 datasets: tuple[str, ...], classes: tuple[str, ...],
+                 writes: tuple[str, ...] = ()):
         self._controller = controller
         self._datasets = datasets
         self._classes = classes
+        self._writes = writes
 
     async def __aenter__(self) -> "_Admission":
-        await self._controller.acquire(self._datasets, self._classes)
+        await self._controller.acquire(self._datasets, self._classes,
+                                       self._writes)
         return self
 
     async def __aexit__(self, *exc_info) -> None:
-        await self._controller.release(self._datasets, self._classes)
+        await self._controller.release(self._datasets, self._classes,
+                                       self._writes)
 
 
 __all__ = ["AdmissionController", "AdmissionRejected"]

@@ -1,20 +1,31 @@
 """The asyncio HTTP transport over :class:`~repro.service.Workspace`.
 
 A deliberately small, dependency-free HTTP/1.1 server (``asyncio`` +
-stdlib only) that parks a workspace behind five endpoints:
+stdlib only) that parks a workspace behind a read surface and — since
+datasets went live — a write surface:
 
-========================  ====================================================
-``POST /v1/insights``     one :class:`InsightRequest` → one response; single
-                          arrivals inside the coalescing window are
-                          micro-batched into one ``handle_many`` call
-``POST /v1/insights:batch``  ``{"requests": [...]}`` → ``{"responses": [...]}``
-                          via ``Workspace.handle_many`` (client-side batching)
-``GET /v1/datasets``      registration/engine status of every dataset
-``GET /healthz``          liveness + bind address + config echo
-``GET /metrics``          JSON counters: transport, coalescing, admission,
-                          result cache, engine builds, pipeline stats,
-                          latency histograms
-========================  ====================================================
+===================================  ==========================================
+``POST /v1/insights``                one :class:`InsightRequest` → one
+                                     response; single arrivals inside the
+                                     coalescing window micro-batch into one
+                                     ``handle_many`` call
+``POST /v1/insights:batch``          ``{"requests": [...]}`` →
+                                     ``{"responses": [...]}`` via
+                                     ``Workspace.handle_many``
+``GET /v1/datasets``                 registration/engine/ingest status of
+                                     every dataset
+``PUT /v1/datasets/{name}``          register a named loader or inline table
+``POST /v1/datasets/{name}/rows``    append a validated DeltaBatch; answers
+                                     the new ``(version, seq)`` identity
+``POST /v1/datasets/{name}/reload``  re-run the loader (version bump,
+                                     journal reset)
+``GET /healthz``                     liveness + bind address + config echo
+``GET /metrics``                     JSON counters (transport, coalescing,
+                                     admission, cache, pipeline, ingestion,
+                                     latency histograms); ``Accept:
+                                     text/plain`` negotiates the Prometheus
+                                     text exposition
+===================================  ==========================================
 
 Request flow for the insight endpoints: **parse** (protocol violations →
 400 envelope, unknown datasets → 404 envelope — the same structured
@@ -44,25 +55,35 @@ from typing import Any, Awaitable, Callable, Iterator
 
 from repro.errors import (
     AdmissionRejected,
+    DeltaValidationError,
     ForesightError,
     ProtocolError,
     QueryError,
     ServerError,
+    ServiceError,
     UnknownDatasetError,
     UnknownInsightClassError,
 )
+from repro.data.schema import ColumnKind
+from repro.data.table import DataTable
 from repro.service.dto import InsightRequest, error_envelope
 from repro.service.workspace import Workspace
 from repro.server.admission import AdmissionController
 from repro.server.coalesce import RequestCoalescer
 from repro.server.config import ServerConfig
-from repro.server.metrics import ServerMetrics
+from repro.server.metrics import (
+    PROMETHEUS_CONTENT_TYPE,
+    ServerMetrics,
+    render_prometheus,
+)
 
 _REASONS = {
     200: "OK",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
@@ -86,6 +107,19 @@ class _HttpError(Exception):
         super().__init__(message)
 
 
+class _RequestProgress:
+    """Whether a connection's current read got past the request line.
+
+    Distinguishes a *stalled* request (answered 408) from a merely idle
+    keep-alive connection (closed silently) when the read timeout fires.
+    """
+
+    __slots__ = ("seen_data",)
+
+    def __init__(self) -> None:
+        self.seen_data = False
+
+
 class _HttpRequest:
     __slots__ = ("method", "path", "headers", "body", "keep_alive")
 
@@ -101,15 +135,26 @@ class _HttpRequest:
 class ReproServer:
     """Serves a :class:`Workspace` over asyncio HTTP/1.1."""
 
-    def __init__(self, workspace: Workspace, config: ServerConfig | None = None):
+    def __init__(
+        self,
+        workspace: Workspace,
+        config: ServerConfig | None = None,
+        loaders: dict[str, Callable[[], DataTable]] | None = None,
+    ):
         self._workspace = workspace
         self.config = config or ServerConfig()
         self.metrics = ServerMetrics()
+        #: Named loaders that ``PUT /v1/datasets/{name}`` may reference
+        #: by ``{"loader": "<name>"}`` — loaders cannot travel over the
+        #: wire, so the server exposes a registry of the ones it trusts
+        #: (``repro-serve`` passes the bundled dataset loaders).
+        self.loaders = dict(loaders or {})
         self.admission = AdmissionController(
             max_in_flight=self.config.max_in_flight,
             queue_limit=self.config.queue_limit,
             dataset_quota=self.config.dataset_quota,
             class_quota=self.config.class_quota,
+            write_quota=self.config.write_quota,
             retry_after=self.config.retry_after,
         )
         self._coalescer: RequestCoalescer | None = None
@@ -282,10 +327,38 @@ class ReproServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self._connections.add(writer)
+        read_timeout = self.config.read_timeout
         try:
             while not self._stopping:
+                started = _RequestProgress()
                 try:
-                    request = await self._read_request(reader)
+                    if read_timeout > 0:
+                        # A stalled (or merely idle) client must not pin a
+                        # connection slot: give it read_timeout seconds to
+                        # deliver a complete request, then reclaim it.
+                        request = await asyncio.wait_for(
+                            self._read_request(reader, started),
+                            timeout=read_timeout,
+                        )
+                    else:
+                        request = await self._read_request(reader, started)
+                except asyncio.TimeoutError:
+                    # Only a request the client actually *started* gets a
+                    # 408 — an idle keep-alive connection closes silently,
+                    # so a slow persistent client can never mistake the
+                    # buffered 408 for the answer to its next request.
+                    if started.seen_data:
+                        self.metrics.record_response(408)
+                        await self._respond(
+                            writer, 408,
+                            error_envelope(
+                                "request_timeout",
+                                f"no complete request received within "
+                                f"{read_timeout:g} seconds",
+                            ),
+                            keep_alive=False,
+                        )
+                    break
                 except _HttpError as exc:
                     await self._respond(
                         writer, exc.status,
@@ -306,7 +379,8 @@ class ReproServer:
                 writer.close()
 
     async def _read_request(
-        self, reader: asyncio.StreamReader
+        self, reader: asyncio.StreamReader,
+        progress: "_RequestProgress | None" = None,
     ) -> _HttpRequest | None:
         try:
             request_line = await reader.readline()
@@ -314,6 +388,8 @@ class ReproServer:
             raise _HttpError(400, "bad_request", "request line too long") from None
         if not request_line:
             return None
+        if progress is not None:
+            progress.seen_data = True
         parts = request_line.decode("latin-1").strip().split()
         if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
             raise _HttpError(400, "bad_request", "malformed HTTP request line")
@@ -364,10 +440,23 @@ class ReproServer:
             endpoint, handler = self._route(request)
             self.metrics.record_request(endpoint)
             extra_headers: dict[str, str] = {}
+            content_type = "application/json"
             try:
-                status, payload = await handler(request)
+                result = await handler(request)
+                if len(result) == 3:
+                    # Handlers may return (status, payload, headers) to
+                    # override the content type (Prometheus exposition).
+                    status, payload, handler_headers = result
+                    handler_headers = dict(handler_headers)
+                    content_type = handler_headers.pop(
+                        "Content-Type", content_type
+                    )
+                    extra_headers.update(handler_headers)
+                else:
+                    status, payload = result
             except Exception as exc:  # noqa: BLE001 - mapped to envelopes
                 status, payload = self._error_payload(exc)
+                content_type = "application/json"
                 if isinstance(exc, AdmissionRejected):
                     self.metrics.record_rejection(exc.status)
                     extra_headers["Retry-After"] = str(
@@ -379,7 +468,7 @@ class ReproServer:
             )
             await self._respond(
                 writer, status, payload, keep_alive=keep_alive,
-                extra_headers=extra_headers,
+                extra_headers=extra_headers, content_type=content_type,
             )
         finally:
             self._active_requests -= 1
@@ -389,6 +478,10 @@ class ReproServer:
     ) -> tuple[str, Callable[[_HttpRequest], Awaitable[tuple[int, Any]]]]:
         entry = self._routes.get(request.path)
         if entry is None:
+            dataset_route = self._route_dataset(request)
+            if dataset_route is not None:
+                return dataset_route
+
             async def _not_found(_request: _HttpRequest) -> tuple[int, Any]:
                 return 404, error_envelope(
                     "not_found", f"no such endpoint: {_request.path}"
@@ -396,24 +489,64 @@ class ReproServer:
             return "unknown", _not_found
         endpoint, method, handler = entry
         if request.method != method:
-            async def _wrong_method(_request: _HttpRequest) -> tuple[int, Any]:
-                return 405, error_envelope(
-                    "method_not_allowed",
-                    f"{_request.method} is not allowed on {_request.path}; "
-                    f"use {method}",
-                )
-            return endpoint, _wrong_method
+            return endpoint, self._method_not_allowed(method)
         return endpoint, handler
+
+    def _route_dataset(
+        self, request: _HttpRequest
+    ) -> tuple[str, Callable[[_HttpRequest], Awaitable[tuple[int, Any]]]] | None:
+        """Resolve the parameterized dataset-management routes.
+
+        ========================================  =====================
+        ``PUT  /v1/datasets/{name}``              register loader/table
+        ``POST /v1/datasets/{name}/rows``         append a DeltaBatch
+        ``POST /v1/datasets/{name}/reload``       reload + version bump
+        ========================================  =====================
+        """
+        prefix = "/v1/datasets/"
+        if not request.path.startswith(prefix):
+            return None
+        parts = request.path[len(prefix):].split("/")
+        if not parts or not parts[0]:
+            return None
+        name = parts[0]
+        if len(parts) == 1:
+            endpoint, method = "dataset_put", "PUT"
+            handler = lambda req, n=name: self._put_dataset(req, n)  # noqa: E731
+        elif len(parts) == 2 and parts[1] == "rows":
+            endpoint, method = "dataset_rows", "POST"
+            handler = lambda req, n=name: self._post_rows(req, n)  # noqa: E731
+        elif len(parts) == 2 and parts[1] == "reload":
+            endpoint, method = "dataset_reload", "POST"
+            handler = lambda req, n=name: self._post_reload(req, n)  # noqa: E731
+        else:
+            return None
+        if request.method != method:
+            return endpoint, self._method_not_allowed(method)
+        return endpoint, handler
+
+    @staticmethod
+    def _method_not_allowed(
+        allowed: str,
+    ) -> Callable[[_HttpRequest], Awaitable[tuple[int, Any]]]:
+        async def _wrong_method(_request: _HttpRequest) -> tuple[int, Any]:
+            return 405, error_envelope(
+                "method_not_allowed",
+                f"{_request.method} is not allowed on {_request.path}; "
+                f"use {allowed}",
+            )
+        return _wrong_method
 
     async def _respond(
         self, writer: asyncio.StreamWriter, status: int, payload: Any,
         keep_alive: bool, extra_headers: dict[str, str] | None = None,
+        content_type: str = "application/json",
     ) -> None:
         body = payload if isinstance(payload, bytes) else _canonical(payload)
         reason = _REASONS.get(status, "Unknown")
         lines = [
             f"HTTP/1.1 {status} {reason}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]
@@ -498,9 +631,9 @@ class ReproServer:
             "config": self.config.as_dict(),
         }
 
-    async def _get_metrics(self, _request: _HttpRequest) -> tuple[int, Any]:
+    async def _get_metrics(self, request: _HttpRequest) -> tuple[int, Any]:
         datasets = self._workspace.describe()
-        return 200, {
+        document = {
             "server": self.metrics.snapshot(),
             "admission": self.admission.snapshot(),
             "workspace": {
@@ -508,7 +641,155 @@ class ReproServer:
                 "pipeline": self._workspace.pipeline_stats(),
                 "datasets": datasets,
                 "engine_builds": sum(d["engine_builds"] for d in datasets),
+                "ingest": self._workspace.ingest_stats(),
             },
+        }
+        accept = request.headers.get("accept", "")
+        if "text/plain" in accept.lower():
+            # Content negotiation: a Prometheus scraper sends
+            # ``Accept: text/plain`` and gets the text exposition; the
+            # JSON document stays the default for everyone else.
+            return (200, render_prometheus(document).encode("utf-8"),
+                    {"Content-Type": PROMETHEUS_CONTENT_TYPE})
+        return 200, document
+
+    # ------------------------------------------------------------------
+    # Dataset management (the write surface)
+    # ------------------------------------------------------------------
+    async def _put_dataset(
+        self, http_request: _HttpRequest, name: str
+    ) -> tuple[int, Any]:
+        """``PUT /v1/datasets/{name}``: register a loader or inline table.
+
+        Body shapes (all JSON objects):
+
+        * ``{"loader": "<registry name>"}`` — register one of the
+          server's trusted named loaders (lazily, like ``repro-serve``'s
+          bundled datasets);
+        * ``{"rows": [{...}, ...]}`` — inline row records;
+        * ``{"columns": {"col": [...], ...}}`` — inline columns;
+
+        plus optional ``"kinds": {"col": "numeric"|"categorical"|
+        "boolean"}`` overrides for inline tables and ``"replace": true``
+        to re-register an existing name (a version bump, like reload).
+        Registering an existing name without ``replace`` answers 409.
+        """
+        payload = self._parse_json(http_request.body)
+        if not isinstance(payload, dict):
+            raise ProtocolError("dataset registration body must be an object")
+        replace = bool(payload.get("replace", False))
+        if name in self._workspace and not replace:
+            return 409, error_envelope(
+                "dataset_exists",
+                f"dataset {name!r} is already registered; pass "
+                '"replace": true to overwrite it',
+            )
+
+        def _register() -> tuple[int, int]:
+            # Everything that can block runs on a pool thread: inline
+            # table materialisation (kind inference over every cell),
+            # Workspace.register, and the state() read, which contends
+            # the entry lock a racing engine build may hold for seconds.
+            source = self._registration_source(name, payload)
+            self._workspace.register(name, source, replace=replace)
+            return self._workspace.state(name)
+
+        loop = asyncio.get_running_loop()
+        async with self.admission.admit([name], [], writes=[name]):
+            try:
+                version, seq = await loop.run_in_executor(self._pool,
+                                                          _register)
+            except ServiceError as exc:
+                if not isinstance(exc, (ProtocolError, UnknownDatasetError)):
+                    # Two racing PUTs without "replace" both passed the
+                    # pre-check above; the loser's register() raises the
+                    # duplicate-name ServiceError — still a 409, not a 500.
+                    return 409, error_envelope("dataset_exists", str(exc))
+                raise
+        return 200, {
+            "protocol": 1,
+            "dataset": name,
+            "version": version,
+            "seq": seq,
+            "source": "loader" if "loader" in payload else "inline",
+        }
+
+    def _registration_source(self, name: str, payload: dict[str, Any]):
+        """Resolve a PUT body into a Workspace-registrable source."""
+        kinds_raw = payload.get("kinds") or {}
+        if not isinstance(kinds_raw, dict):
+            raise ProtocolError('"kinds" must be an object of column kinds')
+        try:
+            kinds = {
+                column: ColumnKind(kind) for column, kind in kinds_raw.items()
+            }
+        except ValueError as exc:
+            raise ProtocolError(f"invalid column kind: {exc}") from None
+        if "loader" in payload:
+            loader_name = payload["loader"]
+            loader = self.loaders.get(loader_name)
+            if loader is None:
+                raise ProtocolError(
+                    f"unknown loader {loader_name!r}; available loaders: "
+                    f"{', '.join(sorted(self.loaders)) or 'none'}"
+                )
+            return loader
+        if "rows" in payload:
+            rows = payload["rows"]
+            if not isinstance(rows, list) or not rows:
+                raise ProtocolError('"rows" must be a non-empty list of records')
+            return DataTable.from_records(rows, name=name, kinds=kinds)
+        if "columns" in payload:
+            columns = payload["columns"]
+            if not isinstance(columns, dict) or not columns:
+                raise ProtocolError('"columns" must be a non-empty object')
+            return DataTable.from_columns(columns, name=name, kinds=kinds)
+        raise ProtocolError(
+            'dataset registration body needs one of "loader", "rows" '
+            'or "columns"'
+        )
+
+    async def _post_rows(
+        self, http_request: _HttpRequest, name: str
+    ) -> tuple[int, Any]:
+        """``POST /v1/datasets/{name}/rows``: append a validated batch.
+
+        Body: ``{"rows": [{...}, ...]}``.  Success answers the new
+        ingestion identity ``(version, seq)`` plus how the rows were
+        absorbed (``delta_merge`` / ``rebuild`` / ``deferred``); a batch
+        failing schema validation answers 400 with the per-row problems
+        and changes nothing.
+        """
+        self._require_dataset(name)
+        payload = self._parse_json(http_request.body)
+        if not isinstance(payload, dict) or "rows" not in payload:
+            raise ProtocolError('append body must be {"rows": [...]}')
+        rows = payload["rows"]
+        if not isinstance(rows, list):
+            raise ProtocolError('"rows" must be a list of records')
+        loop = asyncio.get_running_loop()
+        async with self.admission.admit([name], [], writes=[name]):
+            result = await loop.run_in_executor(
+                self._pool, self._workspace.append, name, rows
+            )
+        return 200, {"protocol": 1, **result.as_dict()}
+
+    async def _post_reload(
+        self, _request: _HttpRequest, name: str
+    ) -> tuple[int, Any]:
+        """``POST /v1/datasets/{name}/reload``: re-run the loader.
+
+        Bumps the version, resets the append journal (a new generation)
+        and drops the dataset's cached state.
+        """
+        self._require_dataset(name)
+        loop = asyncio.get_running_loop()
+        async with self.admission.admit([name], [], writes=[name]):
+            version = await loop.run_in_executor(
+                self._pool, self._workspace.reload, name
+            )
+        return 200, {
+            "protocol": 1, "dataset": name, "version": version, "seq": 0,
         }
 
     # ------------------------------------------------------------------
@@ -566,6 +847,10 @@ class ReproServer:
         if isinstance(exc, UnknownInsightClassError):
             return 400, error_envelope(
                 "unknown_insight_class", str(exc), available=exc.available
+            )
+        if isinstance(exc, DeltaValidationError):
+            return 400, error_envelope(
+                "delta_rejected", str(exc), problems=exc.problems
             )
         if isinstance(exc, ProtocolError):
             return 400, error_envelope("protocol_error", str(exc))

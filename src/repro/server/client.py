@@ -63,16 +63,24 @@ class ReproClient:
     # Raw transport
     # ------------------------------------------------------------------
     def request_raw(self, method: str, path: str,
-                    payload: Any | None = None) -> RawResponse:
-        """One HTTP exchange; JSON decoded, no error mapping."""
+                    payload: Any | None = None,
+                    headers: Mapping[str, str] | None = None) -> RawResponse:
+        """One HTTP exchange; JSON decoded, no error mapping.
+
+        ``headers`` adds/overrides request headers (e.g. ``Accept:
+        text/plain`` for the Prometheus metrics exposition).  Non-JSON
+        response bodies are returned as decoded text.
+        """
         body = None
-        headers = {}
+        request_headers: dict[str, str] = {}
         if payload is not None:
             text = payload if isinstance(payload, str) else json.dumps(payload)
             body = text.encode("utf-8")
-            headers["Content-Type"] = "application/json"
+            request_headers["Content-Type"] = "application/json"
+        if headers:
+            request_headers.update(headers)
         try:
-            self._conn.request(method, path, body=body, headers=headers)
+            self._conn.request(method, path, body=body, headers=request_headers)
             raw = self._conn.getresponse()
             data = raw.read()
         except (http.client.HTTPException, ConnectionError):
@@ -82,10 +90,16 @@ class ReproClient:
             # executing server-side, and silently re-sending it would
             # duplicate work and double the caller's effective timeout.
             self._conn.close()
-            self._conn.request(method, path, body=body, headers=headers)
+            self._conn.request(method, path, body=body, headers=request_headers)
             raw = self._conn.getresponse()
             data = raw.read()
-        decoded = json.loads(data.decode("utf-8")) if data else None
+        content_type = raw.getheader("Content-Type", "application/json")
+        if data and "application/json" in content_type:
+            decoded: Any = json.loads(data.decode("utf-8"))
+        elif data:
+            decoded = data.decode("utf-8")
+        else:
+            decoded = None
         return RawResponse(
             raw.status, {k.lower(): v for k, v in raw.getheaders()}, decoded
         )
@@ -144,6 +158,65 @@ class ReproClient:
     def metrics(self) -> dict[str, Any]:
         """``GET /metrics``: the full operations counter document."""
         return self._request("GET", "/metrics")
+
+    def metrics_text(self) -> str:
+        """``GET /metrics`` with ``Accept: text/plain``: Prometheus text."""
+        response = self.request_raw("GET", "/metrics",
+                                    headers={"Accept": "text/plain"})
+        if response.status >= 400:
+            raise ServerResponseError(
+                response.status,
+                response.payload if isinstance(response.payload, dict) else {},
+            )
+        return str(response.payload)
+
+    # ------------------------------------------------------------------
+    # Dataset management (live ingestion)
+    # ------------------------------------------------------------------
+    def put_dataset(
+        self,
+        name: str,
+        rows: Sequence[Mapping[str, Any]] | None = None,
+        columns: Mapping[str, Sequence[Any]] | None = None,
+        loader: str | None = None,
+        kinds: Mapping[str, str] | None = None,
+        replace: bool = False,
+    ) -> dict[str, Any]:
+        """``PUT /v1/datasets/{name}``: register a dataset.
+
+        Exactly one of ``rows`` (inline records), ``columns`` (inline
+        columns) or ``loader`` (a server-side registry name) must be
+        given.  Answers the new ``{"version", "seq", "source"}``.
+        """
+        payload: dict[str, Any] = {}
+        if loader is not None:
+            payload["loader"] = loader
+        if rows is not None:
+            payload["rows"] = [dict(row) for row in rows]
+        if columns is not None:
+            payload["columns"] = {key: list(val) for key, val in columns.items()}
+        if kinds:
+            payload["kinds"] = dict(kinds)
+        if replace:
+            payload["replace"] = True
+        return self._request("PUT", f"/v1/datasets/{name}", payload)
+
+    def append_rows(
+        self, name: str, rows: Sequence[Mapping[str, Any]]
+    ) -> dict[str, Any]:
+        """``POST /v1/datasets/{name}/rows``: append a validated batch.
+
+        Answers the new ingestion identity: ``{"version", "seq",
+        "rows_appended", "total_rows", "applied"}``.
+        """
+        return self._request(
+            "POST", f"/v1/datasets/{name}/rows",
+            {"rows": [dict(row) for row in rows]},
+        )
+
+    def reload_dataset(self, name: str) -> dict[str, Any]:
+        """``POST /v1/datasets/{name}/reload``: reload + version bump."""
+        return self._request("POST", f"/v1/datasets/{name}/reload", {})
 
     # ------------------------------------------------------------------
     # Lifecycle

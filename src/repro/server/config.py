@@ -63,6 +63,15 @@ class ServerConfig:
     class_quota:
         Max concurrent in-flight requests touching one insight class
         (None = unlimited).  Exceeding it rejects with 429.
+    write_quota:
+        Max concurrent in-flight *write* requests (appends,
+        registrations, reloads) per dataset (None = unlimited).
+        Exceeding it rejects with 429.
+    read_timeout:
+        Seconds a connection may take to deliver a complete request
+        before the server answers 408 and closes it (a stalled client
+        must not pin a connection slot).  Also bounds how long an idle
+        keep-alive connection is held open.  0 disables the timeout.
     retry_after:
         Seconds advertised in the ``Retry-After`` header of 429/503
         responses.
@@ -84,6 +93,8 @@ class ServerConfig:
     queue_limit: int = 32
     dataset_quota: int | None = None
     class_quota: int | None = None
+    write_quota: int | None = None
+    read_timeout: float = 30.0
     retry_after: float = 1.0
     max_body_bytes: int = 1_048_576
     drain_timeout: float = 5.0
@@ -106,10 +117,14 @@ class ServerConfig:
             )
         if self.queue_limit < 0:
             raise ServerError(f"queue_limit must be >= 0, got {self.queue_limit}")
-        for name in ("dataset_quota", "class_quota"):
+        for name in ("dataset_quota", "class_quota", "write_quota"):
             value = getattr(self, name)
             if value is not None and value < 1:
                 raise ServerError(f"{name} must be >= 1 or None, got {value}")
+        if self.read_timeout < 0:
+            raise ServerError(
+                f"read_timeout must be >= 0, got {self.read_timeout}"
+            )
         if self.retry_after < 0:
             raise ServerError(f"retry_after must be >= 0, got {self.retry_after}")
         if self.max_body_bytes < 1:
@@ -179,6 +194,14 @@ class ServerConfig:
             help="max concurrent requests per insight class "
                  "(default unlimited)")
         parser.add_argument(
+            "--write-quota", type=int, default=base.write_quota,
+            help="max concurrent write requests (appends/registrations/"
+                 "reloads) per dataset (default unlimited)")
+        parser.add_argument(
+            "--read-timeout", type=float, default=base.read_timeout,
+            help="seconds to receive a complete request before 408/close, "
+                 f"0 disables (default {base.read_timeout:g})")
+        parser.add_argument(
             "--retry-after", type=float, default=base.retry_after,
             help="Retry-After seconds on 429/503 "
                  f"(default {base.retry_after:g})")
@@ -206,6 +229,8 @@ class ServerConfig:
             queue_limit=args.queue_limit,
             dataset_quota=args.dataset_quota,
             class_quota=args.class_quota,
+            write_quota=args.write_quota,
+            read_timeout=args.read_timeout,
             retry_after=args.retry_after,
             max_body_bytes=args.max_body_bytes,
             drain_timeout=args.drain_timeout,
@@ -219,8 +244,9 @@ class ServerConfig:
 
 #: Fields parsed as optional ints ("" / unset = None, which _parse_field
 #: reaches only via an explicit "none"/"null" spelling).
-_OPTIONAL_INT_FIELDS = {"dataset_quota", "class_quota"}
-_FLOAT_FIELDS = {"coalesce_window", "retry_after", "drain_timeout"}
+_OPTIONAL_INT_FIELDS = {"dataset_quota", "class_quota", "write_quota"}
+_FLOAT_FIELDS = {"coalesce_window", "retry_after", "drain_timeout",
+                 "read_timeout"}
 _INT_FIELDS = {
     "port",
     "coalesce_max_batch",

@@ -162,4 +162,178 @@ class ServerMetrics:
             }
 
 
-__all__ = ["LATENCY_BUCKETS", "LatencyHistogram", "ServerMetrics"]
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+#: Content type advertised for the text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_label(value: object) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _sample(name: str, value: object, labels: dict[str, object] | None = None) -> str:
+    if value is None:
+        value = "NaN"
+    if labels:
+        rendered = ",".join(
+            f'{key}="{_escape_label(val)}"' for key, val in labels.items()
+        )
+        return f"{name}{{{rendered}}} {value}"
+    return f"{name} {value}"
+
+
+def _histogram_lines(name: str, snapshot: dict[str, Any]) -> list[str]:
+    """Render a :meth:`LatencyHistogram.snapshot` as a Prometheus histogram.
+
+    The snapshot's buckets hold per-bucket counts; Prometheus buckets are
+    cumulative, so they are summed on the way out (with the mandatory
+    ``+Inf`` bucket equal to the total count).
+    """
+    lines = [f"# TYPE {name} histogram"]
+    cumulative = 0
+    for key, count in snapshot.get("buckets", {}).items():
+        if key == "le_inf":
+            continue
+        cumulative += count
+        bound = key[len("le_"):]
+        lines.append(_sample(f"{name}_bucket", cumulative, {"le": bound}))
+    lines.append(_sample(f"{name}_bucket", snapshot.get("count", 0),
+                         {"le": "+Inf"}))
+    lines.append(_sample(f"{name}_sum", snapshot.get("sum_seconds", 0.0)))
+    lines.append(_sample(f"{name}_count", snapshot.get("count", 0)))
+    return lines
+
+
+def render_prometheus(document: dict[str, Any]) -> str:
+    """Render the ``/metrics`` JSON document in Prometheus text format.
+
+    The JSON document stays the canonical surface (and the default
+    content type); this renderer exists so a stock Prometheus scraper
+    can consume the same counters via ``Accept: text/plain`` content
+    negotiation.  Metric names are stable: ``repro_*`` counters/gauges,
+    with per-dataset / per-endpoint breakdowns as labels.
+    """
+    lines: list[str] = []
+
+    def counter(name: str, value: object,
+                labels: dict[str, object] | None = None,
+                declare: bool = True) -> None:
+        if declare:
+            lines.append(f"# TYPE {name} counter")
+        lines.append(_sample(name, value, labels))
+
+    def gauge(name: str, value: object,
+              labels: dict[str, object] | None = None,
+              declare: bool = True) -> None:
+        if declare:
+            lines.append(f"# TYPE {name} gauge")
+        lines.append(_sample(name, value, labels))
+
+    server = document.get("server", {})
+    requests = server.get("requests", {})
+    counter("repro_requests_total", requests.get("total", 0))
+    by_endpoint = requests.get("by_endpoint", {})
+    if by_endpoint:
+        lines.append("# TYPE repro_endpoint_requests_total counter")
+        for endpoint, count in sorted(by_endpoint.items()):
+            counter("repro_endpoint_requests_total", count,
+                    {"endpoint": endpoint}, declare=False)
+    responses = server.get("responses", {})
+    by_status = responses.get("by_status", {})
+    if by_status:
+        lines.append("# TYPE repro_responses_total counter")
+        for status, count in sorted(by_status.items()):
+            counter("repro_responses_total", count, {"status": status},
+                    declare=False)
+    lines.append("# TYPE repro_rejected_total counter")
+    counter("repro_rejected_total", responses.get("rejected_quota", 0),
+            {"reason": "quota"}, declare=False)
+    counter("repro_rejected_total", responses.get("rejected_overload", 0),
+            {"reason": "overload"}, declare=False)
+    coalesce = server.get("coalesce", {})
+    counter("repro_coalesce_batches_total", coalesce.get("batches", 0))
+    counter("repro_coalesce_requests_total",
+            coalesce.get("coalesced_requests", 0))
+    counter("repro_direct_requests_total", coalesce.get("direct_requests", 0))
+    gauge("repro_coalesce_max_batch_size", coalesce.get("max_batch_size", 0))
+    if "wait" in coalesce:
+        lines.extend(_histogram_lines("repro_coalesce_wait_seconds",
+                                      coalesce["wait"]))
+    if "latency" in server:
+        lines.extend(_histogram_lines("repro_request_latency_seconds",
+                                      server["latency"]))
+
+    admission = document.get("admission", {})
+    for key in ("in_flight", "queued", "peak_in_flight", "peak_queued"):
+        if key in admission:
+            gauge(f"repro_admission_{key}", admission[key])
+    for key in ("admitted_total", "queued_total", "rejected_quota_total",
+                "rejected_overload_total"):
+        if key in admission:
+            counter(f"repro_admission_{key}", admission[key])
+    for section, metric in (
+        ("in_flight_by_dataset", "repro_admission_in_flight_by_dataset"),
+        ("in_flight_by_class", "repro_admission_in_flight_by_class"),
+        ("in_flight_writes_by_dataset",
+         "repro_admission_in_flight_writes_by_dataset"),
+    ):
+        breakdown = admission.get(section, {})
+        if breakdown:
+            lines.append(f"# TYPE {metric} gauge")
+            label = "class" if section == "in_flight_by_class" else "dataset"
+            for name, count in sorted(breakdown.items()):
+                gauge(metric, count, {label: name}, declare=False)
+
+    workspace = document.get("workspace", {})
+    cache = workspace.get("cache", {})
+    for key in ("hits", "misses", "evictions", "invalidations"):
+        if key in cache:
+            counter(f"repro_cache_{key}_total", cache[key])
+    for key in ("size", "capacity"):
+        if key in cache:
+            gauge(f"repro_cache_{key}", cache[key])
+    pipeline = workspace.get("pipeline", {})
+    for key in sorted(pipeline):
+        value = pipeline[key]
+        if isinstance(value, (int, float)):
+            counter(f"repro_pipeline_{key}_total", value)
+    if "engine_builds" in workspace:
+        counter("repro_engine_builds_total", workspace["engine_builds"])
+    datasets = workspace.get("datasets", [])
+    if datasets:
+        lines.append("# TYPE repro_dataset_version gauge")
+        for entry in datasets:
+            gauge("repro_dataset_version", entry.get("version", 0),
+                  {"dataset": entry.get("name", "")}, declare=False)
+        lines.append("# TYPE repro_dataset_seq gauge")
+        for entry in datasets:
+            gauge("repro_dataset_seq", entry.get("seq", 0),
+                  {"dataset": entry.get("name", "")}, declare=False)
+
+    ingest = workspace.get("ingest", {})
+    totals = ingest.get("totals", {})
+    for key in ("appends", "rows_appended", "delta_merges", "rebuilds"):
+        if key in totals:
+            counter(f"repro_ingest_{key}_total", totals[key])
+    per_dataset = ingest.get("datasets", {})
+    if per_dataset:
+        for key in ("rows_appended", "delta_merges", "rebuilds"):
+            metric = f"repro_dataset_ingest_{key}_total"
+            lines.append(f"# TYPE {metric} counter")
+            for name, counters in sorted(per_dataset.items()):
+                counter(metric, counters.get(key, 0), {"dataset": name},
+                        declare=False)
+
+    return "\n".join(lines) + "\n"
+
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "LatencyHistogram",
+    "PROMETHEUS_CONTENT_TYPE",
+    "ServerMetrics",
+    "render_prometheus",
+]

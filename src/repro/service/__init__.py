@@ -35,10 +35,13 @@ from repro.service.pipeline import (
     RankingResult,
     ScoredBatch,
 )
-from repro.service.workspace import Workspace
+from repro.ingest.maintenance import IngestConfig
+from repro.service.workspace import AppendResult, Workspace
 
 __all__ = [
+    "AppendResult",
     "Enumeration",
+    "IngestConfig",
     "ExecutionPlan",
     "Executor",
     "ExecutorConfig",

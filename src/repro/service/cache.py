@@ -1,8 +1,9 @@
 """LRU result cache for the serving layer.
 
-Responses are cached under ``(dataset, dataset_version, canonical_query)``
-keys.  Including the dataset version in the key makes stale entries
-unreachable the moment a dataset is reloaded, and
+Responses are cached under ``(dataset, dataset_version, dataset_seq,
+canonical_query)`` keys.  Including the dataset version and ingest
+sequence number in the key makes stale entries unreachable the moment a
+dataset is reloaded — or appended to — and
 :meth:`ResultCache.invalidate` additionally evicts them eagerly so the
 memory is reclaimed rather than waiting for LRU pressure.
 
@@ -20,8 +21,11 @@ import threading
 from collections import OrderedDict
 from typing import Any, Hashable
 
-#: Cache keys are (dataset_name, dataset_version, canonical_query_json).
-CacheKey = tuple[str, int, str]
+#: Cache keys are (dataset_name, dataset_version, dataset_seq,
+#: canonical_query_json).  The sequence number is the append journal
+#: position: every accepted append bumps it, making entries computed
+#: before the append unreachable exactly like a version bump does.
+CacheKey = tuple[str, int, int, str]
 
 
 class ResultCache:

@@ -218,6 +218,12 @@ class InsightResponse:
     timing: dict[str, Any] = field(default_factory=dict)
     provenance: dict[str, Any] = field(default_factory=dict)
     next_cursor: str | None = None
+    #: Ingestion sequence number of the dataset snapshot this answer was
+    #: computed from: ``(dataset_version, dataset_seq)`` names the exact
+    #: base load + journalled appends the engine saw.  0 means "no
+    #: appends in this generation" (and is the default for payloads from
+    #: pre-ingest servers).
+    dataset_seq: int = 0
 
     # -- convenience accessors -----------------------------------------------------
     def classes(self) -> list[str]:
@@ -251,6 +257,7 @@ class InsightResponse:
             "protocol": PROTOCOL_VERSION,
             "dataset": self.dataset,
             "dataset_version": self.dataset_version,
+            "dataset_seq": self.dataset_seq,
             "carousels": [dict(carousel) for carousel in self.carousels],
             "timing": dict(self.timing),
             "provenance": dict(self.provenance),
@@ -268,6 +275,7 @@ class InsightResponse:
         return cls(
             dataset=str(dataset),
             dataset_version=int(dataset_version),
+            dataset_seq=int(payload.get("dataset_seq", 0)),
             carousels=[dict(carousel) for carousel in payload.get("carousels", [])],
             timing=dict(payload.get("timing", {})),
             provenance=dict(payload.get("provenance", {})),

@@ -7,11 +7,16 @@ A :class:`Workspace` owns named datasets and serves
   callables; loaders run lazily on first use, and each dataset gets one
   preprocessed :class:`~repro.core.engine.Foresight` engine, built once
   and reused across requests;
-* every dataset carries a monotonically increasing *version*; reloading
-  bumps it, rebuilds the engine on demand and invalidates cached results;
+* every dataset carries an ingestion identity ``(version, seq)``: the
+  *version* bumps on reload (a new generation, resetting the append
+  journal), the *seq* bumps on every accepted :meth:`Workspace.append` —
+  validated rows absorbed live by merging per-column sketch partials
+  into the engine's store (see :mod:`repro.ingest`) instead of
+  rebuilding it;
 * responses are cached in an LRU keyed by
-  ``(dataset, dataset_version, canonical_request)``, with hit/miss
-  provenance recorded on every response;
+  ``(dataset, version, seq, canonical_request)``, with hit/miss
+  provenance — and the exact ``(version, seq)`` snapshot identity —
+  recorded on every response;
 * multi-class requests execute on the staged query pipeline, so classes
   that enumerate the same candidate domain share one enumeration pass —
   and, when their constraints don't prune, scored batches too;
@@ -60,6 +65,19 @@ from repro.core.engine import EngineConfig, Foresight
 from repro.core.executor import ExecutorConfig, create_executor
 from repro.core.session import ExplorationSession
 from repro.data.table import DataTable
+from repro.ingest.delta import DeltaBatch
+from repro.ingest.log import (
+    APPLIED_DEFERRED,
+    APPLIED_DELTA_MERGE,
+    APPLIED_REBUILD,
+    IngestLog,
+)
+from repro.ingest.maintenance import (
+    IngestConfig,
+    build_delta_partials,
+    merge_delta,
+    should_rebuild,
+)
 from repro.service.cache import ResultCache
 from repro.service.cursor import decode_cursor, encode_cursor
 from repro.service.dto import (
@@ -94,6 +112,10 @@ class _DatasetEntry:
     engine_builds: int = 0
     #: How many times the loader actually ran.
     loads: int = 0
+    #: The append journal for this generation of the dataset: monotone
+    #: sequence numbers, ingestion counters and the accuracy-budget
+    #: accounting.  Replaced wholesale on reload (a new generation).
+    ingest: IngestLog = field(default_factory=IngestLog)
 
 
 class Workspace:
@@ -107,14 +129,25 @@ class Workspace:
     fully serial inside each request, exactly as before.
     """
 
-    def __init__(self, cache_size: int = 128, executor: ExecutorConfig | None = None):
+    def __init__(
+        self,
+        cache_size: int = 128,
+        executor: ExecutorConfig | None = None,
+        ingest: IngestConfig | None = None,
+    ):
         self._entries: dict[str, _DatasetEntry] = {}
         self._cache = ResultCache(capacity=cache_size)
         self._executor_config = executor or ExecutorConfig()
+        self._ingest_config = ingest or IngestConfig()
         #: Lifetime pipeline counters across every cache-miss request,
         #: for operational surfaces (the server's ``/metrics``).
         self._stats = PipelineStats()
         self._stats_lock = threading.Lock()
+        #: Lifetime ingestion totals.  Per-dataset journals reset on
+        #: reload (a new generation); these survive it, so the ops
+        #: counters stay monotone the way Prometheus counters must.
+        self._ingest_totals = {"appends": 0, "rows_appended": 0,
+                               "delta_merges": 0, "rebuilds": 0}
         #: Guards the registry of entries (not per-dataset state).
         self._lock = threading.RLock()
         #: Monotonic per-name version counters.  Versions must never
@@ -192,6 +225,18 @@ class Workspace:
         with entry.lock:
             return entry.version
 
+    def seq(self, name: str) -> int:
+        """The dataset's append-journal position (0 = no appends yet)."""
+        entry = self._entry(name)
+        with entry.lock:
+            return entry.ingest.seq
+
+    def state(self, name: str) -> tuple[int, int]:
+        """The dataset's full ingestion identity ``(version, seq)``."""
+        entry = self._entry(name)
+        with entry.lock:
+            return entry.version, entry.ingest.seq
+
     def table(self, name: str) -> DataTable:
         """The dataset's table, running its loader if not yet materialised.
 
@@ -237,6 +282,10 @@ class Workspace:
                 entry.table = None
             entry.engine = None
             entry.version = version = self._next_version(name)
+            # A reload starts a new generation: the append journal (and
+            # its sequence numbers) reset with the version bump, so
+            # (version, seq) pairs never repeat.
+            entry.ingest = IngestLog()
         self._cache.invalidate(name)
         return version
 
@@ -245,6 +294,126 @@ class Workspace:
         if name is not None:
             self._entry(name)
         return self._cache.invalidate(name)
+
+    # ------------------------------------------------------------------
+    # Live ingestion
+    # ------------------------------------------------------------------
+    def append(
+        self, name: str, rows: Sequence[Mapping[str, Any]]
+    ) -> "AppendResult":
+        """Append validated rows to a dataset, keeping its engine live.
+
+        The whole append runs under the dataset's single-flight lock:
+
+        1. the rows are validated against the dataset schema as a
+           :class:`~repro.ingest.delta.DeltaBatch` (all-or-nothing;
+           :class:`~repro.errors.DeltaValidationError` on any problem);
+        2. if the engine is built in approximate mode and the accuracy
+           budget allows, per-column sketch partials are built over just
+           the delta rows (via the engine's executor) and **merged** into
+           copies of the live store's sketches — no full rebuild; when
+           the accumulated deltas exceed
+           ``IngestConfig.rebuild_fraction`` of the base rows, the
+           append pays for one full rebuild instead (refreshing the
+           hyperplane signatures);
+        3. the grown table, new engine and journal record swap in
+           atomically: a query that snapshotted ``(engine, version,
+           seq)`` before the swap keeps reading the old, internally
+           consistent store, and every response names the snapshot it
+           was computed from.
+
+        Only this dataset's cached responses are invalidated; the
+        version-and-seq-qualified cache key already makes them
+        unreachable, invalidation just reclaims the memory eagerly.
+        """
+        entry = self._entry(name)
+        with entry.lock:
+            if entry.table is None:
+                assert entry.loader is not None
+                entry.table = entry.loader()
+                entry.loads += 1
+            batch = DeltaBatch.from_records(name, list(rows), entry.table.schema)
+            new_table = entry.table.concat(batch.table)
+            engine = entry.engine
+            if engine is None:
+                # No engine yet: the rows simply extend the table and the
+                # (eventual) first build sketches everything at once.
+                applied = APPLIED_DEFERRED
+            else:
+                store = engine.store
+                if store is None:
+                    # Exact-mode engine: nothing sketched to maintain —
+                    # swap in a new engine over the grown table.
+                    entry.engine = Foresight(
+                        new_table,
+                        registry=engine.registry,
+                        config=engine.config,
+                        preprocess=False,
+                        executor=engine.executor,
+                    )
+                    applied = APPLIED_DEFERRED
+                elif should_rebuild(entry.ingest, batch.n_rows,
+                                    self._ingest_config):
+                    entry.engine = Foresight(
+                        new_table,
+                        registry=engine.registry,
+                        config=engine.config,
+                        executor=engine.executor,
+                    )
+                    entry.engine_builds += 1
+                    applied = APPLIED_REBUILD
+                else:
+                    partials = build_delta_partials(
+                        batch.table, store, engine.executor
+                    )
+                    new_store = merge_delta(
+                        store, new_table, batch.n_rows, partials
+                    )
+                    entry.engine = Foresight(
+                        new_table,
+                        registry=engine.registry,
+                        config=engine.config,
+                        store=new_store,
+                        executor=engine.executor,
+                    )
+                    applied = APPLIED_DELTA_MERGE
+            entry.table = new_table
+            record = entry.ingest.append(batch.n_rows, applied,
+                                         new_table.n_rows)
+            version = entry.version
+        with self._stats_lock:
+            self._ingest_totals["appends"] += 1
+            self._ingest_totals["rows_appended"] += batch.n_rows
+            if applied == APPLIED_DELTA_MERGE:
+                self._ingest_totals["delta_merges"] += 1
+            elif applied == APPLIED_REBUILD:
+                self._ingest_totals["rebuilds"] += 1
+        self._cache.invalidate(name)
+        return AppendResult(
+            dataset=name,
+            version=version,
+            seq=record.seq,
+            rows_appended=batch.n_rows,
+            total_rows=new_table.n_rows,
+            applied=applied,
+        )
+
+    def ingest_stats(self) -> dict[str, Any]:
+        """Ingestion counters (lifetime totals + per-dataset) for ops.
+
+        ``totals`` are lifetime and monotone (they survive reloads);
+        each dataset's counters describe its *current generation* — the
+        appends journalled since its last reload — matching the ``seq``
+        its responses carry.
+        """
+        with self._lock:
+            entries = list(self._entries.values())
+        datasets = {
+            entry.name: entry.ingest.counters() for entry in entries
+        }
+        with self._stats_lock:
+            totals = dict(self._ingest_totals)
+        return {"totals": totals, "datasets": datasets}
 
     # ------------------------------------------------------------------
     # Request serving
@@ -262,8 +431,8 @@ class Workspace:
         unreachable.
         """
         request = self._coerce_request(request)
-        engine, version = self._engine_snapshot(request.dataset)
-        key = (request.dataset, version, request.canonical_key())
+        engine, version, seq = self._engine_snapshot(request.dataset)
+        key = (request.dataset, version, seq, request.canonical_key())
 
         # The cache stores canonical JSON, so hits rehydrate into fresh
         # objects and callers can never mutate a cached entry in place.
@@ -304,6 +473,7 @@ class Workspace:
         response = InsightResponse(
             dataset=request.dataset,
             dataset_version=version,
+            dataset_seq=seq,
             carousels=carousels,
             timing={"total_seconds": elapsed},
             provenance={
@@ -448,11 +618,13 @@ class Workspace:
                     {
                         "name": entry.name,
                         "version": entry.version,
+                        "seq": entry.ingest.seq,
                         "loaded": entry.table is not None,
                         "engine_built": entry.engine is not None,
                         "engine_builds": entry.engine_builds,
                         "lazy": entry.loader is not None,
                         "busy": busy,
+                        "ingest": entry.ingest.counters(),
                     }
                 )
             finally:
@@ -476,14 +648,16 @@ class Workspace:
             except KeyError:
                 raise UnknownDatasetError(name, self.datasets()) from None
 
-    def _engine_snapshot(self, name: str) -> tuple[Foresight, int]:
-        """The dataset's engine and version, consistent under concurrency.
+    def _engine_snapshot(self, name: str) -> tuple[Foresight, int, int]:
+        """The dataset's engine, version and seq, consistent under concurrency.
 
         Runs the single-flight build when the engine is cold: the first
         caller holds the entry lock through load + preprocess while
         racing threads block on it, then everyone reads the same built
-        engine.  Taking engine and version under one lock hold keeps a
-        response's provenance consistent even when reloads race.
+        engine.  Taking engine, version and ingest seq under one lock
+        hold keeps a response's provenance consistent even when reloads
+        or appends race — the triple names exactly the snapshot the
+        response is computed from.
         """
         entry = self._entry(name)
         with entry.lock:
@@ -500,7 +674,11 @@ class Workspace:
                     config = EngineConfig(executor=self._executor_config)
                 entry.engine = Foresight(entry.table, config=config)
                 entry.engine_builds += 1
-            return entry.engine, entry.version
+                # The cold build sketched the full current table (any
+                # deferred appends included): the accuracy budget counts
+                # from this freshly sketched base.
+                entry.ingest.mark_rebuilt(entry.table.n_rows)
+            return entry.engine, entry.version, entry.ingest.seq
 
     @staticmethod
     def _coerce_request(
@@ -516,3 +694,33 @@ class Workspace:
             "request must be an InsightRequest, a mapping or JSON text, "
             f"got {type(request).__name__}"
         )
+
+
+@dataclass(frozen=True)
+class AppendResult:
+    """What one accepted append did, with its exact ingestion identity.
+
+    ``(version, seq)`` is the dataset identity *after* the append —
+    the pair every response computed from the new snapshot will carry.
+    ``applied`` records how the rows were absorbed: ``"delta_merge"``
+    (sketch partials merged into the live store), ``"rebuild"``
+    (accuracy budget exhausted — full re-preprocess) or ``"deferred"``
+    (no approximate engine built yet, rows extend the table only).
+    """
+
+    dataset: str
+    version: int
+    seq: int
+    rows_appended: int
+    total_rows: int
+    applied: str
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "dataset": self.dataset,
+            "version": self.version,
+            "seq": self.seq,
+            "rows_appended": self.rows_appended,
+            "total_rows": self.total_rows,
+            "applied": self.applied,
+        }

@@ -52,29 +52,44 @@ class ReservoirSample(Sketch):
             self.update(value)
 
     def merge(self, other: "Sketch") -> None:
+        """Merge another reservoir with correct per-stream weighting.
+
+        The standard mergeable-summaries reservoir merge: each output
+        slot draws from this side's (shuffled) sample with probability
+        ``n_self / (n_self + n_other)`` and from the other side's
+        otherwise, falling through when a side's sample is exhausted.
+        Every element of the union then lands in the merged sample with
+        probability ``capacity / (n_self + n_other)``, i.e. the merged
+        reservoir is a uniform sample of the union — a plain pooled
+        subsample would over-represent the smaller stream, whose
+        reservoir holds a denser sample of its rows.
+        """
         self._require_same_type(other)
         assert isinstance(other, ReservoirSample)
         self._require(
             self.capacity == other.capacity,
             "cannot merge reservoir samples with different capacities",
         )
-        # Weighted subsampling of the union: keep each side's items with
-        # probability proportional to its stream size.
         total = self._count + other._count
         if total == 0:
             return
+        mine, theirs = list(self._items), list(other._items)
+        order_mine = self._rng.permutation(len(mine))
+        order_theirs = self._rng.permutation(len(theirs))
+        probability_mine = self._count / total
+        take = min(self.capacity, len(mine) + len(theirs))
         merged: list[object] = []
-        pool = [(item, self._count) for item in self._items] + [
-            (item, other._count) for item in other._items
-        ]
-        weights = np.asarray([w for _, w in pool], dtype=np.float64)
-        if weights.sum() == 0:
-            self._count = total
-            return
-        probabilities = weights / weights.sum()
-        take = min(self.capacity, len(pool))
-        chosen = self._rng.choice(len(pool), size=take, replace=False, p=probabilities)
-        merged = [pool[i][0] for i in chosen]
+        i, j = 0, 0
+        while len(merged) < take:
+            from_mine = i < len(mine) and (
+                j >= len(theirs) or self._rng.random() < probability_mine
+            )
+            if from_mine:
+                merged.append(mine[order_mine[i]])
+                i += 1
+            else:
+                merged.append(theirs[order_theirs[j]])
+                j += 1
         self._items = merged
         self._count = total
 
@@ -98,6 +113,37 @@ def reservoir_row_indices(n_rows: int, capacity: int, seed: int = 0) -> np.ndarr
     if n_rows <= capacity:
         return np.arange(n_rows)
     return np.sort(rng.choice(n_rows, size=capacity, replace=False))
+
+
+def advance_row_indices(
+    indices: np.ndarray,
+    n_seen: int,
+    n_new: int,
+    capacity: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Advance a uniform row-index sample past ``n_new`` appended rows.
+
+    ``indices`` is a uniform sample (without replacement) of
+    ``range(n_seen)``; the returned array is a uniform sample of
+    ``range(n_seen + n_new)`` obtained by running Vitter's algorithm R
+    over the new row indices — each appended row ``i`` enters the sample
+    with probability ``capacity / (i + 1)``, which is exactly the
+    weighting that keeps the maintained sample uniform over the grown
+    dataset.  The input array is not mutated.
+    """
+    if capacity < 1:
+        raise SketchError("capacity must be >= 1")
+    sample = list(np.asarray(indices, dtype=np.int64))
+    for offset in range(n_new):
+        global_index = n_seen + offset
+        if len(sample) < capacity:
+            sample.append(global_index)
+            continue
+        j = int(rng.integers(0, global_index + 1))
+        if j < capacity:
+            sample[j] = global_index
+    return np.sort(np.asarray(sample, dtype=np.int64))
 
 
 def sample_pairs(

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import ClassVar, Mapping
 
 import numpy as np
 
@@ -31,6 +31,7 @@ from repro.errors import SketchNotAvailableError
 from repro.core.executor import Executor, SerialExecutor
 from repro.data.column import CategoricalColumn, NumericColumn
 from repro.data.table import DataTable
+from repro.sketch.countmin import CountMinSketch
 from repro.sketch.entropy import EntropySketch
 from repro.sketch.frequent import MisraGriesSketch
 from repro.sketch.hyperplane import HyperplaneSketch, HyperplaneSketcher, suggest_width
@@ -52,6 +53,10 @@ class SketchStoreConfig:
     quantile_sample_cap: int = 20_000
     frequent_capacity: int = 128
     entropy_capacity: int = 256
+    #: Count-Min point-frequency backend for categorical / discrete
+    #: columns; width 0 disables it (no per-value count queries).
+    countmin_width: int = 256
+    countmin_depth: int = 4
     sample_capacity: int = 2000
     seed: int = 0
 
@@ -71,11 +76,21 @@ class ColumnSketches:
     hyperplane: HyperplaneSketch | None = None
     frequent: MisraGriesSketch | None = None
     entropy: EntropySketch | None = None
+    countmin: CountMinSketch | None = None
+
+    #: The sketch attributes that compose under row-partition merges.
+    #: Hyperplane signatures are deliberately absent: they are built from
+    #: a shared hyperplane draw over a fixed row count and cannot absorb
+    #: appended rows (the ingest layer keeps them until the accuracy
+    #: budget forces a full rebuild).
+    MERGEABLE: ClassVar[tuple[str, ...]] = (
+        "moments", "quantiles", "frequent", "entropy", "countmin"
+    )
 
     def memory_bytes(self) -> int:
         total = 0
         for sketch in (self.moments, self.quantiles, self.hyperplane,
-                       self.frequent, self.entropy):
+                       self.frequent, self.entropy, self.countmin):
             if sketch is not None:
                 total += sketch.memory_bytes()
         return total
@@ -92,6 +107,11 @@ class PreprocessStats:
     hyperplane_width: int = 0
     total_sketch_bytes: int = 0
     per_stage_seconds: dict[str, float] = field(default_factory=dict)
+    #: Rows absorbed via incremental delta merges since the last full
+    #: build (the ingest layer's accuracy-budget input): hyperplane
+    #: signatures ignore these rows until a rebuild refreshes them.
+    delta_rows: int = 0
+    delta_batches: int = 0
 
 
 class SketchStore:
@@ -205,8 +225,10 @@ class SketchStore:
             hyperplane=signature,
         )
         if column.is_discrete():
-            bundle.frequent = self._build_frequent(column.to_list())
-            bundle.entropy = self._build_entropy(column.to_list())
+            labels = column.to_list()
+            bundle.frequent = self._build_frequent(labels)
+            bundle.entropy = self._build_entropy(labels)
+            bundle.countmin = self._build_countmin(labels)
         return bundle
 
     def _build_categorical_column(self, name: str) -> ColumnSketches:
@@ -217,6 +239,7 @@ class SketchStore:
             name=name,
             frequent=self._build_frequent(labels),
             entropy=self._build_entropy(labels),
+            countmin=self._build_countmin(labels),
         )
 
     def _build_frequent(self, labels: list[object]) -> MisraGriesSketch:
@@ -230,12 +253,71 @@ class SketchStore:
         sketch.update_many(label for label in labels if label is not None)
         return sketch
 
+    def _build_countmin(self, labels: list[object]) -> CountMinSketch | None:
+        if self._config.countmin_width < 1:
+            return None
+        sketch = CountMinSketch(width=self._config.countmin_width,
+                                depth=self._config.countmin_depth,
+                                seed=self._config.seed)
+        sketch.update_many(label for label in labels if label is not None)
+        return sketch
+
+    # ------------------------------------------------------------------
+    # Alternative construction (live ingestion)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_parts(
+        cls,
+        table: DataTable,
+        config: SketchStoreConfig,
+        executor: Executor,
+        columns: Mapping[str, ColumnSketches],
+        sketcher: HyperplaneSketcher | None,
+        sample_indices: np.ndarray,
+        stats: PreprocessStats,
+    ) -> "SketchStore":
+        """Assemble a store from already-built parts, skipping ``_build``.
+
+        This is the constructor behind incremental maintenance: the
+        ingest layer merges delta partials into *copies* of a live
+        store's sketches and packages the result as a new store object,
+        so in-flight readers of the old store never observe a mutation.
+        """
+        store = cls.__new__(cls)
+        store._table = table
+        store._config = config
+        store._executor = executor
+        store._columns = dict(columns)
+        store._sketcher = sketcher
+        store._sample_indices = np.asarray(sample_indices, dtype=np.int64)
+        store._stats = stats
+        return store
+
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
     @property
     def table(self) -> DataTable:
         return self._table
+
+    @property
+    def sketcher(self) -> HyperplaneSketcher | None:
+        """The shared hyperplane draw (None when no numeric columns)."""
+        return self._sketcher
+
+    @property
+    def executor(self) -> Executor:
+        """The execution layer the store was built with."""
+        return self._executor
+
+    @property
+    def sample_indices(self) -> np.ndarray:
+        """Row indices of the uniform sample (read-only view for ingest)."""
+        return self._sample_indices
+
+    def column_map(self) -> dict[str, ColumnSketches]:
+        """A shallow copy of the per-column bundle mapping."""
+        return dict(self._columns)
 
     @property
     def config(self) -> SketchStoreConfig:
@@ -320,6 +402,14 @@ class SketchStore:
     def approx_top_values(self, name: str, k: int) -> list[tuple[object, int]]:
         return self._require(name, "frequent").top_k(k)
 
+    def approx_count(self, name: str, value: object) -> int:
+        """Approximate count of one value via the Count-Min backend."""
+        return self._require(name, "countmin").estimate(value)
+
+    def approx_relative_frequency(self, name: str, value: object) -> float:
+        """Approximate relative frequency of one value (Count-Min)."""
+        return self._require(name, "countmin").relative_frequency(value)
+
     def approx_entropy(self, name: str) -> float:
         return self._require(name, "entropy").estimate_entropy()
 
@@ -361,9 +451,10 @@ def merge_column_sketches(left: Mapping[str, ColumnSketches],
                           right: Mapping[str, ColumnSketches]) -> dict[str, ColumnSketches]:
     """Merge two per-column sketch bundles built over disjoint row partitions.
 
-    Only the mergeable sketches (moments, quantiles, frequent, entropy) are
-    combined; hyperplane signatures require a shared hyperplane draw over the
-    union of rows and are left to the batch sketcher.
+    Only the mergeable sketches (``ColumnSketches.MERGEABLE``: moments,
+    quantiles, frequent, entropy, count-min) are combined; hyperplane
+    signatures require a shared hyperplane draw over the union of rows and
+    are left to the batch sketcher.
     """
     merged: dict[str, ColumnSketches] = {}
     for name in set(left) | set(right):
@@ -372,7 +463,7 @@ def merge_column_sketches(left: Mapping[str, ColumnSketches],
             merged[name] = a or b  # type: ignore[assignment]
             continue
         bundle = ColumnSketches(name=name)
-        for attribute in ("moments", "quantiles", "frequent", "entropy"):
+        for attribute in ColumnSketches.MERGEABLE:
             sketch_a = getattr(a, attribute)
             sketch_b = getattr(b, attribute)
             if sketch_a is not None and sketch_b is not None:

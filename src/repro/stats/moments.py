@@ -183,14 +183,20 @@ class RunningMoments:
         """Standardised skewness coefficient γ₁ (the paper's skew metric)."""
         if self.n == 0 or self.m2 <= 0.0:
             return 0.0 if self.n > 0 else float("nan")
-        return math.sqrt(self.n) * self.m3 / self.m2**1.5
+        denominator = self.m2 ** 1.5
+        if denominator == 0.0:  # m2 > 0 can still underflow when raised
+            return 0.0
+        return math.sqrt(self.n) * self.m3 / denominator
 
     @property
     def kurtosis(self) -> float:
         """(Non-excess) kurtosis, the paper's heavy-tails metric."""
         if self.n == 0 or self.m2 <= 0.0:
             return 0.0 if self.n > 0 else float("nan")
-        return self.n * self.m4 / (self.m2 * self.m2)
+        denominator = self.m2 * self.m2
+        if denominator == 0.0:  # m2 > 0 can still underflow when squared
+            return 0.0
+        return self.n * self.m4 / denominator
 
     @property
     def excess_kurtosis(self) -> float:

@@ -1,0 +1,201 @@
+"""Incremental SketchStore maintenance: partials, merge, accuracy budget."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.executor import ExecutorConfig, create_executor
+from repro.data.datasets import make_mixed_table
+from repro.ingest import (
+    DeltaBatch,
+    IngestConfig,
+    IngestLog,
+    build_delta_partials,
+    merge_delta,
+    should_rebuild,
+)
+from repro.sketch.store import SketchStore
+
+
+@pytest.fixture(scope="module")
+def base_table():
+    return make_mixed_table(n_rows=500, n_numeric=5, n_categorical=2, seed=9)
+
+
+@pytest.fixture(scope="module")
+def delta_table(base_table):
+    rows = make_mixed_table(n_rows=120, n_numeric=5, n_categorical=2,
+                            seed=10).to_records()
+    return DeltaBatch.from_records("d", rows, base_table.schema).table
+
+
+@pytest.fixture()
+def store(base_table):
+    return SketchStore(base_table)
+
+
+def _merged(store, base_table, delta_table):
+    partials = build_delta_partials(delta_table, store, store.executor)
+    new_table = base_table.concat(delta_table)
+    return merge_delta(store, new_table, delta_table.n_rows, partials)
+
+
+class TestDeltaPartials:
+    def test_partials_mirror_base_bundle_shape(self, store, delta_table):
+        partials = build_delta_partials(delta_table, store, store.executor)
+        for name, partial in partials.items():
+            base = store.column_sketches(name)
+            for attribute in ("moments", "quantiles", "frequent",
+                              "entropy", "countmin"):
+                base_has = getattr(base, attribute) is not None
+                partial_has = getattr(partial, attribute) is not None
+                assert partial_has == base_has, (name, attribute)
+            assert partial.hyperplane is None
+
+    def test_parallel_partials_match_serial(self, store, delta_table):
+        serial = build_delta_partials(delta_table, store, store.executor)
+        executor = create_executor(ExecutorConfig(max_workers=4))
+        try:
+            parallel = build_delta_partials(delta_table, store, executor)
+        finally:
+            executor.close()
+        for name in serial:
+            s, p = serial[name], parallel[name]
+            if s.moments is not None:
+                assert s.moments.mean() == p.moments.mean()
+                assert s.moments.count == p.moments.count
+            if s.frequent is not None:
+                assert s.frequent.top_k(5) == p.frequent.top_k(5)
+
+
+class TestMergeDelta:
+    def test_moments_exact_after_merge(self, store, base_table, delta_table):
+        merged = _merged(store, base_table, delta_table)
+        for name in base_table.numeric_names():
+            combined = np.concatenate([
+                base_table.numeric_column(name).valid_values(),
+                delta_table.numeric_column(name).valid_values(),
+            ])
+            assert merged.approx_mean(name) == pytest.approx(combined.mean())
+            assert merged.approx_variance(name) == pytest.approx(
+                combined.var(), rel=1e-9
+            )
+
+    def test_quantiles_within_bound_after_merge(self, store, base_table,
+                                                delta_table):
+        merged = _merged(store, base_table, delta_table)
+        epsilon = store.config.quantile_epsilon
+        name = base_table.numeric_names()[0]
+        combined = np.sort(np.concatenate([
+            base_table.numeric_column(name).valid_values(),
+            delta_table.numeric_column(name).valid_values(),
+        ]))
+        n = combined.size
+        for q in (0.25, 0.5, 0.75):
+            estimate = merged.approx_quantile(name, q)
+            rank = np.searchsorted(combined, estimate)
+            assert abs(rank - q * n) <= 2 * epsilon * n + 2
+
+    def test_frequent_and_countmin_absorb_delta(self, store, base_table,
+                                                delta_table):
+        merged = _merged(store, base_table, delta_table)
+        name = base_table.categorical_names()[0]
+        label, _ = merged.approx_top_values(name, 1)[0]
+        truth = (base_table.categorical_column(name).valid_labels()
+                 + delta_table.categorical_column(name).valid_labels())
+        true_count = truth.count(label)
+        # Misra-Gries never overcounts; Count-Min never undercounts.
+        assert merged.approx_top_values(name, 1)[0][1] <= true_count
+        assert merged.approx_count(name, label) >= true_count
+
+    def test_copy_on_merge_isolates_the_old_store(self, store, base_table,
+                                                  delta_table):
+        name = base_table.numeric_names()[0]
+        before_mean = store.approx_mean(name)
+        before_count = store.column_sketches(name).moments.count
+        merged = _merged(store, base_table, delta_table)
+        # The old store is byte-for-byte what it was: in-flight queries
+        # holding it keep a consistent view.
+        assert store.approx_mean(name) == before_mean
+        assert store.column_sketches(name).moments.count == before_count
+        assert store.table.n_rows == base_table.n_rows
+        assert merged.table.n_rows == base_table.n_rows + delta_table.n_rows
+
+    def test_hyperplane_signatures_shared_not_rebuilt(self, store, base_table,
+                                                      delta_table):
+        merged = _merged(store, base_table, delta_table)
+        name = base_table.numeric_names()[0]
+        assert merged.column_sketches(name).hyperplane is (
+            store.column_sketches(name).hyperplane
+        )
+        assert merged.sketcher is store.sketcher
+
+    def test_sample_indices_cover_delta_rows(self, store, base_table,
+                                             delta_table):
+        merged = _merged(store, base_table, delta_table)
+        indices = merged.sample_indices
+        assert indices.max() >= base_table.n_rows  # some appended row sampled
+        assert indices.max() < merged.table.n_rows
+        assert len(np.unique(indices)) == len(indices)
+        # Sample table materialises over the grown table without error.
+        assert merged.sample_table().n_rows == len(indices)
+
+    def test_delta_accounting(self, store, base_table, delta_table):
+        merged = _merged(store, base_table, delta_table)
+        assert merged.stats.delta_rows == delta_table.n_rows
+        assert merged.stats.delta_batches == 1
+        assert merged.stats.n_rows == base_table.n_rows + delta_table.n_rows
+        twice = merge_delta(
+            merged,
+            merged.table.concat(delta_table),
+            delta_table.n_rows,
+            build_delta_partials(delta_table, merged, merged.executor),
+        )
+        assert twice.stats.delta_rows == 2 * delta_table.n_rows
+        assert twice.stats.delta_batches == 2
+
+    def test_merge_is_deterministic(self, store, base_table, delta_table):
+        a = _merged(store, base_table, delta_table)
+        b = _merged(SketchStore(base_table), base_table, delta_table)
+        name = base_table.numeric_names()[0]
+        assert a.approx_quantile(name, 0.5) == b.approx_quantile(name, 0.5)
+        assert np.array_equal(a.sample_indices, b.sample_indices)
+
+
+class TestAccuracyBudget:
+    def test_budget_counts_from_base_rows(self):
+        log = IngestLog()
+        log.mark_rebuilt(1000)
+        config = IngestConfig(rebuild_fraction=0.5)
+        assert not should_rebuild(log, 500, config)
+        assert should_rebuild(log, 501, config)
+        log.append(400, "delta_merge", 1400)
+        assert should_rebuild(log, 101, config)
+        assert not should_rebuild(log, 100, config)
+
+    def test_rebuild_resets_the_budget(self):
+        log = IngestLog()
+        log.mark_rebuilt(1000)
+        log.append(600, "rebuild", 1600)
+        assert log.rows_since_rebuild == 0
+        assert log.base_rows == 1600
+        assert log.rebuilds == 1
+
+    def test_no_budget_before_first_build(self):
+        log = IngestLog()
+        assert not should_rebuild(log, 10**9, IngestConfig())
+
+    def test_zero_fraction_always_rebuilds(self):
+        log = IngestLog()
+        log.mark_rebuilt(100)
+        assert should_rebuild(log, 1, IngestConfig(rebuild_fraction=0.0))
+
+    def test_seq_is_monotone_and_gap_free(self):
+        log = IngestLog()
+        log.mark_rebuilt(100)
+        seqs = [log.append(1, "delta_merge", 100 + i + 1).seq
+                for i in range(5)]
+        assert seqs == [1, 2, 3, 4, 5]
+        assert log.seq == 5
+        assert log.counters()["rows_appended"] == 5

@@ -63,9 +63,13 @@ class TestDatasetManagement:
         workspace = Workspace()
         workspace.register("oecd", load_oecd)
         (status,) = workspace.describe()
-        assert status == {"name": "oecd", "version": 1, "loaded": False,
-                          "engine_built": False, "engine_builds": 0,
-                          "lazy": True, "busy": False}
+        assert status == {"name": "oecd", "version": 1, "seq": 0,
+                          "loaded": False, "engine_built": False,
+                          "engine_builds": 0, "lazy": True, "busy": False,
+                          "ingest": {"seq": 0, "rows_appended": 0,
+                                     "delta_merges": 0, "rebuilds": 0,
+                                     "rows_since_rebuild": 0,
+                                     "base_rows": 0}}
         workspace.engine("oecd")
         (status,) = workspace.describe()
         assert status["loaded"] and status["engine_built"]

@@ -1,0 +1,252 @@
+"""Property tests for sketch merge correctness — the ingest invariant.
+
+The live-ingestion subsystem (:mod:`repro.ingest`) rests on one claim:
+for every sketch type, ``merge(build(A), build(B))`` answers queries
+within the **same error bound** as ``build(A + B)``.  These tests state
+that claim per sketch type over hypothesis-generated data and random
+split points:
+
+* moments — the merge is lossless: merged statistics equal the
+  single-pass statistics to float precision;
+* quantile (GK) — the merged summary's rank error stays within the
+  ``ε·n`` bound over the union;
+* count-min — merged point estimates never undercount and overshoot by
+  at most the merged sketch's own ``ε·n`` bound;
+* Misra–Gries — merged estimates stay within ``[c(x) − n/capacity,
+  c(x)]``;
+* Space-Saving — merged estimates stay within ``[c(x),
+  c(x) + n/capacity]``;
+* entropy — with the head tracked exactly (distinct values within
+  capacity) the merged estimate equals the exact Shannon entropy of the
+  union;
+* streaming hyperplane — merged disjoint row partitions finalize to the
+  byte-identical signature of a single-partition build;
+* reservoir sample — the merged sample is drawn from the union with
+  per-side inclusion proportional to stream sizes (correct weighting).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sketch.countmin import CountMinSketch
+from repro.sketch.entropy import EntropySketch
+from repro.sketch.frequent import MisraGriesSketch, SpaceSavingSketch, exact_counts
+from repro.sketch.hyperplane import StreamingHyperplaneSketch
+from repro.sketch.moments import MomentSketch
+from repro.sketch.quantile import QuantileSketch
+from repro.sketch.reservoir import ReservoirSample
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False,
+    width=64,
+)
+float_lists = st.lists(finite_floats, min_size=4, max_size=400)
+#: ≤ 12 distinct labels: small enough that counter sketches with default
+#: capacities track the head exactly, making bounds sharp.
+label_lists = st.lists(
+    st.sampled_from([f"v{i}" for i in range(12)]), min_size=2, max_size=500
+)
+splits = st.integers(min_value=0, max_value=500)
+
+
+def _split(values, split):
+    split = min(split, len(values))
+    return values[:split], values[split:]
+
+
+class TestMomentMerge:
+    @given(values=float_lists, split=splits)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_lossless(self, values, split):
+        array = np.asarray(values)
+        a, b = _split(array, split)
+        whole = MomentSketch()
+        whole.update_array(array)
+        left, right = MomentSketch(), MomentSketch()
+        left.update_array(a)
+        right.update_array(b)
+        left.merge(right)
+        assert left.count == whole.count
+        assert np.isclose(left.mean(), whole.mean(), rtol=1e-9, atol=1e-9)
+        assert np.isclose(left.variance(), whole.variance(),
+                          rtol=1e-6, atol=1e-6)
+        if not (math.isnan(whole.skewness()) or math.isnan(left.skewness())):
+            assert np.isclose(left.skewness(), whole.skewness(),
+                              rtol=1e-5, atol=1e-5)
+        assert left.minimum() == whole.minimum()
+        assert left.maximum() == whole.maximum()
+
+
+class TestQuantileMerge:
+    @given(values=st.lists(finite_floats, min_size=10, max_size=600),
+           split=splits,
+           q=st.sampled_from([0.05, 0.25, 0.5, 0.75, 0.95]))
+    @settings(max_examples=60, deadline=None)
+    def test_merged_rank_error_within_epsilon(self, values, split, q):
+        epsilon = 0.05
+        array = np.asarray(values)
+        a, b = _split(array, split)
+        left, right = QuantileSketch(epsilon), QuantileSketch(epsilon)
+        left.update_array(a)
+        right.update_array(b)
+        left.merge(right)
+        assert left.count == array.size
+        estimate = left.quantile(q)
+        ordered = np.sort(array)
+        rank_low = np.searchsorted(ordered, estimate, side="left")
+        rank_high = np.searchsorted(ordered, estimate, side="right")
+        target = q * (array.size - 1) + 1
+        # Same slack the single-build property test grants: the quantile
+        # query scans with an epsilon*n margin on top of the summary's
+        # epsilon*n tuple uncertainty.
+        slack = 2 * epsilon * array.size + 1
+        assert rank_low - slack <= target <= rank_high + slack
+
+
+class TestCountMinMerge:
+    @given(labels=label_lists, split=splits)
+    @settings(max_examples=60, deadline=None)
+    def test_merged_estimates_bounded(self, labels, split):
+        a, b = _split(labels, split)
+        left = CountMinSketch(width=64, depth=4, seed=7)
+        right = CountMinSketch(width=64, depth=4, seed=7)
+        left.update_many(a)
+        right.update_many(b)
+        left.merge(right)
+        truth = exact_counts(labels)
+        assert left.count == len(labels)
+        for value, count in truth.items():
+            estimate = left.estimate(value)
+            assert estimate >= count          # never undercounts
+            assert estimate <= count + left.error_bound()
+
+
+class TestMisraGriesMerge:
+    @given(labels=label_lists, split=splits,
+           capacity=st.sampled_from([2, 4, 8, 32]))
+    @settings(max_examples=60, deadline=None)
+    def test_merged_undercount_bound(self, labels, split, capacity):
+        a, b = _split(labels, split)
+        left = MisraGriesSketch(capacity=capacity)
+        right = MisraGriesSketch(capacity=capacity)
+        left.update_many(a)
+        right.update_many(b)
+        left.merge(right)
+        truth = exact_counts(labels)
+        n = len(labels)
+        assert left.count == n
+        for value, count in truth.items():
+            estimate = left.estimate(value)
+            assert estimate <= count
+            assert estimate >= count - n / capacity
+
+
+class TestSpaceSavingMerge:
+    @given(labels=label_lists, split=splits,
+           capacity=st.sampled_from([4, 8, 32]))
+    @settings(max_examples=60, deadline=None)
+    def test_merged_overcount_bound(self, labels, split, capacity):
+        a, b = _split(labels, split)
+        left = SpaceSavingSketch(capacity=capacity)
+        right = SpaceSavingSketch(capacity=capacity)
+        left.update_many(a)
+        right.update_many(b)
+        left.merge(right)
+        truth = exact_counts(labels)
+        n = len(labels)
+        assert left.count == n
+        for value, count in truth.items():
+            estimate = left.estimate(value)
+            if estimate:  # tracked items never undercount ...
+                assert estimate >= count
+            assert estimate <= count + 2 * n / capacity  # ... or overshoot far
+
+
+class TestEntropyMerge:
+    @given(labels=label_lists, split=splits)
+    @settings(max_examples=60, deadline=None)
+    def test_merged_entropy_exact_when_head_fits(self, labels, split):
+        a, b = _split(labels, split)
+        left = EntropySketch(capacity=64, seed=3)
+        right = EntropySketch(capacity=64, seed=3)
+        left.update_many(a)
+        right.update_many(b)
+        left.merge(right)
+        counts = exact_counts(labels)
+        n = len(labels)
+        exact = -sum(
+            (c / n) * math.log2(c / n) for c in counts.values() if c
+        )
+        assert left.count == n
+        # ≤ 12 distinct values against capacity 64: the Space-Saving head
+        # is exact on both sides and stays exact under the merge, so the
+        # estimator's bound collapses to float precision.
+        assert np.isclose(left.estimate_entropy(), exact, atol=1e-9)
+
+
+class TestStreamingHyperplaneMerge:
+    @given(values=st.lists(finite_floats, min_size=2, max_size=120),
+           split=st.integers(min_value=0, max_value=120))
+    @settings(max_examples=25, deadline=None)
+    def test_merged_signature_is_byte_identical(self, values, split):
+        split = min(split, len(values))
+        array = np.asarray(values)
+        mean = float(array.mean())
+        whole = StreamingHyperplaneSketch(width=64, seed=5, mean=mean)
+        whole.update_array(array)
+        left = StreamingHyperplaneSketch(width=64, seed=5, mean=mean,
+                                         row_offset=0)
+        right = StreamingHyperplaneSketch(width=64, seed=5, mean=mean,
+                                          row_offset=split)
+        left.update_array(array[:split])
+        right.update_array(array[split:])
+        left.merge(right)
+        assert np.array_equal(left.signature().bits, whole.signature().bits)
+
+
+class TestReservoirMerge:
+    @given(split=st.integers(min_value=0, max_value=300),
+           capacity=st.sampled_from([5, 20, 50]),
+           seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_merged_sample_structure(self, split, capacity, seed):
+        values = list(range(300))
+        a, b = values[:split], values[split:]
+        left = ReservoirSample(capacity=capacity, seed=seed)
+        right = ReservoirSample(capacity=capacity, seed=seed + 1)
+        left.update_many(a)
+        right.update_many(b)
+        pool = set(left.sample) | set(right.sample)
+        left.merge(right)
+        assert left.count == len(values)
+        assert len(left.sample) == min(capacity, len(pool))
+        assert set(left.sample) <= set(values)
+        assert set(left.sample) <= pool
+
+    def test_merge_weighting_is_proportional(self):
+        """Inclusion probability tracks stream size — correct weighting.
+
+        Side A contributes 3x the rows of side B; over many independent
+        merges the fraction of merged-sample items that came from A must
+        concentrate on 3/4 (binomial concentration, wide tolerance).
+        """
+        n_a, n_b, capacity, trials = 600, 200, 40, 300
+        fractions = []
+        for seed in range(trials):
+            left = ReservoirSample(capacity=capacity, seed=seed)
+            right = ReservoirSample(capacity=capacity, seed=10_000 + seed)
+            left.update_many(range(n_a))                    # A: 0..599
+            right.update_many(range(n_a, n_a + n_b))        # B: 600..799
+            left.merge(right)
+            from_a = sum(1 for item in left.sample if item < n_a)
+            fractions.append(from_a / len(left.sample))
+        observed = float(np.mean(fractions))
+        expected = n_a / (n_a + n_b)
+        # std of the mean is ~ sqrt(p(1-p)/capacity/trials) ≈ 0.004;
+        # 0.03 is a ~7-sigma band, flake-proof yet tight enough to catch
+        # an unweighted (50/50) merge by a mile.
+        assert abs(observed - expected) < 0.03
