@@ -42,6 +42,7 @@ from repro import InsightRequest, Workspace  # noqa: E402
 from repro.data.datasets import make_mixed_table  # noqa: E402
 from repro.ingest import IngestConfig  # noqa: E402
 from repro.viz.ascii import render_table  # noqa: E402
+from bench_util import percentile  # noqa: E402
 
 BASE_ROWS = 20_000
 N_COLUMNS = 12
@@ -66,17 +67,15 @@ def _batches():
 
 def _workspace(rebuild_fraction: float) -> Workspace:
     table = _base_table()
+    # background_rebuild=False: this benchmark *times* the synchronous
+    # rebuild cost on purpose (regime 2 is the without-mergeable-sketches
+    # baseline); bench_durability.py measures the background path.
     workspace = Workspace(
-        ingest=IngestConfig(rebuild_fraction=rebuild_fraction))
+        ingest=IngestConfig(rebuild_fraction=rebuild_fraction,
+                            background_rebuild=False))
     workspace.register("bench", lambda: table)
     workspace.engine("bench")   # build outside the timed region
     return workspace
-
-
-def _percentile(values: list[float], q: float) -> float:
-    ordered = sorted(values)
-    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
-    return ordered[index]
 
 
 def _time_appends(workspace: Workspace, batches) -> dict:
@@ -90,8 +89,8 @@ def _time_appends(workspace: Workspace, batches) -> dict:
         "batches": len(batches),
         "batch_rows": BATCH_ROWS,
         "rows_per_sec": BATCH_ROWS * len(batches) / total,
-        "p50_seconds": _percentile(latencies, 0.50),
-        "p95_seconds": _percentile(latencies, 0.95),
+        "p50_seconds": percentile(latencies, 0.50),
+        "p95_seconds": percentile(latencies, 0.95),
         "total_seconds": total,
     }
 
@@ -171,8 +170,8 @@ def main() -> int:
         "queries": len(query_latencies),
         "readers": N_READERS,
         "ingest_rows_per_sec": BATCH_ROWS * N_BATCHES / ingest_seconds,
-        "query_p50_seconds": _percentile(query_latencies, 0.50),
-        "query_p95_seconds": _percentile(query_latencies, 0.95),
+        "query_p50_seconds": percentile(query_latencies, 0.50),
+        "query_p95_seconds": percentile(query_latencies, 0.95),
     }
 
     # -- report ---------------------------------------------------------------

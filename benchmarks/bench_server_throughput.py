@@ -41,6 +41,7 @@ from repro import InsightRequest, Workspace  # noqa: E402
 from repro.data.datasets import make_numeric_table  # noqa: E402
 from repro.server import ReproClient, ServerConfig, serving  # noqa: E402
 from repro.viz.ascii import render_table  # noqa: E402
+from bench_util import percentile  # noqa: E402
 
 N_ROWS = 10_000
 N_COLUMNS = 24
@@ -69,12 +70,6 @@ def _request_mix() -> list[InsightRequest]:
                            top_k=3 + (i % 4))
         )
     return requests
-
-
-def _percentile(latencies: list[float], q: float) -> float:
-    ordered = sorted(latencies)
-    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
-    return ordered[index]
 
 
 def _run_workload(address, requests, invalidate=None):
@@ -121,8 +116,8 @@ def _run_workload(address, requests, invalidate=None):
         stats = {
             "seconds": elapsed,
             "ops_sec": len(requests) / elapsed,
-            "p50_seconds": _percentile(latencies, 0.50),
-            "p95_seconds": _percentile(latencies, 0.95),
+            "p50_seconds": percentile(latencies, 0.50),
+            "p95_seconds": percentile(latencies, 0.95),
             "failures": [],
         }
         if best is None or stats["seconds"] < best["seconds"]:

@@ -1,0 +1,16 @@
+"""Shared helpers for the benchmark scripts.
+
+Benchmarks run as plain scripts (``python benchmarks/bench_*.py``), so
+the script directory itself is on ``sys.path`` and this module imports
+as ``import bench_util``.
+"""
+
+from __future__ import annotations
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (one implementation for every
+    BENCH_*.json, so p50/p95 are computed identically across benchmarks)."""
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]

@@ -1,4 +1,4 @@
-"""Stream rows into a served dataset while querying it.
+"""Stream rows into a served dataset while querying it — then kill it.
 
 The live-datasets demo: starts the HTTP server over a synthetic dataset,
 then interleaves **appends** (``POST /v1/datasets/{name}/rows``) with
@@ -7,12 +7,18 @@ then interleaves **appends** (``POST /v1/datasets/{name}/rows``) with
 * the ingestion identity ``(version, seq)`` bumping on every accepted
   append, stamped on each response;
 * appends absorbed by *delta merges* into the live sketch store — no
-  engine rebuild (watch ``engine_builds`` stay at 1 while
-  ``delta_merges`` climbs) — until the accuracy budget forces one;
+  engine rebuild on the append path; when the accuracy budget runs out a
+  **background rebuild** refreshes the sketches off-path and swaps in
+  atomically (minting a seq of its own);
 * the dataset-management surface: registering a brand-new dataset over
-  the wire and reloading it;
+  the wire, reloading it, and ``POST .../flush`` for the durable journal;
 * the ingestion counters in ``/metrics`` (and their Prometheus text
-  exposition via ``Accept: text/plain``).
+  exposition via ``Accept: text/plain``);
+* **kill-and-restart recovery**: a child process appends rows into a
+  durable ``data_dir`` and dies with ``os._exit`` — no cleanup, no
+  drain — and a fresh workspace on the same directory replays the
+  write-ahead journal to the exact ``(version, seq)`` and byte-identical
+  query payloads.
 
 Run with::
 
@@ -21,7 +27,10 @@ Run with::
 
 from __future__ import annotations
 
+import json
+import subprocess
 import sys
+import tempfile
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
@@ -76,16 +85,19 @@ def main() -> None:
                   f"top skew = {top['score']:.4f}")
 
         # -- what the ops surface saw ---------------------------------------
+        workspace.wait_for_rebuilds(timeout=30)  # let the bg swap land
         metrics = client.metrics()
         ingest = metrics["workspace"]["ingest"]["totals"]
         print(f"\ningest totals: {ingest['appends']} appends, "
               f"{ingest['rows_appended']} rows, "
               f"{ingest['delta_merges']} delta merges, "
-              f"{ingest['rebuilds']} rebuild(s) "
+              f"{ingest['rebuilds']} rebuild(s) of which "
+              f"{ingest['bg_rebuilds']} in the background "
               f"(accuracy budget: {IngestConfig().rebuild_fraction:.0%} "
               "of base rows)")
         print(f"engine builds: {metrics['workspace']['engine_builds']} "
-              "(delta merges swap stores without rebuilding)")
+              "(delta merges swap stores without rebuilding; the "
+              "budget-triggered rebuild ran off the append path)")
 
         # -- a new dataset over the wire + reload ---------------------------
         created = client.put_dataset(
@@ -108,6 +120,72 @@ def main() -> None:
         client.close()
 
     print("\nserver drained and stopped.")
+    kill_and_restart_demo()
+
+
+#: Child process for the durability demo: appends into the journal, then
+#: dies the hard way — os._exit skips every destructor and atexit hook.
+_CHILD = """
+import os, sys
+sys.path.insert(0, sys.argv[2])
+from repro.data.datasets import make_mixed_table
+from repro.service import Workspace
+
+base = make_mixed_table(n_rows=500, n_numeric=4, n_categorical=2, seed=42)
+rows = make_mixed_table(n_rows=120, n_numeric=4, n_categorical=2,
+                        seed=43).to_records()
+workspace = Workspace(data_dir=sys.argv[1])
+workspace.register("live", lambda: base)
+workspace.engine("live")
+workspace.append("live", rows[:60])
+workspace.append("live", rows[60:])
+print("child state:", workspace.state("live"))
+sys.stdout.flush()
+os._exit(1)  # simulated crash: acknowledged appends must survive this
+"""
+
+
+def kill_and_restart_demo() -> None:
+    """Prove the durability contract with a real process kill."""
+    print("\n-- kill-and-restart recovery ----------------------------------")
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    request = InsightRequest(dataset="live",
+                            insight_classes=("skew", "outliers"), top_k=3)
+
+    with tempfile.TemporaryDirectory() as data_dir:
+        child = subprocess.run(
+            [sys.executable, "-c", _CHILD, data_dir, src],
+            capture_output=True, text=True, timeout=120,
+        )
+        print(child.stdout.strip(), f"(exit code {child.returncode}, "
+              "no cleanup ran)")
+
+        # The uninterrupted twin: same operations, never persisted.
+        base = make_mixed_table(n_rows=500, n_numeric=4, n_categorical=2,
+                                seed=42)
+        rows = make_mixed_table(n_rows=120, n_numeric=4, n_categorical=2,
+                                seed=43).to_records()
+        twin = Workspace()
+        twin.register("live", lambda: base)
+        twin.engine("live")
+        twin.append("live", rows[:60])
+        twin.append("live", rows[60:])
+        twin_body = twin.handle(request).to_dict()
+        twin_body.pop("timing")
+
+        restarted = Workspace(data_dir=data_dir)
+        restarted.register("live", lambda: base)  # adopts the journal
+        body = restarted.handle(request).to_dict()
+        body.pop("timing")
+        identical = json.dumps(body, sort_keys=True) == json.dumps(
+            twin_body, sort_keys=True)
+        print(f"restarted state: {restarted.state('live')} "
+              f"(twin: {twin.state('live')})")
+        print(f"query payload byte-identical to uninterrupted run: "
+              f"{identical}")
+        if restarted.state("live") != twin.state("live") or not identical:
+            raise SystemExit("durability contract violated")
+        restarted.close()
 
 
 if __name__ == "__main__":

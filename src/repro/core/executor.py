@@ -36,7 +36,7 @@ from __future__ import annotations
 import abc
 import os
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence, TypeVar
 
@@ -119,6 +119,23 @@ class Executor(abc.ABC):
         parallel execution indistinguishable.
         """
 
+    def submit(self, fn: Callable[..., R], *args) -> "Future[R]":
+        """Schedule one call and return its :class:`~concurrent.futures.Future`.
+
+        The fire-and-forget complement to :meth:`map`, used for work
+        that must not block the caller — the workspace's background
+        sketch rebuilds ride on it.  The base implementation (and
+        :class:`SerialExecutor`) runs the call inline, so the future is
+        already resolved on return; :class:`ParallelExecutor` hands the
+        call to its pool.
+        """
+        future: Future[R] = Future()
+        try:
+            future.set_result(fn(*args))
+        except BaseException as exc:  # noqa: BLE001 - captured in the future
+            future.set_exception(exc)
+        return future
+
     def close(self) -> None:
         """Release worker resources (idempotent; a closed serial executor
         keeps working, a closed parallel executor refuses new work)."""
@@ -190,6 +207,9 @@ class ParallelExecutor(Executor):
         # ThreadPoolExecutor.map preserves submission order and re-raises
         # the first worker exception on iteration.
         return list(pool.map(fn, items))
+
+    def submit(self, fn: Callable[..., R], *args) -> "Future[R]":
+        return self._ensure_pool().submit(fn, *args)
 
     def close(self) -> None:
         with self._lock:

@@ -21,7 +21,14 @@ The pieces, bottom-up:
   append pays for a full rebuild instead of a merge;
 * :class:`IngestLog` — the append journal minting monotone sequence
   numbers, making a dataset's cache/provenance identity the pair
-  ``(version, seq)``.
+  ``(version, seq)``;
+* :class:`DatasetJournal` / :func:`replay_state`
+  (:mod:`repro.ingest.durable`) — the on-disk write-ahead journal:
+  length-prefixed, checksummed, fsync-on-commit records persisting every
+  append (rows included), compaction snapshots, and the deterministic
+  restart replay that reconstructs the exact ``(version, seq)`` identity
+  and sketch state an uninterrupted process would hold, tolerating a
+  torn or corrupted tail by recovering to the last complete record.
 
 ``Workspace.append`` (:mod:`repro.service.workspace`) orchestrates these
 under the dataset's single-flight lock, and the HTTP transport exposes
@@ -31,6 +38,13 @@ and ``POST /v1/datasets/{name}/reload``.
 
 from repro.errors import DeltaValidationError, IngestError
 from repro.ingest.delta import DeltaBatch, MAX_BATCH_ROWS
+from repro.ingest.durable import (
+    DatasetJournal,
+    DurableState,
+    decode_records,
+    encode_record,
+    replay_state,
+)
 from repro.ingest.log import (
     APPLIED_DEFERRED,
     APPLIED_DELTA_MERGE,
@@ -49,14 +63,19 @@ __all__ = [
     "APPLIED_DEFERRED",
     "APPLIED_DELTA_MERGE",
     "APPLIED_REBUILD",
+    "DatasetJournal",
     "DeltaBatch",
     "DeltaValidationError",
+    "DurableState",
     "IngestConfig",
     "IngestError",
     "IngestLog",
     "IngestRecord",
     "MAX_BATCH_ROWS",
     "build_delta_partials",
+    "decode_records",
+    "encode_record",
     "merge_delta",
+    "replay_state",
     "should_rebuild",
 ]

@@ -1,0 +1,823 @@
+"""The durable ingestion journal: on-disk WAL, snapshots and restart replay.
+
+Everything :mod:`repro.ingest` journals in memory — the monotone
+``(version, seq)`` identity and the delta batches behind it — is lost on
+restart, which silently breaks the cache-key and provenance contract the
+serving stack relies on.  This module makes the journal **persistent**:
+
+* **Record container** — every journal entry is a length-prefixed,
+  CRC-32-checksummed record (:func:`encode_record`) holding one
+  canonical-JSON payload.  The reader (:func:`scan_records`) is
+  *tolerant*: a torn or corrupted tail — a crash mid-write, a truncated
+  copy, a flipped byte — stops the scan at the last complete record
+  instead of raising, so recovery never invents data and never fails on
+  the exact failure it exists for.
+
+* **Segment files** — each dataset directory holds per-generation
+  segment files (``journal-<version>-<base_seq>.seg``).  A segment opens
+  with a generation-header record; append/build/swap records follow.
+  Rotating to a new generation (reload / re-registration) creates and
+  fsyncs the *new* segment **before** the in-memory swap and only then
+  deletes the old ones, so a crash anywhere in the window can never
+  replay a previous generation's deltas onto the new version.
+
+* **Snapshots + compaction** — a full sketch rebuild makes the engine
+  state a pure function of ``(rows[:base_rows], rows[base_rows:])``, so
+  right after one the journal writes a per-generation
+  ``snapshot-<version>.json`` (the table in
+  columnar form plus the ingest counters, atomically via
+  ``write-tmp + fsync + rename``) and truncates the replayed records by
+  starting a fresh segment.  Replay cost is therefore bounded by the
+  accuracy budget, not by dataset lifetime.
+
+* **Replay** — :func:`replay_state` folds a loaded
+  :class:`DurableState` back into exactly the ``(table, engine,
+  IngestLog)`` an uninterrupted process would hold: deferred appends
+  concat rows, delta-merge records rebuild the per-column partials and
+  merge them (same RNG seeds — the streams are keyed by table sizes, not
+  wall clock), rebuild/swap records re-run the deterministic full build.
+  Byte-identical responses after restart are the tested contract, not a
+  best effort.
+
+The :class:`~repro.service.workspace.Workspace` drives all of this via
+its ``data_dir`` argument; this module owns the file format and the
+deterministic state reconstruction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator
+from urllib.parse import quote, unquote
+
+import numpy as np
+
+from repro.errors import IngestError
+from repro.core.engine import Foresight
+from repro.data.column import (
+    BooleanColumn,
+    CategoricalColumn,
+    Column,
+    NumericColumn,
+)
+from repro.data.schema import ColumnKind, Field
+from repro.data.table import DataTable
+from repro.ingest.delta import DeltaBatch
+from repro.ingest.log import (
+    APPLIED_DELTA_MERGE,
+    APPLIED_REBUILD,
+    IngestLog,
+)
+from repro.ingest.maintenance import build_delta_partials, merge_delta
+
+#: Journal record types (the ``"type"`` key of every record payload).
+RECORD_GENERATION = "gen"     # segment header: names the generation
+RECORD_APPEND = "append"      # one accepted append, rows included
+RECORD_BUILD = "build"        # cold engine build froze the deferred rows
+RECORD_SWAP = "swap"          # background rebuild swapped a fresh engine in
+
+#: On-disk names.  Snapshots are **per generation** — the snapshot for a
+#: new version must never overwrite the old generation's only durable
+#: copy before the new generation's segment exists, so each lives in its
+#: own file and stale ones are deleted only after the rotation is safe.
+_SEGMENT_RE = re.compile(r"^journal-(\d{8})-(\d{10})\.seg$")
+_SNAPSHOT_RE = re.compile(r"^snapshot-(\d{8})\.json$")
+
+
+def snapshot_filename(version: int) -> str:
+    """The snapshot file for generation ``version``."""
+    return f"snapshot-{version:08d}.json"
+
+#: Record header: big-endian (payload_length, crc32(payload)).
+_HEADER = struct.Struct(">II")
+
+#: Refuse absurd record lengths outright — a corrupted length field must
+#: not make the reader try to allocate gigabytes.
+MAX_RECORD_BYTES = 256 * 1024 * 1024
+
+
+# ---------------------------------------------------------------------------
+# Record container
+# ---------------------------------------------------------------------------
+def encode_record(payload: dict[str, Any]) -> bytes:
+    """One journal record: ``length | crc32 | canonical JSON payload``."""
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+    return _HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+def scan_records(data: bytes) -> Iterator[tuple[dict[str, Any], int, int]]:
+    """Yield ``(payload, start_offset, end_offset)`` for each valid record.
+
+    Stops — without raising — at the first torn, truncated or corrupted
+    record: a header that doesn't fit, a body shorter than its declared
+    length, a CRC mismatch, or an undecodable payload all end the scan.
+    The last yielded record's ``end_offset`` is the clean truncation
+    point for repair.
+    """
+    offset = 0
+    size = len(data)
+    while offset + _HEADER.size <= size:
+        length, checksum = _HEADER.unpack_from(data, offset)
+        body_start = offset + _HEADER.size
+        if length > MAX_RECORD_BYTES or body_start + length > size:
+            return
+        body = data[body_start : body_start + length]
+        if zlib.crc32(body) != checksum:
+            return
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return
+        if not isinstance(payload, dict):
+            return
+        end = body_start + length
+        yield payload, offset, end
+        offset = end
+
+
+def decode_records(data: bytes) -> tuple[list[dict[str, Any]], int]:
+    """All complete records in ``data`` plus the clean-tail offset."""
+    records: list[dict[str, Any]] = []
+    clean = 0
+    for payload, _start, end in scan_records(data):
+        records.append(payload)
+        clean = end
+    return records, clean
+
+
+def segment_filename(version: int, base_seq: int) -> str:
+    """The segment file holding generation ``version`` records > ``base_seq``."""
+    return f"journal-{version:08d}-{base_seq:010d}.seg"
+
+
+# ---------------------------------------------------------------------------
+# Table snapshots (columnar, exact)
+# ---------------------------------------------------------------------------
+def table_to_payload(table: DataTable) -> dict[str, Any]:
+    """A JSON-safe columnar image of ``table`` that restores byte-exactly.
+
+    Numeric columns store their float64 values (``None`` for missing —
+    JSON float text round-trips ``float64`` exactly); categorical
+    columns store codes *plus the category list in order*, so category
+    order — which downstream enumeration may iterate — survives even
+    when it is not first-appearance order.
+    """
+    columns: list[dict[str, Any]] = []
+    for column in table.columns():
+        spec: dict[str, Any] = {
+            "name": column.name,
+            "kind": column.kind.value,
+            "description": column.field.description,
+            "unit": column.field.unit,
+            "tags": list(column.field.tags),
+        }
+        if isinstance(column, NumericColumn):
+            spec["values"] = column.to_list()
+        elif isinstance(column, BooleanColumn):
+            spec["codes"] = column.codes.tolist()
+        elif isinstance(column, CategoricalColumn):
+            spec["codes"] = column.codes.tolist()
+            spec["categories"] = column.categories
+        else:  # pragma: no cover - no other column kinds exist
+            raise IngestError(
+                f"cannot snapshot column type {type(column).__name__}"
+            )
+        columns.append(spec)
+    return {"name": table.name, "n_rows": table.n_rows, "columns": columns}
+
+
+def table_from_payload(payload: dict[str, Any]) -> DataTable:
+    """Rebuild the exact :class:`DataTable` from :func:`table_to_payload`."""
+    columns: list[Column] = []
+    for spec in payload["columns"]:
+        kind = ColumnKind(spec["kind"])
+        column_field = Field(
+            name=spec["name"],
+            kind=kind,
+            description=spec.get("description", ""),
+            unit=spec.get("unit", ""),
+            tags=tuple(spec.get("tags", ())),
+        )
+        if kind is ColumnKind.NUMERIC:
+            raw = spec["values"]
+            values = np.array(
+                [np.nan if value is None else float(value) for value in raw],
+                dtype=np.float64,
+            )
+            mask = np.array([value is None for value in raw], dtype=bool)
+            columns.append(NumericColumn(column_field, values, mask))
+        elif kind is ColumnKind.BOOLEAN:
+            codes = np.asarray(spec["codes"], dtype=np.int64)
+            columns.append(BooleanColumn(column_field, codes))
+        else:
+            codes = np.asarray(spec["codes"], dtype=np.int64)
+            columns.append(
+                CategoricalColumn(column_field, codes, spec["categories"])
+            )
+    return DataTable(columns, name=payload.get("name", "dataset"))
+
+
+# ---------------------------------------------------------------------------
+# Durable state (what a load reconstructs from disk)
+# ---------------------------------------------------------------------------
+@dataclass
+class DurableState:
+    """Everything the journal knows about one dataset."""
+
+    version: int
+    #: The compaction snapshot (payload of ``snapshot-<version>.json``),
+    #: or None
+    #: when recovery starts from the registered loader's base table.
+    snapshot: dict[str, Any] | None
+    #: Replayable records of the current generation, contiguous, with
+    #: seq above the snapshot's.
+    records: list[dict[str, Any]] = field(default_factory=list)
+    #: True when a torn/corrupt tail (or stale later segments) was found
+    #: and will be dropped on repair.
+    damaged: bool = False
+
+    @property
+    def seq(self) -> int:
+        """The last durable sequence number."""
+        for record in reversed(self.records):
+            if record["type"] in (RECORD_APPEND, RECORD_SWAP):
+                return int(record["seq"])
+        if self.snapshot is not None:
+            return int(self.snapshot["seq"])
+        return 0
+
+
+class DatasetJournal:
+    """Per-workspace manager of the on-disk dataset journals.
+
+    One instance owns a ``data_dir``; each dataset gets a subdirectory
+    (URL-quoted name, so any registrable name maps to a filesystem-safe,
+    injective path).  All mutating calls for one dataset happen under
+    that dataset's workspace entry lock, so this class only guards its
+    own handle table.
+    """
+
+    def __init__(self, root: str | Path, fsync: bool = True):
+        self.root = Path(root)
+        self.fsync = fsync
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._handles: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Discovery
+    # ------------------------------------------------------------------
+    def _dir(self, name: str) -> Path:
+        return self.root / quote(name, safe="")
+
+    def dataset_names(self) -> list[str]:
+        """Datasets with any durable state, in directory order."""
+        names = []
+        for child in sorted(self.root.iterdir()):
+            if child.is_dir() and any(
+                _SEGMENT_RE.match(p.name) or _SNAPSHOT_RE.match(p.name)
+                for p in child.iterdir()
+            ):
+                names.append(unquote(child.name))
+        return names
+
+    def has_state(self, name: str) -> bool:
+        directory = self._dir(name)
+        if not directory.is_dir():
+            return False
+        return any(
+            _SEGMENT_RE.match(p.name) or _SNAPSHOT_RE.match(p.name)
+            for p in directory.iterdir()
+        )
+
+    def _segments(self, name: str) -> list[tuple[int, int, Path]]:
+        """All ``(version, base_seq, path)`` segments, sorted."""
+        directory = self._dir(name)
+        if not directory.is_dir():
+            return []
+        found = []
+        for path in directory.iterdir():
+            match = _SEGMENT_RE.match(path.name)
+            if match:
+                found.append((int(match.group(1)), int(match.group(2)), path))
+        return sorted(found)
+
+    def _snapshots(self, name: str) -> list[tuple[int, Path]]:
+        """All ``(version, path)`` snapshot files, sorted."""
+        directory = self._dir(name)
+        if not directory.is_dir():
+            return []
+        found = []
+        for path in directory.iterdir():
+            match = _SNAPSHOT_RE.match(path.name)
+            if match:
+                found.append((int(match.group(1)), path))
+        return sorted(found)
+
+    # ------------------------------------------------------------------
+    # Loading + repair
+    # ------------------------------------------------------------------
+    def load(self, name: str, repair: bool = False) -> DurableState | None:
+        """Reconstruct the dataset's durable state from disk.
+
+        Reads the newest generation's segments, tolerating a torn or
+        corrupted tail by stopping at the last complete record.  With
+        ``repair=True`` the torn tail is truncated away and stale files
+        (older generations, unusable later segments, an out-of-date
+        snapshot) are deleted, leaving the directory ready for appends.
+        """
+        segments = self._segments(name)
+        snapshots = self._snapshots(name)
+        if not segments:
+            if not snapshots:
+                return None
+            # A crash between the snapshot rename and the compaction
+            # segment left the snapshot orphaned: the dataset must stay
+            # appendable, so repair recreates its generation segment.
+            version, _path = snapshots[-1]
+            snapshot = self._read_snapshot(name, version)
+            if snapshot is None:
+                return None
+            if repair:
+                self.begin_generation(name, version,
+                                      base_seq=int(snapshot["seq"]))
+            return DurableState(version=version, snapshot=snapshot)
+        # The newest generation *with a segment* wins.  A newer
+        # snapshot-only version is a crashed rotation that never started
+        # its segment: the operation was never acknowledged, so the old
+        # generation — still fully intact — is the correct state.
+        version = max(entry[0] for entry in segments)
+        current = [entry for entry in segments if entry[0] == version]
+        stale_paths = [entry[2] for entry in segments if entry[0] != version]
+        stale_paths += [path for v, path in snapshots if v != version]
+        snapshot = self._read_snapshot(name, version)
+        snapshot_seq = int(snapshot["seq"]) if snapshot is not None else 0
+
+        records: list[dict[str, Any]] = []
+        expected_seq = snapshot_seq
+        damaged = False
+        truncate_at: tuple[Path, int] | None = None
+        unusable: list[Path] = []
+        stopped = False
+        for index, (_version, base_seq, path) in enumerate(current):
+            if stopped:
+                unusable.append(path)
+                damaged = True
+                continue
+            data = path.read_bytes()
+            segment_records, clean = decode_records(data)
+            if clean < len(data):
+                damaged = True
+                truncate_at = (path, clean)
+                stopped = True  # later segments can't follow a torn tail
+            if not segment_records:
+                if index == 0 and clean == 0:
+                    # The generation header itself is unreadable: nothing
+                    # of this generation is trustworthy.
+                    unusable.append(path)
+                    stopped = True
+                continue
+            header = segment_records[0]
+            if (header.get("type") != RECORD_GENERATION
+                    or int(header.get("version", -1)) != version):
+                damaged = True
+                unusable.append(path)
+                stopped = True
+                continue
+            for record in segment_records[1:]:
+                kind = record.get("type")
+                if kind in (RECORD_APPEND, RECORD_SWAP):
+                    seq = int(record.get("seq", -1))
+                    if seq <= expected_seq:
+                        continue  # pre-snapshot record in a stale segment
+                    if seq != expected_seq + 1:
+                        # A gap means records were lost mid-journal:
+                        # everything after the gap is unusable.
+                        damaged = True
+                        stopped = True
+                        break
+                    expected_seq = seq
+                    records.append(record)
+                elif kind == RECORD_BUILD:
+                    if int(record.get("seq", -1)) > snapshot_seq:
+                        records.append(record)
+                else:
+                    continue  # unknown record types are skipped, not fatal
+
+        if repair:
+            if truncate_at is not None:
+                path, clean = truncate_at
+                with open(path, "r+b") as handle:
+                    handle.truncate(clean)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            for path in unusable + stale_paths:
+                self._remove(path)
+            self._fsync_dir(self._dir(name))
+            if not any(v == version for v, _s, _p in self._segments(name)):
+                # Every segment of the surviving generation was unusable
+                # (e.g. a destroyed header): start a fresh one at the
+                # recovered position so appends have somewhere to land.
+                self.begin_generation(name, version, base_seq=expected_seq)
+        return DurableState(
+            version=version, snapshot=snapshot, records=records,
+            damaged=damaged,
+        )
+
+    def _read_snapshot(self, name: str,
+                       version: int) -> dict[str, Any] | None:
+        path = self._dir(name) / snapshot_filename(version)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        records, _clean = decode_records(data)
+        if (not records or records[0].get("type") != "snapshot"
+                or int(records[0].get("version", -1)) != version):
+            return None
+        return records[0]
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def begin_generation(self, name: str, version: int,
+                         base_seq: int = 0) -> None:
+        """Rotate to a fresh generation: new segment first, cleanup after.
+
+        The new segment (with its generation-header record) is written
+        and fsynced — file and directory — *before* any old file is
+        touched, so recovery always finds either the old generation
+        intact or the new one started; never a mix.  Cleanup then drops
+        other generations' segments and snapshots (snapshots are
+        per-generation files, so the new generation's own snapshot — if
+        compaction just wrote it — survives untouched).
+        """
+        directory = self._dir(name)
+        directory.mkdir(parents=True, exist_ok=True)
+        old_segments = [path for _v, _s, path in self._segments(name)]
+        old_snapshots = [path for v, path in self._snapshots(name)
+                         if v != version]
+        self._close_handle(name)
+        path = directory / segment_filename(version, base_seq)
+        handle = open(path, "ab")
+        handle.write(encode_record({
+            "type": RECORD_GENERATION, "version": version,
+            "base_seq": base_seq,
+        }))
+        handle.flush()
+        os.fsync(handle.fileno())
+        self._fsync_dir(directory)
+        for old in old_segments:
+            if old != path:
+                self._remove(old)
+        for old in old_snapshots:
+            self._remove(old)
+        self._fsync_dir(directory)
+        self._handles[name] = handle
+
+    def append(self, name: str, payload: dict[str, Any]) -> None:
+        """Commit one record to the dataset's tail segment.
+
+        Failure-atomic: if the write/flush/fsync fails partway (ENOSPC,
+        I/O error), the segment is truncated back to its pre-append
+        length before the error propagates.  Torn bytes must never stay
+        in the file — a later successful append would land *after* them,
+        and replay (which stops at the first damage) would silently drop
+        it despite its acknowledgement.
+        """
+        handle = self._handle(name)
+        record = encode_record(payload)
+        start = handle.tell()
+        try:
+            handle.write(record)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        except OSError:
+            try:
+                handle.truncate(start)
+                handle.flush()
+                os.fsync(handle.fileno())
+            except OSError:
+                # Can't prove the tail is clean: drop the handle so the
+                # next open goes through load(repair=True)'s scan.
+                self._close_handle(name)
+            raise
+
+    def sync(self, name: str) -> None:
+        """Force the dataset's journal to stable storage (flush + fsync)."""
+        handle = self._handles.get(name)
+        if handle is None:
+            tail = self._tail_segment(name)
+            if tail is None:
+                return
+            with open(tail, "rb") as reader:
+                os.fsync(reader.fileno())
+            return
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def write_snapshot(self, name: str, payload: dict[str, Any]) -> None:
+        """Atomically persist a compaction snapshot and truncate the journal.
+
+        The snapshot is written to its generation's own file (temp +
+        fsync + rename); only then does a fresh segment (based at the
+        snapshot's seq) replace the replayed ones and delete other
+        generations' files.  Because snapshots are per-generation, a
+        crash at any point leaves a recoverable combination: the old
+        generation fully intact (its snapshot untouched, the new one
+        ignored as segment-less), or the new one started.
+        """
+        version = int(payload["version"])
+        directory = self._dir(name)
+        directory.mkdir(parents=True, exist_ok=True)
+        target = directory / snapshot_filename(version)
+        temporary = directory / (snapshot_filename(version) + ".tmp")
+        with open(temporary, "wb") as handle:
+            handle.write(encode_record(payload))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temporary, target)
+        self._fsync_dir(directory)
+        self.begin_generation(name, version, base_seq=int(payload["seq"]))
+
+    def close(self) -> None:
+        for name in list(self._handles):
+            self._close_handle(name)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _handle(self, name: str):
+        handle = self._handles.get(name)
+        if handle is None:
+            tail = self._tail_segment(name)
+            if tail is None:
+                raise IngestError(
+                    f"dataset {name!r} has no journal segment; "
+                    "begin_generation must run before appends"
+                )
+            handle = open(tail, "ab")
+            self._handles[name] = handle
+        return handle
+
+    def _tail_segment(self, name: str) -> Path | None:
+        segments = self._segments(name)
+        return segments[-1][2] if segments else None
+
+    def _close_handle(self, name: str) -> None:
+        handle = self._handles.pop(name, None)
+        if handle is not None:
+            try:
+                handle.close()
+            except OSError:  # pragma: no cover - close failure is benign
+                pass
+
+    @staticmethod
+    def _remove(path: Path) -> None:
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            pass
+
+    @staticmethod
+    def _fsync_dir(directory: Path) -> None:
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - non-POSIX fallback
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - some filesystems refuse
+            pass
+        finally:
+            os.close(fd)
+
+
+# ---------------------------------------------------------------------------
+# Replay
+# ---------------------------------------------------------------------------
+@dataclass
+class ReplayOutcome:
+    """What :func:`replay_state` reconstructed."""
+
+    table: DataTable
+    engine: Foresight | None
+    log: IngestLog
+    #: Engine builds performed during replay (for the entry's counters).
+    engine_builds: int = 0
+    #: Whether the registered loader ran (0 when a snapshot supplied rows).
+    loads: int = 0
+
+
+def rebuild_with_catchup(
+    full_table: DataTable,
+    prefix_table: DataTable,
+    make_engine: Callable[[DataTable], Foresight],
+) -> Foresight:
+    """A fresh engine over ``full_table`` whose sketches were rebuilt from
+    ``prefix_table`` and delta-merged over the remaining rows.
+
+    This is the single code path behind both a live background-rebuild
+    swap (where ``prefix_table`` is the table snapshot the worker built
+    from) and its journal replay (where the prefix is re-sliced from the
+    grown table) — sharing it is what makes the two byte-identical.
+    """
+    n_total = full_table.n_rows
+    n_prefix = prefix_table.n_rows
+    fresh = make_engine(prefix_table)
+    if fresh.store is None or n_total <= n_prefix:
+        if n_total <= n_prefix and fresh.table is full_table:
+            return fresh
+        return Foresight(
+            full_table,
+            registry=fresh.registry,
+            config=fresh.config,
+            preprocess=False,
+            store=fresh.store,
+            executor=fresh.executor,
+        )
+    delta_table = full_table.take(np.arange(n_prefix, n_total))
+    partials = build_delta_partials(delta_table, fresh.store, fresh.executor)
+    store = merge_delta(fresh.store, full_table, n_total - n_prefix, partials)
+    return Foresight(
+        full_table,
+        registry=fresh.registry,
+        config=fresh.config,
+        preprocess=False,
+        store=store,
+        executor=fresh.executor,
+    )
+
+
+def _log_from_snapshot(snapshot: dict[str, Any]) -> IngestLog:
+    counters = snapshot.get("counters", {})
+    return IngestLog(
+        base_seq=int(snapshot["seq"]),
+        rows_since_rebuild=int(counters.get("rows_since_rebuild", 0)),
+        base_rows=int(counters.get("base_rows", 0)),
+        rows_appended=int(counters.get("rows_appended", 0)),
+        delta_merges=int(counters.get("delta_merges", 0)),
+        rebuilds=int(counters.get("rebuilds", 0)),
+        bg_rebuilds=int(counters.get("bg_rebuilds", 0)),
+    )
+
+
+def replay_counters(state: DurableState) -> IngestLog:
+    """The :class:`IngestLog` a full replay would produce — counters only.
+
+    Walks the records without touching tables or sketches, so a restored
+    dataset can report its exact ``(version, seq)`` identity and
+    ingestion counters immediately while the expensive state
+    reconstruction (:func:`replay_state`) is deferred to first use.
+    """
+    log = (IngestLog() if state.snapshot is None
+           else _log_from_snapshot(state.snapshot))
+    for record in state.records:
+        kind = record["type"]
+        if kind == RECORD_APPEND:
+            log.append(int(record["n_rows"]), record["applied"],
+                       int(record["total_rows"]),
+                       timestamp=record.get("ts"))
+        elif kind == RECORD_BUILD:
+            log.mark_rebuilt(int(record["total_rows"]))
+        elif kind == RECORD_SWAP:
+            base_rows = int(record["built_from_rows"])
+            total_rows = int(record["total_rows"])
+            log.record_swap(max(0, total_rows - base_rows), base_rows,
+                            total_rows, timestamp=record.get("ts"))
+    return log
+
+
+def replay_state(
+    dataset: str,
+    state: DurableState,
+    base_table: Callable[[], DataTable] | None,
+    make_engine: Callable[[DataTable], Foresight],
+) -> ReplayOutcome:
+    """Fold a :class:`DurableState` back into live serving state.
+
+    ``base_table`` supplies the generation's base rows when no snapshot
+    exists (the registered loader); ``make_engine`` builds a fresh engine
+    for a table exactly the way the owning workspace would (same config
+    resolution), so replayed builds match live builds byte for byte.
+    """
+    builds = 0
+    loads = 0
+    engine: Foresight | None = None
+    if state.snapshot is not None:
+        snapshot = state.snapshot
+        table = table_from_payload(snapshot["table"])
+        log = _log_from_snapshot(snapshot)
+        if snapshot.get("engine_built"):
+            base_rows = int(snapshot.get("base_rows", table.n_rows))
+            prefix = (
+                table if base_rows >= table.n_rows
+                else table.take(np.arange(base_rows))
+            )
+            engine = rebuild_with_catchup(table, prefix, make_engine)
+            builds += 1
+    else:
+        if base_table is None:
+            raise IngestError(
+                f"dataset {dataset!r} has journalled appends but no snapshot "
+                "and no loader to supply its base rows"
+            )
+        table = base_table()
+        loads = 1
+        log = IngestLog()
+
+    for record in state.records:
+        kind = record["type"]
+        if kind == RECORD_APPEND:
+            batch = DeltaBatch.from_records(
+                dataset, record["rows"], table.schema
+            )
+            new_table = table.concat(batch.table)
+            applied = record["applied"]
+            if applied == APPLIED_DELTA_MERGE:
+                if engine is None:
+                    # The engine existed live (a cold build at seq 0
+                    # needs no marker) — rebuild it over the same rows.
+                    engine = make_engine(table)
+                    builds += 1
+                    log.mark_rebuilt(table.n_rows)
+                store = engine.store
+                if store is None:  # pragma: no cover - defensive
+                    raise IngestError(
+                        f"journal for {dataset!r} delta-merges into an "
+                        "exact-mode engine"
+                    )
+                partials = build_delta_partials(
+                    batch.table, store, engine.executor
+                )
+                new_store = merge_delta(
+                    store, new_table, batch.n_rows, partials
+                )
+                engine = Foresight(
+                    new_table,
+                    registry=engine.registry,
+                    config=engine.config,
+                    preprocess=False,
+                    store=new_store,
+                    executor=engine.executor,
+                )
+            elif applied == APPLIED_REBUILD:
+                engine = make_engine(new_table)
+                builds += 1
+            # APPLIED_DEFERRED: rows extend the table; the engine (if it
+            # was an exact-mode swap live) rebuilds lazily over the same
+            # rows, which is byte-identical for exact mode.
+            table = new_table
+            log.append(batch.n_rows, applied, table.n_rows,
+                       timestamp=record.get("ts"))
+        elif kind == RECORD_BUILD:
+            if engine is None:
+                engine = make_engine(table)
+                builds += 1
+            log.mark_rebuilt(table.n_rows)
+        elif kind == RECORD_SWAP:
+            base_rows = int(record["built_from_rows"])
+            prefix = (
+                table if base_rows >= table.n_rows
+                else table.take(np.arange(base_rows))
+            )
+            engine = rebuild_with_catchup(table, prefix, make_engine)
+            builds += 1
+            log.record_swap(
+                max(0, table.n_rows - base_rows), base_rows, table.n_rows,
+                timestamp=record.get("ts"),
+            )
+    return ReplayOutcome(
+        table=table, engine=engine, log=log,
+        engine_builds=builds, loads=loads,
+    )
+
+
+__all__ = [
+    "DatasetJournal",
+    "DurableState",
+    "MAX_RECORD_BYTES",
+    "RECORD_APPEND",
+    "RECORD_BUILD",
+    "RECORD_GENERATION",
+    "RECORD_SWAP",
+    "ReplayOutcome",
+    "decode_records",
+    "encode_record",
+    "rebuild_with_catchup",
+    "replay_counters",
+    "replay_state",
+    "scan_records",
+    "segment_filename",
+    "snapshot_filename",
+    "table_from_payload",
+    "table_to_payload",
+]

@@ -68,19 +68,30 @@ class IngestLog:
     rows_appended: int = 0
     delta_merges: int = 0
     rebuilds: int = 0
+    #: Rebuilds that ran off the append path (a subset of ``rebuilds``).
+    bg_rebuilds: int = 0
+    #: Sequence number the in-memory record list starts counting from.
+    #: Normally 0; a log restored from a durable snapshot starts at the
+    #: snapshot's sequence number (the compacted history is not kept).
+    base_seq: int = 0
 
     @property
     def seq(self) -> int:
         """The current sequence number (0 before any append)."""
-        return self.records[-1].seq if self.records else 0
+        return self.records[-1].seq if self.records else self.base_seq
 
-    def append(self, n_rows: int, applied: str, total_rows: int) -> IngestRecord:
-        """Journal one accepted append; returns the minted record."""
+    def append(self, n_rows: int, applied: str, total_rows: int,
+               timestamp: float | None = None) -> IngestRecord:
+        """Journal one accepted append; returns the minted record.
+
+        ``timestamp`` lets the durable-journal replay path reproduce the
+        original record times instead of stamping replay time.
+        """
         record = IngestRecord(
             seq=self.seq + 1,
             n_rows=n_rows,
             applied=applied,
-            timestamp=time.time(),
+            timestamp=time.time() if timestamp is None else timestamp,
             total_rows=total_rows,
         )
         self.records.append(record)
@@ -93,6 +104,32 @@ class IngestLog:
             if applied == APPLIED_DELTA_MERGE:
                 self.delta_merges += 1
             self.rows_since_rebuild += n_rows
+        return record
+
+    def record_swap(self, catchup_rows: int, base_rows: int, total_rows: int,
+                    timestamp: float | None = None) -> IngestRecord:
+        """Journal an off-path rebuild swapping in (a background rebuild).
+
+        Mints a sequence number of its own — the swap changes the
+        serving engine, so ``(version, seq)`` must move with it or two
+        different engine states would share one cache/provenance
+        identity.  ``catchup_rows`` is how many appended rows were
+        delta-merged onto the fresh store at swap time (they still count
+        against the accuracy budget; ``base_rows`` is the row count the
+        fresh sketches were built over).
+        """
+        record = IngestRecord(
+            seq=self.seq + 1,
+            n_rows=0,
+            applied=APPLIED_REBUILD,
+            timestamp=time.time() if timestamp is None else timestamp,
+            total_rows=total_rows,
+        )
+        self.records.append(record)
+        self.rebuilds += 1
+        self.bg_rebuilds += 1
+        self.rows_since_rebuild = catchup_rows
+        self.base_rows = base_rows
         return record
 
     def mark_rebuilt(self, total_rows: int) -> None:
@@ -112,6 +149,7 @@ class IngestLog:
             "rows_appended": self.rows_appended,
             "delta_merges": self.delta_merges,
             "rebuilds": self.rebuilds,
+            "bg_rebuilds": self.bg_rebuilds,
             "rows_since_rebuild": self.rows_since_rebuild,
             "base_rows": self.base_rows,
         }

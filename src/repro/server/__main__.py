@@ -37,14 +37,25 @@ def build_workspace(
     datasets: list[str] | None = None,
     max_workers: int | None = None,
     preload: bool = False,
+    data_dir: str | None = None,
 ) -> Workspace:
-    """A workspace with the requested bundled datasets registered lazily."""
+    """A workspace with the requested bundled datasets registered lazily.
+
+    With ``data_dir`` the workspace opens the durable ingestion journal
+    first: datasets persisted by a previous process (snapshots, appended
+    rows) are replayed to their exact ``(version, seq)`` state, and
+    registering a bundled loader over restored state adopts it instead
+    of resetting it.
+    """
     names = datasets or sorted(BUNDLED_DATASETS)
     executor = (
         ExecutorConfig(max_workers=max_workers)
         if max_workers is not None else None
     )
-    workspace = Workspace(executor=executor)
+    workspace = Workspace(executor=executor, data_dir=data_dir)
+    restored = set(workspace.datasets())
+    if restored:
+        print(f"restored from journal: {', '.join(sorted(restored))}")
     for name in names:
         try:
             loader = BUNDLED_DATASETS[name]
@@ -83,7 +94,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     config = ServerConfig.from_args(args)
     workspace = build_workspace(
-        datasets=args.datasets, max_workers=args.workers, preload=args.preload
+        datasets=args.datasets, max_workers=args.workers,
+        preload=args.preload, data_dir=config.data_dir,
     )
     # The bundled loaders double as the PUT /v1/datasets/{name} loader
     # registry, so clients can (re)register them by name over the wire.

@@ -19,6 +19,9 @@ datasets went live — a write surface:
                                      the new ``(version, seq)`` identity
 ``POST /v1/datasets/{name}/reload``  re-run the loader (version bump,
                                      journal reset)
+``POST /v1/datasets/{name}/flush``   force the durable journal to stable
+                                     storage; answers ``(version, seq)``
+                                     and whether the workspace is durable
 ``GET /healthz``                     liveness + bind address + config echo
 ``GET /metrics``                     JSON counters (transport, coalescing,
                                      admission, cache, pipeline, ingestion,
@@ -240,6 +243,17 @@ class ReproServer:
             # in a slow engine call must not hold shutdown hostage.
             remaining = max(0.1, deadline - loop.time()) if drain else 0.1
             await self._coalescer.aclose(timeout=remaining)
+        # Drain-time durability: force every dataset's journal to stable
+        # storage so a clean shutdown never relies on fsync-on-commit
+        # being enabled.  Runs on the default executor (our own pool is
+        # about to shut down) and is bounded by what remains of the
+        # drain budget — flush takes each dataset's entry lock, and a
+        # cold engine build holding one must not hang shutdown.
+        with contextlib.suppress(Exception):
+            await asyncio.wait_for(
+                loop.run_in_executor(None, self._workspace.flush_all),
+                timeout=max(0.1, deadline - loop.time()),
+            )
         for writer in list(self._connections):
             with contextlib.suppress(Exception):
                 writer.close()
@@ -501,6 +515,7 @@ class ReproServer:
         ``PUT  /v1/datasets/{name}``              register loader/table
         ``POST /v1/datasets/{name}/rows``         append a DeltaBatch
         ``POST /v1/datasets/{name}/reload``       reload + version bump
+        ``POST /v1/datasets/{name}/flush``        sync the journal
         ========================================  =====================
         """
         prefix = "/v1/datasets/"
@@ -519,6 +534,9 @@ class ReproServer:
         elif len(parts) == 2 and parts[1] == "reload":
             endpoint, method = "dataset_reload", "POST"
             handler = lambda req, n=name: self._post_reload(req, n)  # noqa: E731
+        elif len(parts) == 2 and parts[1] == "flush":
+            endpoint, method = "dataset_flush", "POST"
+            handler = lambda req, n=name: self._post_flush(req, n)  # noqa: E731
         else:
             return None
         if request.method != method:
@@ -791,6 +809,26 @@ class ReproServer:
         return 200, {
             "protocol": 1, "dataset": name, "version": version, "seq": 0,
         }
+
+    async def _post_flush(
+        self, _request: _HttpRequest, name: str
+    ) -> tuple[int, Any]:
+        """``POST /v1/datasets/{name}/flush``: sync the durable journal.
+
+        Forces every journalled record for the dataset to stable storage
+        (meaningful when the workspace runs with
+        ``IngestConfig(fsync=False)``; a barrier otherwise) and answers
+        the flushed ``(version, seq)``.  ``durable`` is false when the
+        server runs without a ``data_dir`` — the flush is then a no-op
+        and the client knows the dataset will not survive a restart.
+        """
+        self._require_dataset(name)
+        loop = asyncio.get_running_loop()
+        async with self.admission.admit([name], []):
+            result = await loop.run_in_executor(
+                self._pool, self._workspace.flush, name
+            )
+        return 200, {"protocol": 1, **result}
 
     # ------------------------------------------------------------------
     # Dispatch helpers

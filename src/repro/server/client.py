@@ -218,6 +218,14 @@ class ReproClient:
         """``POST /v1/datasets/{name}/reload``: reload + version bump."""
         return self._request("POST", f"/v1/datasets/{name}/reload", {})
 
+    def flush_dataset(self, name: str) -> dict[str, Any]:
+        """``POST /v1/datasets/{name}/flush``: sync the durable journal.
+
+        Answers ``{"version", "seq", "durable"}``; ``durable`` is false
+        when the server has no ``data_dir`` (the flush was a no-op).
+        """
+        return self._request("POST", f"/v1/datasets/{name}/flush", {})
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------

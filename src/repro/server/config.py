@@ -83,6 +83,14 @@ class ServerConfig:
     handler_workers:
         Threads executing blocking ``Workspace`` calls on behalf of the
         event loop.
+    data_dir:
+        Directory for the durable ingestion journal
+        (``REPRO_SERVER_DATA_DIR`` / ``--data-dir``).  When set, every
+        accepted append is journalled to disk before it is acknowledged
+        and a restarted server replays the journal to the exact
+        ``(version, seq)`` state; ``POST /v1/datasets/{name}/flush``
+        forces a sync and shutdown drains flush the journal.  ``None``
+        (the default) keeps ingestion in-memory only.
     """
 
     host: str = "127.0.0.1"
@@ -99,6 +107,7 @@ class ServerConfig:
     max_body_bytes: int = 1_048_576
     drain_timeout: float = 5.0
     handler_workers: int = 8
+    data_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.port < 0 or self.port > 65535:
@@ -216,6 +225,11 @@ class ServerConfig:
             "--handler-workers", type=int, default=base.handler_workers,
             help="threads executing blocking workspace calls "
                  f"(default {base.handler_workers})")
+        parser.add_argument(
+            "--data-dir", default=base.data_dir, metavar="DIR",
+            help="directory for the durable ingestion journal; appends "
+                 "are journalled before acknowledgement and a restart "
+                 "replays them (default: in-memory only)")
 
     @classmethod
     def from_args(cls, args: argparse.Namespace) -> "ServerConfig":
@@ -235,6 +249,7 @@ class ServerConfig:
             max_body_bytes=args.max_body_bytes,
             drain_timeout=args.drain_timeout,
             handler_workers=args.handler_workers,
+            data_dir=args.data_dir,
         )
 
     def as_dict(self) -> dict[str, Any]:

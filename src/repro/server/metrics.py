@@ -315,17 +315,26 @@ def render_prometheus(document: dict[str, Any]) -> str:
 
     ingest = workspace.get("ingest", {})
     totals = ingest.get("totals", {})
-    for key in ("appends", "rows_appended", "delta_merges", "rebuilds"):
+    for key in ("appends", "rows_appended", "delta_merges", "rebuilds",
+                "bg_rebuilds"):
         if key in totals:
             counter(f"repro_ingest_{key}_total", totals[key])
+    if "durable" in ingest:
+        gauge("repro_ingest_durable", 1 if ingest["durable"] else 0)
     per_dataset = ingest.get("datasets", {})
     if per_dataset:
-        for key in ("rows_appended", "delta_merges", "rebuilds"):
+        for key in ("rows_appended", "delta_merges", "rebuilds",
+                    "bg_rebuilds"):
             metric = f"repro_dataset_ingest_{key}_total"
             lines.append(f"# TYPE {metric} counter")
             for name, counters in sorted(per_dataset.items()):
                 counter(metric, counters.get(key, 0), {"dataset": name},
                         declare=False)
+        lines.append("# TYPE repro_dataset_rebuild_running gauge")
+        for name, counters in sorted(per_dataset.items()):
+            gauge("repro_dataset_rebuild_running",
+                  1 if counters.get("rebuild_running") else 0,
+                  {"dataset": name}, declare=False)
 
     return "\n".join(lines) + "\n"
 

@@ -66,6 +66,17 @@ from repro.core.executor import ExecutorConfig, create_executor
 from repro.core.session import ExplorationSession
 from repro.data.table import DataTable
 from repro.ingest.delta import DeltaBatch
+from repro.ingest.durable import (
+    RECORD_APPEND,
+    RECORD_BUILD,
+    RECORD_SWAP,
+    DatasetJournal,
+    DurableState,
+    rebuild_with_catchup,
+    replay_counters,
+    replay_state,
+    table_to_payload,
+)
 from repro.ingest.log import (
     APPLIED_DEFERRED,
     APPLIED_DELTA_MERGE,
@@ -116,6 +127,18 @@ class _DatasetEntry:
     #: sequence numbers, ingestion counters and the accuracy-budget
     #: accounting.  Replaced wholesale on reload (a new generation).
     ingest: IngestLog = field(default_factory=IngestLog)
+    #: True when this entry was reconstructed from the durable journal
+    #: (restart replay) rather than registered fresh this process.
+    restored: bool = False
+    #: Durable state awaiting its (expensive) replay.  The entry's
+    #: ``version`` and ``ingest`` counters are already exact — only the
+    #: table/engine reconstruction is deferred, to first use, so a
+    #: restart never pays replay cost for datasets nobody touches.
+    pending: DurableState | None = None
+    #: True while a background rebuild for this dataset is in flight.
+    rebuild_running: bool = False
+    #: The last background-rebuild failure, if any (surfaced in stats).
+    rebuild_error: str | None = None
 
 
 class Workspace:
@@ -127,6 +150,17 @@ class Workspace:
     preprocessing and the pipeline's score stage.  The default
     (``max_workers=1``, unless ``REPRO_MAX_WORKERS`` says otherwise) is
     fully serial inside each request, exactly as before.
+
+    ``data_dir`` makes ingestion **durable**: every accepted append is
+    committed to an on-disk write-ahead journal (rows included,
+    checksummed, fsynced per ``IngestConfig.fsync``) before it is
+    acknowledged, and opening a workspace on the same directory replays
+    the journal so each dataset's ``(version, seq)`` identity and sketch
+    state come back exactly as an uninterrupted process would hold them
+    — a torn or corrupted journal tail recovers to the last complete
+    record.  Budget-triggered sketch rebuilds run off the append path on
+    a background worker (``IngestConfig.background_rebuild``), swapping
+    the fresh engine in atomically under the single-flight lock.
     """
 
     def __init__(
@@ -134,6 +168,7 @@ class Workspace:
         cache_size: int = 128,
         executor: ExecutorConfig | None = None,
         ingest: IngestConfig | None = None,
+        data_dir: str | None = None,
     ):
         self._entries: dict[str, _DatasetEntry] = {}
         self._cache = ResultCache(capacity=cache_size)
@@ -147,7 +182,8 @@ class Workspace:
         #: reload (a new generation); these survive it, so the ops
         #: counters stay monotone the way Prometheus counters must.
         self._ingest_totals = {"appends": 0, "rows_appended": 0,
-                               "delta_merges": 0, "rebuilds": 0}
+                               "delta_merges": 0, "rebuilds": 0,
+                               "bg_rebuilds": 0}
         #: Guards the registry of entries (not per-dataset state).
         self._lock = threading.RLock()
         #: Monotonic per-name version counters.  Versions must never
@@ -156,12 +192,136 @@ class Workspace:
         #: make a stale cached response reachable under the new
         #: generation's key.
         self._version_counters: dict[str, int] = {}
+        #: Lazily created 2-worker pool for background sketch rebuilds
+        #: (the budget-triggered rebuild runs here, off the append path).
+        self._maintenance: Any = None
+        self._closed = False
+        #: The durable write-ahead journal (None = in-memory only).
+        self.data_dir = data_dir
+        self._journal: DatasetJournal | None = None
+        #: Durable state discovered on disk for datasets that need their
+        #: loader before they can replay (consumed by ``register``).
+        self._pending_recovery: dict[str, DurableState] = {}
+        if data_dir is not None:
+            self._journal = DatasetJournal(
+                data_dir, fsync=self._ingest_config.fsync
+            )
+            self._recover_persisted()
 
     def _next_version(self, name: str) -> int:
         with self._lock:
             version = self._version_counters.get(name, 0) + 1
             self._version_counters[name] = version
             return version
+
+    def _adopt_version(self, name: str, version: int) -> None:
+        """Continue the persisted version counter across restarts."""
+        with self._lock:
+            if version > self._version_counters.get(name, 0):
+                self._version_counters[name] = version
+
+    # ------------------------------------------------------------------
+    # Durable recovery (restart replay)
+    # ------------------------------------------------------------------
+    def _recover_persisted(self) -> None:
+        """Adopt every dataset the journal knows about, without replaying.
+
+        Snapshot-backed datasets (inline registrations, compacted
+        generations) are self-contained and come back as *pending*
+        entries — exact ``(version, seq)`` and counters now, the
+        table/engine replay deferred to first use so startup stays fast.
+        Loader-backed journals are stashed and adopted when
+        :meth:`register` supplies the loader.
+        """
+        assert self._journal is not None
+        for name in self._journal.dataset_names():
+            state = self._journal.load(name, repair=True)
+            if state is None:
+                continue
+            self._adopt_version(name, state.version)
+            if state.snapshot is not None:
+                self._pending_entry(name, state, loader=None,
+                                    engine_config=None)
+            else:
+                self._pending_recovery[name] = state
+
+    def _pending_entry(
+        self,
+        name: str,
+        state: DurableState,
+        loader: Callable[[], DataTable] | None,
+        engine_config: EngineConfig | None,
+    ) -> _DatasetEntry:
+        """An entry adopting durable state, its heavy replay deferred."""
+        entry = _DatasetEntry(
+            name=name,
+            loader=loader,
+            table=None,
+            engine_config=engine_config,
+            version=state.version,
+            ingest=replay_counters(state),
+            restored=True,
+            pending=state,
+        )
+        with self._lock:
+            self._entries[name] = entry
+        self._adopt_version(name, state.version)
+        return entry
+
+    def _materialize(self, entry: _DatasetEntry) -> None:
+        """Run the deferred journal replay (caller holds the entry lock).
+
+        Reconstructs the exact table, engine and full ingest log an
+        uninterrupted process would hold.  Nothing is journalled here —
+        replay reads history, it never extends it.
+        """
+        state = entry.pending
+        if state is None:
+            return
+        config = (entry.engine_config
+                  or EngineConfig(executor=self._executor_config))
+        outcome = replay_state(
+            entry.name,
+            state,
+            base_table=entry.loader,
+            make_engine=lambda table: Foresight(table, config=config),
+        )
+        entry.table = outcome.table
+        entry.engine = outcome.engine
+        entry.ingest = outcome.log
+        entry.engine_builds += outcome.engine_builds
+        entry.loads += outcome.loads
+        entry.pending = None
+
+    def _write_snapshot_locked(self, entry: _DatasetEntry) -> None:
+        """Persist a compaction snapshot (caller holds the entry lock).
+
+        Only legal when the engine state is reproducible from the table
+        rows plus the ``(base_rows, catch-up)`` split — i.e. right after
+        a full rebuild, or while no approximate engine exists.
+        """
+        if self._journal is None or entry.table is None:
+            return
+        log = entry.ingest
+        payload = {
+            "type": "snapshot",
+            "version": entry.version,
+            "seq": log.seq,
+            "n_rows": entry.table.n_rows,
+            "base_rows": log.base_rows,
+            "engine_built": (entry.engine is not None
+                             and entry.engine.store is not None),
+            "counters": {
+                "rows_appended": log.rows_appended,
+                "delta_merges": log.delta_merges,
+                "rebuilds": log.rebuilds,
+                "bg_rebuilds": log.bg_rebuilds,
+                "rows_since_rebuild": log.rows_since_rebuild,
+                "base_rows": log.base_rows,
+            },
+            "table": table_to_payload(entry.table),
+        }
+        self._journal.write_snapshot(entry.name, payload)
 
     # ------------------------------------------------------------------
     # Dataset management
@@ -180,6 +340,17 @@ class Workspace:
         first use and again on :meth:`reload`.  Re-registering an existing
         name requires ``replace=True`` and behaves like a reload (version
         bump + cache invalidation).
+
+        With a durable ``data_dir``, registration is restart-aware:
+
+        * a name whose journal was already restored at startup (from a
+          snapshot) *adopts* the loader for future reloads instead of
+          raising "already registered";
+        * a name with journalled state that needed its loader replays
+          the journal now, reconstructing the exact ``(version, seq)``
+          and sketch state the previous process held;
+        * a brand-new name starts a journal generation, and a concrete
+          table is snapshotted so it survives restarts without a loader.
         """
         if not name:
             raise ServiceError("dataset name must be a non-empty string")
@@ -195,18 +366,68 @@ class Workspace:
         with self._lock:
             existing = self._entries.get(name)
             if existing is not None and not replace:
+                if existing.restored and loader is not None:
+                    # Restart adoption: the journal already rebuilt this
+                    # dataset from its snapshot; the loader only serves
+                    # future reloads.
+                    with existing.lock:
+                        if existing.loader is None:
+                            existing.loader = loader
+                        if (existing.engine_config is None
+                                and existing.engine is None
+                                and engine_config is not None):
+                            existing.engine_config = engine_config
+                    return
                 raise ServiceError(
                     f"dataset {name!r} is already registered; pass replace=True "
                     "to override it"
                 )
-            version = self._next_version(name)
+            pending = (
+                self._pending_recovery.pop(name, None)
+                if existing is None else None
+            )
+        if pending is not None and not replace:
+            if pending.records or pending.snapshot is not None:
+                if table is not None:
+                    # A concrete table can't silently replace journalled
+                    # rows; put the state back and demand replace=True.
+                    with self._lock:
+                        self._pending_recovery[name] = pending
+                    raise ServiceError(
+                        f"dataset {name!r} has journalled state in the data "
+                        "dir; pass replace=True to discard it"
+                    )
+                self._pending_entry(name, pending, loader=loader,
+                                    engine_config=engine_config)
+                return
+            # Header-only journal (fresh generation, no appends): adopt
+            # the persisted version and stay lazy — an uninterrupted
+            # process would also still be at that version, seq 0.
+            self._adopt_version(name, pending.version)
+        adopted = pending is not None and not replace
+        with self._lock:
+            version = (
+                pending.version if adopted else self._next_version(name)
+            )
             self._entries[name] = _DatasetEntry(
                 name=name,
                 loader=loader,
                 table=table,
                 engine_config=engine_config,
                 version=version,
+                restored=adopted,
             )
+        if self._journal is not None:
+            if table is not None:
+                # Inline tables must survive restarts without a loader:
+                # the snapshot is their durable source of truth.  The
+                # snapshot write rotates the generation itself, which
+                # also clears any state being replaced.
+                entry = self._entries[name]
+                with entry.lock:
+                    self._write_snapshot_locked(entry)
+            elif not adopted:
+                self._journal.begin_generation(name, version)
         if existing is not None:
             self._cache.invalidate(name)
 
@@ -245,6 +466,7 @@ class Workspace:
         """
         entry = self._entry(name)
         with entry.lock:
+            self._materialize(entry)
             if entry.table is None:
                 assert entry.loader is not None
                 entry.table = entry.loader()
@@ -278,14 +500,41 @@ class Workspace:
         """
         entry = self._entry(name)
         with entry.lock:
+            if entry.pending is not None:
+                if entry.loader is not None:
+                    # A reload discards the generation anyway: skip the
+                    # deferred replay entirely, the loader re-runs fresh.
+                    entry.pending = None
+                else:
+                    # Snapshot-backed, no loader: the kept rows ARE the
+                    # deferred state — replay before rotating under them.
+                    self._materialize(entry)
+            version = self._next_version(name)
+            table_backed = entry.loader is None and entry.table is not None
+            if self._journal is not None and not table_backed:
+                # Rotate the durable journal — fsynced new-generation
+                # segment first, stale files deleted after — BEFORE the
+                # in-memory swap.  A crash anywhere in this window
+                # therefore recovers to either the old generation intact
+                # or the new one empty; the previous generation's deltas
+                # can never replay onto the new version.
+                self._journal.begin_generation(name, version)
             if entry.loader is not None:
                 entry.table = None
             entry.engine = None
-            entry.version = version = self._next_version(name)
+            entry.version = version
             # A reload starts a new generation: the append journal (and
             # its sequence numbers) reset with the version bump, so
             # (version, seq) pairs never repeat.
             entry.ingest = IngestLog()
+            if self._journal is not None and table_backed:
+                # Table-backed datasets have no loader to re-run on
+                # restart: the kept rows persist under the new version.
+                # The snapshot write performs the rotation itself —
+                # new-generation snapshot first (the old generation's
+                # own snapshot stays untouched until the new segment is
+                # durable), so no crash window loses the only copy.
+                self._write_snapshot_locked(entry)
         self._cache.invalidate(name)
         return version
 
@@ -327,7 +576,9 @@ class Workspace:
         unreachable, invalidation just reclaims the memory eagerly.
         """
         entry = self._entry(name)
+        schedule_rebuild = False
         with entry.lock:
+            self._materialize(entry)
             if entry.table is None:
                 assert entry.loader is not None
                 entry.table = entry.loader()
@@ -335,16 +586,21 @@ class Workspace:
             batch = DeltaBatch.from_records(name, list(rows), entry.table.schema)
             new_table = entry.table.concat(batch.table)
             engine = entry.engine
+            new_engine: Foresight | None = None
+            rebuilt = False
             if engine is None:
                 # No engine yet: the rows simply extend the table and the
                 # (eventual) first build sketches everything at once.
                 applied = APPLIED_DEFERRED
             else:
                 store = engine.store
+                rebuild_due = store is not None and should_rebuild(
+                    entry.ingest, batch.n_rows, self._ingest_config
+                )
                 if store is None:
                     # Exact-mode engine: nothing sketched to maintain —
                     # swap in a new engine over the grown table.
-                    entry.engine = Foresight(
+                    new_engine = Foresight(
                         new_table,
                         registry=engine.registry,
                         config=engine.config,
@@ -352,35 +608,63 @@ class Workspace:
                         executor=engine.executor,
                     )
                     applied = APPLIED_DEFERRED
-                elif should_rebuild(entry.ingest, batch.n_rows,
-                                    self._ingest_config):
-                    entry.engine = Foresight(
+                elif rebuild_due and not self._ingest_config.background_rebuild:
+                    new_engine = Foresight(
                         new_table,
                         registry=engine.registry,
                         config=engine.config,
                         executor=engine.executor,
                     )
-                    entry.engine_builds += 1
+                    rebuilt = True
                     applied = APPLIED_REBUILD
                 else:
+                    # The delta-merge fast path — also taken when a
+                    # rebuild is due but runs in the background: the
+                    # append never pays for it.
                     partials = build_delta_partials(
                         batch.table, store, engine.executor
                     )
                     new_store = merge_delta(
                         store, new_table, batch.n_rows, partials
                     )
-                    entry.engine = Foresight(
+                    new_engine = Foresight(
                         new_table,
                         registry=engine.registry,
                         config=engine.config,
+                        preprocess=False,
                         store=new_store,
                         executor=engine.executor,
                     )
                     applied = APPLIED_DELTA_MERGE
+                    schedule_rebuild = rebuild_due
+            # Write-ahead: the journal record (rows included) commits to
+            # disk before any in-memory state changes.  If the write
+            # fails the append fails whole — the caller sees the error
+            # and the serving state is untouched.
+            timestamp = time.time()
+            if self._journal is not None:
+                self._journal.append(name, {
+                    "type": RECORD_APPEND,
+                    "seq": entry.ingest.seq + 1,
+                    "applied": applied,
+                    "n_rows": batch.n_rows,
+                    "total_rows": new_table.n_rows,
+                    "ts": timestamp,
+                    "rows": batch.to_records(),
+                })
+            if new_engine is not None:
+                entry.engine = new_engine
+            if rebuilt:
+                entry.engine_builds += 1
             entry.table = new_table
             record = entry.ingest.append(batch.n_rows, applied,
-                                         new_table.n_rows)
+                                         new_table.n_rows,
+                                         timestamp=timestamp)
             version = entry.version
+            if rebuilt:
+                # A full rebuild makes the sketch state a pure function
+                # of the rows: the natural compaction point.
+                self._write_snapshot_locked(entry)
         with self._stats_lock:
             self._ingest_totals["appends"] += 1
             self._ingest_totals["rows_appended"] += batch.n_rows
@@ -389,6 +673,8 @@ class Workspace:
             elif applied == APPLIED_REBUILD:
                 self._ingest_totals["rebuilds"] += 1
         self._cache.invalidate(name)
+        if schedule_rebuild:
+            self._schedule_rebuild(name)
         return AppendResult(
             dataset=name,
             version=version,
@@ -398,22 +684,212 @@ class Workspace:
             applied=applied,
         )
 
+    def rebuild(self, name: str) -> dict[str, Any] | None:
+        """Rebuild a dataset's sketches off the append path, swap atomically.
+
+        The heavy work — a full preprocess over a snapshot of the table
+        — runs **without** the dataset lock, so appends keep
+        delta-merging and queries keep serving while it runs.  At swap
+        time, under the lock, any rows appended since the snapshot are
+        delta-merged onto the fresh store, the engine swaps in whole
+        (readers never observe a half-built engine), and the swap mints
+        a sequence number of its own — two different engine states must
+        never share one ``(version, seq)`` identity.  A reload or
+        re-registration racing the rebuild discards it (returns None).
+
+        Returns a summary dict, or None when there was nothing to
+        rebuild (no approximate engine) or the result was discarded.
+        """
+        entry = self._entry(name)
+        with entry.lock:
+            self._materialize(entry)
+            engine = entry.engine
+            if engine is None:
+                # Nothing built yet: the lazy cold build *is* a fresh
+                # sketch of every row.
+                self._engine_snapshot(name)
+                return {
+                    "dataset": name, "version": entry.version,
+                    "seq": entry.ingest.seq,
+                    "built_from_rows": entry.table.n_rows,
+                    "merged_rows": 0,
+                }
+            if engine.store is None:
+                return None  # exact mode: nothing sketched to refresh
+            base_table = entry.table
+            version = entry.version
+            registry = engine.registry
+            config = engine.config
+            executor = engine.executor
+        # Full preprocess over the snapshot — off-lock, possibly seconds.
+        fresh = Foresight(base_table, registry=registry, config=config,
+                          executor=executor)
+        with entry.lock:
+            if entry.version != version or entry.engine is None:
+                return None  # a reload/replace superseded this rebuild
+            if entry.engine.store is None:  # pragma: no cover - defensive
+                return None
+            n_now = entry.table.n_rows
+            n_base = base_table.n_rows
+            rebuilt = rebuild_with_catchup(
+                entry.table, base_table,
+                make_engine=lambda _table: fresh,
+            )
+            timestamp = time.time()
+            if self._journal is not None:
+                self._journal.append(name, {
+                    "type": RECORD_SWAP,
+                    "seq": entry.ingest.seq + 1,
+                    "built_from_rows": n_base,
+                    "total_rows": n_now,
+                    "ts": timestamp,
+                })
+            entry.engine = rebuilt
+            entry.engine_builds += 1
+            entry.rebuild_error = None
+            record = entry.ingest.record_swap(
+                n_now - n_base, n_base, n_now, timestamp=timestamp
+            )
+            seq = record.seq
+            self._write_snapshot_locked(entry)
+        with self._stats_lock:
+            self._ingest_totals["rebuilds"] += 1
+            self._ingest_totals["bg_rebuilds"] += 1
+        self._cache.invalidate(name)
+        return {
+            "dataset": name, "version": version, "seq": seq,
+            "built_from_rows": n_base, "merged_rows": n_now - n_base,
+        }
+
+    def _schedule_rebuild(self, name: str) -> None:
+        """Queue a background rebuild unless one is already in flight."""
+        entry = self._entry(name)
+        with entry.lock:
+            if entry.rebuild_running or self._closed:
+                return
+            entry.rebuild_running = True
+
+        def _run() -> None:
+            try:
+                self.rebuild(name)
+            except Exception as exc:  # noqa: BLE001 - surfaced in stats
+                with entry.lock:
+                    entry.rebuild_error = f"{type(exc).__name__}: {exc}"
+            finally:
+                with entry.lock:
+                    entry.rebuild_running = False
+
+        executor = self._maintenance_executor()
+        if executor is None:
+            with entry.lock:
+                entry.rebuild_running = False
+            return
+        try:
+            executor.submit(_run)
+        except RuntimeError:
+            # close() shut the pool between our checks: drop the
+            # rebuild — a closed workspace schedules nothing.
+            with entry.lock:
+                entry.rebuild_running = False
+
+    def _maintenance_executor(self):
+        """The background-rebuild pool, or None once the workspace closed.
+
+        Created under the registry lock — the same lock close() takes to
+        set ``_closed`` — so an append racing close() can never conjure
+        a fresh pool (and journal writes) after close() returned.
+        """
+        with self._lock:
+            if self._closed:
+                return None
+            if self._maintenance is None:
+                self._maintenance = create_executor(ExecutorConfig(
+                    max_workers=2, thread_name_prefix="repro-maintenance",
+                ))
+            return self._maintenance
+
+    def wait_for_rebuilds(self, timeout: float = 30.0) -> bool:
+        """Block until no background rebuild is in flight (True on success)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                entries = list(self._entries.values())
+            if not any(entry.rebuild_running for entry in entries):
+                return True
+            time.sleep(0.005)
+        return False
+
+    # ------------------------------------------------------------------
+    # Durability operations
+    # ------------------------------------------------------------------
+    def flush(self, name: str) -> dict[str, Any]:
+        """Force a dataset's journal to stable storage.
+
+        With fsync-on-commit (the default) every acknowledged append is
+        already durable and this is a cheap no-op barrier; with
+        ``IngestConfig(fsync=False)`` it is the explicit durability
+        point.  Returns the dataset's current identity and whether the
+        workspace is durable at all.
+        """
+        entry = self._entry(name)
+        with entry.lock:
+            if self._journal is not None:
+                self._journal.sync(name)
+            return {
+                "dataset": name,
+                "version": entry.version,
+                "seq": entry.ingest.seq,
+                "durable": self._journal is not None,
+            }
+
+    def flush_all(self) -> list[dict[str, Any]]:
+        """Flush every dataset's journal (shutdown / drain hook)."""
+        return [self.flush(name) for name in self.datasets()]
+
+    def close(self) -> None:
+        """Flush journals, wait out background rebuilds, release workers.
+
+        Idempotent.  A workspace used purely in memory (no ``data_dir``,
+        no background rebuild ever scheduled) has nothing to release and
+        close() is free.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            maintenance, self._maintenance = self._maintenance, None
+        if maintenance is not None:
+            maintenance.close()  # waits for an in-flight rebuild
+        if self._journal is not None:
+            try:
+                self.flush_all()
+            finally:
+                self._journal.close()
+
     def ingest_stats(self) -> dict[str, Any]:
         """Ingestion counters (lifetime totals + per-dataset) for ops.
 
         ``totals`` are lifetime and monotone (they survive reloads);
         each dataset's counters describe its *current generation* — the
         appends journalled since its last reload — matching the ``seq``
-        its responses carry.
+        its responses carry, plus the live background-rebuild state.
         """
         with self._lock:
             entries = list(self._entries.values())
-        datasets = {
-            entry.name: entry.ingest.counters() for entry in entries
-        }
+        datasets = {}
+        for entry in entries:
+            counters = entry.ingest.counters()
+            counters["rebuild_running"] = entry.rebuild_running
+            if entry.rebuild_error is not None:
+                counters["rebuild_error"] = entry.rebuild_error
+            datasets[entry.name] = counters
         with self._stats_lock:
             totals = dict(self._ingest_totals)
-        return {"totals": totals, "datasets": datasets}
+        return {
+            "totals": totals,
+            "datasets": datasets,
+            "durable": self._journal is not None,
+        }
 
     # ------------------------------------------------------------------
     # Request serving
@@ -624,6 +1100,7 @@ class Workspace:
                         "engine_builds": entry.engine_builds,
                         "lazy": entry.loader is not None,
                         "busy": busy,
+                        "rebuild_running": entry.rebuild_running,
                         "ingest": entry.ingest.counters(),
                     }
                 )
@@ -661,6 +1138,7 @@ class Workspace:
         """
         entry = self._entry(name)
         with entry.lock:
+            self._materialize(entry)
             if entry.engine is None:
                 if entry.table is None:
                     assert entry.loader is not None
@@ -678,6 +1156,17 @@ class Workspace:
                 # deferred appends included): the accuracy budget counts
                 # from this freshly sketched base.
                 entry.ingest.mark_rebuilt(entry.table.n_rows)
+                if self._journal is not None and entry.ingest.seq > 0:
+                    # Mark where the build froze the deferred appends so
+                    # replay builds at the same point in the row stream.
+                    # (At seq 0 the build is over the base table alone
+                    # and replay's lazy build is already identical.)
+                    self._journal.append(entry.name, {
+                        "type": RECORD_BUILD,
+                        "seq": entry.ingest.seq,
+                        "total_rows": entry.table.n_rows,
+                        "ts": time.time(),
+                    })
             return entry.engine, entry.version, entry.ingest.seq
 
     @staticmethod

@@ -1,0 +1,515 @@
+"""Crash-recovery and fault-injection suite for the durable journal.
+
+The contract under test (ISSUE 5): with a ``data_dir``, a restarted
+workspace replays the on-disk write-ahead journal to the **exact**
+``(version, seq)`` identity and query payloads an uninterrupted process
+would serve — and a torn or corrupted journal tail, at *any* byte
+offset of the final record, recovers to the last complete record:
+never an exception, never invented data.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.data.datasets import make_mixed_table
+from repro.ingest import IngestConfig
+from repro.ingest.durable import scan_records
+from repro.service import InsightRequest, Workspace
+
+#: Shared, deterministic base table + append stream for every scenario.
+BASE_SEED, STREAM_SEED = 11, 12
+BASE_ROWS = 80
+
+
+def _base_table():
+    return make_mixed_table(n_rows=BASE_ROWS, n_numeric=3, n_categorical=2,
+                            seed=BASE_SEED)
+
+
+@pytest.fixture(scope="module")
+def base_table():
+    return _base_table()
+
+
+@pytest.fixture(scope="module")
+def stream(base_table):
+    return make_mixed_table(n_rows=30, n_numeric=3, n_categorical=2,
+                            seed=STREAM_SEED).to_records()
+
+
+def _request():
+    return InsightRequest(dataset="live", insight_classes=("skew", "outliers"),
+                          top_k=3)
+
+
+def _payload(response) -> str:
+    """Canonical response bytes minus wall-clock timing."""
+    body = response.to_dict()
+    body.pop("timing")
+    return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+
+def _open(data_dir, base, **ingest_overrides) -> Workspace:
+    defaults = {"rebuild_fraction": float("inf")}
+    defaults.update(ingest_overrides)
+    workspace = Workspace(data_dir=str(data_dir) if data_dir else None,
+                          ingest=IngestConfig(**defaults))
+    # Registering over journal-restored state adopts it (the loader only
+    # serves future reloads), so restart code is identical to cold-start
+    # code — exactly how a production process would boot.
+    workspace.register("live", lambda: base)
+    return workspace
+
+
+def _segment_paths(data_dir) -> list[Path]:
+    return sorted(Path(data_dir, "live").glob("journal-*.seg"))
+
+
+class TestRestartReplay:
+    def test_restart_after_delta_merges_is_byte_identical(
+        self, tmp_path, base_table, stream
+    ):
+        live = _open(tmp_path, base_table)
+        live.engine("live")
+        live.append("live", stream[:12])
+        live.append("live", stream[12:20])
+        live_response = live.handle(_request())
+        # An uninterrupted (never-persisted) twin is the ground truth.
+        twin = _open(None, base_table)
+        twin.engine("live")
+        twin.append("live", stream[:12])
+        twin.append("live", stream[12:20])
+        assert _payload(live_response) == _payload(twin.handle(_request()))
+
+        # "Crash": the workspace is abandoned mid-flight, never closed.
+        restarted = _open(tmp_path, base_table)
+        assert restarted.state("live") == live.state("live") == (1, 2)
+        assert _payload(restarted.handle(_request())) == _payload(live_response)
+
+    def test_restart_with_deferred_appends_only(self, tmp_path, base_table,
+                                                stream):
+        live = _open(tmp_path, base_table)
+        live.append("live", stream[:10])   # no engine yet: deferred
+        assert live.state("live") == (1, 1)
+        restarted = _open(tmp_path, base_table)
+        assert restarted.state("live") == (1, 1)
+        assert restarted.table("live").n_rows == BASE_ROWS + 10
+        assert _payload(restarted.handle(_request())) == _payload(
+            live.handle(_request())
+        )
+
+    def test_cold_build_marker_freezes_the_deferred_rows(
+        self, tmp_path, base_table, stream
+    ):
+        live = _open(tmp_path, base_table)
+        live.append("live", stream[:10])   # deferred
+        live.engine("live")                # cold build over base + 10
+        live.append("live", stream[10:18])  # delta merge on top
+        reference = _payload(live.handle(_request()))
+        restarted = _open(tmp_path, base_table)
+        assert restarted.state("live") == (1, 2)
+        assert _payload(restarted.handle(_request())) == reference
+
+    def test_sync_rebuild_compacts_to_a_snapshot(self, tmp_path, base_table,
+                                                 stream):
+        live = _open(tmp_path, base_table, rebuild_fraction=0.05,
+                     background_rebuild=False)
+        live.engine("live")
+        result = live.append("live", stream[:12])  # 12 > 0.05 * 80
+        assert result.applied == "rebuild"
+        assert (tmp_path / "live" / "snapshot-00000001.json").exists()
+        reference = _payload(live.handle(_request()))
+
+        loads = []
+
+        def counting_loader():
+            loads.append(1)
+            return _base_table()
+
+        restarted = Workspace(data_dir=str(tmp_path),
+                              ingest=IngestConfig(rebuild_fraction=0.05,
+                                                  background_rebuild=False))
+        restarted.register("live", counting_loader)
+        # The snapshot supplies the rows: the loader never runs.
+        assert loads == []
+        assert restarted.state("live") == (1, 1)
+        assert _payload(restarted.handle(_request())) == reference
+
+    def test_background_swap_record_replays(self, tmp_path, base_table,
+                                            stream):
+        live = _open(tmp_path, base_table, rebuild_fraction=0.1)
+        live.engine("live")
+        result = live.append("live", stream[:12])  # beyond budget -> bg
+        assert result.applied == "delta_merge"
+        assert live.wait_for_rebuilds(timeout=30)
+        assert live.state("live") == (1, 2)  # the swap minted seq 2
+        reference = _payload(live.handle(_request()))
+        live.close()
+
+        restarted = _open(tmp_path, base_table, rebuild_fraction=0.1)
+        assert restarted.state("live") == (1, 2)
+        assert _payload(restarted.handle(_request())) == reference
+
+    def test_restart_continues_seq_and_version_counters(
+        self, tmp_path, base_table, stream
+    ):
+        live = _open(tmp_path, base_table)
+        live.append("live", stream[:5])
+        restarted = _open(tmp_path, base_table)
+        appended = restarted.append("live", stream[5:10])
+        assert (appended.version, appended.seq) == (1, 2)
+        assert restarted.reload("live") == 2  # versions never repeat
+        assert restarted.state("live") == (2, 0)
+
+    def test_inline_table_registration_survives_restart(self, tmp_path,
+                                                        base_table, stream):
+        live = Workspace(data_dir=str(tmp_path))
+        live.register("inline", base_table)
+        live.append("inline", stream[:6])
+        identity = live.state("inline")
+        request = InsightRequest(dataset="inline", insight_classes=("skew",),
+                                 top_k=3)
+        reference = _payload(live.handle(request))
+
+        # No register call at all: the snapshot is self-contained.
+        restarted = Workspace(data_dir=str(tmp_path))
+        assert "inline" in restarted
+        assert restarted.state("inline") == identity
+        assert _payload(restarted.handle(request)) == reference
+
+    def test_concrete_table_cannot_silently_discard_journalled_state(
+        self, tmp_path, base_table, stream
+    ):
+        live = _open(tmp_path, base_table)
+        live.append("live", stream[:5])
+        restarted = Workspace(data_dir=str(tmp_path))
+        with pytest.raises(Exception, match="replace=True"):
+            restarted.register("live", base_table)
+        # The state survives the refusal and replays once a loader (or an
+        # explicit replace) arrives.
+        restarted.register("live", lambda: base_table)
+        assert restarted.state("live") == (1, 1)
+
+    def test_flush_reports_durability(self, tmp_path, base_table, stream):
+        durable = _open(tmp_path, base_table, fsync=False)
+        durable.append("live", stream[:3])
+        flushed = durable.flush("live")
+        assert flushed == {"dataset": "live", "version": 1, "seq": 1,
+                           "durable": True}
+        transient = _open(None, base_table)
+        assert transient.flush("live")["durable"] is False
+
+
+class TestFaultInjection:
+    """Damage the journal tail at every byte offset; recovery must hold."""
+
+    N_APPENDS = 3
+
+    @pytest.fixture()
+    def journal(self, tmp_path, base_table, stream):
+        """A journal of three 2-row deferred appends, plus its tail span."""
+        live = _open(tmp_path, base_table)
+        for i in range(self.N_APPENDS):
+            live.append("live", stream[2 * i: 2 * i + 2])
+        live.close()
+        (segment,) = _segment_paths(tmp_path)
+        data = segment.read_bytes()
+        spans = [(start, end) for _p, start, end in scan_records(data)]
+        # generation header + one record per append
+        assert len(spans) == 1 + self.N_APPENDS
+        return tmp_path, segment, data, spans
+
+    def _recovered(self, tmp_path, base_table):
+        restarted = _open(tmp_path, base_table)
+        return restarted.state("live"), restarted.table("live").n_rows
+
+    def test_truncation_at_every_byte_offset_of_final_record(
+        self, journal, base_table
+    ):
+        tmp_path, segment, data, spans = journal
+        final_start, final_end = spans[-1]
+        for cut in range(final_start, final_end):
+            segment.write_bytes(data[:cut])
+            state, n_rows = self._recovered(tmp_path, base_table)
+            assert state == (1, self.N_APPENDS - 1), f"cut at byte {cut}"
+            assert n_rows == BASE_ROWS + 2 * (self.N_APPENDS - 1)
+
+    def test_corruption_at_every_byte_offset_of_final_record(
+        self, journal, base_table
+    ):
+        tmp_path, segment, data, spans = journal
+        final_start, final_end = spans[-1]
+        for position in range(final_start, final_end):
+            corrupted = bytearray(data)
+            corrupted[position] ^= 0x5A
+            segment.write_bytes(bytes(corrupted))
+            state, n_rows = self._recovered(tmp_path, base_table)
+            assert state == (1, self.N_APPENDS - 1), f"flip at byte {position}"
+            assert n_rows == BASE_ROWS + 2 * (self.N_APPENDS - 1)
+
+    def test_mid_journal_corruption_recovers_to_last_complete_record(
+        self, journal, base_table
+    ):
+        tmp_path, segment, data, spans = journal
+        second_start, second_end = spans[2]  # header, append#1, append#2, ...
+        corrupted = bytearray(data)
+        corrupted[(second_start + second_end) // 2] ^= 0xFF
+        segment.write_bytes(bytes(corrupted))
+        # Everything after the damage is unusable — recovery stops at the
+        # last complete record before it, inventing nothing.
+        state, n_rows = self._recovered(tmp_path, base_table)
+        assert state == (1, 1)
+        assert n_rows == BASE_ROWS + 2
+
+    def test_unreadable_generation_header_starts_fresh(self, journal,
+                                                       base_table):
+        tmp_path, segment, data, spans = journal
+        corrupted = bytearray(data)
+        corrupted[spans[0][0]] ^= 0xFF  # destroy the header record
+        segment.write_bytes(bytes(corrupted))
+        state, n_rows = self._recovered(tmp_path, base_table)
+        # Nothing of the generation is trustworthy: recover to the base.
+        assert state == (1, 0)
+        assert n_rows == BASE_ROWS
+
+    def test_tail_recovery_preserves_query_payload_bytes(
+        self, tmp_path, base_table, stream
+    ):
+        live = _open(tmp_path, base_table)
+        live.engine("live")
+        live.append("live", stream[:8])
+        reference = _payload(live.handle(_request()))  # state at seq 1
+        live.append("live", stream[8:16])
+        live.close()
+        (segment,) = _segment_paths(tmp_path)
+        data = segment.read_bytes()
+        segment.write_bytes(data[:-7])  # tear the final record
+        restarted = _open(tmp_path, base_table)
+        assert restarted.state("live") == (1, 1)
+        assert _payload(restarted.handle(_request())) == reference
+
+    def test_repair_makes_the_journal_appendable_again(self, journal,
+                                                       base_table, stream):
+        tmp_path, segment, data, spans = journal
+        segment.write_bytes(data[:-5])
+        restarted = _open(tmp_path, base_table)
+        appended = restarted.append("live", stream[20:24])
+        assert (appended.version, appended.seq) == (1, self.N_APPENDS)
+        # And the repaired + extended journal replays cleanly once more.
+        again = _open(tmp_path, base_table)
+        assert again.state("live") == (1, self.N_APPENDS)
+
+    def test_failed_append_rolls_its_torn_bytes_back(self, tmp_path,
+                                                     base_table, stream,
+                                                     monkeypatch):
+        """A failed commit must not leave garbage mid-segment.
+
+        If it did, the *next* successful (acknowledged, fsynced) append
+        would land after the garbage — and replay, which stops at the
+        first damaged record, would silently drop it.
+        """
+        import repro.ingest.durable as durable
+
+        live = _open(tmp_path, base_table)
+        live.append("live", stream[:3])
+        real_fsync = os.fsync
+        blown = []
+
+        def failing_fsync(fd):
+            if not blown:
+                blown.append(True)
+                raise OSError(28, "No space left on device")
+            return real_fsync(fd)
+
+        monkeypatch.setattr(durable.os, "fsync", failing_fsync)
+        with pytest.raises(OSError):
+            live.append("live", stream[3:6])
+        assert live.state("live") == (1, 1)  # the failed append never landed
+        appended = live.append("live", stream[6:9])
+        assert (appended.version, appended.seq) == (1, 2)
+        monkeypatch.undo()
+        live.close()
+        restarted = _open(tmp_path, base_table)
+        assert restarted.state("live") == (1, 2)
+        assert restarted.table("live").n_rows == BASE_ROWS + 6
+
+    def test_orphaned_snapshot_stays_appendable(self, tmp_path, base_table,
+                                                stream):
+        """Crash between snapshot rename and segment creation: repairable.
+
+        Recovery must recreate the generation segment so the restored
+        dataset accepts appends — not serve reads while rejecting every
+        write forever.
+        """
+        live = _open(tmp_path, base_table, rebuild_fraction=0.05,
+                     background_rebuild=False)
+        live.engine("live")
+        live.append("live", stream[:12])  # sync rebuild -> snapshot
+        live.close()
+        for segment in _segment_paths(tmp_path):
+            segment.unlink()  # the crash ate the compaction segment
+        restarted = _open(tmp_path, base_table, rebuild_fraction=0.05,
+                          background_rebuild=False)
+        assert restarted.state("live") == (1, 1)
+        appended = restarted.append("live", stream[12:15])
+        assert (appended.version, appended.seq) == (1, 2)
+        again = _open(tmp_path, base_table, rebuild_fraction=0.05,
+                      background_rebuild=False)
+        assert again.state("live") == (1, 2)
+
+
+class TestGenerationRotation:
+    """Reload / re-registration must rotate the journal before swapping."""
+
+    def test_reload_rotates_segments_on_disk(self, tmp_path, base_table,
+                                             stream):
+        live = _open(tmp_path, base_table)
+        live.append("live", stream[:5])
+        assert len(_segment_paths(tmp_path)) == 1
+        live.reload("live")
+        (segment,) = _segment_paths(tmp_path)
+        assert segment.name.startswith("journal-00000002-")
+        restarted = _open(tmp_path, base_table)
+        assert restarted.state("live") == (2, 0)
+
+    def test_stale_generation_deltas_never_replay_onto_the_new_version(
+        self, tmp_path, base_table, stream
+    ):
+        """Regression: crash between generation swap and old-segment cleanup.
+
+        Recovery must pick the newest generation and ignore the stale
+        one's deltas entirely — replaying them onto the new version was
+        the failure mode the rotate-before-swap ordering exists to
+        prevent.
+        """
+        live = _open(tmp_path, base_table)
+        live.append("live", stream[:5])
+        (old_segment,) = _segment_paths(tmp_path)
+        stale = old_segment.read_bytes()
+        live.reload("live")
+        # Simulate the crash window: the old generation's segment (with
+        # its journalled deltas) is still on disk next to the new one.
+        old_segment.write_bytes(stale)
+        assert len(_segment_paths(tmp_path)) == 2
+        restarted = _open(tmp_path, base_table)
+        assert restarted.state("live") == (2, 0)
+        assert restarted.table("live").n_rows == BASE_ROWS  # no stale rows
+
+    def test_crashed_inline_reload_never_loses_the_only_copy(
+        self, tmp_path, base_table, stream
+    ):
+        """Regression: rotating an inline-table generation must not destroy
+        the old generation's snapshot before the new one is durable.
+
+        Snapshots are per-generation files; a crash after the new
+        version's snapshot is written but before its segment exists must
+        recover the OLD generation intact (the reload was never
+        acknowledged) — not delete both copies.
+        """
+        import shutil
+
+        live = Workspace(data_dir=str(tmp_path))
+        live.register("inline", base_table)
+        live.append("inline", stream[:5])
+        live.close()
+        before = {p.name: p.read_bytes()
+                  for p in (tmp_path / "inline").iterdir()}
+
+        other = Workspace(data_dir=str(tmp_path))
+        assert other.reload("inline") == 2
+        new_snapshot = (tmp_path / "inline" / "snapshot-00000002.json"
+                        ).read_bytes()
+        other.close()
+
+        # Reconstruct the crash window: v1 fully intact, the v2 snapshot
+        # landed, the v2 segment never did.
+        shutil.rmtree(tmp_path / "inline")
+        (tmp_path / "inline").mkdir()
+        for name, data in before.items():
+            (tmp_path / "inline" / name).write_bytes(data)
+        (tmp_path / "inline" / "snapshot-00000002.json").write_bytes(
+            new_snapshot)
+
+        restarted = Workspace(data_dir=str(tmp_path))
+        assert restarted.state("inline") == (1, 1)  # old generation intact
+        assert restarted.table("inline").n_rows == BASE_ROWS + 5
+        # And the dataset still accepts appends after the repair.
+        appended = restarted.append("inline", stream[5:8])
+        assert (appended.version, appended.seq) == (1, 2)
+
+    def test_replace_registration_rotates_too(self, tmp_path, base_table,
+                                              stream):
+        live = _open(tmp_path, base_table)
+        live.append("live", stream[:5])
+        live.register("live", base_table, replace=True)
+        assert live.state("live") == (2, 0)
+        restarted = Workspace(data_dir=str(tmp_path))
+        assert restarted.state("live") == (2, 0)
+        assert restarted.table("live").n_rows == BASE_ROWS
+
+
+class TestKillAndRestart:
+    """The acceptance e2e: a SIGKILL-equivalent death, then recovery."""
+
+    CHILD = """
+import json, os, sys
+sys.path.insert(0, sys.argv[2])
+from repro.data.datasets import make_mixed_table
+from repro.ingest import IngestConfig
+from repro.service import InsightRequest, Workspace
+
+base = make_mixed_table(n_rows={base_rows}, n_numeric=3, n_categorical=2,
+                        seed={base_seed})
+stream = make_mixed_table(n_rows=30, n_numeric=3, n_categorical=2,
+                          seed={stream_seed}).to_records()
+workspace = Workspace(data_dir=sys.argv[1],
+                      ingest=IngestConfig(rebuild_fraction=float("inf")))
+workspace.register("live", lambda: base)
+workspace.engine("live")
+workspace.append("live", stream[:9])
+workspace.append("live", stream[9:17])
+response = workspace.handle(InsightRequest(
+    dataset="live", insight_classes=("skew", "outliers"), top_k=3))
+body = response.to_dict()
+body.pop("timing")
+print(json.dumps({{
+    "state": list(workspace.state("live")),
+    "payload": json.dumps(body, sort_keys=True, separators=(",", ":")),
+}}))
+sys.stdout.flush()
+os._exit(17)  # die without any cleanup: no close(), no atexit
+"""
+
+    def test_kill_and_restart_is_byte_identical(self, tmp_path, base_table,
+                                                stream):
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        child = self.CHILD.format(base_rows=BASE_ROWS, base_seed=BASE_SEED,
+                                  stream_seed=STREAM_SEED)
+        result = subprocess.run(
+            [sys.executable, "-c", child, str(tmp_path), src],
+            capture_output=True, text=True, timeout=120,
+            env={**os.environ, "PYTHONHASHSEED": "0"},
+        )
+        assert result.returncode == 17, result.stderr
+        reported = json.loads(result.stdout.strip().splitlines()[-1])
+
+        # The uninterrupted twin, run entirely in this process.
+        twin = _open(None, base_table)
+        twin.engine("live")
+        twin.append("live", stream[:9])
+        twin.append("live", stream[9:17])
+        twin_payload = _payload(twin.handle(_request()))
+        assert reported["state"] == [1, 2]
+        assert reported["payload"] == twin_payload
+
+        # Restart over the dead process's data_dir.
+        restarted = _open(tmp_path, base_table)
+        assert restarted.state("live") == (1, 2)
+        assert _payload(restarted.handle(_request())) == twin_payload

@@ -54,8 +54,11 @@ class TestAppendSemantics:
         assert stats["totals"]["delta_merges"] == 1
         assert stats["totals"]["rebuilds"] == 0
 
-    def test_budget_exhaustion_triggers_rebuild(self, table, delta_rows):
-        workspace = Workspace(ingest=IngestConfig(rebuild_fraction=0.05))
+    def test_budget_exhaustion_triggers_sync_rebuild_when_opted_in(
+        self, table, delta_rows
+    ):
+        workspace = Workspace(ingest=IngestConfig(
+            rebuild_fraction=0.05, background_rebuild=False))
         workspace.register("live", lambda: table)
         workspace.engine("live")
         result = workspace.append("live", delta_rows)  # 40 > 0.05 * 300
@@ -64,6 +67,33 @@ class TestAppendSemantics:
         assert workspace.ingest_stats()["totals"]["rebuilds"] == 1
         # The rebuilt store has no stale delta rows.
         assert workspace.engine("live").store.stats.delta_rows == 0
+
+    def test_budget_exhaustion_schedules_background_rebuild(
+        self, table, delta_rows
+    ):
+        """The default: the triggering append never pays for the rebuild.
+
+        It still delta-merges (applied="delta_merge"), and the worker's
+        atomic swap mints a sequence number of its own so the rebuilt
+        engine never shares a (version, seq) identity with the merged
+        one it replaces.
+        """
+        workspace = Workspace(ingest=IngestConfig(rebuild_fraction=0.05))
+        workspace.register("live", lambda: table)
+        workspace.engine("live")
+        result = workspace.append("live", delta_rows)  # 40 > 0.05 * 300
+        assert result.applied == "delta_merge"
+        assert (result.version, result.seq) == (1, 1)
+        assert workspace.wait_for_rebuilds(timeout=30)
+        assert workspace.state("live") == (1, 2)  # the swap minted seq 2
+        assert workspace.engine_builds("live") == 2
+        stats = workspace.ingest_stats()
+        assert stats["totals"]["rebuilds"] == 1
+        assert stats["totals"]["bg_rebuilds"] == 1
+        assert stats["datasets"]["live"]["rebuild_running"] is False
+        # The rebuilt store has no stale delta rows.
+        assert workspace.engine("live").store.stats.delta_rows == 0
+        workspace.close()
 
     def test_append_before_engine_build_is_deferred(self, workspace,
                                                     delta_rows):

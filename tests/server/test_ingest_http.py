@@ -135,6 +135,58 @@ class TestDatasetManagementAPI:
                 assert raw.status == 404
 
 
+class TestDurabilityOverHttp:
+    """The flush endpoint and server-restart recovery with a data_dir."""
+
+    def test_flush_endpoint_reports_durability(self, tmp_path, live_table,
+                                               delta_rows):
+        workspace = Workspace(data_dir=str(tmp_path))
+        workspace.register("live", lambda: live_table)
+        server = ReproServer(workspace, ServerConfig(port=0))
+        with server.start_in_thread() as handle:
+            with ReproClient(*handle.address) as client:
+                client.append_rows("live", delta_rows[:10])
+                flushed = client.flush_dataset("live")
+                assert flushed == {"protocol": 1, "dataset": "live",
+                                   "version": 1, "seq": 1, "durable": True}
+                with pytest.raises(ServerResponseError) as excinfo:
+                    client.flush_dataset("nope")
+                assert excinfo.value.status == 404
+                raw = client.request_raw("GET", "/v1/datasets/live/flush")
+                assert raw.status == 405
+
+    def test_flush_without_data_dir_is_a_no_op(self, live_table):
+        server, handle = _serving(live_table)
+        with handle:
+            with ReproClient(*handle.address) as client:
+                assert client.flush_dataset("live")["durable"] is False
+
+    def test_server_restart_replays_the_journal(self, tmp_path, live_table,
+                                                delta_rows):
+        workspace = Workspace(data_dir=str(tmp_path))
+        workspace.register("live", lambda: live_table)
+        server = ReproServer(workspace, ServerConfig(port=0))
+        with server.start_in_thread() as handle:
+            with ReproClient(*handle.address) as client:
+                client.append_rows("live", delta_rows[:10])
+                client.append_rows("live", delta_rows[10:25])
+                before = stable_payload(client.insights(_request()))
+        # A second server process over the same data_dir: identity and
+        # payload bytes survive the restart (graceful stop flushed, but
+        # fsync-on-commit means even a kill would have).
+        workspace2 = Workspace(data_dir=str(tmp_path))
+        workspace2.register("live", lambda: live_table)
+        server2 = ReproServer(workspace2, ServerConfig(port=0))
+        with server2.start_in_thread() as handle2:
+            with ReproClient(*handle2.address) as client:
+                (status,) = [d for d in client.datasets()
+                             if d["name"] == "live"]
+                assert (status["version"], status["seq"]) == (1, 2)
+                assert stable_payload(client.insights(_request())) == before
+                metrics = client.metrics()
+                assert metrics["workspace"]["ingest"]["durable"] is True
+
+
 class TestEndToEndLiveness:
     """The acceptance scenario: append over HTTP, query reflects it."""
 

@@ -22,6 +22,7 @@ import pytest
 from repro import ExecutorConfig, InsightRequest, Workspace
 from repro.core.registry import default_registry
 from repro.data.datasets import make_mixed_table
+from repro.ingest import IngestConfig
 
 ALL_CLASSES = tuple(default_registry().names())
 
@@ -224,3 +225,120 @@ class TestWorkspaceUnderConcurrency:
         response = workspace.handle(requests[0])
         assert response.dataset_version == 1 + n_reloads
         assert len(response.insights_for("skew")) == 1
+
+
+class TestBackgroundRebuild:
+    """Queries and appends racing an off-path rebuild stay consistent.
+
+    The atomic-swap contract: every response is byte-identical to the
+    reference response for the ``(version, seq)`` snapshot it claims —
+    a half-built engine serving even one request would break that — and
+    the swap mints a sequence number of its own, so the rebuilt engine
+    never masquerades under the merged engine's identity.
+    """
+
+    @staticmethod
+    def _table():
+        return make_mixed_table(n_rows=400, n_numeric=4, n_categorical=2,
+                                seed=31)
+
+    @staticmethod
+    def _stream():
+        return make_mixed_table(n_rows=60, n_numeric=4, n_categorical=2,
+                                seed=32).to_records()
+
+    @staticmethod
+    def _request():
+        return InsightRequest(dataset="live",
+                              insight_classes=("skew", "outliers"), top_k=3)
+
+    def _prepared(self):
+        workspace = Workspace(
+            ingest=IngestConfig(rebuild_fraction=float("inf")))
+        workspace.register("live", self._table())
+        workspace.engine("live")
+        stream = self._stream()
+        for start in (0, 20, 40):
+            workspace.append("live", stream[start:start + 20])
+        return workspace
+
+    def test_queries_racing_a_rebuild_match_their_snapshots_reference(self):
+        # Sequential reference: the same appends, then a rebuild — one
+        # known-good payload per reachable (version, seq).
+        reference = self._prepared()
+        expected = {3: reference.handle(self._request()).to_dict()["carousels"]}
+        swap = reference.rebuild("live")
+        assert (swap["built_from_rows"], swap["merged_rows"]) == (460, 0)
+        expected[4] = reference.handle(self._request()).to_dict()["carousels"]
+
+        workspace = self._prepared()
+        responses, errors = [], []
+        stop = threading.Event()
+
+        def query_loop():
+            try:
+                while not stop.is_set():
+                    responses.append(workspace.handle(self._request()))
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=query_loop) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        assert workspace.rebuild("live")["seq"] == 4  # races the queries
+        responses.append(workspace.handle(self._request()))
+        stop.set()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        seqs = {response.dataset_seq for response in responses}
+        assert seqs <= {3, 4}
+        assert 4 in seqs  # the post-swap query saw the rebuilt engine
+        for response in responses:
+            assert response.to_dict()["carousels"] == (
+                expected[response.dataset_seq]
+            ), f"torn read at seq {response.dataset_seq}"
+        # Exactly one extra build: the swap was atomic and single.
+        assert workspace.engine_builds("live") == 2
+
+    def test_appends_racing_a_rebuild_keep_delta_merging(self, tmp_path):
+        """Appends never block on (or get swallowed by) the rebuild.
+
+        The durable journal doubles as the correctness oracle here: the
+        live engine after a racy swap must byte-match what replaying the
+        journal — which records the exact swap position — reconstructs.
+        """
+        stream = self._stream()
+        workspace = Workspace(
+            data_dir=str(tmp_path),
+            ingest=IngestConfig(rebuild_fraction=float("inf")))
+        workspace.register("live", self._table())
+        workspace.engine("live")
+        workspace.append("live", stream[:20])
+
+        rebuilt: list[dict] = []
+        worker = threading.Thread(
+            target=lambda: rebuilt.append(workspace.rebuild("live")))
+        worker.start()
+        results = [workspace.append("live", stream[start:start + 8])
+                   for start in (20, 28, 36, 44)]
+        worker.join()
+
+        assert all(result.applied == "delta_merge" for result in results)
+        assert rebuilt[0] is not None  # the swap landed
+        final = workspace.handle(self._request())
+        live_payload = json.dumps(final.to_dict()["carousels"])
+        workspace.close()
+
+        # Inline tables snapshot at registration, so the replayed
+        # workspace restores "live" on open — no register needed.
+        replayed = Workspace(
+            data_dir=str(tmp_path),
+            ingest=IngestConfig(rebuild_fraction=float("inf")))
+        assert replayed.state("live") == (
+            final.dataset_version, final.dataset_seq
+        )
+        replay_payload = json.dumps(
+            replayed.handle(self._request()).to_dict()["carousels"])
+        assert replay_payload == live_payload

@@ -66,8 +66,10 @@ class TestDatasetManagement:
         assert status == {"name": "oecd", "version": 1, "seq": 0,
                           "loaded": False, "engine_built": False,
                           "engine_builds": 0, "lazy": True, "busy": False,
+                          "rebuild_running": False,
                           "ingest": {"seq": 0, "rows_appended": 0,
                                      "delta_merges": 0, "rebuilds": 0,
+                                     "bg_rebuilds": 0,
                                      "rows_since_rebuild": 0,
                                      "base_rows": 0}}
         workspace.engine("oecd")
