@@ -51,7 +51,7 @@ import os
 import re
 import struct
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields as dataclass_fields
 from pathlib import Path
 from typing import Any, Callable, Iterator
 from urllib.parse import quote, unquote
@@ -59,7 +59,10 @@ from urllib.parse import quote, unquote
 import numpy as np
 
 from repro.errors import IngestError
-from repro.core.engine import Foresight
+from repro.core.engine import EngineConfig, Foresight
+from repro.core.executor import ExecutorConfig
+from repro.core.neighborhood import NeighborhoodConfig
+from repro.sketch.store import SketchStoreConfig
 from repro.data.column import (
     BooleanColumn,
     CategoricalColumn,
@@ -226,6 +229,67 @@ def table_from_payload(payload: dict[str, Any]) -> DataTable:
 
 
 # ---------------------------------------------------------------------------
+# Engine configuration (persisted inside snapshots)
+# ---------------------------------------------------------------------------
+def engine_config_to_payload(config: EngineConfig) -> dict[str, Any]:
+    """A JSON image of the result-affecting engine configuration.
+
+    Persisted inside a dataset's snapshot so a restart rebuilds a
+    custom-configured dataset under the exact config it was registered
+    with — sketch seeds, capacities and mode all change what a query
+    returns, so restoring under the workspace default would silently
+    break byte-identical recovery.  The executor is deliberately
+    excluded: worker count is a per-process runtime property documented
+    not to change any output byte.
+    """
+    return {
+        "mode": config.mode,
+        "default_top_k": config.default_top_k,
+        "max_candidates_triples": config.max_candidates_triples,
+        "sketch": {f.name: getattr(config.sketch, f.name)
+                   for f in dataclass_fields(SketchStoreConfig)},
+        "neighborhood": {f.name: getattr(config.neighborhood, f.name)
+                         for f in dataclass_fields(NeighborhoodConfig)},
+    }
+
+
+def engine_config_from_payload(
+    payload: dict[str, Any],
+    executor: ExecutorConfig | None = None,
+) -> EngineConfig:
+    """Rebuild the :class:`EngineConfig` written by
+    :func:`engine_config_to_payload`.
+
+    Unknown keys are ignored (an older build reading a newer snapshot
+    must not crash on a knob it doesn't have); missing keys keep their
+    defaults.  ``executor`` supplies the owning workspace's execution
+    config — the one dimension intentionally not persisted.
+    """
+    def _known(cls: type, raw: Any) -> dict[str, Any]:
+        names = {f.name for f in dataclass_fields(cls)}
+        return {key: value for key, value in dict(raw or {}).items()
+                if key in names}
+
+    base = EngineConfig()
+    config = EngineConfig(
+        mode=str(payload.get("mode", base.mode)),
+        default_top_k=int(payload.get("default_top_k", base.default_top_k)),
+        max_candidates_triples=int(
+            payload.get("max_candidates_triples", base.max_candidates_triples)
+        ),
+        sketch=SketchStoreConfig(
+            **_known(SketchStoreConfig, payload.get("sketch"))
+        ),
+        neighborhood=NeighborhoodConfig(
+            **_known(NeighborhoodConfig, payload.get("neighborhood"))
+        ),
+    )
+    if executor is not None:
+        config.executor = executor
+    return config
+
+
+# ---------------------------------------------------------------------------
 # Durable state (what a load reconstructs from disk)
 # ---------------------------------------------------------------------------
 @dataclass
@@ -243,6 +307,12 @@ class DurableState:
     #: True when a torn/corrupt tail (or stale later segments) was found
     #: and will be dropped on repair.
     damaged: bool = False
+    #: The engine-config payload persisted for this generation, already
+    #: resolved: the snapshot's copy when a snapshot exists, else the
+    #: segment header's (which exists so a custom config survives a
+    #: crash *before* the first compaction snapshot).  None means the
+    #: workspace default applied.
+    engine_config: dict[str, Any] | None = None
 
     @property
     def seq(self) -> int:
@@ -344,11 +414,22 @@ class DatasetJournal:
             version, _path = snapshots[-1]
             snapshot = self._read_snapshot(name, version)
             if snapshot is None:
-                return None
+                # The snapshot file exists but is corrupt: its rows are
+                # gone and nothing of this generation can replay.
+                # Restarting the SAME version at seq 0 would re-mint
+                # (version, seq) identities already acknowledged for
+                # different data — rotate to a fresh generation instead.
+                if repair:
+                    self.begin_generation(name, version + 1)
+                return DurableState(version=version + 1, snapshot=None,
+                                    damaged=True)
             if repair:
                 self.begin_generation(name, version,
-                                      base_seq=int(snapshot["seq"]))
-            return DurableState(version=version, snapshot=snapshot)
+                                      base_seq=int(snapshot["seq"]),
+                                      engine_config=snapshot.get(
+                                          "engine_config"))
+            return DurableState(version=version, snapshot=snapshot,
+                                engine_config=snapshot.get("engine_config"))
         # The newest generation *with a segment* wins.  A newer
         # snapshot-only version is a crashed rotation that never started
         # its segment: the operation was never acknowledged, so the old
@@ -359,6 +440,14 @@ class DatasetJournal:
         stale_paths += [path for v, path in snapshots if v != version]
         snapshot = self._read_snapshot(name, version)
         snapshot_seq = int(snapshot["seq"]) if snapshot is not None else 0
+        #: The generation HAS a snapshot file but it is unreadable: the
+        #: compacted rows are lost, so every surviving record is
+        #: unanchored — and pretending the generation starts at seq 0
+        #: would re-mint identities already acknowledged for different
+        #: data.  Handled below by rotating to a fresh generation.
+        snapshot_corrupt = snapshot is None and any(
+            v == version for v, _path in snapshots
+        )
 
         records: list[dict[str, Any]] = []
         expected_seq = snapshot_seq
@@ -366,6 +455,7 @@ class DatasetJournal:
         truncate_at: tuple[Path, int] | None = None
         unusable: list[Path] = []
         stopped = False
+        generation_config: dict[str, Any] | None = None
         for index, (_version, base_seq, path) in enumerate(current):
             if stopped:
                 unusable.append(path)
@@ -391,6 +481,8 @@ class DatasetJournal:
                 unusable.append(path)
                 stopped = True
                 continue
+            if generation_config is None:
+                generation_config = header.get("engine_config")
             for record in segment_records[1:]:
                 kind = record.get("type")
                 if kind in (RECORD_APPEND, RECORD_SWAP):
@@ -411,6 +503,16 @@ class DatasetJournal:
                 else:
                     continue  # unknown record types are skipped, not fatal
 
+        if snapshot_corrupt:
+            # Rotation deletes every old segment and the corrupt
+            # snapshot; the bumped version guarantees no (version, seq)
+            # pair ever names two different states.
+            if repair:
+                self.begin_generation(name, version + 1,
+                                      engine_config=generation_config)
+            return DurableState(version=version + 1, snapshot=None,
+                                damaged=True,
+                                engine_config=generation_config)
         if repair:
             if truncate_at is not None:
                 path, clean = truncate_at
@@ -425,10 +527,17 @@ class DatasetJournal:
                 # Every segment of the surviving generation was unusable
                 # (e.g. a destroyed header): start a fresh one at the
                 # recovered position so appends have somewhere to land.
-                self.begin_generation(name, version, base_seq=expected_seq)
+                self.begin_generation(
+                    name, version, base_seq=expected_seq,
+                    engine_config=(snapshot.get("engine_config")
+                                   if snapshot is not None
+                                   else generation_config),
+                )
         return DurableState(
             version=version, snapshot=snapshot, records=records,
             damaged=damaged,
+            engine_config=(snapshot.get("engine_config")
+                           if snapshot is not None else generation_config),
         )
 
     def _read_snapshot(self, name: str,
@@ -448,7 +557,8 @@ class DatasetJournal:
     # Writing
     # ------------------------------------------------------------------
     def begin_generation(self, name: str, version: int,
-                         base_seq: int = 0) -> None:
+                         base_seq: int = 0,
+                         engine_config: dict[str, Any] | None = None) -> None:
         """Rotate to a fresh generation: new segment first, cleanup after.
 
         The new segment (with its generation-header record) is written
@@ -458,6 +568,12 @@ class DatasetJournal:
         other generations' segments and snapshots (snapshots are
         per-generation files, so the new generation's own snapshot — if
         compaction just wrote it — survives untouched).
+
+        ``engine_config`` (an :func:`engine_config_to_payload` dict)
+        rides in the generation header so a custom-configured dataset
+        whose process dies before its first compaction snapshot still
+        replays under the config its journalled history was produced
+        with.
         """
         directory = self._dir(name)
         directory.mkdir(parents=True, exist_ok=True)
@@ -467,12 +583,27 @@ class DatasetJournal:
         self._close_handle(name)
         path = directory / segment_filename(version, base_seq)
         handle = open(path, "ab")
-        handle.write(encode_record({
+        header: dict[str, Any] = {
             "type": RECORD_GENERATION, "version": version,
             "base_seq": base_seq,
-        }))
-        handle.flush()
-        os.fsync(handle.fileno())
+        }
+        if engine_config is not None:
+            header["engine_config"] = engine_config
+        try:
+            handle.write(encode_record(header))
+            handle.flush()
+            os.fsync(handle.fileno())
+        except BaseException:
+            # Failure-atomic, like append(): a partial segment with a
+            # torn header must not survive — recovery would take it as
+            # the newest generation, declare it unusable, and delete the
+            # still-intact previous generation with it.
+            try:
+                handle.close()
+            except OSError:  # pragma: no cover - close failure is benign
+                pass
+            self._remove(path)
+            raise
         self._fsync_dir(directory)
         for old in old_segments:
             if old != path:
@@ -540,13 +671,18 @@ class DatasetJournal:
         directory.mkdir(parents=True, exist_ok=True)
         target = directory / snapshot_filename(version)
         temporary = directory / (snapshot_filename(version) + ".tmp")
-        with open(temporary, "wb") as handle:
-            handle.write(encode_record(payload))
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(temporary, target)
+        try:
+            with open(temporary, "wb") as handle:
+                handle.write(encode_record(payload))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temporary, target)
+        except BaseException:
+            self._remove(temporary)  # recovery ignores .tmp, but be tidy
+            raise
         self._fsync_dir(directory)
-        self.begin_generation(name, version, base_seq=int(payload["seq"]))
+        self.begin_generation(name, version, base_seq=int(payload["seq"]),
+                              engine_config=payload.get("engine_config"))
 
     def close(self) -> None:
         for name in list(self._handles):
@@ -812,6 +948,8 @@ __all__ = [
     "ReplayOutcome",
     "decode_records",
     "encode_record",
+    "engine_config_from_payload",
+    "engine_config_to_payload",
     "rebuild_with_catchup",
     "replay_counters",
     "replay_state",

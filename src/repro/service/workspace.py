@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
@@ -72,6 +73,8 @@ from repro.ingest.durable import (
     RECORD_SWAP,
     DatasetJournal,
     DurableState,
+    engine_config_from_payload,
+    engine_config_to_payload,
     rebuild_with_catchup,
     replay_counters,
     replay_state,
@@ -139,6 +142,12 @@ class _DatasetEntry:
     rebuild_running: bool = False
     #: The last background-rebuild failure, if any (surfaced in stats).
     rebuild_error: str | None = None
+    #: Set (under this entry's lock) when a replace-registration installs
+    #: a new entry over this one.  Version checks can't detect that —
+    #: replacement swaps the whole object, never mutating the old one —
+    #: so holders of a stale entry (a background rebuild's off-lock
+    #: build) re-check this flag before journalling or swapping.
+    superseded: bool = False
 
 
 class Workspace:
@@ -208,6 +217,19 @@ class Workspace:
             )
             self._recover_persisted()
 
+    def _check_open(self) -> None:
+        """Refuse mutations on a closed workspace.
+
+        close() flushes and closes the journal handles; a late append or
+        registration would silently reopen them and write records no
+        shutdown barrier covers.  (Writers already in flight when
+        close() starts are safe without this: they hold their entry lock
+        through their journal write, and close()'s flush_all waits on
+        exactly that lock before the journal closes.)
+        """
+        if self._closed:
+            raise ServiceError("workspace is closed")
+
     def _next_version(self, name: str) -> int:
         with self._lock:
             version = self._version_counters.get(name, 0) + 1
@@ -241,9 +263,41 @@ class Workspace:
             self._adopt_version(name, state.version)
             if state.snapshot is not None:
                 self._pending_entry(name, state, loader=None,
-                                    engine_config=None)
+                                    engine_config=self._restored_config(state))
             else:
                 self._pending_recovery[name] = state
+
+    def _restored_config(
+        self,
+        state: DurableState,
+        supplied: EngineConfig | None = None,
+    ) -> EngineConfig | None:
+        """The engine config a restored generation must rebuild with.
+
+        The persisted config wins — ``DurableState.engine_config``
+        arrives already resolved (snapshot copy when a snapshot exists,
+        else the generation header's).  It is what produced the
+        journalled delta-merge history, so replaying with anything else
+        would break byte-identical restore.  Without a persisted config
+        the caller-supplied one (the re-registration's) applies, exactly
+        as it would have on the original registration.
+        """
+        if state.engine_config is not None:
+            return engine_config_from_payload(
+                state.engine_config, executor=self._executor_config
+            )
+        return supplied
+
+    @staticmethod
+    def _config_payload(entry: _DatasetEntry) -> dict[str, Any] | None:
+        """The entry's custom engine config as a journal payload.
+
+        None means the workspace default applied, which a restart
+        resolves identically — only explicit configs need persisting.
+        """
+        if entry.engine_config is None:
+            return None
+        return engine_config_to_payload(entry.engine_config)
 
     def _pending_entry(
         self,
@@ -321,6 +375,13 @@ class Workspace:
             },
             "table": table_to_payload(entry.table),
         }
+        config_payload = self._config_payload(entry)
+        if config_payload is not None:
+            # A custom config must survive restarts with the rows: a
+            # restored dataset rebuilt under the workspace default would
+            # silently serve different results than the uninterrupted
+            # process.
+            payload["engine_config"] = config_payload
         self._journal.write_snapshot(entry.name, payload)
 
     # ------------------------------------------------------------------
@@ -351,9 +412,17 @@ class Workspace:
           and sketch state the previous process held;
         * a brand-new name starts a journal generation, and a concrete
           table is snapshotted so it survives restarts without a loader.
+
+        A custom ``engine_config`` is persisted inside the dataset's
+        snapshot and restored with it, so a restart rebuilds with the
+        exact configuration the dataset was registered under.  For
+        journalled state the persisted config is authoritative (it is
+        what produced the journalled history); pass ``replace=True`` to
+        register under a different one.
         """
         if not name:
             raise ServiceError("dataset name must be a non-empty string")
+        self._check_open()
         if isinstance(source, DataTable):
             loader, table = None, source
         elif callable(source):
@@ -363,71 +432,182 @@ class Workspace:
                 "dataset source must be a DataTable or a zero-argument callable, "
                 f"got {type(source).__name__}"
             )
-        with self._lock:
-            existing = self._entries.get(name)
-            if existing is not None and not replace:
-                if existing.restored and loader is not None:
-                    # Restart adoption: the journal already rebuilt this
-                    # dataset from its snapshot; the loader only serves
-                    # future reloads.
-                    with existing.lock:
-                        if existing.loader is None:
-                            existing.loader = loader
-                        if (existing.engine_config is None
-                                and existing.engine is None
-                                and engine_config is not None):
-                            existing.engine_config = engine_config
-                    return
-                raise ServiceError(
-                    f"dataset {name!r} is already registered; pass replace=True "
-                    "to override it"
-                )
-            pending = (
-                self._pending_recovery.pop(name, None)
-                if existing is None else None
-            )
-        if pending is not None and not replace:
-            if pending.records or pending.snapshot is not None:
-                if table is not None:
-                    # A concrete table can't silently replace journalled
-                    # rows; put the state back and demand replace=True.
-                    with self._lock:
-                        self._pending_recovery[name] = pending
-                    raise ServiceError(
-                        f"dataset {name!r} has journalled state in the data "
-                        "dir; pass replace=True to discard it"
+        entry: _DatasetEntry | None = None
+        existing: _DatasetEntry | None = None
+        marked: _DatasetEntry | None = None
+        pending: DurableState | None = None
+        adopted = False
+        version = 0
+        while True:
+            with self._lock:
+                # Re-checked under the registry lock — the same lock
+                # close() sets _closed under — so a registration racing
+                # close() can never publish an entry (and then reopen
+                # journal handles) after the shutdown flush.  If the
+                # check fails after a prior iteration already marked the
+                # old entry, the mark MUST be rolled back: a superseded
+                # entry left current would spin every _locked_entry
+                # caller — close()'s flush_all included — forever.
+                # (Nesting marked.lock inside the held registry lock is
+                # safe here: post-mark, every acquirer of marked.lock
+                # checks the flag and bails before ever requesting the
+                # registry lock.)
+                try:
+                    self._check_open()
+                except BaseException:
+                    if (marked is not None
+                            and self._entries.get(name) is marked):
+                        with marked.lock:
+                            marked.superseded = False
+                    raise
+                existing = self._entries.get(name)
+                if existing is not None and not replace:
+                    break  # adoption or duplicate error, handled below
+                if existing is None or existing is marked:
+                    # Atomic check-and-insert: the duplicate check, the
+                    # pending-recovery pop, the version mint and the
+                    # insertion happen under one registry-lock hold, so
+                    # two racing register() calls can never both pass
+                    # the not-registered check and silently clobber each
+                    # other's entry.
+                    pending = (
+                        self._pending_recovery.pop(name, None)
+                        if existing is None else None
                     )
-                self._pending_entry(name, pending, loader=loader,
-                                    engine_config=engine_config)
+                    if pending is not None and not replace:
+                        if pending.records or pending.snapshot is not None:
+                            if table is not None:
+                                # A concrete table can't silently replace
+                                # journalled rows; put the state back and
+                                # demand replace=True.
+                                self._pending_recovery[name] = pending
+                                raise ServiceError(
+                                    f"dataset {name!r} has journalled state "
+                                    "in the data dir; pass replace=True to "
+                                    "discard it"
+                                )
+                            self._pending_entry(
+                                name, pending, loader=loader,
+                                engine_config=self._restored_config(
+                                    pending, engine_config
+                                ),
+                            )
+                            return
+                        # Header-only journal (fresh generation, no
+                        # appends): adopt the persisted version and stay
+                        # lazy — an uninterrupted process would also
+                        # still be at that version, seq 0.
+                        self._adopt_version(name, pending.version)
+                    adopted = pending is not None and not replace
+                    version = (
+                        pending.version if adopted
+                        else self._next_version(name)
+                    )
+                    entry = _DatasetEntry(
+                        name=name,
+                        loader=loader,
+                        table=table,
+                        # A header-only adoption must still honour the
+                        # config persisted in the generation header —
+                        # appends journalled under it replay under it.
+                        engine_config=(
+                            self._restored_config(pending, engine_config)
+                            if adopted else engine_config
+                        ),
+                        version=version,
+                        restored=adopted,
+                    )
+                    # Publish with the entry lock already held (it is
+                    # unpublished, so acquiring it can never block or
+                    # deadlock): appends and queries racing this
+                    # registration block on the lock until the journal
+                    # generation below exists, instead of failing on a
+                    # segment-less dataset.
+                    entry.lock.acquire()
+                    self._entries[name] = entry
+                    break
+            # Replace path: mark the current entry superseded — under
+            # its own lock, outside the registry lock (reload nests
+            # entry lock inside registry lock acquisitions, so the
+            # inverse nesting could deadlock) — then loop to re-check it
+            # is still the current entry.  Taking the old entry's lock
+            # here also serialises against an in-flight background
+            # rebuild's swap section, which re-checks the flag before
+            # journalling; so a stale rebuild either sees the flag and
+            # discards itself, or finishes its journal writes strictly
+            # before the rotation below wipes them with the old
+            # generation.
+            with existing.lock:
+                existing.superseded = True
+            marked = existing
+        if entry is None:
+            assert existing is not None
+            if existing.restored and loader is not None:
+                # Restart adoption: the journal already rebuilt this
+                # dataset from its snapshot; the loader only serves
+                # future reloads.  (The persisted engine config, when
+                # the snapshot carried one, stays authoritative for the
+                # restored generation.)
+                with existing.lock:
+                    if existing.loader is None:
+                        existing.loader = loader
+                    if (existing.engine_config is None
+                            and existing.engine is None
+                            and engine_config is not None):
+                        existing.engine_config = engine_config
                 return
-            # Header-only journal (fresh generation, no appends): adopt
-            # the persisted version and stay lazy — an uninterrupted
-            # process would also still be at that version, seq 0.
-            self._adopt_version(name, pending.version)
-        adopted = pending is not None and not replace
-        with self._lock:
-            version = (
-                pending.version if adopted else self._next_version(name)
+            raise ServiceError(
+                f"dataset {name!r} is already registered; pass replace=True "
+                "to override it"
             )
-            self._entries[name] = _DatasetEntry(
-                name=name,
-                loader=loader,
-                table=table,
-                engine_config=engine_config,
-                version=version,
-                restored=adopted,
-            )
-        if self._journal is not None:
-            if table is not None:
-                # Inline tables must survive restarts without a loader:
-                # the snapshot is their durable source of truth.  The
-                # snapshot write rotates the generation itself, which
-                # also clears any state being replaced.
-                entry = self._entries[name]
-                with entry.lock:
+        try:
+            if self._journal is not None:
+                if table is not None:
+                    # Inline tables must survive restarts without a
+                    # loader: the snapshot is their durable source of
+                    # truth.  The snapshot write rotates the generation
+                    # itself, which also clears any state being replaced.
                     self._write_snapshot_locked(entry)
-            elif not adopted:
-                self._journal.begin_generation(name, version)
+                elif not adopted:
+                    self._journal.begin_generation(
+                        name, version,
+                        engine_config=self._config_payload(entry),
+                    )
+        except BaseException:
+            # A failed journal write (ENOSPC, I/O error) must not leave
+            # the entry published with no generation segment: every
+            # append would fail forever and re-registration would demand
+            # replace=True.  Unpublish it — and for a failed *replace*,
+            # reinstate the old entry, which is still fully healthy: its
+            # engine, table and on-disk generation are untouched
+            # (rotation is failure-atomic and deletes old files only
+            # after the new segment is durable).
+            reinstated = False
+            with self._lock:
+                if self._entries.get(name) is entry:
+                    if existing is not None:
+                        self._entries[name] = existing
+                        reinstated = True
+                    else:
+                        del self._entries[name]
+                if pending is not None and name not in self._entries:
+                    # The on-disk journalled state is still intact
+                    # (rotation is failure-atomic): put the popped
+                    # recovery state back so a retried registration
+                    # still replays it — or still demands replace=True.
+                    self._pending_recovery[name] = pending
+            if reinstated:
+                # Clear the supersession flag only after the dict points
+                # back at the old entry: callers spinning in
+                # _locked_entry retry harmlessly in between, while a
+                # prematurely cleared flag would let a stale holder
+                # journal through a dead object.
+                with existing.lock:
+                    existing.superseded = False
+            entry.superseded = True
+            raise
+        finally:
+            entry.lock.release()
         if existing is not None:
             self._cache.invalidate(name)
 
@@ -464,8 +644,7 @@ class Workspace:
         Loading is single-flight: concurrent callers on a cold dataset
         run the loader exactly once.
         """
-        entry = self._entry(name)
-        with entry.lock:
+        with self._locked_entry(name) as entry:
             self._materialize(entry)
             if entry.table is None:
                 assert entry.loader is not None
@@ -498,8 +677,8 @@ class Workspace:
         cache/engine invalidation, which is the explicit way to signal
         "the underlying data changed" after in-place mutation.
         """
-        entry = self._entry(name)
-        with entry.lock:
+        with self._locked_entry(name) as entry:
+            self._check_open()
             if entry.pending is not None:
                 if entry.loader is not None:
                     # A reload discards the generation anyway: skip the
@@ -518,7 +697,10 @@ class Workspace:
                 # therefore recovers to either the old generation intact
                 # or the new one empty; the previous generation's deltas
                 # can never replay onto the new version.
-                self._journal.begin_generation(name, version)
+                self._journal.begin_generation(
+                    name, version,
+                    engine_config=self._config_payload(entry),
+                )
             if entry.loader is not None:
                 entry.table = None
             entry.engine = None
@@ -575,9 +757,9 @@ class Workspace:
         version-and-seq-qualified cache key already makes them
         unreachable, invalidation just reclaims the memory eagerly.
         """
-        entry = self._entry(name)
         schedule_rebuild = False
-        with entry.lock:
+        with self._locked_entry(name) as entry:
+            self._check_open()
             self._materialize(entry)
             if entry.table is None:
                 assert entry.loader is not None
@@ -700,8 +882,12 @@ class Workspace:
         Returns a summary dict, or None when there was nothing to
         rebuild (no approximate engine) or the result was discarded.
         """
+        if self._closed:
+            return None
         entry = self._entry(name)
         with entry.lock:
+            if entry.superseded:
+                return None
             self._materialize(entry)
             engine = entry.engine
             if engine is None:
@@ -725,8 +911,21 @@ class Workspace:
         fresh = Foresight(base_table, registry=registry, config=config,
                           executor=executor)
         with entry.lock:
-            if entry.version != version or entry.engine is None:
-                return None  # a reload/replace superseded this rebuild
+            # A reload bumps the version on this same entry; a
+            # replace-registration installs a whole new entry and flags
+            # this one (version comparison alone can't see that — the
+            # stale object's version never changes).  Either way the
+            # rebuild is superseded: it must not swap, and above all it
+            # must not journal into or snapshot over the generation that
+            # replaced it.  The flag is set under this lock, so the
+            # check is atomic with the journal writes below.  _closed is
+            # re-checked too: the off-lock build ran outside any lock,
+            # so close() — which only waits on the maintenance pool and
+            # the entry locks — may have flushed and closed the journal
+            # under a direct rebuild() call in the meantime.
+            if (entry.superseded or self._closed
+                    or entry.version != version or entry.engine is None):
+                return None
             if entry.engine.store is None:  # pragma: no cover - defensive
                 return None
             n_now = entry.table.n_rows
@@ -763,8 +962,7 @@ class Workspace:
 
     def _schedule_rebuild(self, name: str) -> None:
         """Queue a background rebuild unless one is already in flight."""
-        entry = self._entry(name)
-        with entry.lock:
+        with self._locked_entry(name) as entry:
             if entry.rebuild_running or self._closed:
                 return
             entry.rebuild_running = True
@@ -831,8 +1029,7 @@ class Workspace:
         point.  Returns the dataset's current identity and whether the
         workspace is durable at all.
         """
-        entry = self._entry(name)
-        with entry.lock:
+        with self._locked_entry(name) as entry:
             if self._journal is not None:
                 self._journal.sync(name)
             return {
@@ -1125,6 +1322,27 @@ class Workspace:
             except KeyError:
                 raise UnknownDatasetError(name, self.datasets()) from None
 
+    @contextmanager
+    def _locked_entry(self, name: str):
+        """The dataset's *current* entry, locked.
+
+        Between fetching an entry and acquiring its lock, a
+        replace-registration can install a whole new entry — the fetched
+        one is then a dead object whose journal handle now points into
+        the replacement's generation, so mutating (or journalling
+        through) it would corrupt the replacement's state.  The replace
+        path marks the old entry ``superseded`` under its own lock
+        before rotating, so re-checking the flag once the lock is held
+        detects the race; losers simply retry on the current entry.
+        """
+        while True:
+            entry = self._entry(name)
+            with entry.lock:
+                if entry.superseded:
+                    continue  # replaced while we waited on its lock
+                yield entry
+                return
+
     def _engine_snapshot(self, name: str) -> tuple[Foresight, int, int]:
         """The dataset's engine, version and seq, consistent under concurrency.
 
@@ -1136,8 +1354,7 @@ class Workspace:
         or appends race — the triple names exactly the snapshot the
         response is computed from.
         """
-        entry = self._entry(name)
-        with entry.lock:
+        with self._locked_entry(name) as entry:
             self._materialize(entry)
             if entry.engine is None:
                 if entry.table is None:

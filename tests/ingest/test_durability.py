@@ -14,14 +14,24 @@ import json
 import os
 import subprocess
 import sys
+import threading
 from pathlib import Path
 
 import pytest
 
+from repro.core.engine import EngineConfig
+from repro.core.neighborhood import NeighborhoodConfig
 from repro.data.datasets import make_mixed_table
+from repro.errors import ServiceError
 from repro.ingest import IngestConfig
-from repro.ingest.durable import scan_records
+from repro.ingest.durable import (
+    DatasetJournal,
+    engine_config_from_payload,
+    engine_config_to_payload,
+    scan_records,
+)
 from repro.service import InsightRequest, Workspace
+from repro.sketch.store import SketchStoreConfig
 
 #: Shared, deterministic base table + append stream for every scenario.
 BASE_SEED, STREAM_SEED = 11, 12
@@ -513,3 +523,403 @@ os._exit(17)  # die without any cleanup: no close(), no atexit
         restarted = _open(tmp_path, base_table)
         assert restarted.state("live") == (1, 2)
         assert _payload(restarted.handle(_request())) == twin_payload
+
+
+class TestEngineConfigPersistence:
+    """A custom engine config must restore with the snapshot.
+
+    Sketch seeds, capacities and mode all change what a query returns;
+    a restored dataset rebuilt under the workspace default would
+    silently serve different results than the uninterrupted process.
+    """
+
+    def test_config_roundtrips_through_its_payload(self):
+        config = EngineConfig(
+            default_top_k=4,
+            sketch=SketchStoreConfig(seed=7, frequent_capacity=64),
+            neighborhood=NeighborhoodConfig(candidate_pool=10),
+            max_candidates_triples=1234,
+        )
+        # Through real JSON text, exactly like the snapshot file.
+        payload = json.loads(json.dumps(engine_config_to_payload(config)))
+        restored = engine_config_from_payload(payload)
+        assert restored.mode == config.mode
+        assert restored.default_top_k == 4
+        assert restored.max_candidates_triples == 1234
+        assert restored.sketch == config.sketch
+        assert restored.neighborhood == config.neighborhood
+
+    def test_unknown_payload_keys_are_ignored(self):
+        payload = engine_config_to_payload(EngineConfig())
+        payload["future_knob"] = True
+        payload["sketch"]["future_sketch_knob"] = 3
+        restored = engine_config_from_payload(payload)
+        assert restored.sketch == EngineConfig().sketch
+
+    def test_custom_config_survives_restart_without_reregistration(
+        self, tmp_path, base_table, stream
+    ):
+        config = EngineConfig(
+            default_top_k=4,
+            sketch=SketchStoreConfig(seed=7, frequent_capacity=64),
+        )
+        live = Workspace(data_dir=str(tmp_path),
+                         ingest=IngestConfig(rebuild_fraction=float("inf")))
+        live.register("live", base_table, engine_config=config)
+        live.engine("live")
+        live.append("live", stream[:10])
+        reference = _payload(live.handle(_request()))
+        live.close()
+
+        # No register() at all: snapshot-backed datasets materialise on
+        # first use, and must do so under the persisted config.
+        restored = Workspace(data_dir=str(tmp_path),
+                             ingest=IngestConfig(rebuild_fraction=float("inf")))
+        engine = restored.engine("live")
+        assert engine.config.sketch.seed == 7
+        assert engine.config.sketch.frequent_capacity == 64
+        assert engine.config.default_top_k == 4
+        assert _payload(restored.handle(_request())) == reference
+        restored.close()
+
+    def test_header_config_survives_crash_before_first_snapshot(
+        self, tmp_path, base_table, stream
+    ):
+        """Loader-backed journals have no snapshot until a rebuild: the
+        generation header is the custom config's only durable copy, and
+        replaying the journalled delta merges under the workspace
+        default instead would silently change query results."""
+        config = EngineConfig(sketch=SketchStoreConfig(seed=7))
+        live = Workspace(data_dir=str(tmp_path),
+                         ingest=IngestConfig(rebuild_fraction=float("inf")))
+        live.register("live", lambda: base_table, engine_config=config)
+        live.engine("live")
+        live.append("live", stream[:10])
+        reference = _payload(live.handle(_request()))
+        live.close()
+        # No snapshot was ever written — the scenario under test.
+        assert not list(Path(tmp_path, "live").glob("snapshot-*.json"))
+
+        restored = Workspace(data_dir=str(tmp_path),
+                             ingest=IngestConfig(rebuild_fraction=float("inf")))
+        restored.register("live", lambda: base_table)  # config omitted
+        engine = restored.engine("live")
+        assert engine.config.sketch.seed == 7
+        assert _payload(restored.handle(_request())) == reference
+        restored.close()
+
+
+class TestRegistrationJournalRace:
+    def test_append_racing_a_fresh_registration_waits_for_the_segment(
+        self, tmp_path, base_table, stream, monkeypatch
+    ):
+        """The generation segment is created under the entry lock before
+        the entry is usable: an append racing a loader-backed
+        registration blocks until the segment exists instead of failing
+        with "no journal segment"."""
+        workspace = Workspace(
+            data_dir=str(tmp_path),
+            ingest=IngestConfig(rebuild_fraction=float("inf")))
+        real_begin = DatasetJournal.begin_generation
+        rotation_started = threading.Event()
+        release_rotation = threading.Event()
+
+        def stalled_begin(journal, name, version, **kwargs):
+            rotation_started.set()
+            assert release_rotation.wait(timeout=30)
+            return real_begin(journal, name, version, **kwargs)
+
+        monkeypatch.setattr(DatasetJournal, "begin_generation", stalled_begin)
+        register_thread = threading.Thread(
+            target=lambda: workspace.register("live", lambda: base_table))
+        register_thread.start()
+        assert rotation_started.wait(timeout=30)
+
+        results: list = []
+        errors: list[Exception] = []
+
+        def append():
+            try:
+                results.append(workspace.append("live", stream[:3]))
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        append_thread = threading.Thread(target=append)
+        append_thread.start()
+        # The entry is already visible, but its segment isn't durable
+        # yet: the append must wait on the registration, not race past
+        # it (the old code raised IngestError here).
+        append_thread.join(timeout=0.3)
+        assert append_thread.is_alive(), errors
+        release_rotation.set()
+        register_thread.join(timeout=30)
+        append_thread.join(timeout=30)
+
+        assert errors == []
+        assert results and (results[0].version, results[0].seq) == (1, 1)
+        workspace.close()
+
+
+class TestRecoveryHardening:
+    """Failure paths that must never reuse identities or wedge a dataset."""
+
+    def test_corrupt_snapshot_never_reuses_identities(self, tmp_path,
+                                                      base_table, stream):
+        live = _open(tmp_path, base_table)
+        live.engine("live")
+        live.append("live", stream[:10])
+        assert live.rebuild("live")["seq"] == 2  # writes the snapshot
+        live.close()
+        snapshot = next(Path(tmp_path, "live").glob("snapshot-*.json"))
+        data = bytearray(snapshot.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        snapshot.write_bytes(bytes(data))
+
+        # The compacted rows are unrecoverable; what recovery must NOT
+        # do is restart generation 1 at seq 0 and hand out (1, ...)
+        # identities again for different data.
+        restarted = _open(tmp_path, base_table)
+        assert restarted.state("live") == (2, 0)
+        appended = restarted.append("live", stream[:3])
+        assert (appended.version, appended.seq) == (2, 1)
+        restarted.close()
+
+    def test_closed_workspace_refuses_writes(self, tmp_path, base_table,
+                                             stream):
+        live = _open(tmp_path, base_table)
+        live.append("live", stream[:3])
+        live.close()
+        with pytest.raises(ServiceError):
+            live.append("live", stream[3:6])
+        with pytest.raises(ServiceError):
+            live.reload("live")
+        with pytest.raises(ServiceError):
+            live.register("other", lambda: base_table)
+        assert live.rebuild("live") is None
+        # The refused writes resurrected no journal handle.
+        assert live._journal._handles == {}
+
+    def test_failed_generation_write_unregisters_the_name(
+        self, tmp_path, base_table, stream, monkeypatch
+    ):
+        workspace = Workspace(data_dir=str(tmp_path))
+        real_begin = DatasetJournal.begin_generation
+        calls = {"n": 0}
+
+        def failing_begin(journal, name, version, **kwargs):
+            if calls["n"] == 0:
+                calls["n"] += 1
+                raise OSError("disk full")
+            return real_begin(journal, name, version, **kwargs)
+
+        monkeypatch.setattr(DatasetJournal, "begin_generation", failing_begin)
+        with pytest.raises(OSError):
+            workspace.register("live", lambda: base_table)
+        # The failed registration left nothing behind: the name is free
+        # and immediately functional on retry.
+        assert "live" not in workspace
+        workspace.register("live", lambda: base_table)
+        appended = workspace.append("live", stream[:3])
+        assert (appended.version, appended.seq) == (2, 1)
+        workspace.close()
+
+    def test_failed_replace_keeps_the_old_dataset_serving(
+        self, tmp_path, base_table, stream, monkeypatch
+    ):
+        """A failed replace rolls back to the previous entry: the old
+        generation — in memory and on disk — is untouched, so the
+        dataset must keep serving and appending under its old identity
+        rather than vanish."""
+        live = _open(tmp_path, base_table)
+        live.engine("live")
+        live.append("live", stream[:5])
+        reference = _payload(live.handle(_request()))
+
+        real_begin = DatasetJournal.begin_generation
+        fail = {"armed": True}
+
+        def failing_begin(journal, name, version, **kwargs):
+            if fail["armed"]:
+                fail["armed"] = False
+                raise OSError("disk full")
+            return real_begin(journal, name, version, **kwargs)
+
+        monkeypatch.setattr(DatasetJournal, "begin_generation", failing_begin)
+        with pytest.raises(OSError):
+            live.register("live", lambda: _base_table(), replace=True)
+
+        # The old entry is back: same identity, same payloads (still
+        # cache-served — the rollback rightly invalidates nothing), and
+        # the journal still appends into the old generation.
+        assert live.state("live") == (1, 1)
+        after = live.handle(_request())
+        assert after.provenance["cache"] == "hit"
+        after.provenance = {**after.provenance, "cache": "miss"}
+        assert _payload(after) == reference
+        appended = live.append("live", stream[5:8])
+        assert (appended.version, appended.seq) == (1, 2)
+        live.close()
+        restarted = _open(tmp_path, base_table)
+        assert restarted.state("live") == (1, 2)
+        restarted.close()
+
+    def test_direct_rebuild_racing_close_discards_itself(
+        self, tmp_path, base_table, stream, monkeypatch
+    ):
+        """close() waits only on the maintenance pool and entry locks —
+        a direct rebuild() call mid-off-lock-build escapes both, so its
+        swap section must notice the closed workspace and discard
+        instead of journalling into a closed journal."""
+        import repro.service.workspace as workspace_module
+
+        live = _open(tmp_path, base_table)
+        live.engine("live")
+        live.append("live", stream[:5])
+
+        real_foresight = workspace_module.Foresight
+        build_started = threading.Event()
+        release_build = threading.Event()
+
+        def stalled_foresight(*args, **kwargs):
+            build_started.set()
+            assert release_build.wait(timeout=30)
+            return real_foresight(*args, **kwargs)
+
+        monkeypatch.setattr(workspace_module, "Foresight", stalled_foresight)
+        outcomes: list[dict | None] = []
+        worker = threading.Thread(
+            target=lambda: outcomes.append(live.rebuild("live")))
+        worker.start()
+        assert build_started.wait(timeout=30)
+        live.close()  # flushes and closes the journal under the rebuild
+        monkeypatch.setattr(workspace_module, "Foresight", real_foresight)
+        release_build.set()
+        worker.join(timeout=30)
+        assert not worker.is_alive()
+
+        assert outcomes == [None]  # discarded, nothing journalled
+        assert live._journal._handles == {}  # no handle resurrected
+
+    def test_header_config_adopted_when_no_appends_were_journalled(
+        self, tmp_path, base_table, stream
+    ):
+        """Header-only journals (fresh generation, zero appends) carry
+        the custom config too: re-registering without one after a
+        restart must not fall back to the workspace default."""
+        config = EngineConfig(sketch=SketchStoreConfig(seed=7))
+        live = Workspace(data_dir=str(tmp_path),
+                         ingest=IngestConfig(rebuild_fraction=float("inf")))
+        live.register("live", lambda: base_table, engine_config=config)
+        live.close()  # crash-equivalent: nothing but the header on disk
+
+        restored = Workspace(data_dir=str(tmp_path),
+                             ingest=IngestConfig(rebuild_fraction=float("inf")))
+        restored.register("live", lambda: base_table)  # config omitted
+        assert restored.engine("live").config.sketch.seed == 7
+        # And appends journalled now replay under that config later.
+        restored.append("live", stream[:5])
+        reference = _payload(restored.handle(_request()))
+        restored.close()
+        second = Workspace(data_dir=str(tmp_path),
+                           ingest=IngestConfig(rebuild_fraction=float("inf")))
+        second.register("live", lambda: base_table)
+        assert _payload(second.handle(_request())) == reference
+        second.close()
+
+    def test_failed_replace_restores_pending_recovery_state(
+        self, tmp_path, base_table, stream, monkeypatch
+    ):
+        """A failed replace of a recovered-but-unregistered dataset must
+        re-stash its pending journal state: the rows on disk are intact,
+        so a retried loader registration still replays them."""
+        live = _open(tmp_path, base_table)
+        live.engine("live")
+        live.append("live", stream[:5])  # journalled, then "crash"
+
+        recovered = Workspace(data_dir=str(tmp_path),
+                              ingest=IngestConfig(
+                                  rebuild_fraction=float("inf")))
+        real_begin = DatasetJournal.begin_generation
+        fail = {"armed": True}
+
+        def failing_begin(journal, name, version, **kwargs):
+            if fail["armed"]:
+                fail["armed"] = False
+                raise OSError("disk full")
+            return real_begin(journal, name, version, **kwargs)
+
+        monkeypatch.setattr(DatasetJournal, "begin_generation", failing_begin)
+        with pytest.raises(OSError):
+            recovered.register("live", _base_table(), replace=True)
+
+        # The journalled generation still replays on a loader retry —
+        # and a concrete table still requires explicit consent.
+        with pytest.raises(ServiceError, match="journalled state"):
+            recovered.register("live", _base_table())
+        recovered.register("live", lambda: base_table)
+        assert recovered.state("live") == (1, 1)
+        assert recovered.table("live").n_rows == BASE_ROWS + 5
+        recovered.close()
+
+    def test_register_racing_close_is_refused(self, tmp_path, base_table,
+                                              monkeypatch):
+        """close() landing between register()'s entry check and its
+        insert must refuse the registration — not let it publish an
+        entry and reopen journal handles after the shutdown flush."""
+        workspace = Workspace(data_dir=str(tmp_path))
+        real_check = Workspace._check_open
+        armed = {"v": True}
+
+        def racing_check(self):
+            real_check(self)
+            if armed["v"]:
+                # Deterministically emulate the preemption: close()
+                # completes right after the entry check passes.
+                armed["v"] = False
+                self.close()
+
+        monkeypatch.setattr(Workspace, "_check_open", racing_check)
+        with pytest.raises(ServiceError):
+            workspace.register("late", lambda: base_table)
+        assert "late" not in workspace
+        assert workspace._journal._handles == {}
+
+    def test_close_racing_replace_rolls_the_mark_back(
+        self, tmp_path, base_table, monkeypatch
+    ):
+        """close() landing between a replace's supersession mark and its
+        install must roll the mark back: a superseded entry left
+        current would spin every _locked_entry caller — close()'s own
+        flush_all included — forever."""
+        workspace = Workspace(data_dir=str(tmp_path))
+        workspace.register("live", base_table)
+
+        real_check = Workspace._check_open
+        calls = {"n": 0}
+
+        def racing_check(self):
+            # Call 1 = register() entry, call 2 = loop pass that marks
+            # the old entry, call 3 = the re-check after the mark: the
+            # workspace "closes" exactly in that window.
+            calls["n"] += 1
+            if calls["n"] == 3:
+                self._closed = True
+            real_check(self)
+
+        monkeypatch.setattr(Workspace, "_check_open", racing_check)
+        with pytest.raises(ServiceError, match="closed"):
+            workspace.register("live", _base_table(), replace=True)
+        monkeypatch.setattr(Workspace, "_check_open", real_check)
+
+        # The mark was rolled back: the old entry is current and
+        # lockable — a reader completes instead of spinning.
+        assert workspace._entry("live").superseded is False
+        result: list[int] = []
+        reader = threading.Thread(
+            target=lambda: result.append(workspace.table("live").n_rows),
+            daemon=True)
+        reader.start()
+        reader.join(timeout=10)
+        assert result == [BASE_ROWS]
+        workspace._closed = False  # reopen the simulated close
+        workspace.close()

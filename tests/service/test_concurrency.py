@@ -22,6 +22,7 @@ import pytest
 from repro import ExecutorConfig, InsightRequest, Workspace
 from repro.core.registry import default_registry
 from repro.data.datasets import make_mixed_table
+from repro.errors import ServiceError
 from repro.ingest import IngestConfig
 
 ALL_CLASSES = tuple(default_registry().names())
@@ -226,6 +227,47 @@ class TestWorkspaceUnderConcurrency:
         assert response.dataset_version == 1 + n_reloads
         assert len(response.insights_for("skew")) == 1
 
+    def test_concurrent_register_same_name_has_exactly_one_winner(self):
+        """register() is an atomic check-and-insert.
+
+        N threads racing to register one new name produce exactly one
+        entry; the losers get the "already registered" error instead of
+        silently clobbering the winner's dataset (or double-starting its
+        journal generation).
+        """
+        def loader():
+            return make_mixed_table(n_rows=40, n_numeric=2,
+                                    n_categorical=1, seed=13)
+
+        for _attempt in range(5):
+            workspace = Workspace()
+            n_threads = 8
+            gate = threading.Barrier(n_threads, timeout=10)
+            outcomes: list[str] = []
+            record = threading.Lock()
+
+            def race():
+                gate.wait()
+                try:
+                    workspace.register("shared", loader)
+                    result = "registered"
+                except ServiceError:
+                    result = "duplicate"
+                with record:
+                    outcomes.append(result)
+
+            threads = [threading.Thread(target=race)
+                       for _ in range(n_threads)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+            assert outcomes.count("registered") == 1
+            assert outcomes.count("duplicate") == n_threads - 1
+            assert workspace.datasets() == ["shared"]
+            assert workspace.version("shared") == 1
+
 
 class TestBackgroundRebuild:
     """Queries and appends racing an off-path rebuild stay consistent.
@@ -342,3 +384,118 @@ class TestBackgroundRebuild:
         replay_payload = json.dumps(
             replayed.handle(self._request()).to_dict()["carousels"])
         assert replay_payload == live_payload
+
+    def test_replace_registration_discards_a_racing_rebuild(
+        self, tmp_path, monkeypatch
+    ):
+        """A rebuild that loses the race to register(replace=True) must
+        vanish entirely.
+
+        The stale rebuild captured the old entry object, whose version
+        never changes when replacement installs a new entry — so without
+        an explicit supersession flag it would swap its engine in AND
+        journal its swap record + snapshot (old version!) into the
+        replacement's generation, destroying the replacement's only
+        durable copy and resurrecting the old dataset on restart.
+        """
+        import repro.service.workspace as workspace_module
+
+        stream = self._stream()
+        workspace = Workspace(
+            data_dir=str(tmp_path),
+            ingest=IngestConfig(rebuild_fraction=float("inf")))
+        workspace.register("live", self._table())
+        workspace.engine("live")
+        workspace.append("live", stream[:20])
+
+        real_foresight = workspace_module.Foresight
+        build_started = threading.Event()
+        release_build = threading.Event()
+
+        def stalled_foresight(*args, **kwargs):
+            build_started.set()
+            assert release_build.wait(timeout=30)
+            return real_foresight(*args, **kwargs)
+
+        monkeypatch.setattr(workspace_module, "Foresight", stalled_foresight)
+        outcomes: list[dict | None] = []
+        worker = threading.Thread(
+            target=lambda: outcomes.append(workspace.rebuild("live")))
+        worker.start()
+        assert build_started.wait(timeout=30)
+
+        # While the rebuild's off-lock build is in flight, replace the
+        # dataset wholesale: different rows, a new generation on disk.
+        replacement = make_mixed_table(n_rows=50, n_numeric=4,
+                                       n_categorical=2, seed=33)
+        workspace.register("live", replacement, replace=True)
+        monkeypatch.setattr(workspace_module, "Foresight", real_foresight)
+        release_build.set()
+        worker.join(timeout=30)
+        assert not worker.is_alive()
+
+        assert outcomes == [None]  # the stale rebuild discarded itself
+        assert workspace.state("live") == (2, 0)
+        assert workspace.table("live").n_rows == 50
+        # Appends keep landing in the replacement's generation.
+        appended = workspace.append("live", stream[:5])
+        assert (appended.version, appended.seq) == (2, 1)
+        workspace.close()
+
+        # A restart restores the replacement: the stale rebuild never
+        # journalled into (or snapshotted over) its generation.
+        replayed = Workspace(
+            data_dir=str(tmp_path),
+            ingest=IngestConfig(rebuild_fraction=float("inf")))
+        assert replayed.state("live") == (2, 1)
+        assert replayed.table("live").n_rows == 55
+        replayed.close()
+
+    def test_append_losing_the_lock_race_to_replace_lands_on_the_replacement(
+        self, tmp_path, monkeypatch
+    ):
+        """Fetching an entry and locking it is not atomic.
+
+        A replace-registration landing in that window leaves the caller
+        holding a dead entry whose journal handle now points into the
+        replacement's generation — appending through it would journal
+        the old dataset's rows (and seq) into the new generation.  The
+        locked-entry helper must detect the superseded entry and retry
+        on the current one.
+        """
+        stream = self._stream()
+        workspace = Workspace(
+            data_dir=str(tmp_path),
+            ingest=IngestConfig(rebuild_fraction=float("inf")))
+        workspace.register("live", self._table())
+        workspace.engine("live")
+
+        replacement = make_mixed_table(n_rows=50, n_numeric=4,
+                                       n_categorical=2, seed=33)
+        real_entry = Workspace._entry
+        state = {"armed": True}
+
+        def racing_entry(self, name):
+            entry = real_entry(self, name)
+            if state["armed"] and name == "live":
+                # Deterministically emulate the preemption: the replace
+                # completes after the fetch, before the lock.
+                state["armed"] = False
+                self.register("live", replacement, replace=True)
+            return entry
+
+        monkeypatch.setattr(Workspace, "_entry", racing_entry)
+        result = workspace.append("live", stream[:5])
+        monkeypatch.setattr(Workspace, "_entry", real_entry)
+
+        # The append retried onto the replacement — never the dead entry.
+        assert (result.version, result.seq) == (2, 1)
+        assert workspace.table("live").n_rows == 55
+        workspace.close()
+
+        replayed = Workspace(
+            data_dir=str(tmp_path),
+            ingest=IngestConfig(rebuild_fraction=float("inf")))
+        assert replayed.state("live") == (2, 1)
+        assert replayed.table("live").n_rows == 55
+        replayed.close()
