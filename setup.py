@@ -23,6 +23,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-serve=repro.server.__main__:main",
+            "repro-lint=repro.analysis.__main__:main",
         ],
     },
 )

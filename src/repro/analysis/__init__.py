@@ -1,0 +1,61 @@
+"""Project-invariant static analysis (``repro-lint``).
+
+Five AST-based checkers encode the repository's load-bearing contracts
+as machine-checked rules:
+
+==========================  ============================================
+rule id                     invariant
+==========================  ============================================
+``lock-order``              declared lock hierarchy, acyclic acquisition
+``snapshot-immutability``   published tables/stores never mutated
+``determinism``             no ambient RNG/clock/hash-order in the core
+``durability-protocol``     WAL writes fsynced, guarded, owner-only
+``async-hygiene``           no blocking calls on the event loop
+==========================  ============================================
+
+See ``docs/ANALYSIS.md`` for the full catalog and suppression syntax.
+"""
+
+from __future__ import annotations
+
+from .async_hygiene import AsyncHygieneRule
+from .determinism import DeterminismRule
+from .durability import DurabilityRule
+from .engine import Analyzer, Finding, Report, Rule, SourceModule
+from .immutability import ImmutabilityRule
+from .locks import LockOrderRule, collect_lock_sites
+from .project import DEFAULT_CONFIG, LockSpec, ProjectConfig
+
+__all__ = [
+    "Analyzer",
+    "AsyncHygieneRule",
+    "DEFAULT_CONFIG",
+    "DeterminismRule",
+    "DurabilityRule",
+    "Finding",
+    "ImmutabilityRule",
+    "LockOrderRule",
+    "LockSpec",
+    "ProjectConfig",
+    "Report",
+    "Rule",
+    "SourceModule",
+    "build_analyzer",
+    "collect_lock_sites",
+]
+
+
+def default_rules(config: ProjectConfig | None = None) -> list[Rule]:
+    config = config or DEFAULT_CONFIG
+    return [
+        LockOrderRule(config),
+        ImmutabilityRule(config),
+        DeterminismRule(config),
+        DurabilityRule(config),
+        AsyncHygieneRule(config),
+    ]
+
+
+def build_analyzer(config: ProjectConfig | None = None) -> Analyzer:
+    """The analyzer with all five project rules installed."""
+    return Analyzer(default_rules(config))

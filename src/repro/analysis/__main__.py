@@ -1,0 +1,71 @@
+"""``repro-lint`` — run the project-invariant analyzer from the CLI.
+
+Usage::
+
+    repro-lint [paths...] [--format text|json] [--output FILE]
+
+Exit status: 0 when the tree is clean (suppressed findings allowed),
+1 when unsuppressed findings remain, 2 on usage errors.  With
+``--format json`` the machine-readable report is also written to
+``LINT_report.json`` (or ``--output``) for CI artifact collection.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import build_analyzer
+
+DEFAULT_REPORT = "LINT_report.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Static checks for the repo's concurrency/durability/determinism invariants.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="stdout format; json also writes the report file",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help=f"where to write the JSON report (default with --format json: {DEFAULT_REPORT})",
+    )
+    args = parser.parse_args(argv)
+
+    paths = [Path(p) for p in (args.paths or ["src/repro"])]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"repro-lint: no such path: {', '.join(map(str, missing))}", file=sys.stderr)
+        return 2
+
+    report = build_analyzer().run(paths)
+
+    if args.format == "json":
+        sys.stdout.write(report.to_json())
+    else:
+        sys.stdout.write(report.render_text())
+
+    output = args.output
+    if output is None and args.format == "json":
+        output = DEFAULT_REPORT
+    if output is not None:
+        Path(output).write_text(report.to_json(), encoding="utf-8")
+
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,231 @@
+"""Durability-protocol checker.
+
+The WAL discipline from PR 5 only works if three properties hold
+everywhere, not just in the code paths the crash tests happen to
+exercise:
+
+* **d1 — single writer.** Files under ``data_dir`` are created, renamed
+  and deleted only by ``ingest/durable.py``.  Any other module in the
+  durability scopes that opens a file for writing, calls
+  ``os.rename``/``os.replace``/``os.remove``/``shutil.*``, or uses
+  ``Path.write_text``-style mutators is flagged.
+* **d2 — fsync before rename.** Inside the owner module, every
+  ``os.replace``/``os.rename`` that publishes a journal/snapshot must be
+  lexically preceded (same function) by an ``os.fsync`` of the tmp file.
+* **d3 — journal writes under the entry lock.** No call that appends a
+  journal record or rewrites a snapshot may be reachable without the
+  owning dataset's entry lock held; this reuses the lock-order
+  extraction and walks the local call graph, so a public method calling
+  an unguarded helper is caught even when the write is two hops away.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .engine import Finding, Rule, SourceModule
+from .locks import extract_module
+from .project import ProjectConfig
+
+__all__ = ["DurabilityRule"]
+
+RULE_ID = "durability-protocol"
+
+_FS_MUTATORS = {"rename", "replace", "remove", "unlink", "truncate", "rmdir", "removedirs"}
+# Note: bare ``.replace()``/``.rename()`` attribute calls are *not*
+# listed — ``str.replace`` is ubiquitous and the dangerous forms are
+# caught as ``os.replace``/``os.rename`` above.
+_PATH_MUTATORS = {
+    "write_text",
+    "write_bytes",
+    "unlink",
+    "rmdir",
+    "touch",
+}
+_WRITE_MODES = set("wax+")
+
+
+def _dotted(node: ast.expr) -> tuple[str, ...]:
+    if isinstance(node, ast.Name):
+        return (node.id,)
+    if isinstance(node, ast.Attribute):
+        return _dotted(node.value) + (node.attr,)
+    return ()
+
+
+def _open_mode(call: ast.Call) -> str | None:
+    """The mode argument of an ``open``-style call, if statically known."""
+    mode_expr: ast.expr | None = None
+    if len(call.args) >= 2:
+        mode_expr = call.args[1]
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode_expr = kw.value
+    if mode_expr is None:
+        return "r"
+    if isinstance(mode_expr, ast.Constant) and isinstance(mode_expr.value, str):
+        return mode_expr.value
+    return None  # not statically known
+
+
+class DurabilityRule(Rule):
+    id = RULE_ID
+
+    def __init__(self, config: ProjectConfig):
+        self.config = config
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        if not module.in_scope(self.config.durability_scopes):
+            return ()
+        if module.matches(self.config.durability_owner):
+            return self._check_owner(module)
+        findings = list(self._check_foreign_writes(module))
+        findings.extend(self._check_journal_guard(module))
+        return findings
+
+    # ------------------------------------------------------------------
+    # d1: only the owner writes files
+    # ------------------------------------------------------------------
+    def _check_foreign_writes(self, module: SourceModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted == ("open",):
+                mode = _open_mode(node)
+                if mode is None or _WRITE_MODES & set(mode):
+                    yield Finding(
+                        rule=RULE_ID,
+                        path=module.rel,
+                        line=node.lineno,
+                        message=(
+                            "file opened for writing outside ingest/durable.py; "
+                            "all data_dir writes go through the journal owner"
+                        ),
+                    )
+                continue
+            if len(dotted) == 2 and dotted[0] == "os" and dotted[1] in _FS_MUTATORS:
+                yield Finding(
+                    rule=RULE_ID,
+                    path=module.rel,
+                    line=node.lineno,
+                    message=(
+                        f"os.{dotted[1]}() outside ingest/durable.py; file-system "
+                        "mutation is reserved to the journal owner"
+                    ),
+                )
+                continue
+            if dotted and dotted[0] == "shutil" and len(dotted) == 2:
+                yield Finding(
+                    rule=RULE_ID,
+                    path=module.rel,
+                    line=node.lineno,
+                    message=(
+                        f"shutil.{dotted[1]}() outside ingest/durable.py; file-system "
+                        "mutation is reserved to the journal owner"
+                    ),
+                )
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _PATH_MUTATORS
+                and len(dotted) != 2  # os./shutil. handled above
+            ):
+                yield Finding(
+                    rule=RULE_ID,
+                    path=module.rel,
+                    line=node.lineno,
+                    message=(
+                        f".{func.attr}() file mutation outside ingest/durable.py; "
+                        "route writes through the journal owner"
+                    ),
+                )
+
+    # ------------------------------------------------------------------
+    # d2: fsync precedes publishing renames inside the owner
+    # ------------------------------------------------------------------
+    def _check_owner(self, module: SourceModule) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for fn in ast.walk(module.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            fsync_lines: list[int] = []
+            renames: list[ast.Call] = []
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = _dotted(node.func)
+                if dotted == ("os", "fsync"):
+                    fsync_lines.append(node.lineno)
+                elif dotted in (("os", "replace"), ("os", "rename")):
+                    renames.append(node)
+            for rename in renames:
+                if not any(line < rename.lineno for line in fsync_lines):
+                    findings.append(
+                        Finding(
+                            rule=RULE_ID,
+                            path=module.rel,
+                            line=rename.lineno,
+                            message=(
+                                "rename publishes a file without a preceding "
+                                "os.fsync of the tmp file in this function; a "
+                                "crash can publish an empty or torn file"
+                            ),
+                        )
+                    )
+        return findings
+
+    # ------------------------------------------------------------------
+    # d3: journal writes only reachable with the entry lock held
+    # ------------------------------------------------------------------
+    def _check_journal_guard(self, module: SourceModule) -> Iterable[Finding]:
+        guards = set(self.config.journal_guard_locks)
+        if not guards:
+            return ()
+        if not any(module.matches(m) for m in self.config.lock_modules):
+            return ()
+        model = extract_module(module, self.config)
+        functions = model.functions
+
+        # A function is "unguarded-reachable" when some call chain from an
+        # entry point reaches it without the guard lock held across every
+        # hop.  Entry points: public methods, dunders, and local functions
+        # never called locally (thread targets, callbacks).
+        unguarded = {name for name, fn in functions.items() if fn.is_entry}
+        changed = True
+        while changed:
+            changed = False
+            for name, fn in functions.items():
+                if name not in unguarded:
+                    continue
+                for site in fn.call_sites:
+                    if guards & site.held:
+                        continue
+                    if site.callee not in unguarded:
+                        unguarded.add(site.callee)
+                        changed = True
+
+        findings: list[Finding] = []
+        for name, fn in functions.items():
+            for site in fn.journal_sites:
+                if site.method == "load" and not site.repair:
+                    continue  # read-only load
+                if guards & site.held:
+                    continue
+                if name not in unguarded:
+                    continue  # every caller holds the guard at the call site
+                findings.append(
+                    Finding(
+                        rule=RULE_ID,
+                        path=module.rel,
+                        line=site.line,
+                        message=(
+                            f"journal write .{site.method}() reachable without the "
+                            f"owning entry lock ({', '.join(sorted(guards))}); a "
+                            "concurrent replace could journal into the wrong generation"
+                        ),
+                    )
+                )
+        return findings

@@ -1,0 +1,183 @@
+"""Declared project invariants consumed by the rule modules.
+
+This file is the single place where the repository's concurrency and
+purity contracts are written down as data.  The rules in the sibling
+modules are generic AST machinery; everything repo-specific — which
+attributes are locks, what order they may nest in, which modules may
+construct snapshot objects, where wall-clock reads are banned — lives
+here, so adding a lock or widening a scope is a one-line config change
+reviewed alongside the code it describes.
+
+Lock hierarchy
+--------------
+Levels increase in the order locks may be *taken while already holding
+another*; holding a lock of level L, you may only acquire locks of level
+strictly greater than L (or re-enter the same reentrant lock):
+
+====================  =====  ==========================================
+role                  level  lock
+====================  =====  ==========================================
+``workspace.entry``    10    per-dataset ``_DatasetEntry.lock`` (RLock)
+``workspace.registry`` 20    ``Workspace._lock`` registry (RLock)
+``workspace.stats``    30    ``Workspace._stats_lock`` counter leaf
+``cache.lock``         30    ``ResultCache._lock`` leaf
+``executor.lock``      30    ``ParallelExecutor._lock`` pool leaf
+``metrics.lock``       30    ``ServerMetrics._lock`` counter leaf
+====================  =====  ==========================================
+
+``entry < registry`` matches the hot paths: ``_locked_entry`` holders
+call back into the registry (``_entry``/``_next_version``) while the
+entry lock is held.  ``register()`` intentionally inverts this twice
+while publishing a replacement entry; both sites carry reasoned
+``# repro: allow(lock-order)`` suppressions explaining why they cannot
+deadlock (post-mark bail-out protocol / unpublished entry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+__all__ = ["LockSpec", "ProjectConfig", "DEFAULT_CONFIG"]
+
+
+@dataclass(frozen=True)
+class LockSpec:
+    """One declared lock: where it lives and where it sits in the order."""
+
+    lock_id: str
+    level: int
+    module: str  # path suffix, e.g. "service/workspace.py"
+    cls: str | None  # owning class, None for module-level locks
+    attr: str  # attribute name holding the lock object
+    reentrant: bool = False
+
+
+@dataclass(frozen=True)
+class ProjectConfig:
+    """Everything the five rule families need to know about this repo."""
+
+    # ---- lock-order ------------------------------------------------------
+    #: Modules whose lock usage is extracted and checked.
+    lock_modules: tuple[str, ...] = ()
+    locks: tuple[LockSpec, ...] = ()
+    #: Calls on these ``self.<attr>`` receivers transitively acquire the
+    #: mapped lock role (cross-module components used under locks).
+    lock_taking_attrs: Mapping[str, str] = field(default_factory=dict)
+
+    # ---- snapshot-immutability ------------------------------------------
+    #: Published snapshot types that must never be mutated in place.
+    immutable_types: tuple[str, ...] = ()
+    #: Modules allowed to build/populate those types.
+    builder_modules: tuple[str, ...] = ()
+    #: Method names that mutate their receiver.
+    mutating_methods: tuple[str, ...] = ()
+    #: Modules the immutability rule scans (empty scope = everywhere).
+    immutability_scopes: tuple[str, ...] = ("",)
+
+    # ---- determinism -----------------------------------------------------
+    determinism_scopes: tuple[str, ...] = ()
+
+    # ---- durability-protocol --------------------------------------------
+    durability_scopes: tuple[str, ...] = ()
+    #: The only module allowed to touch files under data_dir.
+    durability_owner: str = "ingest/durable.py"
+    #: ``self.<attr>`` receivers that denote the journal component.
+    journal_attrs: tuple[str, ...] = ("_journal",)
+    #: Journal methods that write records/files.
+    journal_write_methods: tuple[str, ...] = ()
+    #: Lock roles that satisfy the "journal writes happen under the
+    #: owning entry lock" requirement.
+    journal_guard_locks: tuple[str, ...] = ()
+
+    # ---- async-hygiene ---------------------------------------------------
+    async_scopes: tuple[str, ...] = ()
+    #: Fully dotted call names that block the event loop.
+    async_blocking_calls: tuple[str, ...] = ()
+    #: ``workspace.<method>`` receivers/methods that block.
+    workspace_receivers: tuple[str, ...] = ("_workspace", "workspace")
+    workspace_blocking_methods: tuple[str, ...] = ()
+
+
+DEFAULT_CONFIG = ProjectConfig(
+    lock_modules=(
+        "service/workspace.py",
+        "service/cache.py",
+        "core/executor.py",
+        "server/metrics.py",
+        "ingest/durable.py",
+    ),
+    locks=(
+        LockSpec("workspace.entry", 10, "service/workspace.py", "_DatasetEntry", "lock", reentrant=True),
+        LockSpec("workspace.registry", 20, "service/workspace.py", "Workspace", "_lock", reentrant=True),
+        LockSpec("workspace.stats", 30, "service/workspace.py", "Workspace", "_stats_lock"),
+        LockSpec("cache.lock", 30, "service/cache.py", "ResultCache", "_lock", reentrant=True),
+        LockSpec("executor.lock", 30, "core/executor.py", "ParallelExecutor", "_lock"),
+        LockSpec("metrics.lock", 30, "server/metrics.py", "ServerMetrics", "_lock"),
+    ),
+    lock_taking_attrs={"_cache": "cache.lock", "_metrics": "metrics.lock"},
+    immutable_types=(
+        "DataTable",
+        "SketchStore",
+        "Column",
+        "NumericColumn",
+        "CategoricalColumn",
+        "BooleanColumn",
+        "ColumnSketches",
+    ),
+    builder_modules=(
+        "data/table.py",
+        "data/column.py",
+        "sketch/store.py",
+    ),
+    mutating_methods=(
+        "merge",
+        "update",
+        "update_many",
+        "add",
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "setdefault",
+        "advance",
+        "discard",
+        "sort",
+        "reverse",
+    ),
+    determinism_scopes=("repro/core/", "repro/stats/", "repro/sketch/"),
+    durability_scopes=("repro/ingest/", "repro/service/", "repro/server/"),
+    durability_owner="ingest/durable.py",
+    journal_attrs=("_journal",),
+    journal_write_methods=(
+        "append",
+        "write_snapshot",
+        "begin_generation",
+        "sync",
+        "load",  # only flagged when called with repair=True
+        "remove",
+    ),
+    journal_guard_locks=("workspace.entry",),
+    async_scopes=("repro/server/",),
+    async_blocking_calls=(
+        "time.sleep",
+        "os.fsync",
+        "os.replace",
+        "os.rename",
+    ),
+    workspace_receivers=("_workspace", "workspace"),
+    workspace_blocking_methods=(
+        "handle",
+        "register",
+        "reload",
+        "append",
+        "rebuild",
+        "flush",
+        "flush_all",
+        "close",
+        "wait_for_rebuilds",
+    ),
+)

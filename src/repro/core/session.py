@@ -27,7 +27,7 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.errors import InsightError, ProtocolError
 from repro.core.engine import Carousel, Foresight
@@ -105,12 +105,18 @@ class ExplorationSession:
     """Stateful exploration of a dataset through the Foresight engine."""
 
     def __init__(self, engine: Foresight, name: str = "session",
-                 dataset: str | None = None):
+                 dataset: str | None = None,
+                 clock: Callable[[], float] | None = None):
         self._engine = engine
         self._name = name
         self._dataset = dataset or engine.table.name
         self._focus: list[Insight] = []
         self._history: list[SessionEvent] = []
+        # Event timestamps come from an injectable clock so the core
+        # stays replayable: two sessions driven with the same clock and
+        # the same actions produce byte-identical histories.  The
+        # default is wall time, read through the injection point.
+        self._clock: Callable[[], float] = clock if clock is not None else time.time
         self._log("session_started", dataset=self._dataset,
                   shape=list(engine.table.shape))
 
@@ -235,18 +241,22 @@ class ExplorationSession:
 
     @classmethod
     def restore(
-        cls, engine: Foresight, state: SessionState | dict[str, Any]
+        cls, engine: Foresight, state: SessionState | dict[str, Any],
+        clock: Callable[[], float] | None = None,
     ) -> "ExplorationSession":
         """Rebuild a session from saved state.
 
         The original event log is carried forward verbatim — nothing is
         re-logged and no timestamps are refreshed — so
         ``restore(save()).save()`` reproduces the saved state exactly.
+        Events logged *after* the restore use ``clock`` (wall time by
+        default), mirroring the constructor's injection point.
         """
         if not isinstance(state, SessionState):
             state = SessionState.from_dict(state)
         session = cls.__new__(cls)
         session._engine = engine
+        session._clock = clock if clock is not None else time.time
         session._name = state.name
         session._dataset = state.dataset or engine.table.name
         session._focus = state.focused()
@@ -279,5 +289,5 @@ class ExplorationSession:
 
     def _log(self, action: str, **payload: Any) -> None:
         self._history.append(
-            SessionEvent(action=action, timestamp=time.time(), payload=payload)
+            SessionEvent(action=action, timestamp=self._clock(), payload=payload)
         )

@@ -257,6 +257,10 @@ class Workspace:
         """
         assert self._journal is not None
         for name in self._journal.dataset_names():
+            # repro: allow(durability-protocol) — startup recovery runs in
+            # __init__ before any entry (or its lock) exists and before the
+            # workspace is visible to other threads; repair truncation of a
+            # torn tail cannot race anything.
             state = self._journal.load(name, repair=True)
             if state is None:
                 continue
@@ -457,6 +461,10 @@ class Workspace:
                 except BaseException:
                     if (marked is not None
                             and self._entries.get(name) is marked):
+                        # repro: allow(lock-order) — registry→entry inversion
+                        # is safe post-mark: every marked.lock acquirer checks
+                        # `superseded` and bails before requesting the
+                        # registry lock, so the inverse chain cannot complete.
                         with marked.lock:
                             marked.superseded = False
                     raise
@@ -523,6 +531,10 @@ class Workspace:
                     # registration block on the lock until the journal
                     # generation below exists, instead of failing on a
                     # segment-less dataset.
+                    # repro: allow(lock-order) — registry→entry inversion is
+                    # safe on a freshly built, not-yet-published entry: no
+                    # other thread can hold its lock, so the acquire can
+                    # never block, let alone deadlock.
                     entry.lock.acquire()
                     self._entries[name] = entry
                     break

@@ -21,6 +21,7 @@ back to the exact statistics (``mode="exact"``).
 
 from __future__ import annotations
 
+import copy
 import time
 from dataclasses import dataclass, field
 from typing import ClassVar, Mapping
@@ -455,9 +456,14 @@ def merge_column_sketches(left: Mapping[str, ColumnSketches],
     quantiles, frequent, entropy, count-min) are combined; hyperplane
     signatures require a shared hyperplane draw over the union of rows and
     are left to the batch sketcher.
+
+    Both inputs are treated as published snapshots: the combined sketch is
+    built on a deep copy, never by merging into an input in place, and the
+    result dictionary is populated in sorted column order so the merged
+    bundle is byte-identical regardless of set hash order.
     """
     merged: dict[str, ColumnSketches] = {}
-    for name in set(left) | set(right):
+    for name in sorted(set(left) | set(right)):
         a, b = left.get(name), right.get(name)
         if a is None or b is None:
             merged[name] = a or b  # type: ignore[assignment]
@@ -467,8 +473,9 @@ def merge_column_sketches(left: Mapping[str, ColumnSketches],
             sketch_a = getattr(a, attribute)
             sketch_b = getattr(b, attribute)
             if sketch_a is not None and sketch_b is not None:
-                sketch_a.merge(sketch_b)
-                setattr(bundle, attribute, sketch_a)
+                combined = copy.deepcopy(sketch_a)
+                combined.merge(sketch_b)
+                setattr(bundle, attribute, combined)
             else:
                 setattr(bundle, attribute, sketch_a or sketch_b)
         merged[name] = bundle

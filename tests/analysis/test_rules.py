@@ -1,0 +1,713 @@
+"""Fixture corpus for the five ``repro.analysis`` checkers.
+
+Every rule gets at least one seeded-bad snippet it must fire on and a
+good twin it must stay quiet on, plus suppression honoring and the
+unused-suppression error for the engine itself.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Analyzer,
+    AsyncHygieneRule,
+    DeterminismRule,
+    DurabilityRule,
+    ImmutabilityRule,
+    LockOrderRule,
+    LockSpec,
+    ProjectConfig,
+    build_analyzer,
+)
+from repro.analysis.__main__ import main as lint_main
+
+
+def write(tmp_path: Path, rel: str, source: str) -> Path:
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+def run_rule(rule, paths) -> list:
+    return Analyzer([rule]).run(paths).findings
+
+
+# ---------------------------------------------------------------------------
+# lock-order
+# ---------------------------------------------------------------------------
+LOCK_CONFIG = ProjectConfig(
+    lock_modules=("locked.py",),
+    locks=(
+        LockSpec("fixture.entry", 10, "locked.py", "Service", "_entry_lock", reentrant=True),
+        LockSpec("fixture.registry", 20, "locked.py", "Service", "_registry_lock"),
+        LockSpec("fixture.left", 30, "locked.py", "Service", "_left_lock"),
+        LockSpec("fixture.right", 30, "locked.py", "Service", "_right_lock"),
+    ),
+)
+
+LOCK_PREAMBLE = """
+    import threading
+    from contextlib import contextmanager
+
+    class Service:
+        def __init__(self):
+            self._entry_lock = threading.RLock()
+            self._registry_lock = threading.Lock()
+            self._left_lock = threading.Lock()
+            self._right_lock = threading.Lock()
+"""
+
+
+class TestLockOrder:
+    def test_conformant_nesting_is_quiet(self, tmp_path):
+        path = write(
+            tmp_path,
+            "locked.py",
+            LOCK_PREAMBLE
+            + """
+        def ok(self):
+            with self._entry_lock:
+                with self._registry_lock:
+                    pass
+    """,
+        )
+        assert run_rule(LockOrderRule(LOCK_CONFIG), [path]) == []
+
+    def test_inversion_is_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "locked.py",
+            LOCK_PREAMBLE
+            + """
+        def bad(self):
+            with self._registry_lock:
+                with self._entry_lock:
+                    pass
+    """,
+        )
+        findings = run_rule(LockOrderRule(LOCK_CONFIG), [path])
+        assert len(findings) == 1
+        assert "inverts the declared hierarchy" in findings[0].message
+
+    def test_undeclared_lock_creation_and_acquisition(self, tmp_path):
+        path = write(
+            tmp_path,
+            "locked.py",
+            LOCK_PREAMBLE
+            + """
+        def sneaky(self):
+            self._extra_lock = threading.Lock()
+            with self._extra_lock:
+                pass
+    """,
+        )
+        messages = [f.message for f in run_rule(LockOrderRule(LOCK_CONFIG), [path])]
+        assert any("not in the declared hierarchy" in m for m in messages)
+        assert any("undeclared lock" in m for m in messages)
+
+    def test_reentrancy_honored(self, tmp_path):
+        path = write(
+            tmp_path,
+            "locked.py",
+            LOCK_PREAMBLE
+            + """
+        def reenter_ok(self):
+            with self._entry_lock:
+                with self._entry_lock:
+                    pass
+
+        def reenter_bad(self):
+            with self._registry_lock:
+                with self._registry_lock:
+                    pass
+    """,
+        )
+        findings = run_rule(LockOrderRule(LOCK_CONFIG), [path])
+        assert len(findings) == 1
+        assert "non-reentrant" in findings[0].message
+        assert "fixture.registry" in findings[0].message
+
+    def test_interprocedural_inversion_through_helper(self, tmp_path):
+        path = write(
+            tmp_path,
+            "locked.py",
+            LOCK_PREAMBLE
+            + """
+        def _take_entry(self):
+            with self._entry_lock:
+                return 1
+
+        def bad_caller(self):
+            with self._registry_lock:
+                return self._take_entry()
+    """,
+        )
+        findings = run_rule(LockOrderRule(LOCK_CONFIG), [path])
+        assert len(findings) == 1
+        assert "inverts" in findings[0].message
+
+    def test_contextmanager_yield_held_propagates(self, tmp_path):
+        path = write(
+            tmp_path,
+            "locked.py",
+            LOCK_PREAMBLE
+            + """
+        @contextmanager
+        def _held_registry(self):
+            with self._registry_lock:
+                yield self
+
+        def bad_body(self):
+            with self._held_registry():
+                with self._entry_lock:
+                    pass
+    """,
+        )
+        findings = run_rule(LockOrderRule(LOCK_CONFIG), [path])
+        assert len(findings) == 1
+        assert "inverts" in findings[0].message
+
+    def test_manual_acquire_holds_to_release(self, tmp_path):
+        path = write(
+            tmp_path,
+            "locked.py",
+            LOCK_PREAMBLE
+            + """
+        def manual_bad(self):
+            self._registry_lock.acquire()
+            try:
+                with self._entry_lock:
+                    pass
+            finally:
+                self._registry_lock.release()
+    """,
+        )
+        findings = run_rule(LockOrderRule(LOCK_CONFIG), [path])
+        assert len(findings) == 1
+        assert "inverts" in findings[0].message
+
+    def test_nonblocking_acquire_not_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "locked.py",
+            LOCK_PREAMBLE
+            + """
+        def try_lock(self):
+            with self._registry_lock:
+                got = self._entry_lock.acquire(blocking=False)
+                if got:
+                    self._entry_lock.release()
+    """,
+        )
+        assert run_rule(LockOrderRule(LOCK_CONFIG), [path]) == []
+
+    def test_equal_level_cycle_detected(self, tmp_path):
+        path = write(
+            tmp_path,
+            "locked.py",
+            LOCK_PREAMBLE
+            + """
+        def forward(self):
+            with self._left_lock:
+                with self._right_lock:
+                    pass
+
+        def backward(self):
+            with self._right_lock:
+                with self._left_lock:
+                    pass
+    """,
+        )
+        findings = run_rule(LockOrderRule(LOCK_CONFIG), [path])
+        assert len(findings) == 1
+        assert "cycle" in findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# snapshot-immutability
+# ---------------------------------------------------------------------------
+IMMUTABLE_CONFIG = ProjectConfig(
+    immutable_types=("DataTable",),
+    builder_modules=("builder.py",),
+    mutating_methods=("merge", "append", "update"),
+    immutability_scopes=("",),
+)
+
+MUTATOR = """
+    def tamper(table: DataTable, other: DataTable):
+        table.version = 2
+        table.columns["x"] = None
+        table.merge(other)
+"""
+
+FRESH = """
+    import copy
+
+    def combine(table: DataTable, other: DataTable):
+        fresh = copy.deepcopy(table)
+        fresh.merge(other)
+        return fresh
+"""
+
+
+class TestImmutability:
+    def test_mutations_flagged_outside_builders(self, tmp_path):
+        path = write(tmp_path, "consumer.py", MUTATOR)
+        findings = run_rule(ImmutabilityRule(IMMUTABLE_CONFIG), [path])
+        assert len(findings) == 3
+        kinds = {f.message.split(" on ")[0] for f in findings}
+        assert "attribute assignment" in kinds
+        assert "item assignment" in kinds
+        assert "mutating call .merge()" in kinds
+
+    def test_builder_module_is_exempt(self, tmp_path):
+        path = write(tmp_path, "builder.py", MUTATOR)
+        assert run_rule(ImmutabilityRule(IMMUTABLE_CONFIG), [path]) == []
+
+    def test_fresh_copy_is_sanctioned(self, tmp_path):
+        path = write(tmp_path, "consumer.py", FRESH)
+        assert run_rule(ImmutabilityRule(IMMUTABLE_CONFIG), [path]) == []
+
+    def test_alias_stays_tracked(self, tmp_path):
+        path = write(
+            tmp_path,
+            "consumer.py",
+            """
+        def alias(table: DataTable, other: DataTable):
+            same = table
+            same.merge(other)
+    """,
+        )
+        findings = run_rule(ImmutabilityRule(IMMUTABLE_CONFIG), [path])
+        assert len(findings) == 1
+
+    def test_container_of_snapshots_is_not_tracked(self, tmp_path):
+        path = write(
+            tmp_path,
+            "consumer.py",
+            """
+        def build(tables: list[DataTable]):
+            out: list[DataTable] = []
+            out.append(tables[0])
+            return out
+    """,
+        )
+        assert run_rule(ImmutabilityRule(IMMUTABLE_CONFIG), [path]) == []
+
+
+# ---------------------------------------------------------------------------
+# determinism
+# ---------------------------------------------------------------------------
+DETERMINISM_CONFIG = ProjectConfig(determinism_scopes=("",))
+
+
+class TestDeterminism:
+    def test_bad_sources_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "core.py",
+            """
+        import random, time
+        import numpy as np
+
+        def bad():
+            a = random.random()
+            b = np.random.rand(3)
+            c = np.random.default_rng()
+            d = time.time()
+            for item in set([3, 1, 2]):
+                yield item
+    """,
+        )
+        findings = run_rule(DeterminismRule(DETERMINISM_CONFIG), [path])
+        assert len(findings) == 5
+        text = " ".join(f.message for f in findings)
+        assert "unseeded global state" in text
+        assert "legacy numpy.random" in text
+        assert "without a seed" in text
+        assert "wall-clock" in text
+        assert "hash order" in text
+
+    def test_good_twin_is_quiet(self, tmp_path):
+        path = write(
+            tmp_path,
+            "core.py",
+            """
+        import numpy as np
+
+        def good(seed: int, names: set[str]):
+            rng = np.random.default_rng(seed)
+            sample = rng.normal(size=4)
+            ordered = [n for n in sorted(names)]
+            if "x" in names:
+                ordered.append("x")
+            return sample, ordered, len(names)
+    """,
+        )
+        assert run_rule(DeterminismRule(DETERMINISM_CONFIG), [path]) == []
+
+    def test_out_of_scope_module_ignored(self, tmp_path):
+        config = ProjectConfig(determinism_scopes=("core/",))
+        path = write(
+            tmp_path,
+            "service.py",
+            """
+        import time
+
+        def stamp():
+            return time.time()
+    """,
+        )
+        assert run_rule(DeterminismRule(config), [path]) == []
+
+
+# ---------------------------------------------------------------------------
+# durability-protocol
+# ---------------------------------------------------------------------------
+DURABILITY_CONFIG = ProjectConfig(
+    durability_scopes=("",),
+    durability_owner="durable.py",
+    lock_modules=("service.py",),
+    locks=(LockSpec("fixture.entry", 10, "service.py", "Workspace", "_entry_lock", reentrant=True),),
+    journal_attrs=("_journal",),
+    journal_write_methods=("append", "write_snapshot", "load"),
+    journal_guard_locks=("fixture.entry",),
+)
+
+
+class TestDurability:
+    def test_foreign_write_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "other.py",
+            """
+        import os
+
+        def leak(path):
+            with open(path, "w") as fh:
+                fh.write("x")
+            os.replace(path, path + ".bak")
+    """,
+        )
+        findings = run_rule(DurabilityRule(DURABILITY_CONFIG), [path])
+        assert len(findings) == 2
+        text = " ".join(f.message for f in findings)
+        assert "opened for writing" in text
+        assert "os.replace" in text
+
+    def test_reads_and_str_replace_are_quiet(self, tmp_path):
+        path = write(
+            tmp_path,
+            "other.py",
+            """
+        def fine(path, label):
+            with open(path) as fh:
+                data = fh.read()
+            return data, label.replace("_", " ")
+    """,
+        )
+        assert run_rule(DurabilityRule(DURABILITY_CONFIG), [path]) == []
+
+    def test_owner_rename_requires_fsync(self, tmp_path):
+        path = write(
+            tmp_path,
+            "durable.py",
+            """
+        import os
+
+        def publish_unsafe(tmp, final):
+            os.replace(tmp, final)
+
+        def publish_safe(tmp, final):
+            with open(tmp, "w") as fh:
+                fh.write("data")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, final)
+    """,
+        )
+        findings = run_rule(DurabilityRule(DURABILITY_CONFIG), [path])
+        assert len(findings) == 1
+        assert findings[0].line < 8  # only the unsafe publish
+        assert "fsync" in findings[0].message
+
+    def test_journal_write_requires_entry_lock(self, tmp_path):
+        path = write(
+            tmp_path,
+            "service.py",
+            """
+        import threading
+
+        class Workspace:
+            def __init__(self, journal):
+                self._entry_lock = threading.RLock()
+                self._journal = journal
+
+            def guarded(self, record):
+                with self._entry_lock:
+                    self._journal.append(record)
+
+            def unguarded(self, record):
+                self._journal.append(record)
+
+            def guarded_through_helper(self, record):
+                with self._entry_lock:
+                    self._write(record)
+
+            def _write(self, record):
+                self._journal.append(record)
+    """,
+        )
+        findings = run_rule(DurabilityRule(DURABILITY_CONFIG), [path])
+        assert len(findings) == 1
+        assert "without the owning entry lock" in findings[0].message
+
+    def test_readonly_load_is_quiet_but_repair_needs_guard(self, tmp_path):
+        path = write(
+            tmp_path,
+            "service.py",
+            """
+        import threading
+
+        class Workspace:
+            def __init__(self, journal):
+                self._entry_lock = threading.RLock()
+                self._journal = journal
+
+            def peek(self, name):
+                return self._journal.load(name)
+
+            def recover(self, name):
+                return self._journal.load(name, repair=True)
+    """,
+        )
+        findings = run_rule(DurabilityRule(DURABILITY_CONFIG), [path])
+        assert len(findings) == 1
+        assert findings[0].line == 13
+
+
+# ---------------------------------------------------------------------------
+# async-hygiene
+# ---------------------------------------------------------------------------
+ASYNC_CONFIG = ProjectConfig(
+    async_scopes=("",),
+    async_blocking_calls=("time.sleep", "os.fsync"),
+    workspace_receivers=("_workspace",),
+    workspace_blocking_methods=("handle", "register"),
+)
+
+
+class TestAsyncHygiene:
+    def test_blocking_calls_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "server.py",
+            """
+        import time
+
+        class Handler:
+            async def slow(self, request):
+                time.sleep(0.1)
+                self._lock.acquire()
+                return self._workspace.handle(request)
+    """,
+        )
+        findings = run_rule(AsyncHygieneRule(ASYNC_CONFIG), [path])
+        assert len(findings) == 3
+        text = " ".join(f.message for f in findings)
+        assert "time.sleep" in text
+        assert "blocking lock acquire" in text
+        assert "run_in_executor" in text
+
+    def test_good_twin_is_quiet(self, tmp_path):
+        path = write(
+            tmp_path,
+            "server.py",
+            """
+        import asyncio
+
+        class Handler:
+            async def fast(self, request):
+                await asyncio.sleep(0.1)
+                await self._controller.acquire(request)
+                got = self._lock.acquire(blocking=False)
+                loop = asyncio.get_running_loop()
+                return await loop.run_in_executor(
+                    self._pool, self._workspace.handle, request
+                )
+    """,
+        )
+        assert run_rule(AsyncHygieneRule(ASYNC_CONFIG), [path]) == []
+
+    def test_nested_sync_def_excluded(self, tmp_path):
+        path = write(
+            tmp_path,
+            "server.py",
+            """
+        import time
+
+        class Handler:
+            async def dispatch(self, request):
+                def on_thread():
+                    time.sleep(0.1)
+                    return self._workspace.handle(request)
+                return await self._loop.run_in_executor(None, on_thread)
+    """,
+        )
+        assert run_rule(AsyncHygieneRule(ASYNC_CONFIG), [path]) == []
+
+    def test_sync_function_ignored(self, tmp_path):
+        path = write(
+            tmp_path,
+            "server.py",
+            """
+        import time
+
+        def run(workspace, request):
+            time.sleep(0.01)
+            return workspace.handle(request)
+    """,
+        )
+        assert run_rule(AsyncHygieneRule(ASYNC_CONFIG), [path]) == []
+
+
+# ---------------------------------------------------------------------------
+# suppressions & the engine
+# ---------------------------------------------------------------------------
+class TestSuppressions:
+    def test_inline_suppression_honored(self, tmp_path):
+        path = write(
+            tmp_path,
+            "core.py",
+            """
+        import time
+
+        def stamp():
+            return time.time()  # repro: allow(determinism) — service boundary
+    """,
+        )
+        report = Analyzer([DeterminismRule(DETERMINISM_CONFIG)]).run([path])
+        assert report.ok
+        assert len(report.suppressed) == 1
+
+    def test_own_line_suppression_covers_next_statement(self, tmp_path):
+        path = write(
+            tmp_path,
+            "core.py",
+            """
+        import time
+
+        def stamp():
+            # repro: allow(determinism) — service boundary timestamping
+            # spread over two comment lines before the statement.
+            return time.time()
+    """,
+        )
+        report = Analyzer([DeterminismRule(DETERMINISM_CONFIG)]).run([path])
+        assert report.ok
+        assert len(report.suppressed) == 1
+
+    def test_unused_suppression_is_a_finding(self, tmp_path):
+        path = write(
+            tmp_path,
+            "core.py",
+            """
+        def clean():
+            return 1  # repro: allow(determinism) — stale excuse
+    """,
+        )
+        report = Analyzer([DeterminismRule(DETERMINISM_CONFIG)]).run([path])
+        assert not report.ok
+        assert report.findings[0].rule == "unused-suppression"
+
+    def test_reasonless_suppression_is_a_finding(self, tmp_path):
+        path = write(
+            tmp_path,
+            "core.py",
+            """
+        import time
+
+        def stamp():
+            return time.time()  # repro: allow(determinism)
+    """,
+        )
+        report = Analyzer([DeterminismRule(DETERMINISM_CONFIG)]).run([path])
+        assert not report.ok
+        assert any("must carry a reason" in f.message for f in report.findings)
+
+    def test_suppression_for_other_rule_does_not_mask(self, tmp_path):
+        path = write(
+            tmp_path,
+            "core.py",
+            """
+        import time
+
+        def stamp():
+            return time.time()  # repro: allow(lock-order) — wrong rule id
+    """,
+        )
+        report = Analyzer([DeterminismRule(DETERMINISM_CONFIG)]).run([path])
+        rules = {f.rule for f in report.findings}
+        assert rules == {"determinism", "unused-suppression"}
+
+
+class TestEngineAndCli:
+    def test_report_json_shape(self, tmp_path):
+        path = write(
+            tmp_path,
+            "core.py",
+            """
+        import time
+
+        def stamp():
+            return time.time()
+    """,
+        )
+        report = Analyzer([DeterminismRule(DETERMINISM_CONFIG)]).run([path])
+        payload = json.loads(report.to_json())
+        assert payload["tool"] == "repro-lint"
+        assert payload["ok"] is False
+        assert payload["summary"] == {"determinism": 1}
+        assert payload["findings"][0]["line"] == 5
+
+    def test_parse_error_is_reported_not_raised(self, tmp_path):
+        path = write(tmp_path, "broken.py", "def nope(:\n")
+        report = Analyzer([DeterminismRule(DETERMINISM_CONFIG)]).run([path])
+        assert not report.ok
+        assert report.findings[0].rule == "parse-error"
+
+    def test_cli_exit_codes_and_report_file(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        bad = write(
+            tmp_path,
+            "repro/core/bad.py",
+            """
+        import time
+
+        def stamp():
+            return time.time()
+    """,
+        )
+        assert lint_main([str(bad), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        report_file = tmp_path / "LINT_report.json"
+        assert report_file.exists()
+        assert json.loads(report_file.read_text())["ok"] is False
+
+        good = write(tmp_path, "repro/core/good.py", "VALUE = 1\n")
+        assert lint_main([str(good), "--format", "text"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_cli_missing_path_is_usage_error(self, tmp_path):
+        assert lint_main([str(tmp_path / "missing")]) == 2
+
+    def test_build_analyzer_runs_all_rules(self, tmp_path):
+        analyzer = build_analyzer()
+        assert len(analyzer.rules) == 5

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -15,6 +17,29 @@ from repro.data.datasets import (
     make_mixed_table,
     make_numeric_table,
 )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _lock_order_tracking():
+    """Runtime lock-order checking behind ``REPRO_DEBUG_LOCKS=1``.
+
+    Wraps every lock the suite creates in a tracing proxy, records the
+    actual acquisition order against the hierarchy declared in
+    ``repro.analysis.project``, and fails the session at teardown if any
+    thread ever inverted it — the dynamic counterpart of the static
+    ``lock-order`` rule, catching interleavings the AST walker cannot see.
+    """
+    if os.environ.get("REPRO_DEBUG_LOCKS") != "1":
+        yield
+        return
+    from repro.analysis.runtime import LockTracker
+
+    tracker = LockTracker().install()
+    try:
+        yield
+    finally:
+        tracker.uninstall()
+        tracker.assert_clean()
 
 
 @pytest.fixture(scope="session")

@@ -193,6 +193,45 @@ class TestExplorationSession:
         assert "query" in actions
         assert "focus" in actions
 
+    def test_injected_clock_stamps_history(self, oecd_engine):
+        """Event timestamps come from the injected clock, not the wall.
+
+        Regression test for the ``time.time()`` call the determinism audit
+        flagged in the core: with a fixed clock every event — including the
+        ``session_started`` logged by the constructor — carries the
+        injected timestamp.
+        """
+        session = ExplorationSession(oecd_engine, name="fixed", clock=lambda: 123.5)
+        session.focus(Insight("skew", ("SelfReportedHealth",), 2.0, "abs_skewness"))
+        session.clear_focus()
+        assert [event.timestamp for event in session.history] == [123.5] * 3
+
+    def test_same_clock_same_actions_identical_histories(self, oecd_engine):
+        """Two sessions driven identically with the same deterministic clock
+        produce byte-identical saved state."""
+
+        def drive(clock):
+            session = ExplorationSession(oecd_engine, name="replay", clock=clock)
+            session.query("skew", top_k=1)
+            session.focus(Insight("skew", ("SelfReportedHealth",), 2.0, "abs_skewness"))
+            return session.save_json()
+
+        def make_clock():
+            ticks = iter(range(1000))
+            return lambda: float(next(ticks))
+
+        assert drive(make_clock()) == drive(make_clock())
+
+    def test_restore_accepts_clock(self, oecd_engine):
+        session = ExplorationSession(oecd_engine, name="orig", clock=lambda: 1.0)
+        restored = ExplorationSession.restore(
+            oecd_engine, session.save(), clock=lambda: 2.0
+        )
+        restored.clear_focus()  # no focus: nothing logged
+        restored.focus(Insight("skew", ("SelfReportedHealth",), 2.0, "abs_skewness"))
+        assert restored.history[0].timestamp == 1.0  # carried forward verbatim
+        assert restored.history[-1].timestamp == 2.0  # stamped by the new clock
+
     def test_save_and_restore_round_trip(self, oecd_engine):
         session = ExplorationSession(oecd_engine, name="analyst-1")
         insight = Insight("normality", ("SelfReportedHealth",), 0.7, "non_normality",

@@ -143,3 +143,51 @@ class TestMerge:
         assert merged["attr_000"].moments.count == whole_values.size
         assert merged["attr_000"].moments.mean() == pytest.approx(float(whole_values.mean()))
         assert merged["cat_00"].frequent.count == table.n_rows
+
+    def test_merge_leaves_inputs_untouched(self):
+        """Inputs are published snapshots: merging must copy, not mutate.
+
+        Regression test for the in-place ``sketch_a.merge(sketch_b)`` the
+        snapshot-immutability audit flagged: merging used to fold the right
+        partition into the left input's sketches, corrupting any store
+        still serving queries from them.
+        """
+        table = make_mixed_table(n_rows=1000, n_numeric=2, n_categorical=1, seed=7)
+        left, right = table.split(0.5, seed=0)
+        config = SketchStoreConfig(hyperplane_width=64)
+        left_bundles = {
+            n: SketchStore(left, config=config).column_sketches(n)
+            for n in table.column_names()
+        }
+        right_bundles = {
+            n: SketchStore(right, config=config).column_sketches(n)
+            for n in table.column_names()
+        }
+        left_counts = {n: b.moments.count for n, b in left_bundles.items() if b.moments}
+        left_means = {n: b.moments.mean() for n, b in left_bundles.items() if b.moments}
+        merged = merge_column_sketches(left_bundles, right_bundles)
+        for name, count in left_counts.items():
+            assert left_bundles[name].moments.count == count
+            assert left_bundles[name].moments.mean() == left_means[name]
+            assert merged[name].moments.count > count
+            assert merged[name].moments is not left_bundles[name].moments
+
+    def test_merge_output_order_is_insertion_order_free(self):
+        """Merged bundles come back in sorted column order regardless of the
+        hash/insertion order of the input mappings (byte-identical
+        serialization either way)."""
+        table = make_mixed_table(n_rows=600, n_numeric=3, n_categorical=1, seed=9)
+        left, right = table.split(0.5, seed=1)
+        config = SketchStoreConfig(hyperplane_width=64)
+        store_left = SketchStore(left, config=config)
+        store_right = SketchStore(right, config=config)
+        names = table.column_names()
+        forward = {n: store_left.column_sketches(n) for n in names}
+        backward = {n: store_right.column_sketches(n) for n in reversed(names)}
+        merged = merge_column_sketches(forward, backward)
+        assert list(merged) == sorted(names)
+        flipped = merge_column_sketches(
+            {n: forward[n] for n in reversed(names)},
+            {n: backward[n] for n in names},
+        )
+        assert list(flipped) == list(merged)
