@@ -9,7 +9,13 @@ regimes:
 2. **coalesced** — concurrent singles micro-batch into
    ``Workspace.handle_many`` calls through the request coalescer;
 3. **cached** — the same traffic repeated warm: the transport ceiling,
-   every answer from the LRU result cache.
+   every answer from the LRU result cache;
+4. **saturated coalesce** — the coalesced workload against a tiny
+   ``max_in_flight``: with coalescer-aware admission the riders of an
+   open batch park without holding in-flight slots (the dispatched
+   batch takes one), so the full client fan-in proceeds batched where
+   per-request slot accounting would have stalled arrivals behind the
+   window.
 
 Alongside the human-readable tables it emits ``BENCH_server.json`` (in
 the working directory, overridable via ``BENCH_SERVER_JSON``) so CI can
@@ -50,6 +56,7 @@ N_THREADS = 8
 N_REQUESTS = 24
 ROUNDS = 3
 COALESCE_WINDOW = 0.004
+SATURATED_IN_FLIGHT = 2  # far fewer slots than concurrent clients
 
 
 def _make_workspace() -> Workspace:
@@ -158,6 +165,19 @@ def main() -> int:
         with ReproClient(*handle.address) as client:
             metrics_by_regime["coalesced"] = client.metrics()
 
+    # -- regime 4: saturated coalesce ----------------------------------------
+    workspace = _make_workspace()
+    config = ServerConfig(port=0, coalesce_window=COALESCE_WINDOW,
+                          coalesce_max_batch=N_THREADS,
+                          max_in_flight=SATURATED_IN_FLIGHT, queue_limit=256)
+    with serving(workspace, config) as handle:
+        results["saturated_coalesce"] = _run_workload(
+            handle.address, requests,
+            invalidate=lambda: workspace.invalidate("bench"),
+        )
+        with ReproClient(*handle.address) as client:
+            metrics_by_regime["saturated"] = client.metrics()
+
     for regime, stats in results.items():
         if stats.get("failures"):
             print(f"FAIL: {regime} workload had failures: "
@@ -192,6 +212,34 @@ def main() -> int:
         print("FAIL: admission rejected requests in an unloaded benchmark",
               file=sys.stderr)
         ok = False
+    saturated = metrics_by_regime["saturated"]["admission"]
+    if saturated["rejected_quota_total"] or saturated["rejected_overload_total"]:
+        print(
+            "FAIL: saturated-coalesce run saw rejections — parked arrivals "
+            "must not consume in-flight slots "
+            f"(quota={saturated['rejected_quota_total']}, "
+            f"overload={saturated['rejected_overload_total']})",
+            file=sys.stderr,
+        )
+        ok = False
+    if saturated["parked_total"] < len(requests) * ROUNDS:
+        print(
+            f"FAIL: parked_total {saturated['parked_total']} < "
+            f"{len(requests) * ROUNDS} coalesced arrivals",
+            file=sys.stderr,
+        )
+        ok = False
+    if saturated["batches_dispatched_total"] < 1:
+        print("FAIL: no batch passed through begin_batch accounting",
+              file=sys.stderr)
+        ok = False
+    if saturated["peak_in_flight"] > SATURATED_IN_FLIGHT:
+        print(
+            f"FAIL: peak_in_flight {saturated['peak_in_flight']} exceeds "
+            f"max_in_flight {SATURATED_IN_FLIGHT}",
+            file=sys.stderr,
+        )
+        ok = False
 
     # -- report ---------------------------------------------------------------
     rows = [
@@ -215,6 +263,13 @@ def main() -> int:
         f"{results['coalesced']['ops_sec']:.1f} ops/sec   "
         f"cached ceiling: {results['cached']['ops_sec']:.1f} ops/sec"
     )
+    print(
+        f"saturated coalesce (max_in_flight={SATURATED_IN_FLIGHT}): "
+        f"{results['saturated_coalesce']['ops_sec']:.1f} ops/sec, "
+        f"parked_total {saturated['parked_total']}, "
+        f"batches dispatched {saturated['batches_dispatched_total']}, "
+        f"peak in-flight {saturated['peak_in_flight']}, 0 rejections"
+    )
 
     payload = {
         "benchmark": "server_throughput",
@@ -225,10 +280,12 @@ def main() -> int:
             "n_threads": N_THREADS,
             "rounds": ROUNDS,
             "coalesce_window_seconds": COALESCE_WINDOW,
+            "saturated_max_in_flight": SATURATED_IN_FLIGHT,
             "insight_classes": list(CLASSES),
         },
         "results": results,
         "coalesce": coalesced_server["coalesce"],
+        "saturated_admission": saturated,
         "server_latency_histogram": coalesced_server["latency"],
         "ok": ok,
     }

@@ -23,6 +23,7 @@ role                  level  lock
 ``cache.lock``         30    ``ResultCache._lock`` leaf
 ``executor.lock``      30    ``ParallelExecutor._lock`` pool leaf
 ``metrics.lock``       30    ``ServerMetrics._lock`` counter leaf
+``journal.commit``     30    ``_CommitPipeline.cond`` group-commit leaf
 ====================  =====  ==========================================
 
 ``entry < registry`` matches the hot paths: ``_locked_entry`` holders
@@ -114,6 +115,12 @@ DEFAULT_CONFIG = ProjectConfig(
         LockSpec("cache.lock", 30, "service/cache.py", "ResultCache", "_lock", reentrant=True),
         LockSpec("executor.lock", 30, "core/executor.py", "ParallelExecutor", "_lock"),
         LockSpec("metrics.lock", 30, "server/metrics.py", "ServerMetrics", "_lock"),
+        # The group-commit condition: taken under workspace.entry on the
+        # journal write paths, bare during off-lock ticket waits; never
+        # wraps another lock.  Condition re-entry happens only through
+        # wait()'s release/reacquire, which the order rule models as a
+        # single hold, so it stays non-reentrant here.
+        LockSpec("journal.commit", 30, "ingest/durable.py", "_CommitPipeline", "cond"),
     ),
     lock_taking_attrs={"_cache": "cache.lock", "_metrics": "metrics.lock"},
     immutable_types=(

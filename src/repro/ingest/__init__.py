@@ -39,11 +39,17 @@ and ``POST /v1/datasets/{name}/reload``.
 from repro.errors import DeltaValidationError, IngestError
 from repro.ingest.delta import DeltaBatch, MAX_BATCH_ROWS
 from repro.ingest.durable import (
+    CommitTicket,
     DatasetJournal,
     DurableState,
     decode_records,
     encode_record,
     replay_state,
+)
+from repro.ingest.snapshot_codec import (
+    SnapshotDecodeError,
+    decode_snapshot,
+    encode_snapshot,
 )
 from repro.ingest.log import (
     APPLIED_DEFERRED,
@@ -63,6 +69,7 @@ __all__ = [
     "APPLIED_DEFERRED",
     "APPLIED_DELTA_MERGE",
     "APPLIED_REBUILD",
+    "CommitTicket",
     "DatasetJournal",
     "DeltaBatch",
     "DeltaValidationError",
@@ -72,9 +79,12 @@ __all__ = [
     "IngestLog",
     "IngestRecord",
     "MAX_BATCH_ROWS",
+    "SnapshotDecodeError",
     "build_delta_partials",
     "decode_records",
+    "decode_snapshot",
     "encode_record",
+    "encode_snapshot",
     "merge_delta",
     "replay_state",
     "should_rebuild",

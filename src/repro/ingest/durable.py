@@ -50,6 +50,7 @@ import json
 import os
 import re
 import struct
+import threading
 import zlib
 from dataclasses import dataclass, field, fields as dataclass_fields
 from pathlib import Path
@@ -78,6 +79,11 @@ from repro.ingest.log import (
     IngestLog,
 )
 from repro.ingest.maintenance import build_delta_partials, merge_delta
+from repro.ingest.snapshot_codec import (
+    SnapshotDecodeError,
+    decode_snapshot,
+    encode_snapshot,
+)
 
 #: Journal record types (the ``"type"`` key of every record payload).
 RECORD_GENERATION = "gen"     # segment header: names the generation
@@ -90,11 +96,22 @@ RECORD_SWAP = "swap"          # background rebuild swapped a fresh engine in
 #: copy before the new generation's segment exists, so each lives in its
 #: own file and stale ones are deleted only after the rotation is safe.
 _SEGMENT_RE = re.compile(r"^journal-(\d{8})-(\d{10})\.seg$")
-_SNAPSHOT_RE = re.compile(r"^snapshot-(\d{8})\.json$")
+_SNAPSHOT_RE = re.compile(r"^snapshot-(\d{8})\.(?:bin|json)$")
 
 
 def snapshot_filename(version: int) -> str:
-    """The snapshot file for generation ``version``."""
+    """The (binary columnar) snapshot file for generation ``version``."""
+    return f"snapshot-{version:08d}.bin"
+
+
+def legacy_snapshot_filename(version: int) -> str:
+    """The pre-codec JSON snapshot name — read-compat fallback only.
+
+    Directories written before the binary columnar codec hold
+    ``snapshot-<version>.json`` (one canonical-JSON journal record).
+    They restore exactly as before; the next compaction writes the
+    binary form and retires the JSON file.
+    """
     return f"snapshot-{version:08d}.json"
 
 #: Record header: big-endian (payload_length, crc32(payload)).
@@ -325,6 +342,61 @@ class DurableState:
         return 0
 
 
+class _CommitPipeline:
+    """Group-commit state for one dataset's journal.
+
+    Tickets are dense integers: ``issued`` counts records written and
+    flushed to the tail segment (in file order — issuance happens under
+    the dataset's entry lock), ``synced`` is the highest ticket covered
+    by a completed fsync.  ``leader`` marks an fsync in flight;
+    ``failed`` poisons the pipeline after an unsuccessful fsync until
+    the generation rotates.  The condition is a leaf in the declared
+    lock hierarchy (``journal.commit``, level 30): it is taken under
+    the workspace entry lock on write paths and bare during ticket
+    waits, and never wraps another lock.
+    """
+
+    __slots__ = ("cond", "issued", "synced", "leader", "failed",
+                 "commits", "records", "max_group")
+
+    def __init__(self) -> None:
+        self.cond = threading.Condition()
+        self.issued = 0
+        self.synced = 0
+        self.leader = False
+        self.failed: BaseException | None = None
+        # Counters (reported by DatasetJournal.group_commit_stats).
+        self.commits = 0
+        self.records = 0
+        self.max_group = 0
+
+
+class CommitTicket:
+    """A claim on a future group fsync, returned by journal appends.
+
+    The append's bytes are already written and flushed when the ticket
+    exists; :meth:`wait` blocks until an fsync covers them (raising if
+    the group fsync failed — the append is then *not* acknowledged).
+    Callers wait after releasing the dataset's entry lock, so one
+    leader's fsync can acknowledge every appender queued behind it.
+    """
+
+    __slots__ = ("_journal", "_name", "_pipeline", "_number")
+
+    def __init__(self, journal: "DatasetJournal", name: str,
+                 pipeline: _CommitPipeline, number: int):
+        self._journal = journal
+        self._name = name
+        self._pipeline = pipeline
+        self._number = number
+
+    def wait(self) -> None:
+        """Block until this append's bytes are stable (or raise)."""
+        self._journal._wait_for_commit(
+            self._name, self._pipeline, self._number
+        )
+
+
 class DatasetJournal:
     """Per-workspace manager of the on-disk dataset journals.
 
@@ -332,14 +404,21 @@ class DatasetJournal:
     (URL-quoted name, so any registrable name maps to a filesystem-safe,
     injective path).  All mutating calls for one dataset happen under
     that dataset's workspace entry lock, so this class only guards its
-    own handle table.
+    own handle table and the per-dataset group-commit pipelines (whose
+    ticket waits deliberately run *outside* the entry lock).
     """
 
-    def __init__(self, root: str | Path, fsync: bool = True):
+    def __init__(self, root: str | Path, fsync: bool = True,
+                 group_commit: bool = False,
+                 max_group_delay: float = 0.0):
         self.root = Path(root)
         self.fsync = fsync
+        # Without per-record fsync there is nothing to amortize.
+        self.group_commit = bool(group_commit and fsync)
+        self.max_group_delay = max_group_delay
         self.root.mkdir(parents=True, exist_ok=True)
         self._handles: dict[str, Any] = {}
+        self._pipelines: dict[str, _CommitPipeline] = {}
 
     # ------------------------------------------------------------------
     # Discovery
@@ -542,9 +621,29 @@ class DatasetJournal:
 
     def _read_snapshot(self, name: str,
                        version: int) -> dict[str, Any] | None:
-        path = self._dir(name) / snapshot_filename(version)
+        directory = self._dir(name)
+        binary = directory / snapshot_filename(version)
         try:
-            data = path.read_bytes()
+            data = binary.read_bytes()
+        except OSError:
+            data = None
+        if data is not None:
+            # A present-but-undecodable binary snapshot is corruption,
+            # not a reason to fall back: a leftover same-version .json
+            # may sit at an older seq than the segment's base_seq and
+            # would replay into a gap.  Returning None routes into the
+            # corrupt-snapshot rotation instead.
+            try:
+                payload = decode_snapshot(data)
+            except SnapshotDecodeError:
+                return None
+            if (payload.get("type") != "snapshot"
+                    or int(payload.get("version", -1)) != version):
+                return None
+            return payload
+        legacy = directory / legacy_snapshot_filename(version)
+        try:
+            data = legacy.read_bytes()
         except OSError:
             return None
         records, _clean = decode_records(data)
@@ -612,8 +711,20 @@ class DatasetJournal:
             self._remove(old)
         self._fsync_dir(directory)
         self._handles[name] = handle
+        pipeline = self._pipelines.get(name)
+        if pipeline is not None:
+            with pipeline.cond:
+                # Fresh generation, fresh tail: un-poison the commit
+                # pipeline and settle its ledger.  Failed-era tickets
+                # already raised to their appenders and the old segment
+                # is gone; successful-era tickets were drained by the
+                # _close_handle above.
+                pipeline.failed = None
+                pipeline.synced = pipeline.issued
+                pipeline.cond.notify_all()
 
-    def append(self, name: str, payload: dict[str, Any]) -> None:
+    def append(self, name: str,
+               payload: dict[str, Any]) -> CommitTicket | None:
         """Commit one record to the dataset's tail segment.
 
         Failure-atomic: if the write/flush/fsync fails partway (ENOSPC,
@@ -622,14 +733,32 @@ class DatasetJournal:
         in the file — a later successful append would land *after* them,
         and replay (which stops at the first damage) would silently drop
         it despite its acknowledgement.
+
+        With ``group_commit`` the fsync is deferred: the record is
+        written and flushed here (under the caller's entry lock, so
+        tickets are issued in file order) and a :class:`CommitTicket`
+        is returned.  The caller must ``wait()`` on it — after
+        releasing the entry lock — before acknowledging the append;
+        one waiter's fsync then covers every ticket behind it.
+        Without group commit the fsync happens inline and the return
+        value is ``None``.
         """
+        pipeline = self._pipeline(name) if self.group_commit else None
+        if pipeline is not None:
+            with pipeline.cond:
+                if pipeline.failed is not None:
+                    raise IngestError(
+                        f"journal for dataset {name!r} is failed after "
+                        "an unsuccessful group fsync; reload to rotate "
+                        "the generation"
+                    ) from pipeline.failed
         handle = self._handle(name)
         record = encode_record(payload)
         start = handle.tell()
         try:
             handle.write(record)
             handle.flush()
-            if self.fsync:
+            if pipeline is None and self.fsync:
                 os.fsync(handle.fileno())
         except OSError:
             try:
@@ -641,9 +770,23 @@ class DatasetJournal:
                 # next open goes through load(repair=True)'s scan.
                 self._close_handle(name)
             raise
+        if pipeline is None:
+            return None
+        with pipeline.cond:
+            pipeline.issued += 1
+            return CommitTicket(self, name, pipeline, pipeline.issued)
 
     def sync(self, name: str) -> None:
-        """Force the dataset's journal to stable storage (flush + fsync)."""
+        """Force the dataset's journal to stable storage (flush + fsync).
+
+        Under group commit this first drains the commit pipeline:
+        every outstanding ticket is covered by an fsync (this thread
+        acting as leader if none is in flight) before the handle-level
+        fsync below, so a flush racing concurrent appends returns only
+        once everything written so far is stable — and raises, rather
+        than lies, if the pipeline is poisoned by a failed fsync.
+        """
+        self._drain(name)
         handle = self._handles.get(name)
         if handle is None:
             tail = self._tail_segment(name)
@@ -673,7 +816,7 @@ class DatasetJournal:
         temporary = directory / (snapshot_filename(version) + ".tmp")
         try:
             with open(temporary, "wb") as handle:
-                handle.write(encode_record(payload))
+                handle.write(encode_snapshot(payload))
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(temporary, target)
@@ -681,6 +824,10 @@ class DatasetJournal:
             self._remove(temporary)  # recovery ignores .tmp, but be tidy
             raise
         self._fsync_dir(directory)
+        # A pre-codec .json snapshot of this generation is superseded by
+        # the durable .bin; drop it so discovery never sees two files
+        # for one version.
+        self._remove(directory / legacy_snapshot_filename(version))
         self.begin_generation(name, version, base_seq=int(payload["seq"]),
                               engine_config=payload.get("engine_config"))
 
@@ -709,12 +856,143 @@ class DatasetJournal:
         return segments[-1][2] if segments else None
 
     def _close_handle(self, name: str) -> None:
+        # Settle outstanding group-commit tickets while the handle is
+        # still open: every append acknowledged-to-be gets its fsync
+        # (or its failure) before the file goes away.  Failures are not
+        # re-raised here — close/rotation paths must make progress, and
+        # the affected appenders already saw the error via their
+        # tickets.
+        self._drain(name, raise_failed=False)
+        self._drop_handle(name)
+
+    def _drop_handle(self, name: str) -> None:
         handle = self._handles.pop(name, None)
         if handle is not None:
             try:
                 handle.close()
             except OSError:  # pragma: no cover - close failure is benign
                 pass
+
+    # ------------------------------------------------------------------
+    # Group commit
+    # ------------------------------------------------------------------
+    def _pipeline(self, name: str) -> _CommitPipeline:
+        pipeline = self._pipelines.get(name)
+        if pipeline is None:
+            # setdefault: dict ops are atomic, so racing first appends
+            # for one dataset still converge on a single pipeline.
+            pipeline = self._pipelines.setdefault(name, _CommitPipeline())
+        return pipeline
+
+    def _drain(self, name: str, raise_failed: bool = True) -> None:
+        """Fsync every outstanding group-commit ticket for ``name``.
+
+        Acts as leader if no fsync is in flight; returns once
+        everything issued so far is stable.  A poisoned pipeline
+        raises (``raise_failed``) or is left for the next generation
+        rotation to reset.
+        """
+        pipeline = self._pipelines.get(name)
+        if pipeline is None:
+            return
+        with pipeline.cond:
+            if pipeline.failed is not None:
+                if raise_failed:
+                    raise IngestError(
+                        f"journal for dataset {name!r} is failed after "
+                        "an unsuccessful group fsync"
+                    ) from pipeline.failed
+                return
+            if pipeline.synced >= pipeline.issued:
+                return
+            target = pipeline.issued
+        try:
+            self._wait_for_commit(name, pipeline, target)
+        except IngestError:
+            if raise_failed:
+                raise
+
+    def _wait_for_commit(self, name: str, pipeline: _CommitPipeline,
+                         number: int) -> None:
+        """Block until ticket ``number`` is covered by a completed fsync.
+
+        Leader/follower: the first waiter whose ticket is not yet
+        synced and who finds no fsync in flight becomes the leader —
+        it fsyncs once, covering every ticket issued so far, and wakes
+        the rest; followers sleep on the condition.  A failed fsync
+        poisons the pipeline (outstanding and future appends fail
+        until the generation rotates) and drops the handle: the
+        unproven tail must go through ``load(repair=True)``'s scan,
+        never be appended to again.
+        """
+        while True:
+            with pipeline.cond:
+                if pipeline.synced >= number:
+                    return
+                if pipeline.failed is not None:
+                    raise IngestError(
+                        f"group commit failed for dataset {name!r}"
+                    ) from pipeline.failed
+                if pipeline.leader:
+                    pipeline.cond.wait()
+                    continue
+                pipeline.leader = True
+                if self.max_group_delay > 0 and pipeline.issued <= number:
+                    # Alone so far: linger briefly so racing appenders
+                    # can join this group.
+                    pipeline.cond.wait(self.max_group_delay)
+                target = pipeline.issued
+                handle = self._handles.get(name)
+            # The fsync itself runs outside the condition so appenders
+            # keep writing, flushing and queueing behind it.  A missing
+            # handle means a drain-and-close already made these bytes
+            # stable (rotation paths drain before dropping the handle).
+            error: BaseException | None = None
+            if handle is not None:
+                try:
+                    os.fsync(handle.fileno())
+                except (OSError, ValueError) as exc:
+                    error = exc
+            with pipeline.cond:
+                pipeline.leader = False
+                if error is not None:
+                    pipeline.failed = error
+                    pipeline.cond.notify_all()
+                    self._drop_handle(name)
+                    raise IngestError(
+                        f"group commit failed for dataset {name!r}"
+                    ) from error
+                group = target - pipeline.synced
+                pipeline.synced = target
+                if group > 0:
+                    pipeline.commits += 1
+                    pipeline.records += group
+                    pipeline.max_group = max(pipeline.max_group, group)
+                pipeline.cond.notify_all()
+                if pipeline.synced >= number:
+                    return
+
+    def group_commit_stats(self) -> dict[str, Any]:
+        """Aggregate group-commit counters across datasets.
+
+        ``commits`` is the number of group fsyncs issued, ``records``
+        the appends they covered; ``fsyncs_saved`` is their difference
+        — the fsyncs per-record commit would have paid on the same
+        history.  ``max_group_size`` is the largest single group.
+        """
+        commits = records = max_group = 0
+        for pipeline in list(self._pipelines.values()):
+            with pipeline.cond:
+                commits += pipeline.commits
+                records += pipeline.records
+                max_group = max(max_group, pipeline.max_group)
+        return {
+            "enabled": self.group_commit,
+            "commits": commits,
+            "records": records,
+            "fsyncs_saved": records - commits,
+            "max_group_size": max_group,
+        }
 
     @staticmethod
     def _remove(path: Path) -> None:
@@ -938,6 +1216,7 @@ def replay_state(
 
 
 __all__ = [
+    "CommitTicket",
     "DatasetJournal",
     "DurableState",
     "MAX_RECORD_BYTES",
@@ -953,6 +1232,7 @@ __all__ = [
     "rebuild_with_catchup",
     "replay_counters",
     "replay_state",
+    "legacy_snapshot_filename",
     "scan_records",
     "segment_filename",
     "snapshot_filename",

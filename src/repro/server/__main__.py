@@ -21,6 +21,7 @@ import argparse
 
 from repro.core.executor import ExecutorConfig
 from repro.data.datasets import load_imdb, load_oecd, load_parkinson
+from repro.ingest.maintenance import IngestConfig
 from repro.service.workspace import Workspace
 from repro.server.app import ReproServer
 from repro.server.config import ServerConfig
@@ -38,6 +39,8 @@ def build_workspace(
     max_workers: int | None = None,
     preload: bool = False,
     data_dir: str | None = None,
+    group_commit: bool = False,
+    max_group_delay: float = 0.0,
 ) -> Workspace:
     """A workspace with the requested bundled datasets registered lazily.
 
@@ -45,14 +48,19 @@ def build_workspace(
     first: datasets persisted by a previous process (snapshots, appended
     rows) are replayed to their exact ``(version, seq)`` state, and
     registering a bundled loader over restored state adopts it instead
-    of resetting it.
+    of resetting it.  ``group_commit``/``max_group_delay`` tune the
+    journal's commit pipeline (one fsync acknowledging many concurrent
+    appends); both are ignored without ``data_dir``.
     """
     names = datasets or sorted(BUNDLED_DATASETS)
     executor = (
         ExecutorConfig(max_workers=max_workers)
         if max_workers is not None else None
     )
-    workspace = Workspace(executor=executor, data_dir=data_dir)
+    ingest = IngestConfig(
+        group_commit=group_commit, max_group_delay=max_group_delay
+    )
+    workspace = Workspace(executor=executor, data_dir=data_dir, ingest=ingest)
     restored = set(workspace.datasets())
     if restored:
         print(f"restored from journal: {', '.join(sorted(restored))}")
@@ -96,6 +104,8 @@ def main(argv: list[str] | None = None) -> int:
     workspace = build_workspace(
         datasets=args.datasets, max_workers=args.workers,
         preload=args.preload, data_dir=config.data_dir,
+        group_commit=config.group_commit,
+        max_group_delay=config.max_group_delay,
     )
     # The bundled loaders double as the PUT /v1/datasets/{name} loader
     # registry, so clients can (re)register them by name over the wire.

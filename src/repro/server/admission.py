@@ -22,6 +22,18 @@ The controller is event-loop native: waiting uses an
 from the owning loop, which is what makes the synchronous
 :meth:`snapshot` safe to call from request handlers without extra
 locking.
+
+**Coalescer-aware accounting.**  A coalesced read does not hold an
+in-flight slot while the coalesce window fills — that would let a
+handful of parked arrivals starve the server for the whole window.
+Instead the request is *parked* (:meth:`admit_coalesced`): its quotas
+are checked and counted for its full residence exactly as before (the
+429 contract is unchanged), and the number of parked arrivals is
+bounded by the queue limit (the 503 contract — parked requests *are*
+waiting requests), but the in-flight cap is charged per **dispatched
+batch**: the coalescer brackets each batch execution with
+:meth:`begin_batch` / :meth:`end_batch`, which wait for — and occupy —
+exactly one slot no matter how many requests ride in the batch.
 """
 
 from __future__ import annotations
@@ -57,16 +69,20 @@ class AdmissionController:
         self._cond = asyncio.Condition()
         self._in_flight = 0
         self._queued = 0
+        self._parked = 0
         self._by_dataset: dict[str, int] = {}
         self._by_class: dict[str, int] = {}
         self._writes_by_dataset: dict[str, int] = {}
         # Lifetime totals for /metrics.
         self._admitted_total = 0
         self._queued_total = 0
+        self._parked_total = 0
+        self._batches_total = 0
         self._rejected_quota_total = 0
         self._rejected_overload_total = 0
         self._peak_in_flight = 0
         self._peak_queued = 0
+        self._peak_parked = 0
 
     # ------------------------------------------------------------------
     # Acquire / release
@@ -160,6 +176,92 @@ class AdmissionController:
                           _distinct(insight_classes), _distinct(writes))
 
     # ------------------------------------------------------------------
+    # Coalescer-aware admission
+    # ------------------------------------------------------------------
+    async def park(
+        self,
+        datasets: Sequence[str],
+        insight_classes: Sequence[str],
+    ) -> None:
+        """Admit one arrival *into the open coalesce batch*.
+
+        Quotas are checked and counted exactly like :meth:`acquire` —
+        the request occupies its per-dataset/per-class slots for its
+        full residence, so the 429 contract is unchanged — but no
+        in-flight slot is taken: the dispatched batch will hold one via
+        :meth:`begin_batch`.  Parked arrivals are bounded by the queue
+        limit (they are waiting requests); beyond it the arrival is
+        rejected with 503.  Pair with :meth:`unpark`, or use
+        :meth:`admit_coalesced`.
+        """
+        names = _distinct(datasets)
+        classes = _distinct(insight_classes)
+        async with self._cond:
+            self._check_quotas(names, classes, ())
+            if self._parked + self._queued >= self.queue_limit:
+                self._rejected_overload_total += 1
+                raise AdmissionRejected(
+                    "overloaded",
+                    f"server is at capacity ({self._parked} parked, "
+                    f"{self._queued} queued); retry later",
+                    status=503,
+                    retry_after=self.retry_after,
+                )
+            self._parked += 1
+            self._parked_total += 1
+            self._peak_parked = max(self._peak_parked, self._parked)
+            self._admitted_total += 1
+            for name in names:
+                self._by_dataset[name] = self._by_dataset.get(name, 0) + 1
+            for name in classes:
+                self._by_class[name] = self._by_class.get(name, 0) + 1
+
+    async def unpark(
+        self,
+        datasets: Sequence[str],
+        insight_classes: Sequence[str],
+    ) -> None:
+        """Return a parked request's residence (after its batch ran)."""
+        names = _distinct(datasets)
+        classes = _distinct(insight_classes)
+        async with self._cond:
+            self._parked -= 1
+            for name in names:
+                self._decrement(self._by_dataset, name)
+            for name in classes:
+                self._decrement(self._by_class, name)
+
+    def admit_coalesced(
+        self,
+        datasets: Sequence[str],
+        insight_classes: Sequence[str],
+    ) -> "_ParkedAdmission":
+        """``async with controller.admit_coalesced(datasets, classes): ...``"""
+        return _ParkedAdmission(self, _distinct(datasets),
+                                _distinct(insight_classes))
+
+    async def begin_batch(self, size: int) -> None:
+        """Take one in-flight slot for a dispatched coalesce batch.
+
+        Waits for capacity instead of rejecting — the ``size`` requests
+        riding in the batch were each admission-checked at arrival
+        (:meth:`park`); by dispatch time rejection would be too late.
+        """
+        async with self._cond:
+            await self._cond.wait_for(
+                lambda: self._in_flight < self.max_in_flight
+            )
+            self._in_flight += 1
+            self._peak_in_flight = max(self._peak_in_flight, self._in_flight)
+            self._batches_total += 1
+
+    async def end_batch(self, size: int) -> None:
+        """Release a dispatched batch's in-flight slot."""
+        async with self._cond:
+            self._in_flight -= 1
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, Any]:
@@ -172,10 +274,14 @@ class AdmissionController:
         return {
             "in_flight": self._in_flight,
             "queued": self._queued,
+            "parked": self._parked,
             "peak_in_flight": self._peak_in_flight,
             "peak_queued": self._peak_queued,
+            "peak_parked": self._peak_parked,
             "admitted_total": self._admitted_total,
             "queued_total": self._queued_total,
+            "parked_total": self._parked_total,
+            "batches_dispatched_total": self._batches_total,
             "rejected_quota_total": self._rejected_quota_total,
             "rejected_overload_total": self._rejected_overload_total,
             "limits": {
@@ -266,6 +372,23 @@ class _Admission:
     async def __aexit__(self, *exc_info) -> None:
         await self._controller.release(self._datasets, self._classes,
                                        self._writes)
+
+
+class _ParkedAdmission:
+    """Async context manager pairing park with unpark."""
+
+    def __init__(self, controller: AdmissionController,
+                 datasets: tuple[str, ...], classes: tuple[str, ...]):
+        self._controller = controller
+        self._datasets = datasets
+        self._classes = classes
+
+    async def __aenter__(self) -> "_ParkedAdmission":
+        await self._controller.park(self._datasets, self._classes)
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self._controller.unpark(self._datasets, self._classes)
 
 
 __all__ = ["AdmissionController", "AdmissionRejected"]

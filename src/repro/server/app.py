@@ -209,6 +209,7 @@ class ReproServer:
                 max_batch=self.config.coalesce_max_batch,
                 metrics=self.metrics,
                 executor=self._pool,
+                admission=self.admission,
             )
         self._server = await asyncio.start_server(
             self._serve_connection, host=self.config.host, port=self.config.port
@@ -584,10 +585,19 @@ class ReproServer:
         request = self._parse_insight_request(http_request.body)
         self._require_dataset(request.dataset)
         loop = asyncio.get_running_loop()
-        async with self.admission.admit([request.dataset], request.insight_classes):
-            if self._coalescer is not None:
+        if self._coalescer is not None:
+            # Coalescer-aware admission: the arrival is quota-checked
+            # and parked into the open batch without holding an
+            # in-flight slot through the coalesce window — the
+            # dispatched batch takes exactly one slot instead.
+            async with self.admission.admit_coalesced(
+                [request.dataset], request.insight_classes
+            ):
                 response = await self._coalescer.submit(request)
-            else:
+        else:
+            async with self.admission.admit(
+                [request.dataset], request.insight_classes
+            ):
                 self.metrics.record_direct()
                 response = await loop.run_in_executor(
                     self._pool, self._workspace.handle, request

@@ -33,6 +33,7 @@ from concurrent.futures import Executor
 from typing import Any, Callable
 
 from repro.service.dto import InsightRequest, InsightResponse
+from repro.server.admission import AdmissionController
 from repro.server.metrics import ServerMetrics
 
 #: A blocking batch dispatcher — in production ``Workspace.handle_many``.
@@ -40,7 +41,15 @@ DispatchFn = Callable[[list[InsightRequest]], list[InsightResponse]]
 
 
 class RequestCoalescer:
-    """Collects concurrent single requests and dispatches them as batches."""
+    """Collects concurrent single requests and dispatches them as batches.
+
+    With an ``admission`` controller the coalescer participates in
+    coalescer-aware admission: each *dispatched batch* holds exactly one
+    in-flight slot (``begin_batch``/``end_batch``) for the duration of
+    its ``handle_many`` call, while the requests riding in it were
+    already quota-checked and parked at arrival.  Without one (the
+    default, and the unit-test configuration) dispatch is ungated.
+    """
 
     def __init__(
         self,
@@ -49,6 +58,7 @@ class RequestCoalescer:
         max_batch: int = 16,
         metrics: ServerMetrics | None = None,
         executor: Executor | None = None,
+        admission: AdmissionController | None = None,
     ):
         if window < 0:
             raise ValueError(f"window must be >= 0, got {window}")
@@ -59,6 +69,7 @@ class RequestCoalescer:
         self.max_batch = max_batch
         self._metrics = metrics
         self._executor = executor
+        self._admission = admission
         self._pending: list[tuple[InsightRequest, asyncio.Future, float]] = []
         self._timer: asyncio.Task | None = None
         self._tasks: set[asyncio.Task] = set()
@@ -108,6 +119,14 @@ class RequestCoalescer:
     ) -> None:
         loop = asyncio.get_running_loop()
         requests = [request for request, _, _ in batch]
+        if self._admission is not None:
+            # One in-flight slot per dispatched batch, however many
+            # requests ride in it.  Waits for capacity rather than
+            # rejecting: every rider already passed admission at
+            # arrival.
+            await self._admission.begin_batch(len(batch))
+        # Measured after the slot wait: the recorded latency is what the
+        # riders actually experienced between arrival and dispatch.
         wait_seconds = loop.time() - batch[0][2]
         try:
             responses = await loop.run_in_executor(
@@ -118,6 +137,9 @@ class RequestCoalescer:
                 if not future.done():
                     future.set_exception(exc)
             return
+        finally:
+            if self._admission is not None:
+                await self._admission.end_batch(len(batch))
         if self._metrics is not None:
             self._metrics.record_batch(len(batch), wait_seconds)
         size = len(batch)

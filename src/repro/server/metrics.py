@@ -267,10 +267,12 @@ def render_prometheus(document: dict[str, Any]) -> str:
                                       server["latency"]))
 
     admission = document.get("admission", {})
-    for key in ("in_flight", "queued", "peak_in_flight", "peak_queued"):
+    for key in ("in_flight", "queued", "parked", "peak_in_flight",
+                "peak_queued", "peak_parked"):
         if key in admission:
             gauge(f"repro_admission_{key}", admission[key])
-    for key in ("admitted_total", "queued_total", "rejected_quota_total",
+    for key in ("admitted_total", "queued_total", "parked_total",
+                "batches_dispatched_total", "rejected_quota_total",
                 "rejected_overload_total"):
         if key in admission:
             counter(f"repro_admission_{key}", admission[key])
@@ -321,6 +323,15 @@ def render_prometheus(document: dict[str, Any]) -> str:
             counter(f"repro_ingest_{key}_total", totals[key])
     if "durable" in ingest:
         gauge("repro_ingest_durable", 1 if ingest["durable"] else 0)
+    group = ingest.get("group_commit", {})
+    if group:
+        gauge("repro_ingest_group_commit_enabled",
+              1 if group.get("enabled") else 0)
+        for key in ("commits", "records", "fsyncs_saved"):
+            if key in group:
+                counter(f"repro_ingest_group_{key}_total", group[key])
+        if "max_group_size" in group:
+            gauge("repro_ingest_group_max_size", group["max_group_size"])
     per_dataset = ingest.get("datasets", {})
     if per_dataset:
         for key in ("rows_appended", "delta_merges", "rebuilds",

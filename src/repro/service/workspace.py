@@ -213,7 +213,10 @@ class Workspace:
         self._pending_recovery: dict[str, DurableState] = {}
         if data_dir is not None:
             self._journal = DatasetJournal(
-                data_dir, fsync=self._ingest_config.fsync
+                data_dir,
+                fsync=self._ingest_config.fsync,
+                group_commit=self._ingest_config.group_commit,
+                max_group_delay=self._ingest_config.max_group_delay,
             )
             self._recover_persisted()
 
@@ -770,6 +773,7 @@ class Workspace:
         unreachable, invalidation just reclaims the memory eagerly.
         """
         schedule_rebuild = False
+        ticket = None
         with self._locked_entry(name) as entry:
             self._check_open()
             self._materialize(entry)
@@ -834,10 +838,14 @@ class Workspace:
             # Write-ahead: the journal record (rows included) commits to
             # disk before any in-memory state changes.  If the write
             # fails the append fails whole — the caller sees the error
-            # and the serving state is untouched.
+            # and the serving state is untouched.  Under group commit
+            # the write happens here (so records hit the file in entry
+            # -lock order) but the fsync is deferred to a ticket waited
+            # on after the lock is released — one leader's fsync then
+            # acknowledges every appender queued behind it.
             timestamp = time.time()
             if self._journal is not None:
-                self._journal.append(name, {
+                ticket = self._journal.append(name, {
                     "type": RECORD_APPEND,
                     "seq": entry.ingest.seq + 1,
                     "applied": applied,
@@ -857,8 +865,17 @@ class Workspace:
             version = entry.version
             if rebuilt:
                 # A full rebuild makes the sketch state a pure function
-                # of the rows: the natural compaction point.
+                # of the rows: the natural compaction point.  The
+                # rotation it performs drains the commit pipeline, so
+                # the ticket below is already settled.
                 self._write_snapshot_locked(entry)
+        if ticket is not None:
+            # Group commit: block until a leader's fsync covers this
+            # record.  Raising here means the append was NOT
+            # acknowledged — the journal poisons further appends until
+            # the generation rotates, so the already-updated in-memory
+            # seq can never outrun what a restart would replay.
+            ticket.wait()
         with self._stats_lock:
             self._ingest_totals["appends"] += 1
             self._ingest_totals["rows_appended"] += batch.n_rows
@@ -948,6 +965,9 @@ class Workspace:
             )
             timestamp = time.time()
             if self._journal is not None:
+                # The snapshot rotation below drains the commit
+                # pipeline, so the swap record's group-commit ticket
+                # (if any) is settled before the lock is released.
                 self._journal.append(name, {
                     "type": RECORD_SWAP,
                     "seq": entry.ingest.seq + 1,
@@ -1094,11 +1114,14 @@ class Workspace:
             datasets[entry.name] = counters
         with self._stats_lock:
             totals = dict(self._ingest_totals)
-        return {
+        stats = {
             "totals": totals,
             "datasets": datasets,
             "durable": self._journal is not None,
         }
+        if self._journal is not None:
+            stats["group_commit"] = self._journal.group_commit_stats()
+        return stats
 
     # ------------------------------------------------------------------
     # Request serving
@@ -1366,6 +1389,7 @@ class Workspace:
         or appends race — the triple names exactly the snapshot the
         response is computed from.
         """
+        ticket = None
         with self._locked_entry(name) as entry:
             self._materialize(entry)
             if entry.engine is None:
@@ -1390,13 +1414,16 @@ class Workspace:
                     # replay builds at the same point in the row stream.
                     # (At seq 0 the build is over the base table alone
                     # and replay's lazy build is already identical.)
-                    self._journal.append(entry.name, {
+                    ticket = self._journal.append(entry.name, {
                         "type": RECORD_BUILD,
                         "seq": entry.ingest.seq,
                         "total_rows": entry.table.n_rows,
                         "ts": time.time(),
                     })
-            return entry.engine, entry.version, entry.ingest.seq
+            result = entry.engine, entry.version, entry.ingest.seq
+        if ticket is not None:
+            ticket.wait()  # group commit: build marker durable before use
+        return result
 
     @staticmethod
     def _coerce_request(

@@ -134,7 +134,7 @@ class TestRestartReplay:
         live.engine("live")
         result = live.append("live", stream[:12])  # 12 > 0.05 * 80
         assert result.applied == "rebuild"
-        assert (tmp_path / "live" / "snapshot-00000001.json").exists()
+        assert (tmp_path / "live" / "snapshot-00000001.bin").exists()
         reference = _payload(live.handle(_request()))
 
         loads = []
@@ -434,7 +434,7 @@ class TestGenerationRotation:
 
         other = Workspace(data_dir=str(tmp_path))
         assert other.reload("inline") == 2
-        new_snapshot = (tmp_path / "inline" / "snapshot-00000002.json"
+        new_snapshot = (tmp_path / "inline" / "snapshot-00000002.bin"
                         ).read_bytes()
         other.close()
 
@@ -444,7 +444,7 @@ class TestGenerationRotation:
         (tmp_path / "inline").mkdir()
         for name, data in before.items():
             (tmp_path / "inline" / name).write_bytes(data)
-        (tmp_path / "inline" / "snapshot-00000002.json").write_bytes(
+        (tmp_path / "inline" / "snapshot-00000002.bin").write_bytes(
             new_snapshot)
 
         restarted = Workspace(data_dir=str(tmp_path))
@@ -598,7 +598,7 @@ class TestEngineConfigPersistence:
         reference = _payload(live.handle(_request()))
         live.close()
         # No snapshot was ever written — the scenario under test.
-        assert not list(Path(tmp_path, "live").glob("snapshot-*.json"))
+        assert not list(Path(tmp_path, "live").glob("snapshot-*"))
 
         restored = Workspace(data_dir=str(tmp_path),
                              ingest=IngestConfig(rebuild_fraction=float("inf")))
@@ -670,7 +670,7 @@ class TestRecoveryHardening:
         live.append("live", stream[:10])
         assert live.rebuild("live")["seq"] == 2  # writes the snapshot
         live.close()
-        snapshot = next(Path(tmp_path, "live").glob("snapshot-*.json"))
+        snapshot = next(Path(tmp_path, "live").glob("snapshot-*.bin"))
         data = bytearray(snapshot.read_bytes())
         data[len(data) // 2] ^= 0xFF
         snapshot.write_bytes(bytes(data))
@@ -923,3 +923,239 @@ class TestRecoveryHardening:
         assert result == [BASE_ROWS]
         workspace._closed = False  # reopen the simulated close
         workspace.close()
+
+
+class TestGroupCommit:
+    """One fsync may acknowledge many appends — never the reverse.
+
+    Group commit changes *when* the fsync happens (a leader syncs for
+    every waiter queued behind it), not *what* durability means: every
+    acknowledged append must still be on stable storage, sequence
+    numbers must stay dense and per-thread monotone, and a flush racing
+    the pipeline must drain it rather than deadlock or drop records.
+    """
+
+    N_THREADS = 6
+    PER_THREAD = 8
+
+    def _hammer(self, workspace, stream):
+        """N threads × 1-row appends; returns per-thread acked seqs."""
+        rows = (stream * 2)[: self.N_THREADS * self.PER_THREAD]
+        acked: list[list[int]] = [[] for _ in range(self.N_THREADS)]
+        errors: list[Exception] = []
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def appender(index):
+            mine = rows[index * self.PER_THREAD:(index + 1) * self.PER_THREAD]
+            barrier.wait()
+            try:
+                for row in mine:
+                    acked[index].append(
+                        workspace.append("live", [row]).seq)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        workers = [threading.Thread(target=appender, args=(i,))
+                   for i in range(self.N_THREADS)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=60)
+        assert not any(worker.is_alive() for worker in workers)
+        assert errors == []
+        return acked
+
+    def test_concurrent_appends_stay_gap_free_and_monotone(
+        self, tmp_path, base_table, stream
+    ):
+        live = _open(tmp_path, base_table, group_commit=True)
+        acked = self._hammer(live, stream)
+        total = self.N_THREADS * self.PER_THREAD
+        # Each thread saw its own seqs strictly increase, and together
+        # they are exactly 1..N: no gap, no duplicate, no invention.
+        for seqs in acked:
+            assert seqs == sorted(seqs)
+            assert len(set(seqs)) == len(seqs)
+        assert sorted(seq for seqs in acked for seq in seqs) == list(
+            range(1, total + 1))
+        assert live.state("live") == (1, total)
+        stats = live.ingest_stats()["group_commit"]
+        assert stats["enabled"] is True
+        assert stats["records"] == total
+        assert stats["fsyncs_saved"] == stats["records"] - stats["commits"]
+        assert 1 <= stats["max_group_size"] <= self.N_THREADS
+        live.close()
+
+        # Every acknowledged append replays: identical identity and rows.
+        restarted = _open(tmp_path, base_table, group_commit=True)
+        assert restarted.state("live") == (1, total)
+        assert restarted.table("live").n_rows == BASE_ROWS + total
+        restarted.close()
+
+    def test_group_commit_off_path_is_untouched(self, tmp_path, base_table,
+                                                stream):
+        """Without the knob the journal still fsyncs inline per append
+        (append returns no ticket) and reports the pipeline disabled."""
+        live = _open(tmp_path, base_table)
+        live.append("live", stream[:3])
+        stats = live.ingest_stats()["group_commit"]
+        assert stats == {"enabled": False, "commits": 0, "records": 0,
+                         "fsyncs_saved": 0, "max_group_size": 0}
+        live.close()
+
+    def test_flush_racing_group_commit_drains_without_deadlock(
+        self, tmp_path, base_table, stream
+    ):
+        """flush() must drain outstanding commit tickets before its own
+        fsync-and-return — concurrently with appenders parked on those
+        tickets — and still report the exact response contract."""
+        live = _open(tmp_path, base_table, group_commit=True)
+        stop = threading.Event()
+        flushes: list[dict] = []
+        flush_errors: list[Exception] = []
+
+        def flusher():
+            try:
+                while not stop.is_set():
+                    flushes.append(live.flush("live"))
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                flush_errors.append(exc)
+
+        worker = threading.Thread(target=flusher)
+        worker.start()
+        try:
+            acked = self._hammer(live, stream)
+        finally:
+            stop.set()
+            worker.join(timeout=60)
+        assert not worker.is_alive()
+        assert flush_errors == []
+        total = self.N_THREADS * self.PER_THREAD
+        assert sorted(seq for seqs in acked for seq in seqs) == list(
+            range(1, total + 1))
+        for flush in flushes:
+            assert set(flush) == {"dataset", "version", "seq", "durable"}
+            assert flush["durable"] is True
+        # The final barrier observes everything.
+        assert live.flush("live")["seq"] == total
+        live.close()
+
+        restarted = _open(tmp_path, base_table, group_commit=True)
+        assert restarted.state("live") == (1, total)
+        restarted.close()
+
+    CHILD = """
+import json, os, sys, threading
+sys.path.insert(0, sys.argv[2])
+from repro.data.datasets import make_mixed_table
+from repro.ingest import IngestConfig
+from repro.service import Workspace
+
+base = make_mixed_table(n_rows={base_rows}, n_numeric=3, n_categorical=2,
+                        seed={base_seed})
+stream = make_mixed_table(n_rows=30, n_numeric=3, n_categorical=2,
+                          seed={stream_seed}).to_records()
+workspace = Workspace(
+    data_dir=sys.argv[1],
+    ingest=IngestConfig(rebuild_fraction=float("inf"), group_commit=True))
+workspace.register("live", lambda: base)
+N, PER = 4, 6
+rows = (stream * 2)[: N * PER]
+acked = [[] for _ in range(N)]
+barrier = threading.Barrier(N)
+def appender(index):
+    mine = rows[index * PER:(index + 1) * PER]
+    barrier.wait()
+    for row in mine:
+        acked[index].append(workspace.append("live", [row]).seq)
+workers = [threading.Thread(target=appender, args=(i,)) for i in range(N)]
+for worker in workers:
+    worker.start()
+for worker in workers:
+    worker.join()
+print(json.dumps({{"state": list(workspace.state("live")), "acked": acked}}))
+sys.stdout.flush()
+os._exit(17)  # die without any cleanup: no close(), no atexit
+"""
+
+    def test_acknowledged_group_commits_survive_a_kill(self, tmp_path,
+                                                       base_table):
+        """SIGKILL-equivalent death right after concurrent group-committed
+        appends: every append that returned must be found by replay."""
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        child = self.CHILD.format(base_rows=BASE_ROWS, base_seed=BASE_SEED,
+                                  stream_seed=STREAM_SEED)
+        result = subprocess.run(
+            [sys.executable, "-c", child, str(tmp_path), src],
+            capture_output=True, text=True, timeout=120,
+            env={**os.environ, "PYTHONHASHSEED": "0"},
+        )
+        assert result.returncode == 17, result.stderr
+        reported = json.loads(result.stdout.strip().splitlines()[-1])
+        total = sum(len(seqs) for seqs in reported["acked"])
+        assert sorted(
+            seq for seqs in reported["acked"] for seq in seqs
+        ) == list(range(1, total + 1))
+        assert reported["state"] == [1, total]
+
+        restarted = _open(tmp_path, base_table, group_commit=True)
+        assert restarted.state("live") == (1, total)
+        assert restarted.table("live").n_rows == BASE_ROWS + total
+        restarted.close()
+
+
+class TestBinarySnapshotTruncation:
+    """A truncated binary snapshot must fail closed at *every* offset.
+
+    The codec's framing (magic, section lengths, CRCs) has to catch any
+    prefix of a valid snapshot — returning None from ``_read_snapshot``
+    so recovery routes into the corrupt-snapshot rotation — never an
+    unhandled exception, never a partially-decoded table.
+    """
+
+    def test_every_truncation_offset_reads_as_missing(self, tmp_path,
+                                                      base_table, stream):
+        live = _open(tmp_path, base_table)
+        live.engine("live")
+        live.append("live", stream[:10])
+        assert live.rebuild("live")["seq"] == 2  # writes the snapshot
+        live.close()
+        snapshot = Path(tmp_path, "live") / "snapshot-00000001.bin"
+        data = snapshot.read_bytes()
+        assert len(data) > 16
+
+        journal = DatasetJournal(str(tmp_path))
+        for cut in range(len(data)):
+            snapshot.write_bytes(data[:cut])
+            assert journal._read_snapshot("live", 1) is None, (
+                f"truncation at byte {cut} decoded"
+            )
+        # The intact bytes still decode — the sweep tested the codec,
+        # not a broken fixture.
+        snapshot.write_bytes(data)
+        payload = journal._read_snapshot("live", 1)
+        journal.close()
+        assert payload is not None and payload["version"] == 1
+
+    @pytest.mark.parametrize("fraction", [0.0, 0.1, 0.5, 0.95])
+    def test_sampled_truncations_recover_via_rotation(self, tmp_path,
+                                                      base_table, stream,
+                                                      fraction):
+        """Full-workspace restarts over sampled cuts: recovery rotates
+        to a fresh generation (identities never reused) and the dataset
+        keeps serving and appending."""
+        live = _open(tmp_path, base_table)
+        live.engine("live")
+        live.append("live", stream[:10])
+        assert live.rebuild("live")["seq"] == 2  # writes the snapshot
+        live.close()
+        snapshot = Path(tmp_path, "live") / "snapshot-00000001.bin"
+        data = snapshot.read_bytes()
+        snapshot.write_bytes(data[: int(len(data) * fraction)])
+
+        restarted = _open(tmp_path, base_table)
+        assert restarted.state("live") == (2, 0)
+        appended = restarted.append("live", stream[:3])
+        assert (appended.version, appended.seq) == (2, 1)
+        assert restarted.handle(_request()).dataset == "live"
+        restarted.close()
