@@ -15,7 +15,15 @@ regimes:
    open batch park without holding in-flight slots (the dispatched
    batch takes one), so the full client fan-in proceeds batched where
    per-request slot accounting would have stalled arrivals behind the
-   window.
+   window;
+5. **tracing overhead** — the cached workload against a traced and an
+   untraced (``ObsConfig(enabled=False)``) server running side by side,
+   measured in alternating passes and repeated with creation order
+   swapped (two in-process servers differ by a few percent from
+   creation order alone; the swap cancels it): the throughput delta is
+   the price of the always-on request tracing, budgeted at <3% (a
+   breach warns rather than fails — single-core CI boxes make small
+   deltas noisy).
 
 Alongside the human-readable tables it emits ``BENCH_server.json`` (in
 the working directory, overridable via ``BENCH_SERVER_JSON``) so CI can
@@ -45,6 +53,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import InsightRequest, Workspace  # noqa: E402
 from repro.data.datasets import make_numeric_table  # noqa: E402
+from repro.obs import ObsConfig  # noqa: E402
 from repro.server import ReproClient, ServerConfig, serving  # noqa: E402
 from repro.viz.ascii import render_table  # noqa: E402
 from bench_util import percentile  # noqa: E402
@@ -57,12 +66,13 @@ N_REQUESTS = 24
 ROUNDS = 3
 COALESCE_WINDOW = 0.004
 SATURATED_IN_FLIGHT = 2  # far fewer slots than concurrent clients
+TRACING_OVERHEAD_BUDGET_PCT = 3.0
 
 
-def _make_workspace() -> Workspace:
+def _make_workspace(obs: ObsConfig | None = None) -> Workspace:
     table = make_numeric_table(n_rows=N_ROWS, n_columns=N_COLUMNS,
                                block_correlation=0.6, seed=7)
-    workspace = Workspace(cache_size=256)
+    workspace = Workspace(cache_size=256, obs=obs)
     workspace.register("bench", lambda: table)
     workspace.engine("bench")   # build outside the timed region
     return workspace
@@ -178,6 +188,66 @@ def main() -> int:
         with ReproClient(*handle.address) as client:
             metrics_by_regime["saturated"] = client.metrics()
 
+    # -- regime 5: tracing overhead on the cached hot path --------------------
+    # A sequential matched pair mismeasures this delta badly: two
+    # identically configured in-process servers differ by several
+    # percent on the cached path purely by *creation order* (the
+    # second-created server is consistently faster — allocator and
+    # cache locality), and machine-speed drift between the two
+    # measurement windows adds more.  So both servers run live at once
+    # and are measured in alternating passes (drift hits both sides
+    # equally), and the pairing runs twice with creation order swapped —
+    # the order bias cancels in the mean of the two estimates.  The
+    # measured passes hit only result-cache lookups, the path where span
+    # bookkeeping is the largest relative cost.
+    overhead_pair: dict[str, dict] = {}
+    per_order_pct: dict[str, float] = {}
+    for traced_first in (True, False):
+        if traced_first:
+            traced_ws = _make_workspace()
+            untraced_ws = _make_workspace(obs=ObsConfig(enabled=False))
+        else:
+            untraced_ws = _make_workspace(obs=ObsConfig(enabled=False))
+            traced_ws = _make_workspace()
+        pair_config = dict(coalesce_window=COALESCE_WINDOW,
+                           coalesce_max_batch=N_THREADS,
+                           max_in_flight=N_THREADS, queue_limit=256)
+        with serving(traced_ws, ServerConfig(port=0, **pair_config)) as traced_handle, \
+                serving(untraced_ws, ServerConfig(port=0, **pair_config)) as untraced_handle:
+            handles = {"cached_traced": traced_handle,
+                       "cached_untraced": untraced_handle}
+            for handle in handles.values():
+                _run_workload(handle.address, requests)  # warm the cache
+            order_best: dict[str, dict] = {}
+            for index in range(2):
+                labels = list(handles)
+                if index % 2:
+                    labels.reverse()
+                for label in labels:
+                    run = _run_workload(handles[label].address, requests)
+                    held = order_best.get(label)
+                    if (run.get("failures") or held is None
+                            or run["seconds"] < held["seconds"]):
+                        order_best[label] = run
+                    if run.get("failures"):
+                        break
+            for label, run in order_best.items():
+                held = overhead_pair.get(label)
+                if (run.get("failures") or held is None
+                        or run["seconds"] < held["seconds"]):
+                    overhead_pair[label] = run
+            for label, handle in handles.items():
+                with ReproClient(*handle.address) as client:
+                    metrics_by_regime[label] = client.metrics()
+        traced_run = order_best["cached_traced"]
+        untraced_run = order_best["cached_untraced"]
+        if not (traced_run.get("failures") or untraced_run.get("failures")):
+            order = "traced_first" if traced_first else "untraced_first"
+            per_order_pct[order] = (
+                (traced_run["seconds"] - untraced_run["seconds"])
+                / untraced_run["seconds"] * 100.0)
+    results.update(overhead_pair)
+
     for regime, stats in results.items():
         if stats.get("failures"):
             print(f"FAIL: {regime} workload had failures: "
@@ -240,6 +310,29 @@ def main() -> int:
             file=sys.stderr,
         )
         ok = False
+    traced_obs = metrics_by_regime["cached_traced"]["obs"]["tracing"]
+    untraced_obs = metrics_by_regime["cached_untraced"]["obs"]["tracing"]
+    if not traced_obs["enabled"] or traced_obs["traces_recorded"] == 0:
+        print("FAIL: default server did not record traces", file=sys.stderr)
+        ok = False
+    if untraced_obs["enabled"] or untraced_obs["traces_recorded"] != 0:
+        print("FAIL: ObsConfig(enabled=False) server still traced",
+              file=sys.stderr)
+        ok = False
+
+    # -- tracing overhead: warn past the budget, never fail -------------------
+    traced = results["cached_traced"]
+    untraced = results["cached_untraced"]
+    overhead_pct = (sum(per_order_pct.values()) / len(per_order_pct)
+                    if per_order_pct else 0.0)
+    if overhead_pct > TRACING_OVERHEAD_BUDGET_PCT:
+        print(
+            f"WARN: tracing overhead {overhead_pct:+.1f}% on the cached "
+            f"path exceeds the {TRACING_OVERHEAD_BUDGET_PCT:.0f}% budget "
+            f"(per-order estimates {per_order_pct}) — rerun before "
+            "trusting; single-core CI machines make this delta noisy",
+            file=sys.stderr,
+        )
 
     # -- report ---------------------------------------------------------------
     rows = [
@@ -270,6 +363,14 @@ def main() -> int:
         f"batches dispatched {saturated['batches_dispatched_total']}, "
         f"peak in-flight {saturated['peak_in_flight']}, 0 rejections"
     )
+    print(
+        f"tracing overhead (cached path): {overhead_pct:+.1f}% "
+        "mean of order-balanced estimates "
+        f"{ {k: round(v, 1) for k, v in per_order_pct.items()} } "
+        f"(best traced {traced['ops_sec']:.1f} vs untraced "
+        f"{untraced['ops_sec']:.1f} ops/sec, "
+        f"budget {TRACING_OVERHEAD_BUDGET_PCT:.0f}%)"
+    )
 
     payload = {
         "benchmark": "server_throughput",
@@ -287,6 +388,15 @@ def main() -> int:
         "coalesce": coalesced_server["coalesce"],
         "saturated_admission": saturated,
         "server_latency_histogram": coalesced_server["latency"],
+        "tracing_overhead": {
+            "budget_pct": TRACING_OVERHEAD_BUDGET_PCT,
+            "overhead_pct": overhead_pct,
+            "overhead_pct_by_order": per_order_pct,
+            "within_budget": overhead_pct <= TRACING_OVERHEAD_BUDGET_PCT,
+            "traced_ops_sec": traced["ops_sec"],
+            "untraced_ops_sec": untraced["ops_sec"],
+            "tracing": traced_obs,
+        },
         "ok": ok,
     }
     out_path = Path(os.environ.get("BENCH_SERVER_JSON", "BENCH_server.json"))

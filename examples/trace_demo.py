@@ -1,0 +1,106 @@
+"""See where a request's time went: end-to-end tracing over HTTP.
+
+Starts the server on an ephemeral port, attaches a logging handler to
+the structured event log, then:
+
+* runs a cold query and prints its span tree (workspace handle →
+  engine build → pipeline stages), fetched by the ``X-Repro-Trace-Id``
+  the response carried;
+* runs the cached repeat and shows how the tree collapses;
+* drops the slow-request threshold to 0 ms over the wire so the next
+  request emits a ``slow_request`` event;
+* lists recent traces and the per-span duration histograms.
+
+Run with::
+
+    PYTHONPATH=src python examples/trace_demo.py
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.data.datasets import load_oecd  # noqa: E402
+from repro.service import InsightRequest, Workspace  # noqa: E402
+from repro.server import ReproClient, ServerConfig, serving  # noqa: E402
+
+
+def print_tree(node: dict, depth: int = 0) -> None:
+    """Render one span subtree as an indented duration breakdown."""
+    attrs = {key: value for key, value in node["attributes"].items()
+             if key not in ("endpoint", "method")}
+    detail = f"  {attrs}" if attrs else ""
+    print(f"  {'  ' * depth}{node['duration_ms']:>9.3f} ms  "
+          f"{node['name']}{detail}")
+    for child in node["children"]:
+        print_tree(child, depth + 1)
+
+
+def main() -> None:
+    # Structured events (slow_request, rebuild_swap, ...) are one JSON
+    # line each on this logger; any stdlib handler consumes them.
+    logging.basicConfig(level=logging.WARNING, format="%(message)s")
+    logging.getLogger("repro.obs.events").setLevel(logging.INFO)
+
+    workspace = Workspace()
+    workspace.register("oecd", load_oecd)
+    request = InsightRequest(dataset="oecd",
+                             insight_classes=("skew", "outliers"), top_k=3)
+
+    # Coalescing off: the direct dispatch path keeps the whole story in
+    # one trace.  (Coalesced requests split it across two — the rider's
+    # trace and the batch's — cross-referenced by request_trace_id.)
+    with serving(workspace, ServerConfig(port=0,
+                                         coalesce_window=0.0)) as handle:
+        host, port = handle.address
+        print(f"server listening on http://{host}:{port}")
+        client = ReproClient(host, port)
+
+        # -- a cold request: the whole story ------------------------------
+        client.insights(request)
+        print(f"\ncold request -> X-Repro-Trace-Id: {client.last_trace_id}")
+        trace = client.trace(client.last_trace_id)
+        print(f"trace {trace['trace_id']} "
+              f"({trace['n_spans']} spans, {trace['duration_ms']:.1f} ms):")
+        print_tree(trace["root"])
+
+        # -- the cached repeat: the tree collapses ------------------------
+        client.insights(request)
+        repeat = client.trace(client.last_trace_id)
+        print(f"\ncached repeat ({repeat['n_spans']} spans):")
+        print_tree(repeat["root"])
+
+        # -- flag slow requests at runtime --------------------------------
+        applied = client.set_slow_threshold(0.0)
+        print(f"\nslow threshold set to {applied['slow_ms']} ms — the next "
+              "request logs a slow_request event:")
+        client.insights(InsightRequest(dataset="oecd",
+                                       insight_classes=("dispersion",)))
+
+        # -- the listing and the histograms -------------------------------
+        listing = client.traces(dataset="oecd", limit=3)
+        print(f"\nlast {len(listing['traces'])} oecd traces "
+              f"(of {listing['tracing']['traces_recorded']} recorded):")
+        for summary in listing["traces"]:
+            print(f"  {summary['trace_id']}  {summary['name']:<18} "
+                  f"{summary['duration_ms']:>9.3f} ms")
+        spans = client.metrics()["obs"]["spans"]
+        print("\nper-span p95s:")
+        for name in ("request", "workspace.handle", "pipeline.execute",
+                     "engine.build"):
+            if name in spans:
+                snapshot = spans[name]
+                print(f"  {name:<18} n={snapshot['count']:<3} "
+                      f"p95<={snapshot['p95_seconds']}s "
+                      f"max={snapshot['max_seconds'] * 1000:.3f}ms")
+        client.close()
+
+    print("\nserver drained and stopped.")
+
+
+if __name__ == "__main__":
+    main()

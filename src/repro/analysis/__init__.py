@@ -1,6 +1,6 @@
 """Project-invariant static analysis (``repro-lint``).
 
-Five AST-based checkers encode the repository's load-bearing contracts
+Six AST-based checkers encode the repository's load-bearing contracts
 as machine-checked rules:
 
 ==========================  ============================================
@@ -11,6 +11,7 @@ rule id                     invariant
 ``determinism``             no ambient RNG/clock/hash-order in the core
 ``durability-protocol``     WAL writes fsynced, guarded, owner-only
 ``async-hygiene``           no blocking calls on the event loop
+``trace-hygiene``           spans closed on every path, literal keys
 ==========================  ============================================
 
 See ``docs/ANALYSIS.md`` for the full catalog and suppression syntax.
@@ -25,6 +26,7 @@ from .engine import Analyzer, Finding, Report, Rule, SourceModule
 from .immutability import ImmutabilityRule
 from .locks import LockOrderRule, collect_lock_sites
 from .project import DEFAULT_CONFIG, LockSpec, ProjectConfig
+from .tracing import TraceHygieneRule
 
 __all__ = [
     "Analyzer",
@@ -40,6 +42,7 @@ __all__ = [
     "Report",
     "Rule",
     "SourceModule",
+    "TraceHygieneRule",
     "build_analyzer",
     "collect_lock_sites",
 ]
@@ -53,9 +56,10 @@ def default_rules(config: ProjectConfig | None = None) -> list[Rule]:
         DeterminismRule(config),
         DurabilityRule(config),
         AsyncHygieneRule(config),
+        TraceHygieneRule(config),
     ]
 
 
 def build_analyzer(config: ProjectConfig | None = None) -> Analyzer:
-    """The analyzer with all five project rules installed."""
+    """The analyzer with all six project rules installed."""
     return Analyzer(default_rules(config))

@@ -24,6 +24,7 @@ role                  level  lock
 ``executor.lock``      30    ``ParallelExecutor._lock`` pool leaf
 ``metrics.lock``       30    ``ServerMetrics._lock`` counter leaf
 ``journal.commit``     30    ``_CommitPipeline.cond`` group-commit leaf
+``obs.trace``          30    ``Tracer._drain_lock`` trace-ring leaf
 ====================  =====  ==========================================
 
 ``entry < registry`` matches the hot paths: ``_locked_entry`` holders
@@ -56,7 +57,7 @@ class LockSpec:
 
 @dataclass(frozen=True)
 class ProjectConfig:
-    """Everything the five rule families need to know about this repo."""
+    """Everything the six rule families need to know about this repo."""
 
     # ---- lock-order ------------------------------------------------------
     #: Modules whose lock usage is extracted and checked.
@@ -99,6 +100,14 @@ class ProjectConfig:
     workspace_receivers: tuple[str, ...] = ("_workspace", "workspace")
     workspace_blocking_methods: tuple[str, ...] = ()
 
+    # ---- trace-hygiene ---------------------------------------------------
+    #: Receivers whose ``.span()``/``.start_span()`` calls create spans.
+    tracer_receivers: tuple[str, ...] = ("tracer", "_tracer")
+    #: Bare helper functions that create context-managed spans.
+    trace_span_functions: tuple[str, ...] = ("obs_span",)
+    #: Modules exempt from the rule (the tracer's own internals).
+    trace_exempt_modules: tuple[str, ...] = ("obs/tracer.py",)
+
 
 DEFAULT_CONFIG = ProjectConfig(
     lock_modules=(
@@ -107,6 +116,7 @@ DEFAULT_CONFIG = ProjectConfig(
         "core/executor.py",
         "server/metrics.py",
         "ingest/durable.py",
+        "obs/tracer.py",
     ),
     locks=(
         LockSpec("workspace.entry", 10, "service/workspace.py", "_DatasetEntry", "lock", reentrant=True),
@@ -121,8 +131,20 @@ DEFAULT_CONFIG = ProjectConfig(
         # wait()'s release/reacquire, which the order rule models as a
         # single hold, so it stays non-reentrant here.
         LockSpec("journal.commit", 30, "ingest/durable.py", "_CommitPipeline", "cond"),
+        # The tracer's drain lock: root-span completion takes it to
+        # publish the trace's span bucket into the ring.  A leaf by
+        # design — root spans only end after every workspace/journal
+        # lock is released (child-span ends are lock-free appends).
+        LockSpec("obs.trace", 30, "obs/tracer.py", "Tracer", "_drain_lock"),
     ),
-    lock_taking_attrs={"_cache": "cache.lock", "_metrics": "metrics.lock"},
+    # _tracer covers span creation AND root-span completion: ending a
+    # root publishes its bucket under the obs.trace leaf lock, so a
+    # tracer call under a level-30 lock would be an inversion.
+    lock_taking_attrs={
+        "_cache": "cache.lock",
+        "_metrics": "metrics.lock",
+        "_tracer": "obs.trace",
+    },
     immutable_types=(
         "DataTable",
         "SketchStore",

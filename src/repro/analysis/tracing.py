@@ -1,0 +1,202 @@
+"""Trace-hygiene checker for the observability instrumentation.
+
+A span that is opened but never closed corrupts its whole trace: the
+root never completes, the thread buffers never drain, and the ring shows
+a request that "never finished".  The tracer API is shaped so the safe
+patterns are the easy ones — this rule keeps every instrumentation site
+on them:
+
+* ``tracer.span(...)`` / ``obs_span(...)`` return context managers and
+  must be used as the context expression of a ``with`` (or ``async
+  with``) statement.  Calling them bare leaks an ambient span onto the
+  calling thread for the rest of its life.
+* ``tracer.start_span(...)`` (the manual variant for event-loop and
+  callback code) must be assigned to a plain name, and that name must be
+  ``.end()``-ed in a ``finally`` block of the same function — the only
+  shape that survives exceptions between start and end.
+* Span attribute keys must be literal strings: ``set_attribute`` with a
+  computed first argument or ``**kwargs`` splatted into a span call
+  produces unbounded histogram/label cardinality and unauditable trace
+  schemas.
+
+The tracer's own module is exempt (``trace_exempt_modules``): it builds
+the spans these rules govern.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from .engine import Finding, Rule, SourceModule
+from .project import ProjectConfig
+
+__all__ = ["TraceHygieneRule"]
+
+RULE_ID = "trace-hygiene"
+
+
+def _receiver_tail(node: ast.expr) -> str | None:
+    """The last attribute/name segment of a call receiver expression."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _own_nodes(fn: ast.AST) -> Iterator[ast.AST]:
+    """Nodes of one function body, excluding nested function bodies."""
+    for child in ast.iter_child_nodes(fn):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.Lambda)):
+            continue
+        yield child
+        yield from _own_nodes(child)
+
+
+class TraceHygieneRule(Rule):
+    id = RULE_ID
+
+    def __init__(self, config: ProjectConfig):
+        self.config = config
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        if any(module.matches(suffix)
+               for suffix in self.config.trace_exempt_modules):
+            return ()
+        findings: list[Finding] = []
+        scopes: list[ast.AST] = [module.tree]
+        scopes.extend(
+            node for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        for scope in scopes:
+            findings.extend(self._check_scope(module, scope))
+        return findings
+
+    # ------------------------------------------------------------------
+    # Per-scope analysis
+    # ------------------------------------------------------------------
+    def _is_span_cm_call(self, call: ast.Call) -> bool:
+        """``tracer.span(...)`` or a bare ``obs_span(...)`` helper."""
+        func = call.func
+        if (isinstance(func, ast.Name)
+                and func.id in self.config.trace_span_functions):
+            return True
+        return (
+            isinstance(func, ast.Attribute)
+            and func.attr == "span"
+            and _receiver_tail(func.value) in self.config.tracer_receivers
+        )
+
+    def _is_start_span_call(self, call: ast.Call) -> bool:
+        func = call.func
+        return (
+            isinstance(func, ast.Attribute)
+            and func.attr == "start_span"
+            and _receiver_tail(func.value) in self.config.tracer_receivers
+        )
+
+    def _check_scope(
+        self, module: SourceModule, scope: ast.AST
+    ) -> Iterator[Finding]:
+        nodes = list(_own_nodes(scope))
+        with_items: set[int] = set()
+        assigned: dict[int, str] = {}
+        ended_in_finally: set[str] = set()
+        for node in nodes:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    with_items.add(id(item.context_expr))
+            elif isinstance(node, ast.Assign):
+                if (len(node.targets) == 1
+                        and isinstance(node.targets[0], ast.Name)
+                        and isinstance(node.value, ast.Call)):
+                    assigned[id(node.value)] = node.targets[0].id
+            elif isinstance(node, ast.Try):
+                for stmt in node.finalbody:
+                    for sub in ast.walk(stmt):
+                        if (isinstance(sub, ast.Call)
+                                and isinstance(sub.func, ast.Attribute)
+                                and sub.func.attr == "end"
+                                and isinstance(sub.func.value, ast.Name)):
+                            ended_in_finally.add(sub.func.value.id)
+
+        for node in nodes:
+            if not isinstance(node, ast.Call):
+                continue
+            if self._is_span_cm_call(node):
+                if id(node) not in with_items:
+                    yield Finding(
+                        rule=RULE_ID,
+                        path=module.rel,
+                        line=node.lineno,
+                        message=(
+                            "span() / obs_span() must be the context "
+                            "expression of a with-statement; a bare call "
+                            "leaks an ambient span (use start_span + "
+                            "try/finally end() for manual lifetimes)"
+                        ),
+                    )
+                else:
+                    yield from self._check_literal_keys(module, node)
+            elif self._is_start_span_call(node):
+                name = assigned.get(id(node))
+                if name is None:
+                    yield Finding(
+                        rule=RULE_ID,
+                        path=module.rel,
+                        line=node.lineno,
+                        message=(
+                            "start_span(...) must be assigned to a plain "
+                            "name so the span can be end()-ed in a finally "
+                            "block"
+                        ),
+                    )
+                elif name not in ended_in_finally:
+                    yield Finding(
+                        rule=RULE_ID,
+                        path=module.rel,
+                        line=node.lineno,
+                        message=(
+                            f"span '{name}' from start_span(...) is never "
+                            f"{name}.end()-ed in a finally block of the "
+                            "same function; an exception between start and "
+                            "end would leave the trace unfinished forever"
+                        ),
+                    )
+                else:
+                    yield from self._check_literal_keys(module, node)
+            elif (isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "set_attribute"):
+                if not (node.args
+                        and isinstance(node.args[0], ast.Constant)
+                        and isinstance(node.args[0].value, str)):
+                    yield Finding(
+                        rule=RULE_ID,
+                        path=module.rel,
+                        line=node.lineno,
+                        message=(
+                            "set_attribute key must be a literal string; "
+                            "computed keys make span schemas unauditable "
+                            "and histogram labels unbounded"
+                        ),
+                    )
+
+    def _check_literal_keys(
+        self, module: SourceModule, call: ast.Call
+    ) -> Iterator[Finding]:
+        """Attribute kwargs on a span call must be spelled out."""
+        for kw in call.keywords:
+            if kw.arg is None:  # a **splat — keys decided at runtime
+                yield Finding(
+                    rule=RULE_ID,
+                    path=module.rel,
+                    line=call.lineno,
+                    message=(
+                        "**kwargs splatted into a span call hides the "
+                        "attribute keys; spell each key as a literal "
+                        "keyword (or a set_attribute call per key)"
+                    ),
+                )

@@ -40,6 +40,8 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro.obs.tracer import carry_current
+
 T = TypeVar("T")
 R = TypeVar("R")
 
@@ -205,8 +207,13 @@ class ParallelExecutor(Executor):
             return [fn(item) for item in items]
         pool = self._ensure_pool()
         # ThreadPoolExecutor.map preserves submission order and re-raises
-        # the first worker exception on iteration.
-        return list(pool.map(fn, items))
+        # the first worker exception on iteration.  carry_current hands
+        # the submitting thread's ambient trace span to the workers, so
+        # spans opened inside them re-parent to the request that sharded
+        # this work (a no-op wrapper when no span is active).  submit()
+        # is deliberately not wrapped: background work (rebuilds) roots
+        # its own traces.
+        return list(pool.map(carry_current(fn), items))
 
     def submit(self, fn: Callable[..., R], *args) -> "Future[R]":
         return self._ensure_pool().submit(fn, *args)

@@ -58,6 +58,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.core.executor import Executor, SerialExecutor, shard
+from repro.obs.tracer import obs_span
 from repro.core.insight import (
     EvaluationContext,
     Insight,
@@ -451,12 +452,28 @@ class QueryPipeline:
         """Run plan → enumerate → score → rank and return one result per query."""
         stats = stats if stats is not None else PipelineStats()
         start = time.perf_counter()
-        plan = self.plan(queries, default_caps=default_caps)
-        enumerations = self.enumerate(plan, context, stats=stats)
-        batches = self.score(plan, enumerations, context, stats=stats)
-        results = self.rank(plan, enumerations, batches, context)
-        stats.n_queries += len(queries)
-        stats.elapsed_seconds += time.perf_counter() - start
+        with obs_span("pipeline.execute") as execute_span:
+            with obs_span("pipeline.plan"):
+                plan = self.plan(queries, default_caps=default_caps)
+            with obs_span("pipeline.enumerate") as enumerate_span:
+                enumerations = self.enumerate(plan, context, stats=stats)
+                enumerate_span.set_attribute("enumerations", stats.enumerations)
+            with obs_span("pipeline.score") as score_span:
+                batches = self.score(plan, enumerations, context, stats=stats)
+                score_span.set_attribute("score_shards", stats.score_shards)
+                score_span.set_attribute(
+                    "score_evaluations", stats.score_evaluations
+                )
+            with obs_span("pipeline.rank"):
+                results = self.rank(plan, enumerations, batches, context)
+            stats.n_queries += len(queries)
+            stats.elapsed_seconds += time.perf_counter() - start
+            execute_span.set_attribute("n_queries", stats.n_queries)
+            execute_span.set_attribute("n_scored", stats.n_scored)
+            execute_span.set_attribute("shared_queries", stats.shared_queries)
+            execute_span.set_attribute(
+                "shared_score_queries", stats.shared_score_queries
+            )
         return results
 
     # ------------------------------------------------------------------

@@ -60,6 +60,7 @@ from urllib.parse import quote, unquote
 import numpy as np
 
 from repro.errors import IngestError
+from repro.obs import events as obs_events
 from repro.core.engine import EngineConfig, Foresight
 from repro.core.executor import ExecutorConfig
 from repro.core.neighborhood import NeighborhoodConfig
@@ -390,9 +391,16 @@ class CommitTicket:
         self._pipeline = pipeline
         self._number = number
 
-    def wait(self) -> None:
-        """Block until this append's bytes are stable (or raise)."""
-        self._journal._wait_for_commit(
+    def wait(self) -> str:
+        """Block until this append's bytes are stable (or raise).
+
+        Returns the role this waiter played in the group fsync —
+        ``"leader"`` (it issued the fsync), ``"follower"`` (it slept
+        while another waiter's fsync covered it) or ``"covered"`` (a
+        completed fsync already covered it on arrival) — so tracing can
+        show who paid for durability.
+        """
+        return self._journal._wait_for_commit(
             self._name, self._pipeline, self._number
         )
 
@@ -913,7 +921,7 @@ class DatasetJournal:
                 raise
 
     def _wait_for_commit(self, name: str, pipeline: _CommitPipeline,
-                         number: int) -> None:
+                         number: int) -> str:
         """Block until ticket ``number`` is covered by a completed fsync.
 
         Leader/follower: the first waiter whose ticket is not yet
@@ -924,18 +932,24 @@ class DatasetJournal:
         until the generation rotates) and drops the handle: the
         unproven tail must go through ``load(repair=True)``'s scan,
         never be appended to again.
+
+        Returns the waiter's role: ``"leader"``, ``"follower"`` or
+        ``"covered"`` (already stable on arrival).
         """
+        role = "covered"
         while True:
             with pipeline.cond:
                 if pipeline.synced >= number:
-                    return
+                    return role
                 if pipeline.failed is not None:
                     raise IngestError(
                         f"group commit failed for dataset {name!r}"
                     ) from pipeline.failed
                 if pipeline.leader:
+                    role = "follower"
                     pipeline.cond.wait()
                     continue
+                role = "leader"
                 pipeline.leader = True
                 if self.max_group_delay > 0 and pipeline.issued <= number:
                     # Alone so far: linger briefly so racing appenders
@@ -953,6 +967,13 @@ class DatasetJournal:
                     os.fsync(handle.fileno())
                 except (OSError, ValueError) as exc:
                     error = exc
+            if error is not None:
+                # Pipeline poisoning is an operational incident worth a
+                # structured event; emitted before taking the condition
+                # back so event sinks never run under it.
+                obs_events.emit(
+                    "fsync_failure", dataset=name, error=repr(error),
+                )
             with pipeline.cond:
                 pipeline.leader = False
                 if error is not None:
@@ -970,7 +991,7 @@ class DatasetJournal:
                     pipeline.max_group = max(pipeline.max_group, group)
                 pipeline.cond.notify_all()
                 if pipeline.synced >= number:
-                    return
+                    return role
 
     def group_commit_stats(self) -> dict[str, Any]:
         """Aggregate group-commit counters across datasets.

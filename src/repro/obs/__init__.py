@@ -1,0 +1,45 @@
+"""``repro.obs`` — end-to-end request tracing and structured events.
+
+The observability substrate for the serving stack: a stdlib-only tracing
+layer (:mod:`repro.obs.tracer`) whose spans thread through the HTTP
+server, admission/coalescing, the workspace, the staged pipeline and the
+durable WAL; a structured single-line-JSON event log
+(:mod:`repro.obs.events`, logger name ``repro.obs.events``); and the
+:class:`~repro.obs.config.ObsConfig` knobs (``REPRO_OBS_*`` env / CLI)
+that switch it all on and off.
+
+Design constraints, in order of importance:
+
+* **Near-zero hot-path cost.**  Recording a finished span is one
+  thread-local list append — no lock.  The single lock in the package
+  (``Tracer._drain_lock``, declared as ``obs.trace`` in the analyzer's
+  hierarchy) is taken only when a *root* span completes and the
+  thread-local buffers are drained into the trace ring.
+* **No dependencies on the layers it observes.**  ``repro.obs`` imports
+  only the standard library, so ``repro.core``, ``repro.ingest`` and
+  ``repro.service`` can all import it without cycles.
+* **Determinism-safe.**  Spans are timed with ``perf_counter``; the
+  wall clock appears only on root spans and is injectable.
+"""
+
+from repro.obs.config import ObsConfig
+from repro.obs.tracer import (
+    NOOP_SPAN,
+    Span,
+    Tracer,
+    bind,
+    carry_current,
+    current_span,
+    obs_span,
+)
+
+__all__ = [
+    "NOOP_SPAN",
+    "ObsConfig",
+    "Span",
+    "Tracer",
+    "bind",
+    "carry_current",
+    "current_span",
+    "obs_span",
+]

@@ -1,0 +1,113 @@
+"""Observability configuration: the ``REPRO_OBS_*`` knob surface.
+
+:class:`ObsConfig` rides on both :class:`~repro.service.Workspace`
+(which owns the tracer) and :class:`~repro.server.ServerConfig` (which
+applies it to the served workspace), mirroring the server config's
+env/CLI conventions: every field reads from ``REPRO_OBS_<FIELD>`` and
+has a ``--obs-*`` flag.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, fields
+from typing import Any, Mapping
+
+_TRUTHY = {"1", "true", "yes", "on"}
+_FALSY = {"0", "false", "no", "off"}
+
+
+def _parse_bool(name: str, raw: str) -> bool:
+    lowered = raw.strip().lower()
+    if lowered in _TRUTHY:
+        return True
+    if lowered in _FALSY:
+        return False
+    raise ValueError(f"{name}: expected a boolean, got {raw!r}")
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Tracing + event-log settings (on by default).
+
+    ``enabled``       — record spans at all; off turns every tracer call
+                        into a no-op (the <3% budget becomes ~0%).
+    ``ring_capacity`` — completed root traces kept for ``/v1/traces``.
+    ``slow_ms``       — root spans at least this slow emit a
+                        ``slow_request`` event through the
+                        ``repro.obs.events`` logger.
+    """
+
+    enabled: bool = True
+    ring_capacity: int = 256
+    slow_ms: float = 500.0
+
+    def __post_init__(self) -> None:
+        if self.ring_capacity < 1:
+            raise ValueError(
+                f"ring_capacity must be >= 1, got {self.ring_capacity}"
+            )
+        if self.slow_ms < 0:
+            raise ValueError(f"slow_ms must be >= 0, got {self.slow_ms}")
+
+    # ------------------------------------------------------------------
+    # Environment / CLI
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_env(cls, env: Mapping[str, str] | None = None) -> "ObsConfig":
+        if env is None:
+            import os
+
+            env = os.environ
+        values: dict[str, Any] = {}
+        for spec in fields(cls):
+            key = f"REPRO_OBS_{spec.name.upper()}"
+            raw = env.get(key)
+            if raw is None or raw == "":
+                continue
+            if spec.name == "enabled":
+                values[spec.name] = _parse_bool(key, raw)
+            elif spec.name == "ring_capacity":
+                values[spec.name] = int(raw)
+            else:
+                values[spec.name] = float(raw)
+        return cls(**values)
+
+    @classmethod
+    def add_cli_arguments(cls, parser: argparse.ArgumentParser,
+                          base: "ObsConfig | None" = None) -> None:
+        """Register ``--obs-*`` flags, defaulting from ``base`` (or env)."""
+        if base is None:
+            base = cls.from_env()
+        group = parser.add_argument_group("observability")
+        group.add_argument(
+            "--obs-enabled", dest="obs_enabled", metavar="BOOL",
+            default=base.enabled, type=lambda raw: _parse_bool("--obs-enabled", raw),
+            help=f"record request traces (default: {base.enabled})",
+        )
+        group.add_argument(
+            "--obs-ring-capacity", dest="obs_ring_capacity", type=int,
+            default=base.ring_capacity, metavar="N",
+            help=f"completed traces kept for /v1/traces "
+                 f"(default: {base.ring_capacity})",
+        )
+        group.add_argument(
+            "--obs-slow-ms", dest="obs_slow_ms", type=float,
+            default=base.slow_ms, metavar="MS",
+            help=f"slow-request event threshold in ms "
+                 f"(default: {base.slow_ms})",
+        )
+
+    @classmethod
+    def from_args(cls, args: argparse.Namespace) -> "ObsConfig":
+        return cls(
+            enabled=args.obs_enabled,
+            ring_capacity=args.obs_ring_capacity,
+            slow_ms=args.obs_slow_ms,
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+
+__all__ = ["ObsConfig"]

@@ -22,6 +22,7 @@ import argparse
 from repro.core.executor import ExecutorConfig
 from repro.data.datasets import load_imdb, load_oecd, load_parkinson
 from repro.ingest.maintenance import IngestConfig
+from repro.obs.config import ObsConfig
 from repro.service.workspace import Workspace
 from repro.server.app import ReproServer
 from repro.server.config import ServerConfig
@@ -41,6 +42,7 @@ def build_workspace(
     data_dir: str | None = None,
     group_commit: bool = False,
     max_group_delay: float = 0.0,
+    obs: ObsConfig | None = None,
 ) -> Workspace:
     """A workspace with the requested bundled datasets registered lazily.
 
@@ -50,7 +52,9 @@ def build_workspace(
     registering a bundled loader over restored state adopts it instead
     of resetting it.  ``group_commit``/``max_group_delay`` tune the
     journal's commit pipeline (one fsync acknowledging many concurrent
-    appends); both are ignored without ``data_dir``.
+    appends); both are ignored without ``data_dir``.  ``obs`` configures
+    the workspace tracer up front, so even startup work (restore,
+    preload engine builds) is traced under the requested settings.
     """
     names = datasets or sorted(BUNDLED_DATASETS)
     executor = (
@@ -60,7 +64,8 @@ def build_workspace(
     ingest = IngestConfig(
         group_commit=group_commit, max_group_delay=max_group_delay
     )
-    workspace = Workspace(executor=executor, data_dir=data_dir, ingest=ingest)
+    workspace = Workspace(executor=executor, data_dir=data_dir,
+                          ingest=ingest, obs=obs)
     restored = set(workspace.datasets())
     if restored:
         print(f"restored from journal: {', '.join(sorted(restored))}")
@@ -106,6 +111,7 @@ def main(argv: list[str] | None = None) -> int:
         preload=args.preload, data_dir=config.data_dir,
         group_commit=config.group_commit,
         max_group_delay=config.max_group_delay,
+        obs=config.obs,
     )
     # The bundled loaders double as the PUT /v1/datasets/{name} loader
     # registry, so clients can (re)register them by name over the wire.

@@ -22,13 +22,26 @@ datasets went live — a write surface:
 ``POST /v1/datasets/{name}/flush``   force the durable journal to stable
                                      storage; answers ``(version, seq)``
                                      and whether the workspace is durable
+``GET /v1/traces``                   recently finished request traces
+                                     (``?dataset=``, ``?min_duration_ms=``,
+                                     ``?limit=`` filters)
+``GET /v1/traces/{id}``              one trace as a nested span tree
+``POST /v1/traces:config``           adjust the slow-request threshold at
+                                     runtime
 ``GET /healthz``                     liveness + bind address + config echo
 ``GET /metrics``                     JSON counters (transport, coalescing,
                                      admission, cache, pipeline, ingestion,
-                                     latency histograms); ``Accept:
-                                     text/plain`` negotiates the Prometheus
-                                     text exposition
+                                     latency histograms, tracing/span
+                                     histograms); ``Accept: text/plain``
+                                     negotiates the Prometheus text
+                                     exposition
 ===================================  ==========================================
+
+Every response carries ``X-Repro-Trace-Id`` naming the request's trace
+(:mod:`repro.obs`); fetch it from ``/v1/traces/{id}`` to see where the
+time went — admission wait, coalescing window, pipeline stages, journal
+fsync.  Requests slower than the configured threshold are additionally
+logged through the ``repro.obs.events`` structured event log.
 
 Request flow for the insight endpoints: **parse** (protocol violations →
 400 envelope, unknown datasets → 404 envelope — the same structured
@@ -53,6 +66,7 @@ import json
 import math
 import threading
 import time
+import urllib.parse
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Awaitable, Callable, Iterator
 
@@ -69,6 +83,8 @@ from repro.errors import (
 )
 from repro.data.schema import ColumnKind
 from repro.data.table import DataTable
+from repro.obs import events as obs_events
+from repro.obs.tracer import bind
 from repro.service.dto import InsightRequest, error_envelope
 from repro.service.workspace import Workspace
 from repro.server.admission import AdmissionController
@@ -95,6 +111,14 @@ _REASONS = {
 
 #: Endpoints whose latency feeds the request-latency histogram.
 _TIMED_ENDPOINTS = ("insights", "insights_batch")
+
+#: Seconds below which no ``admission.wait`` / ``request.dispatch`` span
+#: is recorded: an uncontended slot grant or executor handoff is
+#: microseconds, and a zero-length span on every request is pure tracing
+#: overhead.  One millisecond is comfortably above the uncontended case
+#: and comfortably below any real queueing delay — the spans appear
+#: exactly when the request actually waited.
+_WAIT_SPAN_FLOOR = 0.001
 
 
 def _canonical(payload: Any) -> bytes:
@@ -124,15 +148,25 @@ class _RequestProgress:
 
 
 class _HttpRequest:
-    __slots__ = ("method", "path", "headers", "body", "keep_alive")
+    __slots__ = ("method", "path", "query", "headers", "body", "keep_alive",
+                 "trace")
 
     def __init__(self, method: str, path: str, headers: dict[str, str],
-                 body: bytes):
+                 body: bytes, query: str = ""):
         self.method = method
         self.path = path
+        self.query = query
         self.headers = headers
         self.body = body
         self.keep_alive = headers.get("connection", "").lower() != "close"
+        #: The request's root span, set by the dispatch loop so endpoint
+        #: handlers can parent their phase spans to it.
+        self.trace: Any = None
+
+    def query_params(self) -> dict[str, str]:
+        """The query string as a flat dict (last value wins per key)."""
+        return {key: values[-1]
+                for key, values in urllib.parse.parse_qs(self.query).items()}
 
 
 class ReproServer:
@@ -160,6 +194,13 @@ class ReproServer:
             write_quota=self.config.write_quota,
             retry_after=self.config.retry_after,
         )
+        #: The workspace's tracer, shared so request spans and workspace
+        #: spans assemble into one trace; server config overrides apply
+        #: at construction (not start()) so even pre-start traffic — and
+        #: tests poking handlers directly — see the configured state.
+        self.tracer = workspace.tracer
+        if self.config.obs is not None:
+            self.tracer.configure(self.config.obs)
         self._coalescer: RequestCoalescer | None = None
         self._pool: ThreadPoolExecutor | None = None
         self._server: asyncio.base_events.Server | None = None
@@ -175,6 +216,10 @@ class ReproServer:
                 "insights_batch", "POST", self._post_insights_batch
             ),
             "/v1/datasets": ("datasets", "GET", self._get_datasets),
+            "/v1/traces": ("traces", "GET", self._get_traces),
+            "/v1/traces:config": (
+                "traces_config", "POST", self._post_traces_config
+            ),
             "/healthz": ("healthz", "GET", self._get_healthz),
             "/metrics": ("metrics", "GET", self._get_metrics),
         }
@@ -210,6 +255,7 @@ class ReproServer:
                 metrics=self.metrics,
                 executor=self._pool,
                 admission=self.admission,
+                tracer=self.tracer,
             )
         self._server = await asyncio.start_server(
             self._serve_connection, host=self.config.host, port=self.config.port
@@ -442,8 +488,8 @@ class ReproServer:
                 body = await reader.readexactly(length)
             except asyncio.IncompleteReadError:
                 return None
-        path = target.split("?", 1)[0]
-        return _HttpRequest(method.upper(), path, headers, body)
+        path, _, query = target.partition("?")
+        return _HttpRequest(method.upper(), path, headers, body, query=query)
 
     async def _handle_request(
         self, request: _HttpRequest, writer: asyncio.StreamWriter,
@@ -451,10 +497,22 @@ class ReproServer:
     ) -> None:
         self._active_requests += 1
         start = time.perf_counter()
+        # The root span of this request's trace.  Manual (not a context
+        # manager): this coroutine shares its thread with every other
+        # request on the loop, so ambient thread-local context would
+        # cross-wire them — children parent to it explicitly instead.
+        root = self.tracer.start_span("request")
+        request.trace = root
         try:
             endpoint, handler = self._route(request)
+            root.set_attribute("endpoint", endpoint)
+            root.set_attribute("method", request.method)
             self.metrics.record_request(endpoint)
             extra_headers: dict[str, str] = {}
+            if root.trace_id is not None:
+                # Every response names its trace, so any request can be
+                # looked up in /v1/traces/{id} afterwards.
+                extra_headers["X-Repro-Trace-Id"] = root.trace_id
             content_type = "application/json"
             try:
                 result = await handler(request)
@@ -472,20 +530,30 @@ class ReproServer:
             except Exception as exc:  # noqa: BLE001 - mapped to envelopes
                 status, payload = self._error_payload(exc)
                 content_type = "application/json"
+                root.set_attribute("error", type(exc).__name__)
                 if isinstance(exc, AdmissionRejected):
                     self.metrics.record_rejection(exc.status)
                     extra_headers["Retry-After"] = str(
                         max(0, math.ceil(exc.retry_after))
                     )
+                    obs_events.emit("admission_rejection", endpoint=endpoint,
+                                    status=exc.status, code=exc.code,
+                                    retry_after=exc.retry_after)
             elapsed = time.perf_counter() - start
             self.metrics.record_response(
                 status, elapsed if endpoint in _TIMED_ENDPOINTS else None
             )
+            root.set_attribute("status", status)
+            # Completed before the response goes out: a client that
+            # immediately asks /v1/traces/{id} for the id it was handed
+            # must find the trace already in the ring.
+            root.end()
             await self._respond(
                 writer, status, payload, keep_alive=keep_alive,
                 extra_headers=extra_headers, content_type=content_type,
             )
         finally:
+            root.end()
             self._active_requests -= 1
 
     def _route(
@@ -496,6 +564,9 @@ class ReproServer:
             dataset_route = self._route_dataset(request)
             if dataset_route is not None:
                 return dataset_route
+            trace_route = self._route_trace(request)
+            if trace_route is not None:
+                return trace_route
 
             async def _not_found(_request: _HttpRequest) -> tuple[int, Any]:
                 return 404, error_envelope(
@@ -544,6 +615,25 @@ class ReproServer:
             return endpoint, self._method_not_allowed(method)
         return endpoint, handler
 
+    def _route_trace(
+        self, request: _HttpRequest
+    ) -> tuple[str, Callable[[_HttpRequest], Awaitable[tuple[int, Any]]]] | None:
+        """Resolve ``GET /v1/traces/{id}``.
+
+        Only true sub-paths land here: the exact-match table already
+        claimed ``/v1/traces`` and ``/v1/traces:config``.
+        """
+        prefix = "/v1/traces/"
+        if not request.path.startswith(prefix):
+            return None
+        trace_id = request.path[len(prefix):]
+        if not trace_id or "/" in trace_id:
+            return None
+        if request.method != "GET":
+            return "trace_get", self._method_not_allowed("GET")
+        handler = lambda req, t=trace_id: self._get_trace(req, t)  # noqa: E731
+        return "trace_get", handler
+
     @staticmethod
     def _method_not_allowed(
         allowed: str,
@@ -582,8 +672,19 @@ class ReproServer:
     # Endpoint handlers
     # ------------------------------------------------------------------
     async def _post_insights(self, http_request: _HttpRequest) -> tuple[int, Any]:
+        root = http_request.trace
         request = self._parse_insight_request(http_request.body)
         self._require_dataset(request.dataset)
+        if root is not None:
+            root.set_attribute("dataset", request.dataset)
+        # An ``admission.wait`` span is synthesized after the fact, and
+        # only when admission actually made the request wait: on an
+        # unloaded server the slot is granted in microseconds, and a
+        # zero-length span on every request is pure overhead (tracing is
+        # budgeted against the cached hot path — see the throughput
+        # benchmark's ``tracing_overhead`` regime).
+        clock = self.tracer.clock
+        admit_started = clock()
         loop = asyncio.get_running_loop()
         if self._coalescer is not None:
             # Coalescer-aware admission: the arrival is quota-checked
@@ -593,14 +694,48 @@ class ReproServer:
             async with self.admission.admit_coalesced(
                 [request.dataset], request.insight_classes
             ):
-                response = await self._coalescer.submit(request)
+                if clock() - admit_started >= _WAIT_SPAN_FLOOR:
+                    self.tracer.record_span("admission.wait", root,
+                                            admit_started)
+                # Covers the coalescing window plus the shared batch
+                # dispatch; the batch's own trace cross-references
+                # this one via request_trace_id on its rider spans.
+                parked = self.tracer.start_span("coalesce.wait", parent=root)
+                try:
+                    response = await self._coalescer.submit(
+                        request,
+                        trace_id=(root.trace_id if root is not None
+                                  else None),
+                    )
+                finally:
+                    parked.end()
         else:
             async with self.admission.admit(
                 [request.dataset], request.insight_classes
             ):
+                if clock() - admit_started >= _WAIT_SPAN_FLOOR:
+                    self.tracer.record_span("admission.wait", root,
+                                            admit_started)
                 self.metrics.record_direct()
+                # bind() carries the root onto the worker thread so the
+                # workspace.handle span parents to this request.  The
+                # handoff gets a span only when it was slow:
+                # ``request.dispatch`` measures the executor queue wait
+                # (submit until a worker picks the job up) and is
+                # synthesized from the worker thread only when that
+                # wait reached the floor — a free pool records nothing.
+                dispatch_started = clock()
+                tracer = self.tracer
+                handle = self._workspace.handle
+
+                def dispatched(req):
+                    if clock() - dispatch_started >= _WAIT_SPAN_FLOOR:
+                        tracer.record_span("request.dispatch", root,
+                                           dispatch_started)
+                    return handle(req)
+
                 response = await loop.run_in_executor(
-                    self._pool, self._workspace.handle, request
+                    self._pool, bind(root, dispatched), request,
                 )
         return 200, response.to_json().encode()
 
@@ -671,6 +806,10 @@ class ReproServer:
                 "engine_builds": sum(d["engine_builds"] for d in datasets),
                 "ingest": self._workspace.ingest_stats(),
             },
+            "obs": {
+                "tracing": self.tracer.stats(),
+                "spans": self.tracer.histograms(),
+            },
         }
         accept = request.headers.get("accept", "")
         if "text/plain" in accept.lower():
@@ -680,6 +819,86 @@ class ReproServer:
             return (200, render_prometheus(document).encode("utf-8"),
                     {"Content-Type": PROMETHEUS_CONTENT_TYPE})
         return 200, document
+
+    # ------------------------------------------------------------------
+    # Trace surface
+    # ------------------------------------------------------------------
+    async def _get_traces(self, request: _HttpRequest) -> tuple[int, Any]:
+        """``GET /v1/traces``: recently finished traces, newest first.
+
+        Query parameters: ``dataset`` keeps traces with a span whose
+        ``dataset`` attribute matches; ``min_duration_ms`` keeps traces
+        at least that long; ``limit`` caps the count.
+        """
+        params = request.query_params()
+        dataset = params.get("dataset")
+        min_duration_ms = None
+        if "min_duration_ms" in params:
+            try:
+                min_duration_ms = float(params["min_duration_ms"])
+            except ValueError:
+                raise ProtocolError(
+                    "min_duration_ms must be a number, got "
+                    f"{params['min_duration_ms']!r}"
+                ) from None
+        limit = None
+        if "limit" in params:
+            try:
+                limit = int(params["limit"])
+            except ValueError:
+                raise ProtocolError(
+                    f"limit must be an integer, got {params['limit']!r}"
+                ) from None
+            if limit < 1:
+                raise ProtocolError(f"limit must be >= 1, got {limit}")
+        return 200, {
+            "protocol": 1,
+            "tracing": self.tracer.stats(),
+            "traces": self.tracer.traces(
+                dataset=dataset, min_duration_ms=min_duration_ms, limit=limit
+            ),
+        }
+
+    async def _get_trace(
+        self, _request: _HttpRequest, trace_id: str
+    ) -> tuple[int, Any]:
+        """``GET /v1/traces/{id}``: one trace as a nested span tree."""
+        trace = self.tracer.trace(trace_id)
+        if trace is None:
+            return 404, error_envelope(
+                "unknown_trace",
+                f"no trace {trace_id!r}: it never existed, was evicted "
+                "from the ring, or has not finished yet",
+            )
+        return 200, {"protocol": 1, "trace": trace}
+
+    async def _post_traces_config(
+        self, http_request: _HttpRequest
+    ) -> tuple[int, Any]:
+        """``POST /v1/traces:config``: adjust tracing at runtime.
+
+        Body: ``{"slow_ms": <number>}`` — the new slow-request
+        threshold.  Answers the applied tracer state.
+        """
+        payload = self._parse_json(http_request.body)
+        if not isinstance(payload, dict):
+            raise ProtocolError("traces:config body must be an object")
+        unknown = set(payload) - {"slow_ms"}
+        if unknown:
+            raise ProtocolError(
+                f"unknown traces:config keys: {sorted(unknown)}"
+            )
+        if "slow_ms" not in payload:
+            raise ProtocolError('traces:config body requires "slow_ms"')
+        slow_ms = payload["slow_ms"]
+        if not isinstance(slow_ms, (int, float)) or isinstance(slow_ms, bool):
+            raise ProtocolError(
+                f"slow_ms must be a number, got {type(slow_ms).__name__}"
+            )
+        if slow_ms < 0:
+            raise ProtocolError(f"slow_ms must be >= 0, got {slow_ms}")
+        self.tracer.set_slow_ms(float(slow_ms))
+        return 200, {"protocol": 1, "tracing": self.tracer.stats()}
 
     # ------------------------------------------------------------------
     # Dataset management (the write surface)

@@ -11,6 +11,10 @@ parsed from the header), and :meth:`request_raw` exposes the unmapped
 ``(status, headers, payload)`` triple for tests that assert on the wire
 format.
 
+Every server response names its request trace in ``X-Repro-Trace-Id``;
+the client remembers the latest as :attr:`ReproClient.last_trace_id`,
+and :meth:`ReproClient.trace` fetches the span tree behind it.
+
 One client wraps one keep-alive connection and is **not** thread-safe —
 give each thread its own instance (they are cheap; the TCP connection
 opens lazily on first use).
@@ -20,6 +24,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import urllib.parse
 from typing import Any, Mapping, Sequence
 
 from repro.errors import ServerError
@@ -57,6 +62,10 @@ class ReproClient:
     def __init__(self, host: str, port: int, timeout: float = 30.0):
         self.host = host
         self.port = port
+        #: Trace id of the most recent exchange (``X-Repro-Trace-Id``
+        #: response header), or ``None`` when the server sent none.
+        #: Feed it to :meth:`trace` to see where that request's time went.
+        self.last_trace_id: str | None = None
         self._conn = http.client.HTTPConnection(host, port, timeout=timeout)
 
     # ------------------------------------------------------------------
@@ -100,9 +109,11 @@ class ReproClient:
             decoded = data.decode("utf-8")
         else:
             decoded = None
-        return RawResponse(
+        response = RawResponse(
             raw.status, {k.lower(): v for k, v in raw.getheaders()}, decoded
         )
+        self.last_trace_id = response.headers.get("x-repro-trace-id")
+        return response
 
     def _request(self, method: str, path: str,
                  payload: Any | None = None) -> Any:
@@ -169,6 +180,53 @@ class ReproClient:
                 response.payload if isinstance(response.payload, dict) else {},
             )
         return str(response.payload)
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def traces(
+        self,
+        dataset: str | None = None,
+        min_duration_ms: float | None = None,
+        limit: int | None = None,
+    ) -> dict[str, Any]:
+        """``GET /v1/traces``: recent traces, newest first.
+
+        Answers ``{"tracing": <tracer stats>, "traces": [...]}``; each
+        trace is a nested span tree.  Filters are optional: ``dataset``
+        keeps traces touching that dataset, ``min_duration_ms`` keeps
+        slow ones, ``limit`` caps the count.
+        """
+        params: dict[str, str] = {}
+        if dataset is not None:
+            params["dataset"] = dataset
+        if min_duration_ms is not None:
+            params["min_duration_ms"] = str(min_duration_ms)
+        if limit is not None:
+            params["limit"] = str(limit)
+        path = "/v1/traces"
+        if params:
+            path += "?" + urllib.parse.urlencode(params)
+        return self._request("GET", path)
+
+    def trace(self, trace_id: str) -> dict[str, Any]:
+        """``GET /v1/traces/{id}``: one trace as a nested span tree.
+
+        Raises :class:`ServerResponseError` (404 ``unknown_trace``) when
+        the id is unknown or already evicted from the bounded ring.
+        """
+        quoted = urllib.parse.quote(trace_id, safe="")
+        return self._request("GET", f"/v1/traces/{quoted}")["trace"]
+
+    def set_slow_threshold(self, slow_ms: float) -> dict[str, Any]:
+        """``POST /v1/traces:config``: set the slow-request threshold.
+
+        Requests slower than ``slow_ms`` are logged as structured
+        ``slow_request`` events.  Answers the applied tracer state.
+        """
+        return self._request(
+            "POST", "/v1/traces:config", {"slow_ms": slow_ms}
+        )["tracing"]
 
     # ------------------------------------------------------------------
     # Dataset management (live ingestion)

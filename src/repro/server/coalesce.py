@@ -32,6 +32,8 @@ import asyncio
 from concurrent.futures import Executor
 from typing import Any, Callable
 
+from repro.obs.config import ObsConfig
+from repro.obs.tracer import Tracer, bind
 from repro.service.dto import InsightRequest, InsightResponse
 from repro.server.admission import AdmissionController
 from repro.server.metrics import ServerMetrics
@@ -59,6 +61,7 @@ class RequestCoalescer:
         metrics: ServerMetrics | None = None,
         executor: Executor | None = None,
         admission: AdmissionController | None = None,
+        tracer: Tracer | None = None,
     ):
         if window < 0:
             raise ValueError(f"window must be >= 0, got {window}")
@@ -70,7 +73,13 @@ class RequestCoalescer:
         self._metrics = metrics
         self._executor = executor
         self._admission = admission
-        self._pending: list[tuple[InsightRequest, asyncio.Future, float]] = []
+        # No tracer = a disabled one: every span call is then the shared
+        # no-op, so the dispatch path below needs no branching.
+        self._tracer = (tracer if tracer is not None
+                        else Tracer(ObsConfig(enabled=False)))
+        self._pending: list[
+            tuple[InsightRequest, asyncio.Future, float, str | None]
+        ] = []
         self._timer: asyncio.Task | None = None
         self._tasks: set[asyncio.Task] = set()
         self._closed = False
@@ -78,13 +87,19 @@ class RequestCoalescer:
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
-    async def submit(self, request: InsightRequest) -> InsightResponse:
-        """Join the pending batch and wait for this request's response."""
+    async def submit(self, request: InsightRequest,
+                     trace_id: str | None = None) -> InsightResponse:
+        """Join the pending batch and wait for this request's response.
+
+        ``trace_id`` names the submitting request's trace; the batch
+        trace's per-rider spans carry it as ``request_trace_id`` so the
+        two traces cross-reference each other.
+        """
         if self._closed:
             raise RuntimeError("coalescer is closed")
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
-        self._pending.append((request, future, loop.time()))
+        self._pending.append((request, future, loop.time(), trace_id))
         if len(self._pending) >= self.max_batch:
             self._flush()
         elif self._timer is None:
@@ -115,10 +130,11 @@ class RequestCoalescer:
         self._flush()
 
     async def _dispatch_batch(
-        self, batch: list[tuple[InsightRequest, asyncio.Future, float]]
+        self,
+        batch: list[tuple[InsightRequest, asyncio.Future, float, str | None]],
     ) -> None:
         loop = asyncio.get_running_loop()
-        requests = [request for request, _, _ in batch]
+        requests = [request for request, _, _, _ in batch]
         if self._admission is not None:
             # One in-flight slot per dispatched batch, however many
             # requests ride in it.  Waits for capacity rather than
@@ -128,22 +144,59 @@ class RequestCoalescer:
         # Measured after the slot wait: the recorded latency is what the
         # riders actually experienced between arrival and dispatch.
         wait_seconds = loop.time() - batch[0][2]
+        # One timestamp for every rider wait — the per-rider trace spans
+        # and the metrics aggregate must sum to the same total, so both
+        # read from this one list.
+        now = loop.time()
+        rider_waits = [now - arrived for _, _, arrived, _ in batch]
+        batch_span = self._tracer.start_span("coalesce.batch")
         try:
-            responses = await loop.run_in_executor(
-                self._executor, self._dispatch, requests
-            )
-        except Exception as exc:  # noqa: BLE001 - forwarded to each caller
-            for _, future, _ in batch:
-                if not future.done():
-                    future.set_exception(exc)
-            return
+            batch_span.set_attribute("size", len(batch))
+            batch_span.set_attribute("window_wait_seconds", wait_seconds)
+            for index, ((request, _, _, trace_id), rider_wait) in enumerate(
+                zip(batch, rider_waits)
+            ):
+                # Near-instant spans whose attributes record what
+                # coalescing cost each rider: its position, how long it
+                # was parked, and the request trace it answers to.
+                rider = self._tracer.start_span("coalesce.rider",
+                                                parent=batch_span)
+                try:
+                    rider.set_attribute("index", index)
+                    rider.set_attribute("dataset", request.dataset)
+                    rider.set_attribute("wait_seconds", rider_wait)
+                    if trace_id is not None:
+                        rider.set_attribute("request_trace_id", trace_id)
+                finally:
+                    rider.end()
+            dispatch_span = self._tracer.start_span("coalesce.dispatch",
+                                                    parent=batch_span)
+            try:
+                # bind() re-establishes the dispatch span as ambient on
+                # the worker thread, so the handle_many spans beneath
+                # nest inside this batch trace.
+                responses = await loop.run_in_executor(
+                    self._executor, bind(dispatch_span, self._dispatch),
+                    requests,
+                )
+            except Exception as exc:  # noqa: BLE001 - forwarded to each caller
+                for _, future, _, _ in batch:
+                    if not future.done():
+                        future.set_exception(exc)
+                return
+            finally:
+                dispatch_span.end()
+                if self._admission is not None:
+                    await self._admission.end_batch(len(batch))
         finally:
-            if self._admission is not None:
-                await self._admission.end_batch(len(batch))
+            batch_span.end()
         if self._metrics is not None:
-            self._metrics.record_batch(len(batch), wait_seconds)
+            self._metrics.record_batch(len(batch), wait_seconds,
+                                       rider_waits=rider_waits)
         size = len(batch)
-        for index, ((_, future, _), response) in enumerate(zip(batch, responses)):
+        for index, ((_, future, _, _), response) in enumerate(
+            zip(batch, responses)
+        ):
             if future.done():
                 continue
             # Dispatchers may isolate per-request failures by returning

@@ -26,6 +26,7 @@ from dataclasses import dataclass, fields
 from typing import Any, Mapping
 
 from repro.errors import ServerError
+from repro.obs.config import ObsConfig
 
 #: Prefix shared by every configuration environment variable.
 ENV_PREFIX = "REPRO_SERVER_"
@@ -102,6 +103,13 @@ class ServerConfig:
         join its fsync (0 = sync immediately; batching is then purely
         opportunistic, from appends that arrive while an fsync is
         already in progress).
+    obs:
+        Tracing overrides (``REPRO_OBS_*`` / ``--obs-*``) applied to the
+        served workspace's tracer at startup.  ``None`` — the default,
+        and what env/CLI construction produces when nothing deviates
+        from the :class:`~repro.obs.config.ObsConfig` defaults — leaves
+        the workspace's own tracer configuration untouched (tracing is
+        on by default there too).
     """
 
     host: str = "127.0.0.1"
@@ -121,8 +129,13 @@ class ServerConfig:
     data_dir: str | None = None
     group_commit: bool = False
     max_group_delay: float = 0.0
+    obs: ObsConfig | None = None
 
     def __post_init__(self) -> None:
+        if isinstance(self.obs, dict):
+            # as_dict() round-trip: the /healthz echo nests obs as a
+            # plain dict, so accept one back.
+            object.__setattr__(self, "obs", ObsConfig(**self.obs))
         if self.port < 0 or self.port > 65535:
             raise ServerError(f"port must be in [0, 65535], got {self.port}")
         if self.coalesce_window < 0:
@@ -180,10 +193,18 @@ class ServerConfig:
         env = os.environ if env is None else env
         values: dict[str, Any] = {}
         for spec in fields(cls):
+            if spec.name == "obs":
+                continue  # its own REPRO_OBS_* namespace, handled below
             raw = env.get(_env_name(spec.name))
             if raw is None or raw == "":
                 continue
             values[spec.name] = _parse_field(spec.name, raw)
+        try:
+            obs = ObsConfig.from_env(env)
+        except ValueError as exc:
+            raise ServerError(str(exc)) from None
+        if obs != ObsConfig():
+            values["obs"] = obs
         return cls(**values)
 
     @staticmethod
@@ -255,10 +276,12 @@ class ServerConfig:
             "--max-group-delay", type=float, default=base.max_group_delay,
             help="seconds a group-commit leader lingers for more appends "
                  f"to join its fsync, 0 = none (default {base.max_group_delay:g})")
+        ObsConfig.add_cli_arguments(parser, base=base.obs)
 
     @classmethod
     def from_args(cls, args: argparse.Namespace) -> "ServerConfig":
         """Build a config from a parsed :meth:`add_cli_arguments` namespace."""
+        obs = ObsConfig.from_args(args)
         return cls(
             host=args.host,
             port=args.port,
@@ -277,11 +300,15 @@ class ServerConfig:
             data_dir=args.data_dir,
             group_commit=args.group_commit,
             max_group_delay=args.max_group_delay,
+            obs=obs if obs != ObsConfig() else None,
         )
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-friendly view (surfaced by ``/healthz``)."""
-        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+        payload = {spec.name: getattr(self, spec.name) for spec in fields(self)}
+        if self.obs is not None:
+            payload["obs"] = self.obs.as_dict()
+        return payload
 
 
 #: Fields parsed as optional ints ("" / unset = None, which _parse_field

@@ -8,10 +8,14 @@ workspace-side state (result-cache counters, per-dataset engine builds,
 lifetime pipeline stats) and the admission controller's gauges.
 
 Histograms use fixed logarithmic bucket bounds (1 ms … 10 s) so
-percentile estimates are stable across runs and cheap to compute: p50
-and p95 are read off the cumulative bucket counts, reported as the upper
-bound of the bucket containing the percentile — an upper-bound estimate,
-exactly like Prometheus ``histogram_quantile``.
+percentile estimates are stable across runs and cheap to compute: p50,
+p95 and p99 are read off the cumulative bucket counts, reported as the
+upper bound of the bucket containing the percentile — an upper-bound
+estimate, exactly like Prometheus ``histogram_quantile``.  The exact
+observed maximum is tracked alongside (a bucketed estimate alone
+undercounts the tail: every outlier past the last bound would read as
+"10 s"), and snapshots carry the bucket ``bounds`` so dashboards need
+not hard-code them.
 
 Everything is guarded by one internal lock: the event loop, the handler
 worker threads and scraping clients may all touch it concurrently.
@@ -75,6 +79,8 @@ class LatencyHistogram:
             "max_seconds": self._max,
             "p50_seconds": self.quantile(0.50),
             "p95_seconds": self.quantile(0.95),
+            "p99_seconds": self.quantile(0.99),
+            "bounds": list(self._bounds),
             "buckets": buckets,
         }
 
@@ -92,6 +98,7 @@ class ServerMetrics:
         self._coalesced_requests = 0
         self._coalesce_max_batch = 0
         self._direct_requests = 0
+        self._rider_wait_total = 0.0
         self._latency = LatencyHistogram()
         self._coalesce_wait = LatencyHistogram()
 
@@ -121,14 +128,23 @@ class ServerMetrics:
             else:
                 self._rejected_overload += 1
 
-    def record_batch(self, size: int, wait_seconds: float) -> None:
-        """Count one coalesced dispatch of ``size`` requests."""
+    def record_batch(self, size: int, wait_seconds: float,
+                     rider_waits: list[float] | None = None) -> None:
+        """Count one coalesced dispatch of ``size`` requests.
+
+        ``rider_waits`` (one entry per batched request, when the
+        coalescer computes them) accumulates the total time requests
+        spent parked in coalescing windows — the aggregate the per-rider
+        trace spans must sum to.
+        """
         with self._lock:
             self._coalesced_batches += 1
             self._coalesced_requests += size
             if size > self._coalesce_max_batch:
                 self._coalesce_max_batch = size
             self._coalesce_wait.observe(wait_seconds)
+            if rider_waits:
+                self._rider_wait_total += sum(rider_waits)
 
     def record_direct(self) -> None:
         """Count one request dispatched without coalescing."""
@@ -156,6 +172,7 @@ class ServerMetrics:
                     "coalesced_requests": self._coalesced_requests,
                     "max_batch_size": self._coalesce_max_batch,
                     "direct_requests": self._direct_requests,
+                    "rider_wait_seconds_total": self._rider_wait_total,
                     "wait": self._coalesce_wait.snapshot(),
                 },
                 "latency": self._latency.snapshot(),
@@ -185,25 +202,35 @@ def _sample(name: str, value: object, labels: dict[str, object] | None = None) -
     return f"{name} {value}"
 
 
-def _histogram_lines(name: str, snapshot: dict[str, Any]) -> list[str]:
+def _histogram_lines(name: str, snapshot: dict[str, Any],
+                     labels: dict[str, object] | None = None,
+                     declare: bool = True) -> list[str]:
     """Render a :meth:`LatencyHistogram.snapshot` as a Prometheus histogram.
 
     The snapshot's buckets hold per-bucket counts; Prometheus buckets are
     cumulative, so they are summed on the way out (with the mandatory
-    ``+Inf`` bucket equal to the total count).
+    ``+Inf`` bucket equal to the total count).  ``labels`` ride on every
+    sample (used for the per-span-name duration histograms, which share
+    one metric family); pass ``declare=False`` after the first family
+    member so the ``# TYPE`` line appears exactly once.
     """
-    lines = [f"# TYPE {name} histogram"]
+    lines = [] if not declare else [f"# TYPE {name} histogram"]
     cumulative = 0
     for key, count in snapshot.get("buckets", {}).items():
         if key == "le_inf":
             continue
         cumulative += count
         bound = key[len("le_"):]
-        lines.append(_sample(f"{name}_bucket", cumulative, {"le": bound}))
+        bucket_labels = dict(labels or {})
+        bucket_labels["le"] = bound
+        lines.append(_sample(f"{name}_bucket", cumulative, bucket_labels))
+    inf_labels = dict(labels or {})
+    inf_labels["le"] = "+Inf"
     lines.append(_sample(f"{name}_bucket", snapshot.get("count", 0),
-                         {"le": "+Inf"}))
-    lines.append(_sample(f"{name}_sum", snapshot.get("sum_seconds", 0.0)))
-    lines.append(_sample(f"{name}_count", snapshot.get("count", 0)))
+                         inf_labels))
+    lines.append(_sample(f"{name}_sum", snapshot.get("sum_seconds", 0.0),
+                         labels))
+    lines.append(_sample(f"{name}_count", snapshot.get("count", 0), labels))
     return lines
 
 
@@ -258,6 +285,8 @@ def render_prometheus(document: dict[str, Any]) -> str:
     counter("repro_coalesce_requests_total",
             coalesce.get("coalesced_requests", 0))
     counter("repro_direct_requests_total", coalesce.get("direct_requests", 0))
+    counter("repro_coalesce_rider_wait_seconds_total",
+            coalesce.get("rider_wait_seconds_total", 0.0))
     gauge("repro_coalesce_max_batch_size", coalesce.get("max_batch_size", 0))
     if "wait" in coalesce:
         lines.extend(_histogram_lines("repro_coalesce_wait_seconds",
@@ -346,6 +375,25 @@ def render_prometheus(document: dict[str, Any]) -> str:
             gauge("repro_dataset_rebuild_running",
                   1 if counters.get("rebuild_running") else 0,
                   {"dataset": name}, declare=False)
+
+    obs = document.get("obs", {})
+    tracing = obs.get("tracing", {})
+    if tracing:
+        gauge("repro_tracing_enabled", 1 if tracing.get("enabled") else 0)
+        gauge("repro_tracing_traces_held", tracing.get("traces_held", 0))
+        for key in ("traces_recorded", "spans_recorded"):
+            if key in tracing:
+                counter(f"repro_tracing_{key}_total", tracing[key])
+    spans = obs.get("spans", {})
+    if spans:
+        # One histogram family, labelled by span name — the per-stage
+        # duration surface (pipeline.score, journal.commit_wait, ...).
+        declare = True
+        for name, snap in sorted(spans.items()):
+            lines.extend(_histogram_lines("repro_span_duration_seconds",
+                                          snap, {"span": name},
+                                          declare=declare))
+            declare = False
 
     return "\n".join(lines) + "\n"
 

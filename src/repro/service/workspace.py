@@ -92,6 +92,9 @@ from repro.ingest.maintenance import (
     merge_delta,
     should_rebuild,
 )
+from repro.obs import events as obs_events
+from repro.obs.config import ObsConfig
+from repro.obs.tracer import Tracer, current_span, obs_span
 from repro.service.cache import ResultCache
 from repro.service.cursor import decode_cursor, encode_cursor
 from repro.service.dto import (
@@ -105,6 +108,12 @@ from repro.service.pipeline import PipelineStats
 #: Concurrency used by :meth:`Workspace.handle_many` when neither the
 #: call nor the workspace's executor config asks for a specific width.
 _DEFAULT_BATCH_WORKERS = 4
+
+#: An ``engine.snapshot`` on the warm path records a span only when the
+#: entry-lock wait reached this (seconds): a microsecond read of an
+#: already-built engine tells no story, a ≥1 ms stall behind a builder,
+#: append or reload does.
+_SNAPSHOT_SPAN_FLOOR = 0.001
 
 
 @dataclass
@@ -170,6 +179,13 @@ class Workspace:
     record.  Budget-triggered sketch rebuilds run off the append path on
     a background worker (``IngestConfig.background_rebuild``), swapping
     the fresh engine in atomically under the single-flight lock.
+
+    ``obs`` configures request tracing (:mod:`repro.obs`): pass an
+    :class:`~repro.obs.config.ObsConfig` to tune it, a prebuilt
+    :class:`~repro.obs.tracer.Tracer` to share one across workspaces, or
+    nothing for the on-by-default tracer.  The workspace owns the tracer
+    — the HTTP server reuses it via :attr:`tracer` so request spans and
+    workspace spans land in one trace.
     """
 
     def __init__(
@@ -178,8 +194,12 @@ class Workspace:
         executor: ExecutorConfig | None = None,
         ingest: IngestConfig | None = None,
         data_dir: str | None = None,
+        obs: ObsConfig | Tracer | None = None,
     ):
         self._entries: dict[str, _DatasetEntry] = {}
+        #: The tracing subsystem (always present; a disabled ObsConfig
+        #: makes every span a shared no-op).
+        self._tracer = obs if isinstance(obs, Tracer) else Tracer(obs)
         self._cache = ResultCache(capacity=cache_size)
         self._executor_config = executor or ExecutorConfig()
         self._ingest_config = ingest or IngestConfig()
@@ -389,7 +409,14 @@ class Workspace:
             # silently serve different results than the uninterrupted
             # process.
             payload["engine_config"] = config_payload
-        self._journal.write_snapshot(entry.name, payload)
+        # An ambient child (or no-op outside any trace), never a root:
+        # this runs under the entry lock, where completing a root trace
+        # — the buffer drain plus a possible slow-request event — must
+        # never happen.
+        with obs_span("journal.snapshot", dataset=entry.name) as span:
+            span.set_attribute("seq", log.seq)
+            span.set_attribute("n_rows", entry.table.n_rows)
+            self._journal.write_snapshot(entry.name, payload)
 
     # ------------------------------------------------------------------
     # Dataset management
@@ -733,6 +760,8 @@ class Workspace:
                 # durable), so no crash window loses the only copy.
                 self._write_snapshot_locked(entry)
         self._cache.invalidate(name)
+        obs_events.emit("generation_rotation", dataset=name, version=version,
+                        durable=self._journal is not None)
         return version
 
     def invalidate(self, name: str | None = None) -> int:
@@ -774,108 +803,124 @@ class Workspace:
         """
         schedule_rebuild = False
         ticket = None
-        with self._locked_entry(name) as entry:
-            self._check_open()
-            self._materialize(entry)
-            if entry.table is None:
-                assert entry.loader is not None
-                entry.table = entry.loader()
-                entry.loads += 1
-            batch = DeltaBatch.from_records(name, list(rows), entry.table.schema)
-            new_table = entry.table.concat(batch.table)
-            engine = entry.engine
-            new_engine: Foresight | None = None
-            rebuilt = False
-            if engine is None:
-                # No engine yet: the rows simply extend the table and the
-                # (eventual) first build sketches everything at once.
-                applied = APPLIED_DEFERRED
-            else:
-                store = engine.store
-                rebuild_due = store is not None and should_rebuild(
-                    entry.ingest, batch.n_rows, self._ingest_config
-                )
-                if store is None:
-                    # Exact-mode engine: nothing sketched to maintain —
-                    # swap in a new engine over the grown table.
-                    new_engine = Foresight(
-                        new_table,
-                        registry=engine.registry,
-                        config=engine.config,
-                        preprocess=False,
-                        executor=engine.executor,
-                    )
+        with self._tracer.span("workspace.append", dataset=name) as append_span:
+            with self._locked_entry(name) as entry:
+                self._check_open()
+                self._materialize(entry)
+                if entry.table is None:
+                    assert entry.loader is not None
+                    entry.table = entry.loader()
+                    entry.loads += 1
+                batch = DeltaBatch.from_records(name, list(rows),
+                                                entry.table.schema)
+                new_table = entry.table.concat(batch.table)
+                engine = entry.engine
+                new_engine: Foresight | None = None
+                rebuilt = False
+                if engine is None:
+                    # No engine yet: the rows simply extend the table and
+                    # the (eventual) first build sketches everything at
+                    # once.
                     applied = APPLIED_DEFERRED
-                elif rebuild_due and not self._ingest_config.background_rebuild:
-                    new_engine = Foresight(
-                        new_table,
-                        registry=engine.registry,
-                        config=engine.config,
-                        executor=engine.executor,
-                    )
-                    rebuilt = True
-                    applied = APPLIED_REBUILD
                 else:
-                    # The delta-merge fast path — also taken when a
-                    # rebuild is due but runs in the background: the
-                    # append never pays for it.
-                    partials = build_delta_partials(
-                        batch.table, store, engine.executor
+                    store = engine.store
+                    rebuild_due = store is not None and should_rebuild(
+                        entry.ingest, batch.n_rows, self._ingest_config
                     )
-                    new_store = merge_delta(
-                        store, new_table, batch.n_rows, partials
-                    )
-                    new_engine = Foresight(
-                        new_table,
-                        registry=engine.registry,
-                        config=engine.config,
-                        preprocess=False,
-                        store=new_store,
-                        executor=engine.executor,
-                    )
-                    applied = APPLIED_DELTA_MERGE
-                    schedule_rebuild = rebuild_due
-            # Write-ahead: the journal record (rows included) commits to
-            # disk before any in-memory state changes.  If the write
-            # fails the append fails whole — the caller sees the error
-            # and the serving state is untouched.  Under group commit
-            # the write happens here (so records hit the file in entry
-            # -lock order) but the fsync is deferred to a ticket waited
-            # on after the lock is released — one leader's fsync then
-            # acknowledges every appender queued behind it.
-            timestamp = time.time()
-            if self._journal is not None:
-                ticket = self._journal.append(name, {
-                    "type": RECORD_APPEND,
-                    "seq": entry.ingest.seq + 1,
-                    "applied": applied,
-                    "n_rows": batch.n_rows,
-                    "total_rows": new_table.n_rows,
-                    "ts": timestamp,
-                    "rows": batch.to_records(),
-                })
-            if new_engine is not None:
-                entry.engine = new_engine
-            if rebuilt:
-                entry.engine_builds += 1
-            entry.table = new_table
-            record = entry.ingest.append(batch.n_rows, applied,
-                                         new_table.n_rows,
-                                         timestamp=timestamp)
-            version = entry.version
-            if rebuilt:
-                # A full rebuild makes the sketch state a pure function
-                # of the rows: the natural compaction point.  The
-                # rotation it performs drains the commit pipeline, so
-                # the ticket below is already settled.
-                self._write_snapshot_locked(entry)
-        if ticket is not None:
-            # Group commit: block until a leader's fsync covers this
-            # record.  Raising here means the append was NOT
-            # acknowledged — the journal poisons further appends until
-            # the generation rotates, so the already-updated in-memory
-            # seq can never outrun what a restart would replay.
-            ticket.wait()
+                    if store is None:
+                        # Exact-mode engine: nothing sketched to maintain
+                        # — swap in a new engine over the grown table.
+                        new_engine = Foresight(
+                            new_table,
+                            registry=engine.registry,
+                            config=engine.config,
+                            preprocess=False,
+                            executor=engine.executor,
+                        )
+                        applied = APPLIED_DEFERRED
+                    elif (rebuild_due
+                          and not self._ingest_config.background_rebuild):
+                        new_engine = Foresight(
+                            new_table,
+                            registry=engine.registry,
+                            config=engine.config,
+                            executor=engine.executor,
+                        )
+                        rebuilt = True
+                        applied = APPLIED_REBUILD
+                    else:
+                        # The delta-merge fast path — also taken when a
+                        # rebuild is due but runs in the background: the
+                        # append never pays for it.
+                        partials = build_delta_partials(
+                            batch.table, store, engine.executor
+                        )
+                        new_store = merge_delta(
+                            store, new_table, batch.n_rows, partials
+                        )
+                        new_engine = Foresight(
+                            new_table,
+                            registry=engine.registry,
+                            config=engine.config,
+                            preprocess=False,
+                            store=new_store,
+                            executor=engine.executor,
+                        )
+                        applied = APPLIED_DELTA_MERGE
+                        schedule_rebuild = rebuild_due
+                # Write-ahead: the journal record (rows included) commits
+                # to disk before any in-memory state changes.  If the
+                # write fails the append fails whole — the caller sees
+                # the error and the serving state is untouched.  Under
+                # group commit the write happens here (so records hit
+                # the file in entry-lock order) but the fsync is
+                # deferred to a ticket waited on after the lock is
+                # released — one leader's fsync then acknowledges every
+                # appender queued behind it.
+                timestamp = time.time()
+                if self._journal is not None:
+                    with obs_span("journal.append") as journal_span:
+                        journal_span.set_attribute("n_rows", batch.n_rows)
+                        ticket = self._journal.append(name, {
+                            "type": RECORD_APPEND,
+                            "seq": entry.ingest.seq + 1,
+                            "applied": applied,
+                            "n_rows": batch.n_rows,
+                            "total_rows": new_table.n_rows,
+                            "ts": timestamp,
+                            "rows": batch.to_records(),
+                        })
+                        if ticket is None:
+                            # No commit pipeline: the fsync (if
+                            # configured) already ran inline above.
+                            journal_span.set_attribute("fsync_role", "inline")
+                if new_engine is not None:
+                    entry.engine = new_engine
+                if rebuilt:
+                    entry.engine_builds += 1
+                entry.table = new_table
+                record = entry.ingest.append(batch.n_rows, applied,
+                                             new_table.n_rows,
+                                             timestamp=timestamp)
+                version = entry.version
+                if rebuilt:
+                    # A full rebuild makes the sketch state a pure
+                    # function of the rows: the natural compaction
+                    # point.  The rotation it performs drains the commit
+                    # pipeline, so the ticket below is already settled.
+                    self._write_snapshot_locked(entry)
+            if ticket is not None:
+                # Group commit: block until a leader's fsync covers this
+                # record.  Raising here means the append was NOT
+                # acknowledged — the journal poisons further appends
+                # until the generation rotates, so the already-updated
+                # in-memory seq can never outrun what a restart would
+                # replay.
+                with obs_span("journal.commit_wait") as wait_span:
+                    wait_span.set_attribute("fsync_role", ticket.wait())
+            append_span.set_attribute("applied", applied)
+            append_span.set_attribute("seq", record.seq)
+            append_span.set_attribute("rows", batch.n_rows)
         with self._stats_lock:
             self._ingest_totals["appends"] += 1
             self._ingest_totals["rows_appended"] += batch.n_rows
@@ -914,83 +959,98 @@ class Workspace:
         if self._closed:
             return None
         entry = self._entry(name)
-        with entry.lock:
-            if entry.superseded:
-                return None
-            self._materialize(entry)
-            engine = entry.engine
-            if engine is None:
-                # Nothing built yet: the lazy cold build *is* a fresh
-                # sketch of every row.
-                self._engine_snapshot(name)
-                return {
-                    "dataset": name, "version": entry.version,
-                    "seq": entry.ingest.seq,
-                    "built_from_rows": entry.table.n_rows,
-                    "merged_rows": 0,
-                }
-            if engine.store is None:
-                return None  # exact mode: nothing sketched to refresh
-            base_table = entry.table
-            version = entry.version
-            registry = engine.registry
-            config = engine.config
-            executor = engine.executor
-        # Full preprocess over the snapshot — off-lock, possibly seconds.
-        fresh = Foresight(base_table, registry=registry, config=config,
-                          executor=executor)
-        with entry.lock:
-            # A reload bumps the version on this same entry; a
-            # replace-registration installs a whole new entry and flags
-            # this one (version comparison alone can't see that — the
-            # stale object's version never changes).  Either way the
-            # rebuild is superseded: it must not swap, and above all it
-            # must not journal into or snapshot over the generation that
-            # replaced it.  The flag is set under this lock, so the
-            # check is atomic with the journal writes below.  _closed is
-            # re-checked too: the off-lock build ran outside any lock,
-            # so close() — which only waits on the maintenance pool and
-            # the entry locks — may have flushed and closed the journal
-            # under a direct rebuild() call in the meantime.
-            if (entry.superseded or self._closed
-                    or entry.version != version or entry.engine is None):
-                return None
-            if entry.engine.store is None:  # pragma: no cover - defensive
-                return None
-            n_now = entry.table.n_rows
-            n_base = base_table.n_rows
-            rebuilt = rebuild_with_catchup(
-                entry.table, base_table,
-                make_engine=lambda _table: fresh,
-            )
-            timestamp = time.time()
-            if self._journal is not None:
-                # The snapshot rotation below drains the commit
-                # pipeline, so the swap record's group-commit ticket
-                # (if any) is settled before the lock is released.
-                self._journal.append(name, {
-                    "type": RECORD_SWAP,
-                    "seq": entry.ingest.seq + 1,
-                    "built_from_rows": n_base,
-                    "total_rows": n_now,
-                    "ts": timestamp,
-                })
-            entry.engine = rebuilt
-            entry.engine_builds += 1
-            entry.rebuild_error = None
-            record = entry.ingest.record_swap(
-                n_now - n_base, n_base, n_now, timestamp=timestamp
-            )
-            seq = record.seq
-            self._write_snapshot_locked(entry)
-        with self._stats_lock:
-            self._ingest_totals["rebuilds"] += 1
-            self._ingest_totals["bg_rebuilds"] += 1
-        self._cache.invalidate(name)
-        return {
-            "dataset": name, "version": version, "seq": seq,
-            "built_from_rows": n_base, "merged_rows": n_now - n_base,
-        }
+        # Roots its own trace: background rebuilds run on a maintenance
+        # thread with no ambient request span (the executor's submit()
+        # path deliberately carries none across).
+        with self._tracer.span("workspace.rebuild", dataset=name) as rebuild_span:
+            with entry.lock:
+                if entry.superseded:
+                    return None
+                self._materialize(entry)
+                engine = entry.engine
+                if engine is None:
+                    # Nothing built yet: the lazy cold build *is* a fresh
+                    # sketch of every row.
+                    self._engine_snapshot(name)
+                    return {
+                        "dataset": name, "version": entry.version,
+                        "seq": entry.ingest.seq,
+                        "built_from_rows": entry.table.n_rows,
+                        "merged_rows": 0,
+                    }
+                if engine.store is None:
+                    return None  # exact mode: nothing sketched to refresh
+                base_table = entry.table
+                version = entry.version
+                registry = engine.registry
+                config = engine.config
+                executor = engine.executor
+            # Full preprocess over the snapshot — off-lock, possibly
+            # seconds.
+            with obs_span("engine.build") as build_span:
+                build_span.set_attribute("rows", base_table.n_rows)
+                fresh = Foresight(base_table, registry=registry,
+                                  config=config, executor=executor)
+            with entry.lock:
+                # A reload bumps the version on this same entry; a
+                # replace-registration installs a whole new entry and
+                # flags this one (version comparison alone can't see
+                # that — the stale object's version never changes).
+                # Either way the rebuild is superseded: it must not
+                # swap, and above all it must not journal into or
+                # snapshot over the generation that replaced it.  The
+                # flag is set under this lock, so the check is atomic
+                # with the journal writes below.  _closed is re-checked
+                # too: the off-lock build ran outside any lock, so
+                # close() — which only waits on the maintenance pool and
+                # the entry locks — may have flushed and closed the
+                # journal under a direct rebuild() call in the meantime.
+                if (entry.superseded or self._closed
+                        or entry.version != version or entry.engine is None):
+                    return None
+                if entry.engine.store is None:  # pragma: no cover - defensive
+                    return None
+                n_now = entry.table.n_rows
+                n_base = base_table.n_rows
+                rebuilt = rebuild_with_catchup(
+                    entry.table, base_table,
+                    make_engine=lambda _table: fresh,
+                )
+                timestamp = time.time()
+                if self._journal is not None:
+                    # The snapshot rotation below drains the commit
+                    # pipeline, so the swap record's group-commit ticket
+                    # (if any) is settled before the lock is released.
+                    with obs_span("journal.append"):
+                        self._journal.append(name, {
+                            "type": RECORD_SWAP,
+                            "seq": entry.ingest.seq + 1,
+                            "built_from_rows": n_base,
+                            "total_rows": n_now,
+                            "ts": timestamp,
+                        })
+                entry.engine = rebuilt
+                entry.engine_builds += 1
+                entry.rebuild_error = None
+                record = entry.ingest.record_swap(
+                    n_now - n_base, n_base, n_now, timestamp=timestamp
+                )
+                seq = record.seq
+                self._write_snapshot_locked(entry)
+            with self._stats_lock:
+                self._ingest_totals["rebuilds"] += 1
+                self._ingest_totals["bg_rebuilds"] += 1
+            self._cache.invalidate(name)
+            rebuild_span.set_attribute("seq", seq)
+            rebuild_span.set_attribute("built_from_rows", n_base)
+            rebuild_span.set_attribute("merged_rows", n_now - n_base)
+            obs_events.emit("rebuild_swap", dataset=name, version=version,
+                            seq=seq, built_from_rows=n_base,
+                            merged_rows=n_now - n_base)
+            return {
+                "dataset": name, "version": version, "seq": seq,
+                "built_from_rows": n_base, "merged_rows": n_now - n_base,
+            }
 
     def _schedule_rebuild(self, name: str) -> None:
         """Queue a background rebuild unless one is already in flight."""
@@ -1139,64 +1199,72 @@ class Workspace:
         unreachable.
         """
         request = self._coerce_request(request)
-        engine, version, seq = self._engine_snapshot(request.dataset)
-        key = (request.dataset, version, seq, request.canonical_key())
+        with self._tracer.span("workspace.handle",
+                               dataset=request.dataset) as handle_span:
+            engine, version, seq = self._engine_snapshot(request.dataset)
+            key = (request.dataset, version, seq, request.canonical_key())
 
-        # The cache stores canonical JSON, so hits rehydrate into fresh
-        # objects and callers can never mutate a cached entry in place.
-        cached = self._cache.get(key)
-        if cached is not None:
-            response = InsightResponse.from_json(cached)
-            response.provenance = {**response.provenance, "cache": "hit"}
-            return response
+            # The cache stores canonical JSON, so hits rehydrate into
+            # fresh objects and callers can never mutate a cached entry
+            # in place.  (No span of its own: a dict probe is
+            # microseconds, and the ``cache`` attribute on the handle
+            # span already tells the hit/miss story.)
+            cached = self._cache.get(key)
+            if cached is not None:
+                handle_span.set_attribute("cache", "hit")
+                response = InsightResponse.from_json(cached)
+                response.provenance = {**response.provenance, "cache": "hit"}
+                return response
+            handle_span.set_attribute("cache", "miss")
 
-        start = time.perf_counter()
-        offset = decode_cursor(request.cursor)
-        page_size = request.top_k
-        queries = request.to_queries(
-            default_mode=engine.config.mode, top_k=offset + page_size
-        )
-        stats = PipelineStats()
-        results = engine.rank_many(queries, stats=stats)
-        with self._stats_lock:
-            self._stats.merge(stats)
-
-        carousels = []
-        has_more = False
-        for name, result in zip(request.insight_classes, results):
-            page = result.insights[offset : offset + page_size]
-            carousels.append(
-                {
-                    "insight_class": name,
-                    "label": engine.registry.get(name).label or name,
-                    "insights": [insight.as_dict() for insight in page],
-                    "n_admitted": result.n_admitted,
-                    "truncated": result.truncated,
-                }
+            start = time.perf_counter()
+            offset = decode_cursor(request.cursor)
+            page_size = request.top_k
+            queries = request.to_queries(
+                default_mode=engine.config.mode, top_k=offset + page_size
             )
-            if result.n_admitted > offset + page_size:
-                has_more = True
-        elapsed = time.perf_counter() - start
+            stats = PipelineStats()
+            results = engine.rank_many(queries, stats=stats)
+            with self._stats_lock:
+                self._stats.merge(stats)
 
-        response = InsightResponse(
-            dataset=request.dataset,
-            dataset_version=version,
-            dataset_seq=seq,
-            carousels=carousels,
-            timing={"total_seconds": elapsed},
-            provenance={
-                "cache": "miss",
-                "mode": request.mode or engine.config.mode,
-                "enumerations": stats.enumerations,
-                "shared_queries": stats.shared_queries,
-                "score_evaluations": stats.score_evaluations,
-                "shared_score_queries": stats.shared_score_queries,
-                "max_workers": engine.executor.max_workers,
-            },
-            next_cursor=encode_cursor(offset + page_size) if has_more else None,
-        )
-        self._cache.put(key, response.to_json())
-        return response
+            carousels = []
+            has_more = False
+            for name, result in zip(request.insight_classes, results):
+                page = result.insights[offset : offset + page_size]
+                carousels.append(
+                    {
+                        "insight_class": name,
+                        "label": engine.registry.get(name).label or name,
+                        "insights": [insight.as_dict() for insight in page],
+                        "n_admitted": result.n_admitted,
+                        "truncated": result.truncated,
+                    }
+                )
+                if result.n_admitted > offset + page_size:
+                    has_more = True
+            elapsed = time.perf_counter() - start
+
+            response = InsightResponse(
+                dataset=request.dataset,
+                dataset_version=version,
+                dataset_seq=seq,
+                carousels=carousels,
+                timing={"total_seconds": elapsed},
+                provenance={
+                    "cache": "miss",
+                    "mode": request.mode or engine.config.mode,
+                    "enumerations": stats.enumerations,
+                    "shared_queries": stats.shared_queries,
+                    "score_evaluations": stats.score_evaluations,
+                    "shared_score_queries": stats.shared_score_queries,
+                    "max_workers": engine.executor.max_workers,
+                },
+                next_cursor=(encode_cursor(offset + page_size)
+                             if has_more else None),
+            )
+            self._cache.put(key, response.to_json())
+            return response
 
     def handle_many(
         self,
@@ -1307,6 +1375,11 @@ class Workspace:
     def cache(self) -> ResultCache:
         return self._cache
 
+    @property
+    def tracer(self) -> Tracer:
+        """The workspace's tracer (the server mounts ``/v1/traces`` on it)."""
+        return self._tracer
+
     def describe(self) -> list[dict[str, Any]]:
         """Status of every registered dataset (for ops endpoints).
 
@@ -1388,9 +1461,52 @@ class Workspace:
         hold keeps a response's provenance consistent even when reloads
         or appends race — the triple names exactly the snapshot the
         response is computed from.
+
+        Tracing: the warm path (engine built, no deferred replay) is the
+        cached hot path's inner loop, so it pays for no span up front — a
+        synthesized ``engine.snapshot`` is recorded only when the caller
+        waited ≥ ``_SNAPSHOT_SPAN_FLOOR`` on the entry lock (or a race
+        built after all).  The cold path opens a real span so the
+        ``engine.build`` / ``journal.commit_wait`` children nest under it.
+        """
+        # Lock-free peek: reading two attributes off the current entry
+        # is GIL-atomic; a stale read only mis-picks the span shape,
+        # never the result (the locked body below is shape-independent).
+        entry = self._entries.get(name)
+        if entry is not None and entry.engine is not None and entry.pending is None:
+            tracer = self._tracer
+            started = tracer.clock()
+            result, built, ticket = self._snapshot_locked(name)
+            if ticket is not None:
+                # Group commit: build marker durable before use.
+                with obs_span("journal.commit_wait") as wait_span:
+                    wait_span.set_attribute("fsync_role", ticket.wait())
+            if built or tracer.clock() - started >= _SNAPSHOT_SPAN_FLOOR:
+                tracer.record_span("engine.snapshot", current_span(),
+                                   started, dataset=name, built=built)
+            return result
+        # The span covers the single-flight wait: a thread blocked on a
+        # builder's lock hold shows the wait as this span's duration with
+        # built=False.
+        with obs_span("engine.snapshot", dataset=name) as snapshot_span:
+            result, built, ticket = self._snapshot_locked(name)
+            snapshot_span.set_attribute("built", built)
+            if ticket is not None:
+                # Group commit: build marker durable before use.
+                with obs_span("journal.commit_wait") as wait_span:
+                    wait_span.set_attribute("fsync_role", ticket.wait())
+        return result
+
+    def _snapshot_locked(self, name: str):
+        """The locked body of :meth:`_engine_snapshot`.
+
+        Returns ``(result, built, ticket)`` — the engine/version/seq
+        triple, whether this call paid the cold build, and the build
+        marker's group-commit ticket (waited on by the caller, off-lock).
         """
         ticket = None
         with self._locked_entry(name) as entry:
+            built = False
             self._materialize(entry)
             if entry.engine is None:
                 if entry.table is None:
@@ -1399,21 +1515,26 @@ class Workspace:
                     entry.loads += 1
                 config = entry.engine_config
                 if config is None:
-                    # Inherit the workspace's executor configuration, so
-                    # an explicit Workspace(executor=...) wins over the
-                    # REPRO_MAX_WORKERS environment default either way.
+                    # Inherit the workspace's executor configuration,
+                    # so an explicit Workspace(executor=...) wins over
+                    # the REPRO_MAX_WORKERS environment default either
+                    # way.
                     config = EngineConfig(executor=self._executor_config)
-                entry.engine = Foresight(entry.table, config=config)
+                with obs_span("engine.build") as build_span:
+                    build_span.set_attribute("rows", entry.table.n_rows)
+                    entry.engine = Foresight(entry.table, config=config)
                 entry.engine_builds += 1
+                built = True
                 # The cold build sketched the full current table (any
-                # deferred appends included): the accuracy budget counts
-                # from this freshly sketched base.
+                # deferred appends included): the accuracy budget
+                # counts from this freshly sketched base.
                 entry.ingest.mark_rebuilt(entry.table.n_rows)
                 if self._journal is not None and entry.ingest.seq > 0:
-                    # Mark where the build froze the deferred appends so
-                    # replay builds at the same point in the row stream.
-                    # (At seq 0 the build is over the base table alone
-                    # and replay's lazy build is already identical.)
+                    # Mark where the build froze the deferred appends
+                    # so replay builds at the same point in the row
+                    # stream.  (At seq 0 the build is over the base
+                    # table alone and replay's lazy build is already
+                    # identical.)
                     ticket = self._journal.append(entry.name, {
                         "type": RECORD_BUILD,
                         "seq": entry.ingest.seq,
@@ -1421,9 +1542,7 @@ class Workspace:
                         "ts": time.time(),
                     })
             result = entry.engine, entry.version, entry.ingest.seq
-        if ticket is not None:
-            ticket.wait()  # group commit: build marker durable before use
-        return result
+        return result, built, ticket
 
     @staticmethod
     def _coerce_request(

@@ -1,4 +1,4 @@
-"""Fixture corpus for the five ``repro.analysis`` checkers.
+"""Fixture corpus for the six ``repro.analysis`` checkers.
 
 Every rule gets at least one seeded-bad snippet it must fire on and a
 good twin it must stay quiet on, plus suppression honoring and the
@@ -22,6 +22,7 @@ from repro.analysis import (
     LockOrderRule,
     LockSpec,
     ProjectConfig,
+    TraceHygieneRule,
     build_analyzer,
 )
 from repro.analysis.__main__ import main as lint_main
@@ -657,6 +658,186 @@ class TestSuppressions:
         assert rules == {"determinism", "unused-suppression"}
 
 
+# ---------------------------------------------------------------------------
+# trace-hygiene
+# ---------------------------------------------------------------------------
+TRACE_CONFIG = ProjectConfig(
+    tracer_receivers=("tracer", "_tracer"),
+    trace_span_functions=("obs_span",),
+    trace_exempt_modules=("obs/tracer.py",),
+)
+
+
+class TestTraceHygiene:
+    def test_with_statement_spans_are_quiet(self, tmp_path):
+        path = write(
+            tmp_path,
+            "instrumented.py",
+            """
+        from repro.obs.tracer import obs_span
+
+        class Service:
+            def handle(self, name):
+                with self._tracer.span("service.handle", dataset=name) as span:
+                    span.set_attribute("cache", "hit")
+                    with obs_span("engine.snapshot"):
+                        pass
+    """,
+        )
+        assert run_rule(TraceHygieneRule(TRACE_CONFIG), [path]) == []
+
+    def test_bare_span_call_is_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "instrumented.py",
+            """
+        class Service:
+            def handle(self):
+                span = self._tracer.span("service.handle")
+                return span
+    """,
+        )
+        findings = run_rule(TraceHygieneRule(TRACE_CONFIG), [path])
+        assert len(findings) == 1
+        assert "with-statement" in findings[0].message
+
+    def test_bare_obs_span_call_is_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "instrumented.py",
+            """
+        from repro.obs.tracer import obs_span
+
+        def work():
+            obs_span("engine.build")
+    """,
+        )
+        findings = run_rule(TraceHygieneRule(TRACE_CONFIG), [path])
+        assert len(findings) == 1
+
+    def test_start_span_with_try_finally_is_quiet(self, tmp_path):
+        path = write(
+            tmp_path,
+            "instrumented.py",
+            """
+        class Server:
+            async def handle(self, request):
+                root = self.tracer.start_span("request")
+                try:
+                    root.set_attribute("endpoint", "insights")
+                finally:
+                    root.end()
+    """,
+        )
+        assert run_rule(TraceHygieneRule(TRACE_CONFIG), [path]) == []
+
+    def test_unassigned_start_span_is_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "instrumented.py",
+            """
+        class Server:
+            async def handle(self, request):
+                self.tracer.start_span("request")
+    """,
+        )
+        findings = run_rule(TraceHygieneRule(TRACE_CONFIG), [path])
+        assert len(findings) == 1
+        assert "assigned" in findings[0].message
+
+    def test_start_span_without_finally_end_is_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "instrumented.py",
+            """
+        class Server:
+            async def handle(self, request):
+                root = self.tracer.start_span("request")
+                root.end()
+    """,
+        )
+        findings = run_rule(TraceHygieneRule(TRACE_CONFIG), [path])
+        assert len(findings) == 1
+        assert "finally" in findings[0].message
+
+    def test_end_in_nested_function_does_not_count(self, tmp_path):
+        # The finally must be in the SAME function: an end() inside a
+        # nested callback may never run.
+        path = write(
+            tmp_path,
+            "instrumented.py",
+            """
+        class Server:
+            async def handle(self, request):
+                root = self.tracer.start_span("request")
+
+                def later():
+                    try:
+                        pass
+                    finally:
+                        root.end()
+                return later
+    """,
+        )
+        findings = run_rule(TraceHygieneRule(TRACE_CONFIG), [path])
+        assert len(findings) == 1
+
+    def test_computed_set_attribute_key_is_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "instrumented.py",
+            """
+        def annotate(span, stats):
+            for key, value in stats.items():
+                span.set_attribute(key, value)
+    """,
+        )
+        findings = run_rule(TraceHygieneRule(TRACE_CONFIG), [path])
+        assert len(findings) == 1
+        assert "literal string" in findings[0].message
+
+    def test_kwargs_splat_into_span_is_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "instrumented.py",
+            """
+        def work(tracer, attrs):
+            with tracer.span("stage", **attrs):
+                pass
+    """,
+        )
+        findings = run_rule(TraceHygieneRule(TRACE_CONFIG), [path])
+        assert len(findings) == 1
+        assert "**kwargs" in findings[0].message
+
+    def test_tracer_module_is_exempt(self, tmp_path):
+        path = write(
+            tmp_path,
+            "obs/tracer.py",
+            """
+        def obs_span(name):
+            tracer = _ambient_tracer()
+            span = tracer.start_span(name)
+            return span
+    """,
+        )
+        assert run_rule(TraceHygieneRule(TRACE_CONFIG), [path]) == []
+
+    def test_suppression_is_honored(self, tmp_path):
+        path = write(
+            tmp_path,
+            "instrumented.py",
+            """
+        def probe(tracer):
+            span = tracer.span("probe")  # repro: allow(trace-hygiene) — test probe keeps the cm open across asserts
+            return span
+    """,
+        )
+        report = Analyzer([TraceHygieneRule(TRACE_CONFIG)]).run([path])
+        assert report.ok
+        assert len(report.suppressed) == 1
+
+
 class TestEngineAndCli:
     def test_report_json_shape(self, tmp_path):
         path = write(
@@ -710,4 +891,4 @@ class TestEngineAndCli:
 
     def test_build_analyzer_runs_all_rules(self, tmp_path):
         analyzer = build_analyzer()
-        assert len(analyzer.rules) == 5
+        assert len(analyzer.rules) == 6
