@@ -23,7 +23,12 @@ regimes:
    creation order alone; the swap cancels it): the throughput delta is
    the price of the always-on request tracing, budgeted at <3% (a
    breach warns rather than fails — single-core CI boxes make small
-   deltas noisy).
+   deltas noisy);
+6. **accounting overhead** — the same order-balanced pairing with
+   resource accounting on vs off (``ObsConfig(resources_enabled=
+   False)``): the price of per-request cost attribution and the
+   incremental memory ledger on the cached hot path, under the same
+   <3% warn-only budget.
 
 Alongside the human-readable tables it emits ``BENCH_server.json`` (in
 the working directory, overridable via ``BENCH_SERVER_JSON``) so CI can
@@ -67,6 +72,7 @@ ROUNDS = 3
 COALESCE_WINDOW = 0.004
 SATURATED_IN_FLIGHT = 2  # far fewer slots than concurrent clients
 TRACING_OVERHEAD_BUDGET_PCT = 3.0
+ACCOUNTING_OVERHEAD_BUDGET_PCT = 3.0
 
 
 def _make_workspace(obs: ObsConfig | None = None) -> Workspace:
@@ -142,6 +148,75 @@ def _run_workload(address, requests, invalidate=None):
     return best
 
 
+def _overhead_pair(label_on, label_off, make_on, make_off, order_names,
+                   requests, metrics_by_regime):
+    """Order-balanced matched-pair overhead measurement.
+
+    A sequential matched pair mismeasures small deltas badly: two
+    identically configured in-process servers differ by several percent
+    on the cached path purely by *creation order* (the second-created
+    server is consistently faster — allocator and cache locality), and
+    machine-speed drift between the two measurement windows adds more.
+    So both servers run live at once and are measured in alternating
+    passes (drift hits both sides equally), and the pairing runs twice
+    with creation order swapped — the order bias cancels in the mean of
+    the two estimates.  The measured passes hit only result-cache
+    lookups, the path where per-request bookkeeping is the largest
+    relative cost.
+
+    Returns ``(pair_results, per_order_pct)`` where ``pair_results``
+    maps each label to its best run and ``per_order_pct`` maps each of
+    ``order_names`` to that ordering's overhead estimate in percent.
+    Final /v1/metrics documents land in ``metrics_by_regime``.
+    """
+    pair: dict[str, dict] = {}
+    per_order_pct: dict[str, float] = {}
+    for on_first in (True, False):
+        if on_first:
+            on_ws = make_on()
+            off_ws = make_off()
+        else:
+            off_ws = make_off()
+            on_ws = make_on()
+        pair_config = dict(coalesce_window=COALESCE_WINDOW,
+                           coalesce_max_batch=N_THREADS,
+                           max_in_flight=N_THREADS, queue_limit=256)
+        with serving(on_ws, ServerConfig(port=0, **pair_config)) as on_handle, \
+                serving(off_ws, ServerConfig(port=0, **pair_config)) as off_handle:
+            handles = {label_on: on_handle, label_off: off_handle}
+            for handle in handles.values():
+                _run_workload(handle.address, requests)  # warm the cache
+            order_best: dict[str, dict] = {}
+            for index in range(2):
+                labels = list(handles)
+                if index % 2:
+                    labels.reverse()
+                for label in labels:
+                    run = _run_workload(handles[label].address, requests)
+                    held = order_best.get(label)
+                    if (run.get("failures") or held is None
+                            or run["seconds"] < held["seconds"]):
+                        order_best[label] = run
+                    if run.get("failures"):
+                        break
+            for label, run in order_best.items():
+                held = pair.get(label)
+                if (run.get("failures") or held is None
+                        or run["seconds"] < held["seconds"]):
+                    pair[label] = run
+            for label, handle in handles.items():
+                with ReproClient(*handle.address) as client:
+                    metrics_by_regime[label] = client.metrics()
+        on_run = order_best[label_on]
+        off_run = order_best[label_off]
+        if not (on_run.get("failures") or off_run.get("failures")):
+            order = order_names[0] if on_first else order_names[1]
+            per_order_pct[order] = (
+                (on_run["seconds"] - off_run["seconds"])
+                / off_run["seconds"] * 100.0)
+    return pair, per_order_pct
+
+
 def main() -> int:
     ok = True
     requests = _request_mix()
@@ -189,64 +264,27 @@ def main() -> int:
             metrics_by_regime["saturated"] = client.metrics()
 
     # -- regime 5: tracing overhead on the cached hot path --------------------
-    # A sequential matched pair mismeasures this delta badly: two
-    # identically configured in-process servers differ by several
-    # percent on the cached path purely by *creation order* (the
-    # second-created server is consistently faster — allocator and
-    # cache locality), and machine-speed drift between the two
-    # measurement windows adds more.  So both servers run live at once
-    # and are measured in alternating passes (drift hits both sides
-    # equally), and the pairing runs twice with creation order swapped —
-    # the order bias cancels in the mean of the two estimates.  The
-    # measured passes hit only result-cache lookups, the path where span
-    # bookkeeping is the largest relative cost.
-    overhead_pair: dict[str, dict] = {}
-    per_order_pct: dict[str, float] = {}
-    for traced_first in (True, False):
-        if traced_first:
-            traced_ws = _make_workspace()
-            untraced_ws = _make_workspace(obs=ObsConfig(enabled=False))
-        else:
-            untraced_ws = _make_workspace(obs=ObsConfig(enabled=False))
-            traced_ws = _make_workspace()
-        pair_config = dict(coalesce_window=COALESCE_WINDOW,
-                           coalesce_max_batch=N_THREADS,
-                           max_in_flight=N_THREADS, queue_limit=256)
-        with serving(traced_ws, ServerConfig(port=0, **pair_config)) as traced_handle, \
-                serving(untraced_ws, ServerConfig(port=0, **pair_config)) as untraced_handle:
-            handles = {"cached_traced": traced_handle,
-                       "cached_untraced": untraced_handle}
-            for handle in handles.values():
-                _run_workload(handle.address, requests)  # warm the cache
-            order_best: dict[str, dict] = {}
-            for index in range(2):
-                labels = list(handles)
-                if index % 2:
-                    labels.reverse()
-                for label in labels:
-                    run = _run_workload(handles[label].address, requests)
-                    held = order_best.get(label)
-                    if (run.get("failures") or held is None
-                            or run["seconds"] < held["seconds"]):
-                        order_best[label] = run
-                    if run.get("failures"):
-                        break
-            for label, run in order_best.items():
-                held = overhead_pair.get(label)
-                if (run.get("failures") or held is None
-                        or run["seconds"] < held["seconds"]):
-                    overhead_pair[label] = run
-            for label, handle in handles.items():
-                with ReproClient(*handle.address) as client:
-                    metrics_by_regime[label] = client.metrics()
-        traced_run = order_best["cached_traced"]
-        untraced_run = order_best["cached_untraced"]
-        if not (traced_run.get("failures") or untraced_run.get("failures")):
-            order = "traced_first" if traced_first else "untraced_first"
-            per_order_pct[order] = (
-                (traced_run["seconds"] - untraced_run["seconds"])
-                / untraced_run["seconds"] * 100.0)
+    overhead_pair, per_order_pct = _overhead_pair(
+        "cached_traced", "cached_untraced",
+        _make_workspace,
+        lambda: _make_workspace(obs=ObsConfig(enabled=False)),
+        ("traced_first", "untraced_first"),
+        requests, metrics_by_regime,
+    )
     results.update(overhead_pair)
+
+    # -- regime 6: accounting overhead on the cached hot path -----------------
+    # Same discipline, isolating the resource-accounting layer alone:
+    # both servers trace, only one bills (cost counters, CPU windows,
+    # memory ledger updates).
+    accounting_pair, accounting_order_pct = _overhead_pair(
+        "cached_accounted", "cached_unaccounted",
+        _make_workspace,
+        lambda: _make_workspace(obs=ObsConfig(resources_enabled=False)),
+        ("accounted_first", "unaccounted_first"),
+        requests, metrics_by_regime,
+    )
+    results.update(accounting_pair)
 
     for regime, stats in results.items():
         if stats.get("failures"):
@@ -319,6 +357,18 @@ def main() -> int:
         print("FAIL: ObsConfig(enabled=False) server still traced",
               file=sys.stderr)
         ok = False
+    accounted_res = metrics_by_regime["cached_accounted"]["resources"]
+    unaccounted_res = metrics_by_regime["cached_unaccounted"]["resources"]
+    if (not accounted_res["resources_enabled"]
+            or accounted_res["costs"]["requests_total"] == 0):
+        print("FAIL: default server recorded no request costs",
+              file=sys.stderr)
+        ok = False
+    if (unaccounted_res["resources_enabled"]
+            or unaccounted_res["costs"]["requests_total"] != 0):
+        print("FAIL: ObsConfig(resources_enabled=False) server still billed",
+              file=sys.stderr)
+        ok = False
 
     # -- tracing overhead: warn past the budget, never fail -------------------
     traced = results["cached_traced"]
@@ -330,6 +380,20 @@ def main() -> int:
             f"WARN: tracing overhead {overhead_pct:+.1f}% on the cached "
             f"path exceeds the {TRACING_OVERHEAD_BUDGET_PCT:.0f}% budget "
             f"(per-order estimates {per_order_pct}) — rerun before "
+            "trusting; single-core CI machines make this delta noisy",
+            file=sys.stderr,
+        )
+    accounted = results["cached_accounted"]
+    unaccounted = results["cached_unaccounted"]
+    accounting_pct = (
+        sum(accounting_order_pct.values()) / len(accounting_order_pct)
+        if accounting_order_pct else 0.0)
+    if accounting_pct > ACCOUNTING_OVERHEAD_BUDGET_PCT:
+        print(
+            f"WARN: accounting overhead {accounting_pct:+.1f}% on the "
+            f"cached path exceeds the "
+            f"{ACCOUNTING_OVERHEAD_BUDGET_PCT:.0f}% budget "
+            f"(per-order estimates {accounting_order_pct}) — rerun before "
             "trusting; single-core CI machines make this delta noisy",
             file=sys.stderr,
         )
@@ -371,6 +435,14 @@ def main() -> int:
         f"{untraced['ops_sec']:.1f} ops/sec, "
         f"budget {TRACING_OVERHEAD_BUDGET_PCT:.0f}%)"
     )
+    print(
+        f"accounting overhead (cached path): {accounting_pct:+.1f}% "
+        "mean of order-balanced estimates "
+        f"{ {k: round(v, 1) for k, v in accounting_order_pct.items()} } "
+        f"(best accounted {accounted['ops_sec']:.1f} vs unaccounted "
+        f"{unaccounted['ops_sec']:.1f} ops/sec, "
+        f"budget {ACCOUNTING_OVERHEAD_BUDGET_PCT:.0f}%)"
+    )
 
     payload = {
         "benchmark": "server_throughput",
@@ -396,6 +468,19 @@ def main() -> int:
             "traced_ops_sec": traced["ops_sec"],
             "untraced_ops_sec": untraced["ops_sec"],
             "tracing": traced_obs,
+        },
+        "accounting_overhead": {
+            "budget_pct": ACCOUNTING_OVERHEAD_BUDGET_PCT,
+            "overhead_pct": accounting_pct,
+            "overhead_pct_by_order": accounting_order_pct,
+            "within_budget": accounting_pct <= ACCOUNTING_OVERHEAD_BUDGET_PCT,
+            "accounted_ops_sec": accounted["ops_sec"],
+            "unaccounted_ops_sec": unaccounted["ops_sec"],
+            "costs": {
+                "requests_total":
+                    accounted_res["costs"]["requests_total"],
+                "totals": accounted_res["costs"]["totals"],
+            },
         },
         "ok": ok,
     }

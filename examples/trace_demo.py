@@ -7,6 +7,9 @@ the structured event log, then:
   engine build → pipeline stages), fetched by the ``X-Repro-Trace-Id``
   the response carried;
 * runs the cached repeat and shows how the tree collapses;
+* re-runs both with ``debug=True`` and prints the per-request cost
+  echo (CPU, rows scanned, candidates, probes) plus the ``/v1/debug``
+  ledger and top-K listing;
 * drops the slow-request threshold to 0 ms over the wire so the next
   request emits a ``slow_request`` event;
 * lists recent traces and the per-span duration histograms.
@@ -38,6 +41,17 @@ def print_tree(node: dict, depth: int = 0) -> None:
           f"{node['name']}{detail}")
     for child in node["children"]:
         print_tree(child, depth + 1)
+
+
+def print_cost(cost: dict) -> None:
+    """Render one request's cost snapshot on a single line each."""
+    print(f"    cpu={cost['cpu_seconds'] * 1000:.3f}ms "
+          f"wall={cost['wall_seconds'] * 1000:.3f}ms "
+          f"rows={cost['rows_scanned']} "
+          f"candidates={cost['candidates_enumerated']}"
+          f"(-{cost['candidates_pruned']} pruned) "
+          f"sketch_probes={cost['sketch_probes']} "
+          f"cache={cost['cache_hits']}h/{cost['cache_misses']}m")
 
 
 def main() -> None:
@@ -73,6 +87,32 @@ def main() -> None:
         repeat = client.trace(client.last_trace_id)
         print(f"\ncached repeat ({repeat['n_spans']} spans):")
         print_tree(repeat["root"])
+
+        # -- what did it cost?  debug=True echoes the request's bill ------
+        cold = client.insights(
+            InsightRequest(dataset="oecd", insight_classes=("skew",),
+                           top_k=5),
+            debug=True)
+        print("\ncold request cost (provenance['cost']):")
+        print_cost(cold.provenance["cost"])
+        warm = client.insights(
+            InsightRequest(dataset="oecd", insight_classes=("skew",),
+                           top_k=5),
+            debug=True)
+        print("cached repeat cost (one cache hit, nothing scanned):")
+        print_cost(warm.provenance["cost"])
+
+        # -- the debug surface: ledger + most expensive requests ----------
+        debug = client.debug(top_k=3)
+        memory = debug["memory"]
+        print(f"\nmemory ledger ({memory['total_bytes']:,} bytes):")
+        for component, n_bytes in memory["components"].items():
+            print(f"  {component:<14} {n_bytes:>12,}")
+        print("top requests by CPU:")
+        for entry in debug["costs"]["top_requests"]:
+            print(f"  {entry['cpu_seconds'] * 1000:>9.3f} ms CPU  "
+                  f"{entry['rows_scanned']:>6} rows  "
+                  f"trace {entry.get('trace_id', '-')}")
 
         # -- flag slow requests at runtime --------------------------------
         applied = client.set_slow_threshold(0.0)

@@ -25,6 +25,11 @@ role                  level  lock
 ``metrics.lock``       30    ``ServerMetrics._lock`` counter leaf
 ``journal.commit``     30    ``_CommitPipeline.cond`` group-commit leaf
 ``obs.trace``          30    ``Tracer._drain_lock`` trace-ring leaf
+``obs.cost``           30    ``CostRecorder._lock`` per-request leaf
+``obs.cost_window``    30    ``CostAggregator._lock`` window leaf
+``obs.ledger``         30    ``MemoryLedger._lock`` byte-counter leaf
+``obs.stall``          30    ``StallDetector._lock`` watchdog leaf
+``obs.lock_wait``      30    ``LockWaitWatchdog._lock`` watchdog leaf
 ====================  =====  ==========================================
 
 ``entry < registry`` matches the hot paths: ``_locked_entry`` holders
@@ -117,6 +122,9 @@ DEFAULT_CONFIG = ProjectConfig(
         "server/metrics.py",
         "ingest/durable.py",
         "obs/tracer.py",
+        "obs/resources.py",
+        "obs/ledger.py",
+        "obs/watchdog.py",
     ),
     locks=(
         LockSpec("workspace.entry", 10, "service/workspace.py", "_DatasetEntry", "lock", reentrant=True),
@@ -136,6 +144,13 @@ DEFAULT_CONFIG = ProjectConfig(
         # design — root spans only end after every workspace/journal
         # lock is released (child-span ends are lock-free appends).
         LockSpec("obs.trace", 30, "obs/tracer.py", "Tracer", "_drain_lock"),
+        # Resource-accounting leaves: pure counter read/write under the
+        # lock, no calls out — safe to take under any workspace lock.
+        LockSpec("obs.cost", 30, "obs/resources.py", "CostRecorder", "_lock"),
+        LockSpec("obs.cost_window", 30, "obs/resources.py", "CostAggregator", "_lock"),
+        LockSpec("obs.ledger", 30, "obs/ledger.py", "MemoryLedger", "_lock"),
+        LockSpec("obs.stall", 30, "obs/watchdog.py", "StallDetector", "_lock"),
+        LockSpec("obs.lock_wait", 30, "obs/watchdog.py", "LockWaitWatchdog", "_lock"),
     ),
     # _tracer covers span creation AND root-span completion: ending a
     # root publishes its bucket under the obs.trace leaf lock, so a
@@ -144,6 +159,8 @@ DEFAULT_CONFIG = ProjectConfig(
         "_cache": "cache.lock",
         "_metrics": "metrics.lock",
         "_tracer": "obs.trace",
+        "_ledger": "obs.ledger",
+        "_costs": "obs.cost_window",
     },
     immutable_types=(
         "DataTable",

@@ -58,6 +58,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.core.executor import Executor, SerialExecutor, shard
+from repro.obs.resources import record_candidates
 from repro.obs.tracer import obs_span
 from repro.core.insight import (
     EvaluationContext,
@@ -289,6 +290,10 @@ class QueryPipeline:
                 candidates = planned.insight_class.candidates(context.table)
                 stats.enumerations += 1
             enumeration = self._filter_candidates(candidates, planned.query, context)
+            record_candidates(
+                enumeration.n_candidates,
+                enumeration.n_candidates - len(enumeration.admissible),
+            )
             if (
                 domain_size is not None
                 and not enumeration.truncated

@@ -21,6 +21,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.errors import ColumnTypeError, EmptyColumnError, SchemaError
+from repro.obs.resources import record_rows
 from repro.data.schema import (
     ColumnKind,
     Field,
@@ -173,7 +174,12 @@ class NumericColumn(Column):
         return _readonly(self._values)
 
     def valid_values(self) -> np.ndarray:
-        """Only the non-missing values, as a new float64 array."""
+        """Only the non-missing values, as a new float64 array.
+
+        Every exact (non-sketch) metric evaluation funnels through here,
+        so this is where scanned rows bill to the ambient cost recorder.
+        """
+        record_rows(len(self))
         return self._values[~self._mask].copy()
 
     def require_valid_values(self, minimum: int = 1) -> np.ndarray:
@@ -309,10 +315,12 @@ class CategoricalColumn(Column):
 
     def valid_codes(self) -> np.ndarray:
         """Only the non-missing codes, as a new int64 array."""
+        record_rows(len(self))
         return self._codes[~self._mask].copy()
 
     def value_counts(self) -> dict[str, int]:
         """Frequency of each category among non-missing values, descending."""
+        record_rows(len(self))
         counts = np.bincount(
             self._codes[~self._mask], minlength=len(self._categories)
         )

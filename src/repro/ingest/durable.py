@@ -61,6 +61,7 @@ import numpy as np
 
 from repro.errors import IngestError
 from repro.obs import events as obs_events
+from repro.obs.resources import record_journal_bytes
 from repro.core.engine import EngineConfig, Foresight
 from repro.core.executor import ExecutorConfig
 from repro.core.neighborhood import NeighborhoodConfig
@@ -427,6 +428,10 @@ class DatasetJournal:
         self.root.mkdir(parents=True, exist_ok=True)
         self._handles: dict[str, Any] = {}
         self._pipelines: dict[str, _CommitPipeline] = {}
+        # Per-dataset on-disk bytes, maintained incrementally: appends
+        # add record lengths; rotations (rare, already O(directory))
+        # rescan.  Reads (the memory ledger) never touch the filesystem.
+        self._disk: dict[str, dict[str, int]] = {}
 
     # ------------------------------------------------------------------
     # Discovery
@@ -719,6 +724,7 @@ class DatasetJournal:
             self._remove(old)
         self._fsync_dir(directory)
         self._handles[name] = handle
+        self._rescan_disk(name)
         pipeline = self._pipelines.get(name)
         if pipeline is not None:
             with pipeline.cond:
@@ -778,6 +784,12 @@ class DatasetJournal:
                 # next open goes through load(repair=True)'s scan.
                 self._close_handle(name)
             raise
+        usage = self._disk.get(name)
+        if usage is None:
+            self._rescan_disk(name)  # first sight; includes this record
+        else:
+            usage["journal_bytes"] += len(record)
+        record_journal_bytes(len(record))
         if pipeline is None:
             return None
         with pipeline.cond:
@@ -842,6 +854,54 @@ class DatasetJournal:
     def close(self) -> None:
         for name in list(self._handles):
             self._close_handle(name)
+
+    # ------------------------------------------------------------------
+    # Disk-byte accounting (feeds the memory ledger)
+    # ------------------------------------------------------------------
+    def _rescan_disk(self, name: str) -> dict[str, int]:
+        """Recount one dataset's on-disk bytes from the directory.
+
+        Called only at rotation points (``begin_generation``, first
+        sight of a dataset) — never on the read path — so the usage
+        dict stays a pure counter read for ``disk_usage``.
+        """
+        journal_bytes = 0
+        for _version, _base_seq, path in self._segments(name):
+            try:
+                journal_bytes += path.stat().st_size
+            except OSError:  # pragma: no cover - racing deletion
+                pass
+        snapshot_bytes = 0
+        for _version, path in self._snapshots(name):
+            try:
+                snapshot_bytes += path.stat().st_size
+            except OSError:  # pragma: no cover - racing deletion
+                pass
+        usage = {"journal_bytes": journal_bytes,
+                 "snapshot_bytes": snapshot_bytes}
+        self._disk[name] = usage
+        return usage
+
+    def disk_usage(self, name: str | None = None) -> dict[str, int]:
+        """Incrementally maintained on-disk bytes (journal + snapshots).
+
+        With a ``name``, that dataset's usage (scanning it on first
+        sight); without one, totals across every dataset already seen.
+        """
+        if name is not None:
+            usage = self._disk.get(name)
+            if usage is None:
+                usage = self._rescan_disk(name)
+            return dict(usage)
+        totals = {"journal_bytes": 0, "snapshot_bytes": 0}
+        for usage in self._disk.values():
+            totals["journal_bytes"] += usage["journal_bytes"]
+            totals["snapshot_bytes"] += usage["snapshot_bytes"]
+        return totals
+
+    def forget_disk_usage(self, name: str) -> None:
+        """Drop a closed dataset's usage row."""
+        self._disk.pop(name, None)
 
     # ------------------------------------------------------------------
     # Internals

@@ -1,28 +1,47 @@
-"""``repro.obs`` — end-to-end request tracing and structured events.
+"""``repro.obs`` — tracing, structured events, and resource accounting.
 
 The observability substrate for the serving stack: a stdlib-only tracing
 layer (:mod:`repro.obs.tracer`) whose spans thread through the HTTP
 server, admission/coalescing, the workspace, the staged pipeline and the
 durable WAL; a structured single-line-JSON event log
-(:mod:`repro.obs.events`, logger name ``repro.obs.events``); and the
+(:mod:`repro.obs.events`, logger name ``repro.obs.events``); per-request
+cost attribution and rolling cost windows (:mod:`repro.obs.resources`);
+the incremental memory ledger (:mod:`repro.obs.ledger`); watchdogs for
+quiet degradation (:mod:`repro.obs.watchdog`); and the
 :class:`~repro.obs.config.ObsConfig` knobs (``REPRO_OBS_*`` env / CLI)
 that switch it all on and off.
 
 Design constraints, in order of importance:
 
 * **Near-zero hot-path cost.**  Recording a finished span is one
-  thread-local list append — no lock.  The single lock in the package
-  (``Tracer._drain_lock``, declared as ``obs.trace`` in the analyzer's
-  hierarchy) is taken only when a *root* span completes and the
-  thread-local buffers are drained into the trace ring.
+  thread-local list append — no lock.  Cost attribution piggybacks on
+  the same ambient channel: each ``record_*`` helper is one
+  thread-local read plus a ``None`` check when no request is being
+  accounted.
 * **No dependencies on the layers it observes.**  ``repro.obs`` imports
-  only the standard library, so ``repro.core``, ``repro.ingest`` and
-  ``repro.service`` can all import it without cycles.
-* **Determinism-safe.**  Spans are timed with ``perf_counter``; the
-  wall clock appears only on root spans and is injectable.
+  only the standard library (the ledger additionally numpy), so
+  ``repro.core``, ``repro.ingest`` and ``repro.service`` can all import
+  it without cycles.  The lock-wait watchdog's import of
+  ``repro.analysis`` is deferred to installation.
+* **Determinism-safe.**  Spans are timed with ``perf_counter``; CPU is
+  ``time.thread_time``; the wall clock appears only on root spans and
+  is injectable.
 """
 
 from repro.obs.config import ObsConfig
+from repro.obs.ledger import MemoryLedger, deep_sizeof, table_bytes
+from repro.obs.resources import (
+    CostAggregator,
+    CostRecorder,
+    attach_recorder,
+    carry_cost,
+    current_recorder,
+    record_cache_probe,
+    record_candidates,
+    record_journal_bytes,
+    record_rows,
+    record_sketch_probe,
+)
 from repro.obs.tracer import (
     NOOP_SPAN,
     Span,
@@ -31,15 +50,42 @@ from repro.obs.tracer import (
     carry_current,
     current_span,
     obs_span,
+    trace_entry_bytes,
+)
+from repro.obs.watchdog import (
+    LockWaitWatchdog,
+    LoopLagMonitor,
+    StallDetector,
+    install_lock_wait,
+    uninstall_lock_wait,
 )
 
 __all__ = [
     "NOOP_SPAN",
+    "CostAggregator",
+    "CostRecorder",
+    "LockWaitWatchdog",
+    "LoopLagMonitor",
+    "MemoryLedger",
     "ObsConfig",
     "Span",
+    "StallDetector",
     "Tracer",
+    "attach_recorder",
     "bind",
+    "carry_cost",
     "carry_current",
+    "current_recorder",
     "current_span",
+    "deep_sizeof",
+    "install_lock_wait",
     "obs_span",
+    "record_cache_probe",
+    "record_candidates",
+    "record_journal_bytes",
+    "record_rows",
+    "record_sketch_probe",
+    "table_bytes",
+    "trace_entry_bytes",
+    "uninstall_lock_wait",
 ]

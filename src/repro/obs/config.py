@@ -36,11 +36,33 @@ class ObsConfig:
     ``slow_ms``       — root spans at least this slow emit a
                         ``slow_request`` event through the
                         ``repro.obs.events`` logger.
+    ``resources_enabled`` — per-request cost attribution and the memory
+                        ledger (the ``/v1/debug`` surface); off removes
+                        the recorder from the hot path entirely.
+    ``cost_window``   — requests retained per rolling cost window (and
+                        in the recent ring behind the top-K listing).
+    ``debug_top_k``   — most-expensive recent requests ``/v1/debug``
+                        lists.
+    ``loop_lag_ms``   — event-loop lag threshold for the server's
+                        ``event_loop_lag`` watchdog event; 0 samples
+                        without ever tripping.
+    ``rebuild_deadline_s`` — background rebuilds slower than this emit a
+                        ``rebuild_stall`` event; 0 disables the
+                        detector.
+    ``lock_wait_ms``  — blocking lock acquisitions that waited at least
+                        this long emit a ``lock_wait`` event; 0 (the
+                        default) never patches lock construction.
     """
 
     enabled: bool = True
     ring_capacity: int = 256
     slow_ms: float = 500.0
+    resources_enabled: bool = True
+    cost_window: int = 256
+    debug_top_k: int = 10
+    loop_lag_ms: float = 100.0
+    rebuild_deadline_s: float = 30.0
+    lock_wait_ms: float = 0.0
 
     def __post_init__(self) -> None:
         if self.ring_capacity < 1:
@@ -49,6 +71,19 @@ class ObsConfig:
             )
         if self.slow_ms < 0:
             raise ValueError(f"slow_ms must be >= 0, got {self.slow_ms}")
+        if self.cost_window < 1:
+            raise ValueError(
+                f"cost_window must be >= 1, got {self.cost_window}"
+            )
+        if self.debug_top_k < 0:
+            raise ValueError(
+                f"debug_top_k must be >= 0, got {self.debug_top_k}"
+            )
+        for name in ("loop_lag_ms", "rebuild_deadline_s", "lock_wait_ms"):
+            if getattr(self, name) < 0:
+                raise ValueError(
+                    f"{name} must be >= 0, got {getattr(self, name)}"
+                )
 
     # ------------------------------------------------------------------
     # Environment / CLI
@@ -65,9 +100,9 @@ class ObsConfig:
             raw = env.get(key)
             if raw is None or raw == "":
                 continue
-            if spec.name == "enabled":
+            if spec.name in ("enabled", "resources_enabled"):
                 values[spec.name] = _parse_bool(key, raw)
-            elif spec.name == "ring_capacity":
+            elif spec.name in ("ring_capacity", "cost_window", "debug_top_k"):
                 values[spec.name] = int(raw)
             else:
                 values[spec.name] = float(raw)
@@ -97,6 +132,43 @@ class ObsConfig:
             help=f"slow-request event threshold in ms "
                  f"(default: {base.slow_ms})",
         )
+        group.add_argument(
+            "--obs-resources-enabled", dest="obs_resources_enabled",
+            metavar="BOOL", default=base.resources_enabled,
+            type=lambda raw: _parse_bool("--obs-resources-enabled", raw),
+            help=f"per-request cost attribution and the memory ledger "
+                 f"(default: {base.resources_enabled})",
+        )
+        group.add_argument(
+            "--obs-cost-window", dest="obs_cost_window", type=int,
+            default=base.cost_window, metavar="N",
+            help=f"requests retained per rolling cost window "
+                 f"(default: {base.cost_window})",
+        )
+        group.add_argument(
+            "--obs-debug-top-k", dest="obs_debug_top_k", type=int,
+            default=base.debug_top_k, metavar="K",
+            help=f"most-expensive recent requests listed by /v1/debug "
+                 f"(default: {base.debug_top_k})",
+        )
+        group.add_argument(
+            "--obs-loop-lag-ms", dest="obs_loop_lag_ms", type=float,
+            default=base.loop_lag_ms, metavar="MS",
+            help=f"event-loop lag watchdog threshold in ms "
+                 f"(default: {base.loop_lag_ms})",
+        )
+        group.add_argument(
+            "--obs-rebuild-deadline-s", dest="obs_rebuild_deadline_s",
+            type=float, default=base.rebuild_deadline_s, metavar="S",
+            help=f"background-rebuild stall deadline in seconds; 0 "
+                 f"disables (default: {base.rebuild_deadline_s})",
+        )
+        group.add_argument(
+            "--obs-lock-wait-ms", dest="obs_lock_wait_ms", type=float,
+            default=base.lock_wait_ms, metavar="MS",
+            help=f"lock-wait watchdog threshold in ms; 0 disables "
+                 f"(default: {base.lock_wait_ms})",
+        )
 
     @classmethod
     def from_args(cls, args: argparse.Namespace) -> "ObsConfig":
@@ -104,6 +176,12 @@ class ObsConfig:
             enabled=args.obs_enabled,
             ring_capacity=args.obs_ring_capacity,
             slow_ms=args.obs_slow_ms,
+            resources_enabled=args.obs_resources_enabled,
+            cost_window=args.obs_cost_window,
+            debug_top_k=args.obs_debug_top_k,
+            loop_lag_ms=args.obs_loop_lag_ms,
+            rebuild_deadline_s=args.obs_rebuild_deadline_s,
+            lock_wait_ms=args.obs_lock_wait_ms,
         )
 
     def as_dict(self) -> dict[str, Any]:

@@ -42,6 +42,7 @@ its layer's locks are released.
 from __future__ import annotations
 
 import itertools
+import sys
 import threading
 import time
 from collections import deque
@@ -49,6 +50,7 @@ from typing import Any, Callable
 
 from repro.obs.config import ObsConfig
 from repro.obs.events import emit as _emit_event
+from repro.obs.resources import carry_cost
 
 #: Upper bounds (seconds) of per-span duration histogram buckets.
 #: Kept value-identical to ``repro.server.metrics.LATENCY_BUCKETS`` (the
@@ -100,7 +102,7 @@ class Span:
 
     __slots__ = ("tracer", "name", "trace_id", "span_id", "parent_id",
                  "attributes", "start_wall", "start_pc", "duration",
-                 "bucket", "_ended", "_pushed")
+                 "bucket", "cost", "_ended", "_pushed")
 
     def __init__(self, tracer: "Tracer", name: str, trace_id: str,
                  span_id: int, parent_id: int | None,
@@ -115,12 +117,17 @@ class Span:
         self.start_wall = start_wall  # wall clock; roots only
         self.start_pc = start_pc
         self.bucket = bucket
+        self.cost = None  # CostRecorder; published with the trace
         self.duration: float | None = None
         self._ended = False
         self._pushed = False
 
     def set_attribute(self, key: str, value: Any) -> None:
         self.attributes[key] = value
+
+    def set_cost(self, recorder) -> None:
+        """Attach a request's cost recorder; rides into the trace ring."""
+        self.cost = recorder
 
     def end(self) -> None:
         """Finish the span (idempotent; only the first call records).
@@ -172,6 +179,9 @@ class _NoopSpan:
     attributes: dict[str, Any] = {}
 
     def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def set_cost(self, recorder) -> None:
         pass
 
     def end(self) -> None:
@@ -256,6 +266,7 @@ class Tracer:
         self.enabled = config.enabled
         self.ring_capacity = config.ring_capacity
         self.slow_ms = config.slow_ms
+        self.account_memory = config.resources_enabled
         self._wall = wall_clock
         #: The monotonic clock (public: :meth:`record_span` callers time
         #: with the same clock spans use, so tests can inject a fake).
@@ -269,6 +280,8 @@ class Tracer:
         self._histograms: dict[str, _DurationHistogram] = {}
         self._traces_recorded = 0
         self._spans_recorded = 0
+        self._ring_evictions = 0
+        self._ring_bytes = 0
 
     # ------------------------------------------------------------------
     # Span creation
@@ -346,9 +359,19 @@ class Tracer:
         with self._drain_lock:
             self.enabled = config.enabled
             self.slow_ms = config.slow_ms
+            self.account_memory = config.resources_enabled
             if config.ring_capacity != self.ring_capacity:
                 self.ring_capacity = config.ring_capacity
+                before = len(self._ring)
                 self._ring = deque(self._ring, maxlen=config.ring_capacity)
+                dropped = before - len(self._ring)
+                if dropped > 0:
+                    # A shrink evicts the oldest entries silently inside
+                    # deque(); re-account them here.
+                    self._ring_evictions += dropped
+                    self._ring_bytes = sum(
+                        entry.get("_bytes", 0) for entry in self._ring
+                    )
 
     def set_slow_ms(self, slow_ms: float) -> float:
         """Set the slow-request threshold; returns the applied value."""
@@ -368,6 +391,29 @@ class Tracer:
         # gone — it is garbage-collected, never recorded.
         spans = root.bucket[:]
         duration_ms = round((root.duration or 0.0) * 1000.0, 3)
+        # The request's cost recorder rides on whichever span the
+        # workspace attached it to (usually ``workspace.handle``); the
+        # snapshot is taken before the drain lock, like everything else
+        # that can be.
+        cost: dict[str, Any] | None = None
+        for span in spans:
+            if span.cost is not None:
+                cost = span.cost.snapshot()
+                break
+        entry = {
+            "trace_id": root.trace_id,
+            "name": root.name,
+            "start_unix": root.start_wall,
+            "duration_ms": duration_ms,
+            "dataset": root.attributes.get("dataset"),
+            "n_spans": len(spans),
+            "_root_span": root,
+            "_spans": spans,
+        }
+        if cost is not None:
+            entry["cost"] = cost
+        entry_bytes = trace_entry_bytes(entry) if self.account_memory else 0
+        entry["_bytes"] = entry_bytes
         with self._drain_lock:
             # The tree is NOT assembled here: the ring keeps the raw
             # spans and builds node dicts lazily on the first
@@ -375,16 +421,13 @@ class Tracer:
             # else on this path combined, and most traces are evicted
             # unread — paying it per-request would dominate the cached
             # hot path's tracing overhead.
-            self._ring.append({
-                "trace_id": root.trace_id,
-                "name": root.name,
-                "start_unix": root.start_wall,
-                "duration_ms": duration_ms,
-                "dataset": root.attributes.get("dataset"),
-                "n_spans": len(spans),
-                "_root_span": root,
-                "_spans": spans,
-            })
+            if len(self._ring) == self._ring.maxlen:
+                # The deque is about to evict its oldest entry silently;
+                # count it and return its bytes before the append.
+                self._ring_evictions += 1
+                self._ring_bytes -= self._ring[0].get("_bytes", 0)
+            self._ring.append(entry)
+            self._ring_bytes += entry_bytes
             self._traces_recorded += 1
             self._spans_recorded += len(spans)
             for span in spans:
@@ -435,8 +478,14 @@ class Tracer:
     # ------------------------------------------------------------------
     def traces(self, dataset: str | None = None,
                min_duration_ms: float | None = None,
-               limit: int | None = None) -> list[dict[str, Any]]:
-        """Summaries of recent completed traces, newest first."""
+               limit: int | None = None,
+               since_ms: float | None = None) -> list[dict[str, Any]]:
+        """Summaries of recent completed traces, newest first.
+
+        ``since_ms`` is a Unix-epoch-millisecond cursor: only traces
+        whose root started strictly after it are returned, so pollers
+        can pass the newest ``start_unix`` they have already seen.
+        """
         with self._drain_lock:
             recent = list(self._ring)
         recent.reverse()
@@ -446,6 +495,9 @@ class Tracer:
                 continue
             if (min_duration_ms is not None
                     and trace["duration_ms"] < min_duration_ms):
+                continue
+            if (since_ms is not None
+                    and trace["start_unix"] * 1000.0 <= since_ms):
                 continue
             out.append({key: trace[key] for key in
                         ("trace_id", "name", "start_unix", "duration_ms",
@@ -480,7 +532,43 @@ class Tracer:
                 "traces_held": len(self._ring),
                 "traces_recorded": self._traces_recorded,
                 "spans_recorded": self._spans_recorded,
+                "ring_evictions": self._ring_evictions,
+                "ring_bytes": self._ring_bytes,
             }
+
+
+def trace_entry_bytes(entry: dict[str, Any]) -> int:
+    """Estimate one published trace entry's resident bytes.
+
+    Computed once, at publish time, and stored on the entry so the
+    ring's byte counter stays incremental (publish adds, evict
+    subtracts).  Counts the per-trace allocations — the entry dict, the
+    span objects, their attribute dicts and values — and deliberately
+    skips shared interned strings (span names are module-level
+    literals).  Tests recompute this same estimate over the live ring
+    as the oracle for the incremental counter.
+    """
+    total = sys.getsizeof(entry)
+    for key, value in entry.items():
+        if key in ("_root_span", "_spans", "_bytes"):
+            continue
+        total += sys.getsizeof(key)
+        if isinstance(value, dict):
+            total += sys.getsizeof(value)
+            for inner_key, inner_value in value.items():
+                total += sys.getsizeof(inner_key) + sys.getsizeof(inner_value)
+        elif value is not None:
+            total += sys.getsizeof(value)
+    spans = entry.get("_spans", ())
+    total += sys.getsizeof(spans)
+    for span in spans:
+        total += sys.getsizeof(span)
+        total += sys.getsizeof(span.attributes)
+        for key, value in span.attributes.items():
+            total += sys.getsizeof(key)
+            if value is not None:
+                total += sys.getsizeof(value)
+    return total
 
 
 # ---------------------------------------------------------------------------
@@ -524,9 +612,12 @@ def carry_current(fn: Callable) -> Callable:
 
     ``ParallelExecutor.map`` wraps worker callables with this, so spans
     started inside a worker re-parent to the request that sharded the
-    work — not to whatever the pool thread last ran.
+    work — not to whatever the pool thread last ran.  The submitting
+    thread's ambient :class:`~repro.obs.resources.CostRecorder` rides
+    the same handoff (:func:`~repro.obs.resources.carry_cost`), so a
+    shard's CPU time bills to the request that sharded it.
     """
-    return bind(current_span(), fn)
+    return bind(current_span(), carry_cost(fn))
 
 
 __all__ = [
@@ -538,4 +629,5 @@ __all__ = [
     "carry_current",
     "current_span",
     "obs_span",
+    "trace_entry_bytes",
 ]

@@ -24,17 +24,20 @@ datasets went live — a write surface:
                                      and whether the workspace is durable
 ``GET /v1/traces``                   recently finished request traces
                                      (``?dataset=``, ``?min_duration_ms=``,
-                                     ``?limit=`` filters)
+                                     ``?since_ms=``, ``?limit=`` filters)
 ``GET /v1/traces/{id}``              one trace as a nested span tree
 ``POST /v1/traces:config``           adjust the slow-request threshold at
                                      runtime
+``GET /v1/debug``                    memory ledger, rolling cost windows,
+                                     watchdog state, top-K expensive
+                                     requests (``?top_k=`` override)
 ``GET /healthz``                     liveness + bind address + config echo
 ``GET /metrics``                     JSON counters (transport, coalescing,
                                      admission, cache, pipeline, ingestion,
                                      latency histograms, tracing/span
-                                     histograms); ``Accept: text/plain``
-                                     negotiates the Prometheus text
-                                     exposition
+                                     histograms, resource accounting);
+                                     ``Accept: text/plain`` negotiates the
+                                     Prometheus text exposition
 ===================================  ==========================================
 
 Every response carries ``X-Repro-Trace-Id`` naming the request's trace
@@ -84,7 +87,9 @@ from repro.errors import (
 from repro.data.schema import ColumnKind
 from repro.data.table import DataTable
 from repro.obs import events as obs_events
+from repro.obs.config import ObsConfig
 from repro.obs.tracer import bind
+from repro.obs.watchdog import LoopLagMonitor
 from repro.service.dto import InsightRequest, error_envelope
 from repro.service.workspace import Workspace
 from repro.server.admission import AdmissionController
@@ -201,6 +206,11 @@ class ReproServer:
         self.tracer = workspace.tracer
         if self.config.obs is not None:
             self.tracer.configure(self.config.obs)
+        #: Event-loop responsiveness watchdog; ``start()`` schedules its
+        #: sampling task on the serving loop, ``stop()`` cancels it.
+        obs_config = self.config.obs or ObsConfig()
+        self.loop_lag = LoopLagMonitor(threshold_ms=obs_config.loop_lag_ms)
+        self._loop_lag_task: asyncio.Task | None = None
         self._coalescer: RequestCoalescer | None = None
         self._pool: ThreadPoolExecutor | None = None
         self._server: asyncio.base_events.Server | None = None
@@ -220,6 +230,7 @@ class ReproServer:
             "/v1/traces:config": (
                 "traces_config", "POST", self._post_traces_config
             ),
+            "/v1/debug": ("debug", "GET", self._get_debug),
             "/healthz": ("healthz", "GET", self._get_healthz),
             "/metrics": ("metrics", "GET", self._get_metrics),
         }
@@ -262,6 +273,9 @@ class ReproServer:
         )
         sock = self._server.sockets[0]
         self._address = sock.getsockname()[:2]
+        self._loop_lag_task = asyncio.get_running_loop().create_task(
+            self.loop_lag.run()
+        )
         self._started_at = time.time()
 
     async def stop(self, drain: bool = True) -> None:
@@ -275,6 +289,11 @@ class ReproServer:
         if self._server is None:
             return
         self._stopping = True
+        if self._loop_lag_task is not None:
+            self._loop_lag_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._loop_lag_task
+            self._loop_lag_task = None
         # close() stops accepting immediately.  Deliberately NOT
         # wait_closed() here: on Python >= 3.12 it blocks until every
         # connection handler returns, and idle keep-alive handlers only
@@ -794,8 +813,34 @@ class ReproServer:
             "config": self.config.as_dict(),
         }
 
+    async def _get_debug(self, request: _HttpRequest) -> tuple[int, Any]:
+        """``GET /v1/debug``: memory ledger, cost windows, watchdog state.
+
+        Every value is an already-maintained counter — the endpoint
+        never walks live objects — so it is safe to poll against a
+        loaded server.  ``?top_k=`` overrides how many of the most
+        CPU-expensive recent requests are listed (default
+        ``ObsConfig.debug_top_k``).
+        """
+        params = request.query_params()
+        top_k = None
+        if "top_k" in params:
+            try:
+                top_k = int(params["top_k"])
+            except ValueError:
+                raise ProtocolError(
+                    f"top_k must be an integer, got {params['top_k']!r}"
+                ) from None
+            if top_k < 0:
+                raise ProtocolError(f"top_k must be >= 0, got {top_k}")
+        document = self._workspace.debug_info(top_k=top_k)
+        document["watchdogs"]["event_loop_lag"] = self.loop_lag.snapshot()
+        return 200, {"protocol": 1, **document}
+
     async def _get_metrics(self, request: _HttpRequest) -> tuple[int, Any]:
         datasets = self._workspace.describe()
+        resources = self._workspace.debug_info(top_k=0)
+        resources["watchdogs"]["event_loop_lag"] = self.loop_lag.snapshot()
         document = {
             "server": self.metrics.snapshot(),
             "admission": self.admission.snapshot(),
@@ -810,6 +855,7 @@ class ReproServer:
                 "tracing": self.tracer.stats(),
                 "spans": self.tracer.histograms(),
             },
+            "resources": resources,
         }
         accept = request.headers.get("accept", "")
         if "text/plain" in accept.lower():
@@ -828,7 +874,10 @@ class ReproServer:
 
         Query parameters: ``dataset`` keeps traces with a span whose
         ``dataset`` attribute matches; ``min_duration_ms`` keeps traces
-        at least that long; ``limit`` caps the count.
+        at least that long; ``since_ms`` (Unix epoch milliseconds) keeps
+        traces that *started* strictly after that instant — pass the
+        newest seen ``start_unix * 1000`` back as a poll cursor;
+        ``limit`` caps the count.
         """
         params = request.query_params()
         dataset = params.get("dataset")
@@ -840,6 +889,14 @@ class ReproServer:
                 raise ProtocolError(
                     "min_duration_ms must be a number, got "
                     f"{params['min_duration_ms']!r}"
+                ) from None
+        since_ms = None
+        if "since_ms" in params:
+            try:
+                since_ms = float(params["since_ms"])
+            except ValueError:
+                raise ProtocolError(
+                    f"since_ms must be a number, got {params['since_ms']!r}"
                 ) from None
         limit = None
         if "limit" in params:
@@ -855,7 +912,8 @@ class ReproServer:
             "protocol": 1,
             "tracing": self.tracer.stats(),
             "traces": self.tracer.traces(
-                dataset=dataset, min_duration_ms=min_duration_ms, limit=limit
+                dataset=dataset, min_duration_ms=min_duration_ms,
+                limit=limit, since_ms=since_ms,
             ),
         }
 

@@ -131,13 +131,23 @@ class ReproClient:
     # Typed endpoints
     # ------------------------------------------------------------------
     def insights(
-        self, request: InsightRequest | Mapping[str, Any]
+        self, request: InsightRequest | Mapping[str, Any],
+        debug: bool = False,
     ) -> InsightResponse:
-        """``POST /v1/insights``: one request, one response."""
+        """``POST /v1/insights``: one request, one response.
+
+        ``debug=True`` asks the server to echo the request's cost
+        snapshot (CPU seconds, rows scanned, candidates, cache/sketch
+        probes) under ``response.provenance["cost"]``.  The flag rides
+        outside the canonical request key, so debug requests share
+        cache entries with their non-debug twins.
+        """
         payload = (
             request.to_dict() if isinstance(request, InsightRequest)
             else dict(request)
         )
+        if debug:
+            payload["debug"] = True
         return InsightResponse.from_dict(
             self._request("POST", "/v1/insights", payload)
         )
@@ -189,13 +199,16 @@ class ReproClient:
         dataset: str | None = None,
         min_duration_ms: float | None = None,
         limit: int | None = None,
+        since_ms: float | None = None,
     ) -> dict[str, Any]:
         """``GET /v1/traces``: recent traces, newest first.
 
         Answers ``{"tracing": <tracer stats>, "traces": [...]}``; each
         trace is a nested span tree.  Filters are optional: ``dataset``
         keeps traces touching that dataset, ``min_duration_ms`` keeps
-        slow ones, ``limit`` caps the count.
+        slow ones, ``since_ms`` (Unix epoch milliseconds) keeps traces
+        started after that instant — a poll cursor — and ``limit`` caps
+        the count.
         """
         params: dict[str, str] = {}
         if dataset is not None:
@@ -204,6 +217,8 @@ class ReproClient:
             params["min_duration_ms"] = str(min_duration_ms)
         if limit is not None:
             params["limit"] = str(limit)
+        if since_ms is not None:
+            params["since_ms"] = str(since_ms)
         path = "/v1/traces"
         if params:
             path += "?" + urllib.parse.urlencode(params)
@@ -217,6 +232,18 @@ class ReproClient:
         """
         quoted = urllib.parse.quote(trace_id, safe="")
         return self._request("GET", f"/v1/traces/{quoted}")["trace"]
+
+    def debug(self, top_k: int | None = None) -> dict[str, Any]:
+        """``GET /v1/debug``: ledger, cost windows, watchdog state.
+
+        ``top_k`` overrides how many of the most CPU-expensive recent
+        requests the server lists (default: its configured
+        ``debug_top_k``).
+        """
+        path = "/v1/debug"
+        if top_k is not None:
+            path += "?" + urllib.parse.urlencode({"top_k": str(top_k)})
+        return self._request("GET", path)
 
     def set_slow_threshold(self, slow_ms: float) -> dict[str, Any]:
         """``POST /v1/traces:config``: set the slow-request threshold.

@@ -394,6 +394,80 @@ def render_prometheus(document: dict[str, Any]) -> str:
                                           snap, {"span": name},
                                           declare=declare))
             declare = False
+    if "ring_evictions" in tracing:
+        counter("repro_tracing_ring_evictions_total",
+                tracing["ring_evictions"])
+    if "ring_bytes" in tracing:
+        gauge("repro_tracing_ring_bytes", tracing["ring_bytes"])
+
+    resources = document.get("resources", {})
+    memory = resources.get("memory", {})
+    components = memory.get("components", {})
+    if components:
+        lines.append("# TYPE repro_memory_bytes gauge")
+        for component, n_bytes in sorted(components.items()):
+            gauge("repro_memory_bytes", n_bytes, {"component": component},
+                  declare=False)
+        gauge("repro_memory_total_bytes", memory.get("total_bytes", 0))
+    per_dataset_mem = memory.get("datasets", {})
+    if per_dataset_mem:
+        lines.append("# TYPE repro_dataset_memory_bytes gauge")
+        for name, parts in sorted(per_dataset_mem.items()):
+            for component, n_bytes in sorted(parts.items()):
+                gauge("repro_dataset_memory_bytes", n_bytes,
+                      {"dataset": name, "component": component},
+                      declare=False)
+    costs = resources.get("costs", {})
+    if costs:
+        counter("repro_cost_requests_total", costs.get("requests_total", 0))
+        totals = costs.get("totals", {})
+        if totals:
+            lines.append("# TYPE repro_request_cost_total counter")
+            for key, value in sorted(totals.items()):
+                counter("repro_request_cost_total", value, {"counter": key},
+                        declare=False)
+        if "cpu_seconds_histogram" in costs:
+            lines.extend(_histogram_lines("repro_request_cpu_seconds",
+                                          costs["cpu_seconds_histogram"]))
+        classes = costs.get("classes", {})
+        if classes:
+            # Lifetime per-class request counter plus rolling-window
+            # CPU gauge (the window sum moves down as entries age out,
+            # so it cannot be a Prometheus counter).
+            lines.append("# TYPE repro_class_requests_total counter")
+            for name, window in sorted(classes.items()):
+                counter("repro_class_requests_total",
+                        window.get("requests_total", 0),
+                        {"class": name}, declare=False)
+            lines.append("# TYPE repro_class_window_cpu_seconds gauge")
+            for name, window in sorted(classes.items()):
+                gauge("repro_class_window_cpu_seconds",
+                      window.get("cpu_seconds", 0.0),
+                      {"class": name}, declare=False)
+        dataset_costs = costs.get("datasets", {})
+        if dataset_costs:
+            lines.append("# TYPE repro_dataset_requests_total counter")
+            for name, window in sorted(dataset_costs.items()):
+                counter("repro_dataset_requests_total",
+                        window.get("requests_total", 0),
+                        {"dataset": name}, declare=False)
+            lines.append("# TYPE repro_dataset_window_cpu_seconds gauge")
+            for name, window in sorted(dataset_costs.items()):
+                gauge("repro_dataset_window_cpu_seconds",
+                      window.get("cpu_seconds", 0.0),
+                      {"dataset": name}, declare=False)
+    watchdogs = resources.get("watchdogs", {})
+    loop_lag = watchdogs.get("event_loop_lag", {})
+    if loop_lag:
+        gauge("repro_event_loop_lag_seconds",
+              loop_lag.get("last_lag_seconds", 0.0))
+        gauge("repro_event_loop_lag_max_seconds",
+              loop_lag.get("max_lag_seconds", 0.0))
+    if watchdogs:
+        lines.append("# TYPE repro_watchdog_trips_total counter")
+        for name, snap in sorted(watchdogs.items()):
+            counter("repro_watchdog_trips_total", snap.get("trips", 0),
+                    {"watchdog": name}, declare=False)
 
     return "\n".join(lines) + "\n"
 

@@ -17,9 +17,28 @@ additionally breaks out the explicit ones.
 
 from __future__ import annotations
 
+import sys
 import threading
 from collections import OrderedDict
 from typing import Any, Hashable
+
+
+def _value_bytes(obj: Any) -> int:
+    """Size a cached response document (plain JSON-shaped, acyclic).
+
+    Computed once per ``put`` — the miss path already paid for the full
+    pipeline, so the walk is noise there — and remembered per entry so
+    evictions subtract exactly what inserts added.  This keeps the
+    cache's row in the memory ledger incremental: no serving-path walk.
+    """
+    total = sys.getsizeof(obj)
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            total += _value_bytes(key) + _value_bytes(value)
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        for item in obj:
+            total += _value_bytes(item)
+    return total
 
 #: Cache keys are (dataset_name, dataset_version, dataset_seq,
 #: canonical_query_json).  The sequence number is the append journal
@@ -36,6 +55,8 @@ class ResultCache:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
         self._capacity = capacity
         self._entries: OrderedDict[CacheKey, Any] = OrderedDict()
+        self._sizes: dict[CacheKey, int] = {}
+        self._bytes = 0
         self._lock = threading.RLock()
         self._hits = 0
         self._misses = 0
@@ -57,12 +78,17 @@ class ResultCache:
 
     def put(self, key: CacheKey, value: Any) -> None:
         """Insert a value, evicting the least recently used entry if full."""
+        n_bytes = _value_bytes(value)
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
+                self._bytes -= self._sizes.get(key, 0)
             self._entries[key] = value
+            self._sizes[key] = n_bytes
+            self._bytes += n_bytes
             while len(self._entries) > self._capacity:
-                self._entries.popitem(last=False)
+                evicted_key, _ = self._entries.popitem(last=False)
+                self._bytes -= self._sizes.pop(evicted_key, 0)
                 self._evictions += 1
 
     def invalidate(self, dataset: str | None = None) -> int:
@@ -77,10 +103,13 @@ class ResultCache:
             if dataset is None:
                 evicted = len(self._entries)
                 self._entries.clear()
+                self._sizes.clear()
+                self._bytes = 0
             else:
                 stale = [key for key in self._entries if key[0] == dataset]
                 for key in stale:
                     del self._entries[key]
+                    self._bytes -= self._sizes.pop(key, 0)
                 evicted = len(stale)
             self._evictions += evicted
             self._invalidations += evicted
@@ -110,14 +139,16 @@ class ResultCache:
         """Hit/miss/eviction counters plus current occupancy.
 
         ``evictions`` counts every removal (LRU pressure **and** explicit
-        invalidation); ``invalidations`` is the explicit subset.  Taken
-        under the cache lock, so the snapshot is internally consistent
-        even under concurrent traffic.
+        invalidation); ``invalidations`` is the explicit subset.
+        ``bytes`` is the incrementally maintained resident-value estimate
+        feeding the memory ledger.  Taken under the cache lock, so the
+        snapshot is internally consistent even under concurrent traffic.
         """
         with self._lock:
             return {
                 "capacity": self._capacity,
                 "size": len(self._entries),
+                "bytes": self._bytes,
                 "hits": self._hits,
                 "misses": self._misses,
                 "evictions": self._evictions,

@@ -67,6 +67,12 @@ class InsightRequest:
     cursor:
         Opaque pagination token from a previous response, or None for the
         first page.
+    debug:
+        Ask the workspace to echo this request's resource-cost snapshot
+        in the response provenance (``provenance["cost"]``).  Diagnostic
+        only: the flag is deliberately **excluded** from the wire dict
+        and the canonical key, so a debug request shares cache entries —
+        and cached payload bytes — with its non-debug twin.
     """
 
     dataset: str
@@ -80,6 +86,7 @@ class InsightRequest:
     mode: str | None = None
     max_candidates: int | None = None
     cursor: str | None = None
+    debug: bool = False
 
     def __post_init__(self) -> None:
         if isinstance(self.insight_classes, str):
@@ -135,6 +142,10 @@ class InsightRequest:
 
     # -- wire format -------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
+        # ``debug`` is intentionally absent: the canonical key (and hence
+        # the result-cache key) must not fork on a diagnostics toggle.
+        # Transports that need to ship it add the key themselves (see
+        # ReproClient.insights) and ``from_dict`` reads it back.
         return {
             "protocol": PROTOCOL_VERSION,
             "dataset": self.dataset,
@@ -171,6 +182,7 @@ class InsightRequest:
             mode=payload.get("mode"),
             max_candidates=None if max_candidates is None else int(max_candidates),
             cursor=payload.get("cursor"),
+            debug=bool(payload.get("debug", False)),
         )
 
     def to_json(self) -> str:

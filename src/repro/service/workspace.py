@@ -94,7 +94,15 @@ from repro.ingest.maintenance import (
 )
 from repro.obs import events as obs_events
 from repro.obs.config import ObsConfig
+from repro.obs.ledger import MemoryLedger, table_bytes
+from repro.obs.resources import (
+    CostAggregator,
+    CostRecorder,
+    attach_recorder,
+    record_cache_probe,
+)
 from repro.obs.tracer import Tracer, current_span, obs_span
+from repro.obs.watchdog import StallDetector, install_lock_wait
 from repro.service.cache import ResultCache
 from repro.service.cursor import decode_cursor, encode_cursor
 from repro.service.dto import (
@@ -196,11 +204,34 @@ class Workspace:
         data_dir: str | None = None,
         obs: ObsConfig | Tracer | None = None,
     ):
+        # Resolve the observability config before creating any lock:
+        # the opt-in lock-wait watchdog patches lock *construction*, so
+        # installing it first is what puts the workspace's own locks
+        # under watch.
+        if isinstance(obs, Tracer):
+            obs_config = ObsConfig(enabled=obs.enabled,
+                                   resources_enabled=obs.account_memory)
+        else:
+            obs_config = obs or ObsConfig()
+        self._obs_config = obs_config
+        self._lock_wait = install_lock_wait(obs_config.lock_wait_ms)
         self._entries: dict[str, _DatasetEntry] = {}
         #: The tracing subsystem (always present; a disabled ObsConfig
         #: makes every span a shared no-op).
         self._tracer = obs if isinstance(obs, Tracer) else Tracer(obs)
         self._cache = ResultCache(capacity=cache_size)
+        #: Per-request cost attribution (rolling windows, lifetime
+        #: totals, top-K ring) and the incremental memory ledger.  Both
+        #: exist unconditionally — a disabled ``resources_enabled``
+        #: simply never creates recorders or touches the ledger, so the
+        #: hot path pays nothing.
+        self._costs = CostAggregator(window=obs_config.cost_window)
+        self._ledger = MemoryLedger()
+        #: Background-rebuild deadline watchdog (``rebuild_stall``
+        #: events); deadline 0 disables it.
+        self._stall = StallDetector(
+            deadline_seconds=obs_config.rebuild_deadline_s
+        )
         self._executor_config = executor or ExecutorConfig()
         self._ingest_config = ingest or IngestConfig()
         #: Lifetime pipeline counters across every cache-miss request,
@@ -373,6 +404,7 @@ class Workspace:
         entry.engine_builds += outcome.engine_builds
         entry.loads += outcome.loads
         entry.pending = None
+        self._account_entry(entry)
 
     def _write_snapshot_locked(self, entry: _DatasetEntry) -> None:
         """Persist a compaction snapshot (caller holds the entry lock).
@@ -417,6 +449,34 @@ class Workspace:
             span.set_attribute("seq", log.seq)
             span.set_attribute("n_rows", entry.table.n_rows)
             self._journal.write_snapshot(entry.name, payload)
+
+    def _account_entry(self, entry: _DatasetEntry) -> None:
+        """Re-size one dataset's memory-ledger rows (entry lock held).
+
+        Called at the mutation points that change what the dataset
+        pins — engine build/swap, append, rebuild, reload, journal
+        rotation — never on the read path.  The table walk is
+        O(columns) (numpy ``nbytes`` dominates), the sketch total and
+        the journal's disk usage are already-maintained counters, so
+        the whole call is noise next to the mutation it follows.
+        """
+        if not self._obs_config.resources_enabled:
+            return
+        name = entry.name
+        table = entry.table
+        self._ledger.set("table", table_bytes(table) if table is not None else 0,
+                         dataset=name)
+        engine = entry.engine
+        store = engine.store if engine is not None else None
+        self._ledger.set("sketches",
+                         store.memory_bytes() if store is not None else 0,
+                         dataset=name)
+        if self._journal is not None:
+            usage = self._journal.disk_usage(name)
+            self._ledger.set("journal_disk", usage["journal_bytes"],
+                             dataset=name)
+            self._ledger.set("snapshot_disk", usage["snapshot_bytes"],
+                             dataset=name)
 
     # ------------------------------------------------------------------
     # Dataset management
@@ -615,6 +675,7 @@ class Workspace:
                         name, version,
                         engine_config=self._config_payload(entry),
                     )
+            self._account_entry(entry)
         except BaseException:
             # A failed journal write (ENOSPC, I/O error) must not leave
             # the entry published with no generation segment: every
@@ -759,6 +820,7 @@ class Workspace:
                 # own snapshot stays untouched until the new segment is
                 # durable), so no crash window loses the only copy.
                 self._write_snapshot_locked(entry)
+            self._account_entry(entry)
         self._cache.invalidate(name)
         obs_events.emit("generation_rotation", dataset=name, version=version,
                         durable=self._journal is not None)
@@ -909,6 +971,7 @@ class Workspace:
                     # point.  The rotation it performs drains the commit
                     # pipeline, so the ticket below is already settled.
                     self._write_snapshot_locked(entry)
+                self._account_entry(entry)
             if ticket is not None:
                 # Group commit: block until a leader's fsync covers this
                 # record.  Raising here means the append was NOT
@@ -1037,6 +1100,7 @@ class Workspace:
                 )
                 seq = record.seq
                 self._write_snapshot_locked(entry)
+                self._account_entry(entry)
             with self._stats_lock:
                 self._ingest_totals["rebuilds"] += 1
                 self._ingest_totals["bg_rebuilds"] += 1
@@ -1060,12 +1124,17 @@ class Workspace:
             entry.rebuild_running = True
 
         def _run() -> None:
+            # The deadline watchdog covers exactly the maintenance-pool
+            # execution: armed when the job starts running (queue wait
+            # is not a stall), disarmed however the job exits.
+            token = self._stall.watch(name, kind="background_rebuild")
             try:
                 self.rebuild(name)
             except Exception as exc:  # noqa: BLE001 - surfaced in stats
                 with entry.lock:
                     entry.rebuild_error = f"{type(exc).__name__}: {exc}"
             finally:
+                token.done()
                 with entry.lock:
                     entry.rebuild_running = False
 
@@ -1199,72 +1268,103 @@ class Workspace:
         unreachable.
         """
         request = self._coerce_request(request)
+        if not self._obs_config.resources_enabled:
+            with self._tracer.span("workspace.handle",
+                                   dataset=request.dataset) as handle_span:
+                return self._handle_traced(request, handle_span)
+        recorder = CostRecorder()
         with self._tracer.span("workspace.handle",
                                dataset=request.dataset) as handle_span:
-            engine, version, seq = self._engine_snapshot(request.dataset)
-            key = (request.dataset, version, seq, request.canonical_key())
-
-            # The cache stores canonical JSON, so hits rehydrate into
-            # fresh objects and callers can never mutate a cached entry
-            # in place.  (No span of its own: a dict probe is
-            # microseconds, and the ``cache`` attribute on the handle
-            # span already tells the hit/miss story.)
-            cached = self._cache.get(key)
-            if cached is not None:
-                handle_span.set_attribute("cache", "hit")
-                response = InsightResponse.from_json(cached)
-                response.provenance = {**response.provenance, "cache": "hit"}
-                return response
-            handle_span.set_attribute("cache", "miss")
-
-            start = time.perf_counter()
-            offset = decode_cursor(request.cursor)
-            page_size = request.top_k
-            queries = request.to_queries(
-                default_mode=engine.config.mode, top_k=offset + page_size
+            handle_span.set_cost(recorder)
+            # The CPU window closes before the snapshot below, so the
+            # handler thread's own CPU — not just the shards' — is in
+            # the recorded total.
+            with attach_recorder(recorder), recorder.cpu_window():
+                response = self._handle_traced(request, handle_span)
+            snapshot = recorder.finish().snapshot()
+            self._costs.record(
+                snapshot,
+                datasets=(request.dataset,),
+                classes=request.insight_classes,
+                trace_id=handle_span.trace_id,
             )
-            stats = PipelineStats()
-            results = engine.rank_many(queries, stats=stats)
-            with self._stats_lock:
-                self._stats.merge(stats)
-
-            carousels = []
-            has_more = False
-            for name, result in zip(request.insight_classes, results):
-                page = result.insights[offset : offset + page_size]
-                carousels.append(
-                    {
-                        "insight_class": name,
-                        "label": engine.registry.get(name).label or name,
-                        "insights": [insight.as_dict() for insight in page],
-                        "n_admitted": result.n_admitted,
-                        "truncated": result.truncated,
-                    }
-                )
-                if result.n_admitted > offset + page_size:
-                    has_more = True
-            elapsed = time.perf_counter() - start
-
-            response = InsightResponse(
-                dataset=request.dataset,
-                dataset_version=version,
-                dataset_seq=seq,
-                carousels=carousels,
-                timing={"total_seconds": elapsed},
-                provenance={
-                    "cache": "miss",
-                    "mode": request.mode or engine.config.mode,
-                    "enumerations": stats.enumerations,
-                    "shared_queries": stats.shared_queries,
-                    "score_evaluations": stats.score_evaluations,
-                    "shared_score_queries": stats.shared_score_queries,
-                    "max_workers": engine.executor.max_workers,
-                },
-                next_cursor=(encode_cursor(offset + page_size)
-                             if has_more else None),
-            )
-            self._cache.put(key, response.to_json())
+            if request.debug:
+                # Stamped after the cache write inside _handle_traced:
+                # the echo is per-serve diagnostics and must never enter
+                # (or fork) the cached canonical payload.
+                response.provenance = {**response.provenance,
+                                       "cost": snapshot}
             return response
+
+    def _handle_traced(
+        self, request: InsightRequest, handle_span: Any
+    ) -> InsightResponse:
+        """The traced body of :meth:`handle` (cost accounting around it)."""
+        engine, version, seq = self._engine_snapshot(request.dataset)
+        key = (request.dataset, version, seq, request.canonical_key())
+
+        # The cache stores canonical JSON, so hits rehydrate into
+        # fresh objects and callers can never mutate a cached entry
+        # in place.  (No span of its own: a dict probe is
+        # microseconds, and the ``cache`` attribute on the handle
+        # span already tells the hit/miss story.)
+        cached = self._cache.get(key)
+        record_cache_probe(cached is not None)
+        if cached is not None:
+            handle_span.set_attribute("cache", "hit")
+            response = InsightResponse.from_json(cached)
+            response.provenance = {**response.provenance, "cache": "hit"}
+            return response
+        handle_span.set_attribute("cache", "miss")
+
+        start = time.perf_counter()
+        offset = decode_cursor(request.cursor)
+        page_size = request.top_k
+        queries = request.to_queries(
+            default_mode=engine.config.mode, top_k=offset + page_size
+        )
+        stats = PipelineStats()
+        results = engine.rank_many(queries, stats=stats)
+        with self._stats_lock:
+            self._stats.merge(stats)
+
+        carousels = []
+        has_more = False
+        for name, result in zip(request.insight_classes, results):
+            page = result.insights[offset : offset + page_size]
+            carousels.append(
+                {
+                    "insight_class": name,
+                    "label": engine.registry.get(name).label or name,
+                    "insights": [insight.as_dict() for insight in page],
+                    "n_admitted": result.n_admitted,
+                    "truncated": result.truncated,
+                }
+            )
+            if result.n_admitted > offset + page_size:
+                has_more = True
+        elapsed = time.perf_counter() - start
+
+        response = InsightResponse(
+            dataset=request.dataset,
+            dataset_version=version,
+            dataset_seq=seq,
+            carousels=carousels,
+            timing={"total_seconds": elapsed},
+            provenance={
+                "cache": "miss",
+                "mode": request.mode or engine.config.mode,
+                "enumerations": stats.enumerations,
+                "shared_queries": stats.shared_queries,
+                "score_evaluations": stats.score_evaluations,
+                "shared_score_queries": stats.shared_score_queries,
+                "max_workers": engine.executor.max_workers,
+            },
+            next_cursor=(encode_cursor(offset + page_size)
+                         if has_more else None),
+        )
+        self._cache.put(key, response.to_json())
+        return response
 
     def handle_many(
         self,
@@ -1379,6 +1479,42 @@ class Workspace:
     def tracer(self) -> Tracer:
         """The workspace's tracer (the server mounts ``/v1/traces`` on it)."""
         return self._tracer
+
+    @property
+    def costs(self) -> CostAggregator:
+        """Per-request cost windows and totals (``/metrics`` reads these)."""
+        return self._costs
+
+    @property
+    def ledger(self) -> MemoryLedger:
+        """The incremental memory ledger (workspace-sized components)."""
+        return self._ledger
+
+    def debug_info(self, top_k: int | None = None) -> dict[str, Any]:
+        """The ``/v1/debug`` document: ledger, costs, watchdog state.
+
+        Every number here is an already-maintained counter — no object
+        walking, no lock held across anything slow — so the endpoint
+        stays safe to poll against a loaded server.  ``top_k`` bounds
+        the most-CPU-expensive recent-request listing and defaults to
+        ``ObsConfig.debug_top_k``.
+        """
+        if top_k is None:
+            top_k = self._obs_config.debug_top_k
+        tracer_stats = self._tracer.stats()
+        extra = {
+            "result_cache": self._cache.info()["bytes"],
+            "trace_ring": tracer_stats["ring_bytes"],
+        }
+        watchdogs: dict[str, Any] = {"rebuild_stall": self._stall.snapshot()}
+        if self._lock_wait is not None:
+            watchdogs["lock_wait"] = self._lock_wait.snapshot()
+        return {
+            "resources_enabled": self._obs_config.resources_enabled,
+            "memory": self._ledger.snapshot(extra=extra),
+            "costs": self._costs.snapshot(top_k=top_k),
+            "watchdogs": watchdogs,
+        }
 
     def describe(self) -> list[dict[str, Any]]:
         """Status of every registered dataset (for ops endpoints).
@@ -1541,6 +1677,8 @@ class Workspace:
                         "total_rows": entry.table.n_rows,
                         "ts": time.time(),
                     })
+            if built:
+                self._account_entry(entry)
             result = entry.engine, entry.version, entry.ingest.seq
         return result, built, ticket
 

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.errors import SketchNotAvailableError
 from repro.core.executor import Executor, SerialExecutor
+from repro.obs.resources import record_sketch_probe
 from repro.data.column import CategoricalColumn, NumericColumn
 from repro.data.table import DataTable
 from repro.sketch.countmin import CountMinSketch
@@ -355,6 +356,9 @@ class SketchStore:
             raise SketchNotAvailableError(
                 f"column {name!r} has no {attribute} sketch"
             )
+        # Every approx_* query funnels through here: one probe billed to
+        # the ambient request's cost recorder (no-op outside a request).
+        record_sketch_probe()
         return sketch
 
     def approx_mean(self, name: str) -> float:

@@ -1,0 +1,205 @@
+"""Watchdog units: loop lag, rebuild stalls, lock waits.
+
+Thresholds are driven directly (``observe``, short deadlines, manual
+contention) rather than by provoking a genuinely degraded process, so
+every trip asserted here is deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+
+import pytest
+
+from repro.obs.watchdog import (
+    LockWaitWatchdog,
+    LoopLagMonitor,
+    StallDetector,
+    install_lock_wait,
+    uninstall_lock_wait,
+)
+
+
+def _events(caplog) -> list[dict]:
+    return [json.loads(record.message) for record in caplog.records]
+
+
+class TestLoopLagMonitor:
+    def test_below_threshold_samples_without_tripping(self, caplog):
+        monitor = LoopLagMonitor(threshold_ms=100.0)
+        with caplog.at_level(logging.INFO, logger="repro.obs.events"):
+            monitor.observe(0.010)
+            monitor.observe(0.050)
+        snap = monitor.snapshot()
+        assert snap["samples"] == 2
+        assert snap["trips"] == 0
+        assert snap["last_lag_seconds"] == 0.050
+        assert snap["max_lag_seconds"] == 0.050
+        assert caplog.records == []
+
+    def test_lag_past_threshold_trips_and_emits(self, caplog):
+        monitor = LoopLagMonitor(threshold_ms=100.0)
+        with caplog.at_level(logging.INFO, logger="repro.obs.events"):
+            monitor.observe(0.250)
+        assert monitor.snapshot()["trips"] == 1
+        [event] = _events(caplog)
+        assert event["event"] == "event_loop_lag"
+        assert event["lag_ms"] == 250.0
+        assert event["threshold_ms"] == 100.0
+
+    def test_zero_threshold_never_trips(self):
+        monitor = LoopLagMonitor(threshold_ms=0.0)
+        monitor.observe(10.0)
+        snap = monitor.snapshot()
+        assert snap["samples"] == 1
+        assert snap["trips"] == 0
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LoopLagMonitor(interval=0.0)
+
+
+class TestStallDetector:
+    def test_job_past_deadline_fires(self, caplog):
+        detector = StallDetector(deadline_seconds=0.05)
+        with caplog.at_level(logging.INFO, logger="repro.obs.events"):
+            token = detector.watch("demo", kind="background_rebuild")
+            deadline = time.monotonic() + 5.0
+            while (detector.snapshot()["trips"] == 0
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+        snap = detector.snapshot()
+        assert snap["trips"] == 1
+        assert snap["stalled"] == ["demo"]
+        [event] = _events(caplog)
+        assert event["event"] == "rebuild_stall"
+        assert event["name"] == "demo"
+        assert event["kind"] == "background_rebuild"
+        assert event["elapsed_seconds"] >= 0.05
+        # Late completion clears the stalled listing; the trip stays.
+        token.done()
+        snap = detector.snapshot()
+        assert snap["active"] == 0
+        assert snap["stalled"] == []
+        assert snap["trips"] == 1
+
+    def test_completion_before_deadline_disarms(self, caplog):
+        detector = StallDetector(deadline_seconds=0.10)
+        with caplog.at_level(logging.INFO, logger="repro.obs.events"):
+            token = detector.watch("quick")
+            token.done()
+            time.sleep(0.20)
+        snap = detector.snapshot()
+        assert snap["trips"] == 0
+        assert snap["watched_total"] == 1
+        assert caplog.records == []
+
+    def test_zero_deadline_disables(self):
+        detector = StallDetector(deadline_seconds=0.0)
+        token = detector.watch("demo")
+        token.done()  # the shared no-op token: nothing to cancel
+        assert detector.snapshot()["watched_total"] == 0
+
+
+class TestLockWaitWatchdog:
+    def test_contended_wait_is_counted(self):
+        watchdog = LockWaitWatchdog(threshold_ms=20.0)
+        from repro.obs.watchdog import _WaitTimedLock
+
+        lock = _WaitTimedLock(threading.Lock(), watchdog)
+        release = threading.Event()
+
+        def holder():
+            with lock:
+                release.wait()
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        while not lock.locked():
+            time.sleep(0.001)
+        timer = threading.Timer(0.08, release.set)
+        timer.start()
+        with lock:
+            pass
+        thread.join()
+        snap = watchdog.snapshot()
+        # The wait happened outside any declared lock site, so it is
+        # counted as unattributed rather than reported as a trip.
+        assert snap["unattributed"] == 1
+        assert snap["trips"] == 0
+
+    def test_uncontended_acquire_records_nothing(self):
+        watchdog = LockWaitWatchdog(threshold_ms=1.0)
+        from repro.obs.watchdog import _WaitTimedLock
+
+        lock = _WaitTimedLock(threading.Lock(), watchdog)
+        with lock:
+            pass
+        snap = watchdog.snapshot()
+        assert snap["trips"] == 0
+        assert snap["unattributed"] == 0
+
+    def test_install_patches_and_uninstall_restores(self):
+        original_lock = threading.Lock
+        original_rlock = threading.RLock
+        watchdog = LockWaitWatchdog(threshold_ms=50.0)
+        try:
+            watchdog.install()
+            assert threading.Lock is not original_lock
+            lock = threading.Lock()
+            with lock:  # the proxy still behaves like a lock
+                assert lock.locked()
+            assert not lock.locked()
+        finally:
+            watchdog.uninstall()
+        assert threading.Lock is original_lock
+        assert threading.RLock is original_rlock
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LockWaitWatchdog(threshold_ms=0.0)
+
+    def test_install_lock_wait_zero_is_disabled(self):
+        assert install_lock_wait(0.0) is None
+        uninstall_lock_wait()  # idempotent when nothing installed
+
+
+class TestWorkspaceIntegration:
+    def test_workspace_wires_configured_deadline(self):
+        from repro.obs.config import ObsConfig
+        from repro.service import Workspace
+
+        workspace = Workspace(obs=ObsConfig(rebuild_deadline_s=7.5))
+        try:
+            watchdogs = workspace.debug_info()["watchdogs"]
+            assert watchdogs["rebuild_stall"]["deadline_seconds"] == 7.5
+            assert "lock_wait" not in watchdogs  # opt-in, default off
+        finally:
+            workspace.close()
+
+    def test_background_rebuild_is_watched_and_completes(self):
+        from repro.data.datasets import make_mixed_table
+        from repro.ingest.maintenance import IngestConfig
+        from repro.service import Workspace
+
+        table = make_mixed_table(n_rows=300, n_numeric=2, n_categorical=1,
+                                 seed=5)
+        workspace = Workspace(
+            ingest=IngestConfig(rebuild_fraction=0.01, background_rebuild=True)
+        )
+        try:
+            workspace.register("demo", lambda: table)
+            workspace.engine("demo")  # build: appends can delta-merge
+            rows = make_mixed_table(n_rows=60, n_numeric=2, n_categorical=1,
+                                    seed=6).to_records()
+            workspace.append("demo", rows)
+            assert workspace.wait_for_rebuilds(timeout=30.0)
+            snap = workspace.debug_info()["watchdogs"]["rebuild_stall"]
+            assert snap["watched_total"] >= 1
+            assert snap["active"] == 0
+            assert snap["trips"] == 0
+        finally:
+            workspace.close()

@@ -1,0 +1,192 @@
+"""The ``/v1/debug`` surface over real sockets.
+
+Shape of the debug document, the ``debug=true`` per-request cost echo
+(and its cache-key neutrality), the ``since_ms`` trace cursor, and the
+Prometheus exposition of every resource-accounting series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.datasets import make_mixed_table
+from repro.server import (
+    ReproClient,
+    ServerConfig,
+    ServerResponseError,
+    serving,
+)
+from repro.service import InsightRequest, Workspace
+
+
+@pytest.fixture(scope="module")
+def table():
+    return make_mixed_table(n_rows=300, n_numeric=4, n_categorical=2, seed=23)
+
+
+@pytest.fixture()
+def workspace(table):
+    workspace = Workspace()
+    workspace.register("demo", lambda: table)
+    return workspace
+
+
+def _request(top_k: int = 3) -> InsightRequest:
+    return InsightRequest(dataset="demo", insight_classes=("skew", "outliers"),
+                          top_k=top_k)
+
+
+class TestDebugEndpoint:
+    def test_document_shape(self, workspace):
+        config = ServerConfig(port=0, coalesce_window=0.0)
+        with serving(workspace, config) as handle:
+            with ReproClient(*handle.address) as client:
+                client.insights(_request())
+                document = client.debug()
+        assert document["protocol"] == 1
+        assert document["resources_enabled"] is True
+        memory = document["memory"]
+        assert {"table", "sketches"} <= set(memory["components"])
+        assert "result_cache" in memory["components"]
+        assert "trace_ring" in memory["components"]
+        assert memory["datasets"]["demo"]["table"] > 0
+        assert memory["total_bytes"] == sum(memory["components"].values())
+        costs = document["costs"]
+        assert costs["requests_total"] >= 1
+        assert costs["datasets"]["demo"]["requests"] >= 1
+        assert costs["classes"]["skew"]["requests"] >= 1
+        assert costs["totals"]["rows_scanned"] > 0
+        assert costs["cpu_seconds_histogram"]["count"] >= 1
+        assert "top_requests" in costs
+        watchdogs = document["watchdogs"]
+        assert "event_loop_lag" in watchdogs
+        assert "rebuild_stall" in watchdogs
+        assert watchdogs["rebuild_stall"]["trips"] == 0
+
+    def test_top_k_override_and_validation(self, workspace):
+        config = ServerConfig(port=0, coalesce_window=0.0)
+        with serving(workspace, config) as handle:
+            with ReproClient(*handle.address) as client:
+                for top_k in (2, 3, 4):
+                    client.insights(_request(top_k=top_k))
+                document = client.debug(top_k=1)
+                assert len(document["costs"]["top_requests"]) == 1
+                with pytest.raises(ServerResponseError) as exc_info:
+                    client.debug(top_k="nope")  # type: ignore[arg-type]
+                assert exc_info.value.status == 400
+
+    def test_top_requests_carry_trace_ids(self, workspace):
+        config = ServerConfig(port=0, coalesce_window=0.0)
+        with serving(workspace, config) as handle:
+            with ReproClient(*handle.address) as client:
+                client.insights(_request())
+                document = client.debug()
+                top = document["costs"]["top_requests"]
+                assert top, "expected at least one recorded request"
+                entry = top[0]
+                assert entry["datasets"] == ["demo"]
+                # The trace id is a join key into /v1/traces/{id}.
+                trace = client.trace(entry["trace_id"])
+                assert trace["name"] == "request"
+
+
+class TestDebugCostEcho:
+    def test_debug_flag_echoes_cost_in_provenance(self, workspace):
+        config = ServerConfig(port=0, coalesce_window=0.0)
+        with serving(workspace, config) as handle:
+            with ReproClient(*handle.address) as client:
+                plain = client.insights(_request())
+                assert "cost" not in plain.provenance
+                debugged = client.insights(_request(), debug=True)
+                cost = debugged.provenance["cost"]
+                assert cost["rows_scanned"] >= 0
+                assert cost["cpu_seconds"] >= 0.0
+                assert cost["wall_seconds"] > 0.0
+                for counter in ("candidates_enumerated", "sketch_probes",
+                                "cache_hits", "cache_misses"):
+                    assert counter in cost
+
+    def test_debug_requests_share_cache_with_plain_twins(self, workspace):
+        config = ServerConfig(port=0, coalesce_window=0.0)
+        with serving(workspace, config) as handle:
+            with ReproClient(*handle.address) as client:
+                plain = client.insights(_request())
+                hits_before = workspace.cache_info()["hits"]
+                debugged = client.insights(_request(), debug=True)
+                assert workspace.cache_info()["hits"] == hits_before + 1
+                assert debugged.provenance["cost"]["cache_hits"] == 1
+        # The cached payload is identical; only the echo differs.
+        assert plain.carousels == debugged.carousels
+        assert debugged.provenance["cache"] == "hit"
+
+
+class TestTraceCursor:
+    def test_since_ms_filters_old_traces(self, workspace):
+        config = ServerConfig(port=0, coalesce_window=0.0)
+        with serving(workspace, config) as handle:
+            with ReproClient(*handle.address) as client:
+                client.insights(_request())
+                everything = client.traces(dataset="demo")["traces"]
+                assert everything
+                newest_ms = max(t["start_unix"] for t in everything) * 1000.0
+                # The cursor excludes everything at or before it (the
+                # /v1/traces GETs themselves touch no dataset)...
+                assert client.traces(dataset="demo",
+                                     since_ms=newest_ms)["traces"] == []
+                # ...and since the epoch keeps the full listing.
+                assert len(client.traces(dataset="demo",
+                                         since_ms=0)["traces"]) == len(
+                    everything)
+                with pytest.raises(ServerResponseError) as exc_info:
+                    client.request_raw("GET", "/v1/traces?since_ms=nope")
+                    raise ServerResponseError(
+                        400, {})  # pragma: no cover - raw never raises
+                assert exc_info.value.status == 400
+
+
+class TestPrometheusExposition:
+    SERIES = (
+        "repro_memory_bytes{component=",
+        "repro_memory_total_bytes",
+        "repro_dataset_memory_bytes{dataset=\"demo\",component=",
+        "repro_request_cpu_seconds_bucket",
+        "repro_request_cpu_seconds_sum",
+        "repro_request_cpu_seconds_count",
+        "repro_cost_requests_total",
+        "repro_request_cost_total{counter=\"rows_scanned\"}",
+        "repro_class_requests_total{class=\"skew\"}",
+        "repro_class_window_cpu_seconds{class=\"skew\"}",
+        "repro_dataset_requests_total{dataset=\"demo\"}",
+        "repro_dataset_window_cpu_seconds{dataset=\"demo\"}",
+        "repro_event_loop_lag_seconds",
+        "repro_event_loop_lag_max_seconds",
+        "repro_watchdog_trips_total{watchdog=\"event_loop_lag\"}",
+        "repro_watchdog_trips_total{watchdog=\"rebuild_stall\"}",
+        "repro_tracing_ring_evictions_total",
+        "repro_tracing_ring_bytes",
+    )
+
+    def test_every_new_series_is_exposed(self, workspace):
+        config = ServerConfig(port=0, coalesce_window=0.0)
+        with serving(workspace, config) as handle:
+            with ReproClient(*handle.address) as client:
+                client.insights(_request())
+                text = client.metrics_text()
+        for series in self.SERIES:
+            assert series in text, f"missing series: {series}"
+
+    def test_json_metrics_carry_the_resources_section(self, workspace):
+        config = ServerConfig(port=0, coalesce_window=0.0)
+        with serving(workspace, config) as handle:
+            with ReproClient(*handle.address) as client:
+                client.insights(_request())
+                document = client.metrics()
+        resources = document["resources"]
+        assert resources["memory"]["total_bytes"] > 0
+        assert resources["costs"]["requests_total"] >= 1
+        assert "event_loop_lag" in resources["watchdogs"]
+        # /metrics embeds no top-K listing (that's /v1/debug's job).
+        assert "top_requests" not in resources["costs"]
+        tracing = document["obs"]["tracing"]
+        assert "ring_evictions" in tracing
+        assert "ring_bytes" in tracing

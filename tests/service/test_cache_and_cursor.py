@@ -13,9 +13,25 @@ class TestResultCache:
         assert cache.get(key) is None
         cache.put(key, "value")
         assert cache.get(key) == "value"
-        assert cache.info() == {"capacity": 4, "size": 1, "hits": 1,
-                                "misses": 1, "evictions": 0,
-                                "invalidations": 0}
+        info = cache.info()
+        assert info["bytes"] > 0
+        del info["bytes"]
+        assert info == {"capacity": 4, "size": 1, "hits": 1,
+                        "misses": 1, "evictions": 0,
+                        "invalidations": 0}
+
+    def test_byte_accounting_tracks_inserts_and_evictions(self):
+        cache = ResultCache(capacity=2)
+        cache.put(("a", 1, "q1"), {"x": "payload-one"})
+        one = cache.info()["bytes"]
+        assert one > 0
+        cache.put(("b", 1, "q2"), {"x": "payload-two"})
+        two = cache.info()["bytes"]
+        assert two > one
+        cache.put(("c", 1, "q3"), {"x": "payload-three"})  # evicts q1
+        assert cache.info()["size"] == 2
+        cache.invalidate()
+        assert cache.info()["bytes"] == 0
 
     def test_lru_eviction_order(self):
         cache = ResultCache(capacity=2)
