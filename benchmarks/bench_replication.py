@@ -1,0 +1,277 @@
+"""REPLICATION — journal-fed read replicas benchmark (ISSUE 10).
+
+Measures the two numbers that price the replication subsystem:
+
+1. **read throughput vs replica count** — queries/sec served by a
+   fixed reader pool against the primary alone, then with the same
+   reads spread round-robin over N journal-fed replicas: the scaling
+   story replicas exist for (on a single-core CI box the scaling is a
+   WARN, not a FAIL — the replicas contend for the same core);
+2. **replication lag under sustained appends** — an appender hammers
+   the primary while a tailing replica syncs on an interval; reports
+   the observed lag distribution (in journal records) and the time to
+   fully drain once the appender stops.  The replica must end
+   byte-identical to a restarted primary — that part is a FAIL, not a
+   WARN.
+
+Emits ``BENCH_replication.json`` (working directory, overridable via
+``BENCH_REPLICATION_JSON``) for CI archiving.  Exits non-zero on
+correctness problems — divergent replica payloads, lag that never
+drains — and only *warns* on perf expectations.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_replication.py
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import InsightRequest, Workspace  # noqa: E402
+from repro.data.datasets import make_mixed_table  # noqa: E402
+from repro.ingest import IngestConfig  # noqa: E402
+from repro.service import LocalFeedSource, ReplicaWorkspace  # noqa: E402
+from repro.viz.ascii import render_table  # noqa: E402
+from bench_util import percentile  # noqa: E402
+
+BASE_ROWS = 4_000
+N_COLUMNS = 6
+CLASSES = ("skew", "outliers")
+REPLICA_COUNTS = (0, 1, 2)
+READER_THREADS = 4
+READ_WINDOW_S = 1.5
+LAG_APPENDS = 40
+LAG_BATCH_ROWS = 25
+LAG_POLL_S = 0.02
+DRAIN_TIMEOUT_S = 30.0
+
+
+def _base_table():
+    return make_mixed_table(n_rows=BASE_ROWS, n_numeric=N_COLUMNS,
+                            n_categorical=2, seed=23)
+
+
+def _rows(n: int):
+    return make_mixed_table(n_rows=n, n_numeric=N_COLUMNS, n_categorical=2,
+                            seed=24).to_records()
+
+
+def _request():
+    return InsightRequest(dataset="bench", insight_classes=CLASSES, top_k=3,
+                          mode="approximate")
+
+
+def _payload(response) -> str:
+    body = response.to_dict()
+    body.pop("timing")
+    return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+
+def _primary(data_dir: str) -> Workspace:
+    workspace = Workspace(
+        data_dir=data_dir,
+        ingest=IngestConfig(rebuild_fraction=float("inf")))
+    # Concrete registration journals the base rows: self-contained
+    # durable state, the precondition for loader-less replicas.
+    workspace.register("bench", _base_table())
+    return workspace
+
+
+# ---------------------------------------------------------------------------
+# 1: read throughput vs replica count
+# ---------------------------------------------------------------------------
+def _read_throughput(n_replicas: int, failures: list[str]) -> dict:
+    request = _request()
+    with tempfile.TemporaryDirectory() as data_dir:
+        primary = _primary(data_dir)
+        primary.append("bench", _rows(100))
+        replicas = []
+        for _ in range(n_replicas):
+            replica = ReplicaWorkspace(LocalFeedSource(data_dir))
+            replica.sync()
+            replicas.append(replica)
+        # Every backend must answer with the same bytes before it is
+        # allowed into the rotation (the whole point of replication).
+        reference = _payload(primary.handle(request))
+        for index, replica in enumerate(replicas):
+            if _payload(replica.handle(request)) != reference:
+                failures.append(f"replica {index} diverged from the primary")
+        targets = [primary, *replicas]
+        rotation = itertools.count()
+        counts = [0] * READER_THREADS
+        stop = threading.Event()
+
+        def reader(slot: int) -> None:
+            try:
+                while not stop.is_set():
+                    target = targets[next(rotation) % len(targets)]
+                    # Invalidate so every query runs the real pipeline
+                    # instead of the per-workspace result cache.
+                    target.invalidate("bench")
+                    target.handle(request)
+                    counts[slot] += 1
+            except Exception as exc:  # noqa: BLE001 - fails the benchmark
+                failures.append(f"{type(exc).__name__}: {exc}")
+
+        threads = [threading.Thread(target=reader, args=(slot,))
+                   for slot in range(READER_THREADS)]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        time.sleep(READ_WINDOW_S)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        for replica in replicas:
+            replica.close()
+        primary.close()
+    total = sum(counts)
+    return {
+        "replicas": n_replicas,
+        "readers": READER_THREADS,
+        "queries": total,
+        "queries_per_sec": total / elapsed if elapsed else float("inf"),
+        "elapsed_seconds": elapsed,
+    }
+
+
+# ---------------------------------------------------------------------------
+# 2: replication lag under sustained appends
+# ---------------------------------------------------------------------------
+def _lag_under_appends(failures: list[str]) -> dict:
+    rows = _rows(LAG_APPENDS * LAG_BATCH_ROWS)
+    with tempfile.TemporaryDirectory() as data_dir:
+        primary = _primary(data_dir)
+        replica = ReplicaWorkspace(LocalFeedSource(data_dir))
+        replica.sync()
+        replica.start_tailing(interval=LAG_POLL_S)
+        lags: list[int] = []
+        appender_done = threading.Event()
+
+        def sampler() -> None:
+            while not appender_done.is_set():
+                lags.append(replica.replica_lag().get("bench", 0))
+                time.sleep(LAG_POLL_S)
+
+        watcher = threading.Thread(target=sampler)
+        watcher.start()
+        append_started = time.perf_counter()
+        for i in range(LAG_APPENDS):
+            primary.append("bench",
+                           rows[i * LAG_BATCH_ROWS:(i + 1) * LAG_BATCH_ROWS])
+        append_seconds = time.perf_counter() - append_started
+        appender_done.set()
+        watcher.join()
+
+        # Drain: the replica must fully catch up once appends stop.
+        drain_started = time.perf_counter()
+        deadline = drain_started + DRAIN_TIMEOUT_S
+        target_state = primary.state("bench")
+        while time.perf_counter() < deadline:
+            if (replica.replica_lag().get("bench") == 0
+                    and replica.state("bench") == target_state):
+                break
+            time.sleep(LAG_POLL_S)
+        drain_seconds = time.perf_counter() - drain_started
+        replica.stop_tailing()
+        if replica.state("bench") != target_state:
+            failures.append(
+                f"replica never drained: {replica.state('bench')} != "
+                f"{target_state} after {DRAIN_TIMEOUT_S}s")
+        else:
+            # Byte-identity at the drained position, against a restarted
+            # primary replaying the same journal.
+            restarted = Workspace(
+                data_dir=data_dir,
+                ingest=IngestConfig(rebuild_fraction=float("inf")))
+            if _payload(replica.handle(_request())) != \
+                    _payload(restarted.handle(_request())):
+                failures.append("drained replica payload differs from a "
+                                "restarted primary")
+            restarted.close()
+        stats = replica.ingest_stats()["replica"]["datasets"].get("bench", {})
+        replica.close()
+        primary.close()
+    return {
+        "appends": LAG_APPENDS,
+        "rows_per_append": LAG_BATCH_ROWS,
+        "append_seconds": append_seconds,
+        "drain_seconds": drain_seconds,
+        "applied_records": stats.get("applied_records", 0),
+        "resets": stats.get("resets", 0),
+        "lag_samples": len(lags),
+        "lag_p50": percentile([float(lag) for lag in lags], 0.50) if lags
+        else 0.0,
+        "lag_p95": percentile([float(lag) for lag in lags], 0.95) if lags
+        else 0.0,
+        "lag_max": max(lags) if lags else 0,
+    }
+
+
+def main() -> int:
+    ok = True
+    results: dict[str, object] = {}
+    failures: list[str] = []
+
+    # -- 1: read throughput vs replica count --------------------------------
+    scaling = [_read_throughput(count, failures)
+               for count in REPLICA_COUNTS]
+    results["read_scaling"] = scaling
+    print("Read throughput vs replica count "
+          f"({READER_THREADS} reader threads)")
+    print(render_table([
+        {"replicas": str(entry["replicas"]),
+         "queries": str(entry["queries"]),
+         "queries/sec": f"{entry['queries_per_sec']:.1f}"}
+        for entry in scaling
+    ]))
+    best = max(entry["queries_per_sec"] for entry in scaling[1:])
+    baseline = scaling[0]["queries_per_sec"]
+    if best < baseline:
+        print(f"WARN: replicas did not add read throughput "
+              f"({best:.1f} <= {baseline:.1f} q/s); expected on a "
+              "single-core box where every workspace shares the CPU",
+              file=sys.stderr)
+
+    # -- 2: bounded lag under sustained appends ------------------------------
+    lag = _lag_under_appends(failures)
+    results["lag_under_appends"] = lag
+    print("\nReplication lag under sustained appends")
+    print(render_table([{
+        "appends": str(lag["appends"]),
+        "applied": str(lag["applied_records"]),
+        "lag p50": f"{lag['lag_p50']:.0f}",
+        "lag p95": f"{lag['lag_p95']:.0f}",
+        "lag max": str(lag["lag_max"]),
+        "drain s": f"{lag['drain_seconds']:.2f}",
+    }]))
+    if lag["lag_max"] > LAG_APPENDS:
+        print(f"WARN: peak lag {lag['lag_max']} exceeded the whole append "
+              f"run ({LAG_APPENDS} records)", file=sys.stderr)
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        ok = False
+
+    results["failures"] = failures
+    target = os.environ.get("BENCH_REPLICATION_JSON",
+                            "BENCH_replication.json")
+    Path(target).write_text(json.dumps(results, indent=2, sort_keys=True))
+    print(f"\nwrote {target}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,10 +7,17 @@ as ``import bench_util``.
 
 from __future__ import annotations
 
+import math
+
 
 def percentile(values: list[float], q: float) -> float:
     """Nearest-rank percentile of ``values`` (one implementation for every
-    BENCH_*.json, so p50/p95 are computed identically across benchmarks)."""
+    BENCH_*.json, so p50/p95 are computed identically across benchmarks).
+
+    Uses the ceil-based nearest-rank definition: the smallest value with
+    at least ``q`` of the mass at or below it.  ``round()`` would banker's-
+    round ``.5`` ranks down to even and bias p50/p95 low on small samples.
+    """
     ordered = sorted(values)
-    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    index = min(len(ordered) - 1, max(0, math.ceil(q * (len(ordered) - 1))))
     return ordered[index]

@@ -17,11 +17,13 @@ strictly greater than L (or re-enter the same reentrant lock):
 ====================  =====  ==========================================
 role                  level  lock
 ====================  =====  ==========================================
+``replica.sync``        5    ``ReplicaWorkspace._sync_lock`` sync pass
 ``workspace.entry``    10    per-dataset ``_DatasetEntry.lock`` (RLock)
 ``workspace.registry`` 20    ``Workspace._lock`` registry (RLock)
 ``workspace.stats``    30    ``Workspace._stats_lock`` counter leaf
 ``cache.lock``         30    ``ResultCache._lock`` leaf
 ``executor.lock``      30    ``ParallelExecutor._lock`` pool leaf
+``executor.process``   30    ``ProcessExecutor._lock`` pool leaf
 ``metrics.lock``       30    ``ServerMetrics._lock`` counter leaf
 ``journal.commit``     30    ``_CommitPipeline.cond`` group-commit leaf
 ``obs.trace``          30    ``Tracer._drain_lock`` trace-ring leaf
@@ -31,6 +33,10 @@ role                  level  lock
 ``obs.stall``          30    ``StallDetector._lock`` watchdog leaf
 ``obs.lock_wait``      30    ``LockWaitWatchdog._lock`` watchdog leaf
 ====================  =====  ==========================================
+
+``replica.sync`` sits *below* the entry lock: a replica's sync pass
+serialises whole apply passes and takes entry/registry locks inside
+them, never the reverse.
 
 ``entry < registry`` matches the hot paths: ``_locked_entry`` holders
 call back into the registry (``_entry``/``_next_version``) while the
@@ -117,6 +123,7 @@ class ProjectConfig:
 DEFAULT_CONFIG = ProjectConfig(
     lock_modules=(
         "service/workspace.py",
+        "service/replica.py",
         "service/cache.py",
         "core/executor.py",
         "server/metrics.py",
@@ -130,8 +137,16 @@ DEFAULT_CONFIG = ProjectConfig(
         LockSpec("workspace.entry", 10, "service/workspace.py", "_DatasetEntry", "lock", reentrant=True),
         LockSpec("workspace.registry", 20, "service/workspace.py", "Workspace", "_lock", reentrant=True),
         LockSpec("workspace.stats", 30, "service/workspace.py", "Workspace", "_stats_lock"),
+        # The replica's sync serialiser wraps entry/registry work, so it
+        # sits below them; the duplicate entry/registry specs teach the
+        # checker that replica.py's ``self._lock`` / ``entry.lock`` uses
+        # are the same inherited Workspace locks, not new ones.
+        LockSpec("replica.sync", 5, "service/replica.py", "ReplicaWorkspace", "_sync_lock"),
+        LockSpec("workspace.registry", 20, "service/replica.py", "ReplicaWorkspace", "_lock", reentrant=True),
+        LockSpec("workspace.entry", 10, "service/replica.py", "_DatasetEntry", "lock", reentrant=True),
         LockSpec("cache.lock", 30, "service/cache.py", "ResultCache", "_lock", reentrant=True),
         LockSpec("executor.lock", 30, "core/executor.py", "ParallelExecutor", "_lock"),
+        LockSpec("executor.process", 30, "core/executor.py", "ProcessExecutor", "_lock"),
         LockSpec("metrics.lock", 30, "server/metrics.py", "ServerMetrics", "_lock"),
         # The group-commit condition: taken under workspace.entry on the
         # journal write paths, bare during off-lock ticket waits; never
@@ -195,7 +210,8 @@ DEFAULT_CONFIG = ProjectConfig(
         "reverse",
     ),
     determinism_scopes=("repro/core/", "repro/stats/", "repro/sketch/"),
-    durability_scopes=("repro/ingest/", "repro/service/", "repro/server/"),
+    durability_scopes=("repro/ingest/", "repro/service/", "repro/server/",
+                       "repro/replication/"),
     durability_owner="ingest/durable.py",
     journal_attrs=("_journal",),
     journal_write_methods=(

@@ -115,6 +115,25 @@ class DeltaValidationError(IngestError):
         )
 
 
+class ReplicaReadOnlyError(ServiceError):
+    """A write was attempted on a read-replica workspace.
+
+    Replicas apply the primary's journal stream verbatim; a local write
+    would fork their history from the primary's.  Transports map this to
+    HTTP 403 so clients can distinguish "wrong node" from a protocol
+    error and re-route the write to the primary (or promote first).
+    """
+
+    def __init__(self, operation: str, dataset: str | None = None):
+        self.operation = operation
+        self.dataset = dataset
+        target = f" on dataset {dataset!r}" if dataset else ""
+        super().__init__(
+            f"workspace is a read replica: {operation}{target} must go to "
+            "the primary (or promote this replica first)"
+        )
+
+
 class ServerError(ServiceError):
     """Base class for errors raised by the HTTP server layer."""
 

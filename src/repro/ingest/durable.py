@@ -893,6 +893,15 @@ class DatasetJournal:
             if usage is None:
                 usage = self._rescan_disk(name)
             return dict(usage)
+        # The totals path must count recovered-but-untouched datasets
+        # too: right after a restart nothing has been appended yet, so
+        # ``self._disk`` is empty and /v1/debug + Prometheus would read
+        # 0 disk bytes until first access.  Scan the directory listing
+        # for unseen datasets (a one-time cost per dataset; the usage
+        # row is cached afterwards).
+        for unseen in self.dataset_names():
+            if unseen not in self._disk:
+                self._rescan_disk(unseen)
         totals = {"journal_bytes": 0, "snapshot_bytes": 0}
         for usage in self._disk.values():
             totals["journal_bytes"] += usage["journal_bytes"]
@@ -1191,6 +1200,106 @@ def replay_counters(state: DurableState) -> IngestLog:
     return log
 
 
+class ReplayMachine:
+    """Applies journal records to live ``(table, engine, log)`` state.
+
+    This is :func:`replay_state`'s record loop factored into an object
+    that can be fed records *incrementally* — restart replay constructs
+    one and drains a loaded :class:`DurableState` through it; a
+    replication replica constructs one over its materialised state and
+    feeds it records as they stream in from the primary.  Both paths run
+    the exact same code, which is what makes a tailing replica
+    byte-identical to a restarted primary at the same ``(version, seq)``.
+
+    ``engine`` may start ``None``: the first record that needs sketches
+    (a delta-merge append, or a build marker) triggers a deterministic
+    cold build over the pre-append table, exactly as replay does.
+    """
+
+    __slots__ = ("dataset", "table", "engine", "log", "make_engine",
+                 "engine_builds")
+
+    def __init__(
+        self,
+        dataset: str,
+        table: DataTable,
+        log: IngestLog,
+        make_engine: Callable[[DataTable], Foresight],
+        engine: Foresight | None = None,
+    ):
+        self.dataset = dataset
+        self.table = table
+        self.engine = engine
+        self.log = log
+        self.make_engine = make_engine
+        self.engine_builds = 0
+
+    def apply(self, record: dict[str, Any]) -> None:
+        """Fold one journal record into the state (mutates in place)."""
+        kind = record["type"]
+        if kind == RECORD_APPEND:
+            batch = DeltaBatch.from_records(
+                self.dataset, record["rows"], self.table.schema
+            )
+            new_table = self.table.concat(batch.table)
+            applied = record["applied"]
+            if applied == APPLIED_DELTA_MERGE:
+                if self.engine is None:
+                    # The engine existed live (a cold build at seq 0
+                    # needs no marker) — rebuild it over the same rows.
+                    self.engine = self.make_engine(self.table)
+                    self.engine_builds += 1
+                    self.log.mark_rebuilt(self.table.n_rows)
+                store = self.engine.store
+                if store is None:  # pragma: no cover - defensive
+                    raise IngestError(
+                        f"journal for {self.dataset!r} delta-merges into "
+                        "an exact-mode engine"
+                    )
+                partials = build_delta_partials(
+                    batch.table, store, self.engine.executor
+                )
+                new_store = merge_delta(
+                    store, new_table, batch.n_rows, partials
+                )
+                self.engine = Foresight(
+                    new_table,
+                    registry=self.engine.registry,
+                    config=self.engine.config,
+                    preprocess=False,
+                    store=new_store,
+                    executor=self.engine.executor,
+                )
+            elif applied == APPLIED_REBUILD:
+                self.engine = self.make_engine(new_table)
+                self.engine_builds += 1
+            # APPLIED_DEFERRED: rows extend the table; the engine (if it
+            # was an exact-mode swap live) rebuilds lazily over the same
+            # rows, which is byte-identical for exact mode.
+            self.table = new_table
+            self.log.append(batch.n_rows, applied, self.table.n_rows,
+                            timestamp=record.get("ts"))
+        elif kind == RECORD_BUILD:
+            if self.engine is None:
+                self.engine = self.make_engine(self.table)
+                self.engine_builds += 1
+            self.log.mark_rebuilt(self.table.n_rows)
+        elif kind == RECORD_SWAP:
+            base_rows = int(record["built_from_rows"])
+            prefix = (
+                self.table if base_rows >= self.table.n_rows
+                else self.table.take(np.arange(base_rows))
+            )
+            self.engine = rebuild_with_catchup(
+                self.table, prefix, self.make_engine
+            )
+            self.engine_builds += 1
+            self.log.record_swap(
+                max(0, self.table.n_rows - base_rows), base_rows,
+                self.table.n_rows, timestamp=record.get("ts"),
+            )
+
+
 def replay_state(
     dataset: str,
     state: DurableState,
@@ -1229,84 +1338,231 @@ def replay_state(
         loads = 1
         log = IngestLog()
 
+    machine = ReplayMachine(dataset, table, log, make_engine, engine=engine)
     for record in state.records:
-        kind = record["type"]
-        if kind == RECORD_APPEND:
-            batch = DeltaBatch.from_records(
-                dataset, record["rows"], table.schema
-            )
-            new_table = table.concat(batch.table)
-            applied = record["applied"]
-            if applied == APPLIED_DELTA_MERGE:
-                if engine is None:
-                    # The engine existed live (a cold build at seq 0
-                    # needs no marker) — rebuild it over the same rows.
-                    engine = make_engine(table)
-                    builds += 1
-                    log.mark_rebuilt(table.n_rows)
-                store = engine.store
-                if store is None:  # pragma: no cover - defensive
-                    raise IngestError(
-                        f"journal for {dataset!r} delta-merges into an "
-                        "exact-mode engine"
-                    )
-                partials = build_delta_partials(
-                    batch.table, store, engine.executor
-                )
-                new_store = merge_delta(
-                    store, new_table, batch.n_rows, partials
-                )
-                engine = Foresight(
-                    new_table,
-                    registry=engine.registry,
-                    config=engine.config,
-                    preprocess=False,
-                    store=new_store,
-                    executor=engine.executor,
-                )
-            elif applied == APPLIED_REBUILD:
-                engine = make_engine(new_table)
-                builds += 1
-            # APPLIED_DEFERRED: rows extend the table; the engine (if it
-            # was an exact-mode swap live) rebuilds lazily over the same
-            # rows, which is byte-identical for exact mode.
-            table = new_table
-            log.append(batch.n_rows, applied, table.n_rows,
-                       timestamp=record.get("ts"))
-        elif kind == RECORD_BUILD:
-            if engine is None:
-                engine = make_engine(table)
-                builds += 1
-            log.mark_rebuilt(table.n_rows)
-        elif kind == RECORD_SWAP:
-            base_rows = int(record["built_from_rows"])
-            prefix = (
-                table if base_rows >= table.n_rows
-                else table.take(np.arange(base_rows))
-            )
-            engine = rebuild_with_catchup(table, prefix, make_engine)
-            builds += 1
-            log.record_swap(
-                max(0, table.n_rows - base_rows), base_rows, table.n_rows,
-                timestamp=record.get("ts"),
-            )
+        machine.apply(record)
     return ReplayOutcome(
-        table=table, engine=engine, log=log,
-        engine_builds=builds, loads=loads,
+        table=machine.table, engine=machine.engine, log=machine.log,
+        engine_builds=builds + machine.engine_builds, loads=loads,
     )
+
+
+# ---------------------------------------------------------------------------
+# Replication feed
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class FeedPosition:
+    """A replica's cursor into one dataset's journal: ``(version, seq)``.
+
+    The token form ``"<version>:<seq>"`` travels in the
+    ``?from=`` query parameter of the HTTP journal endpoint.
+    """
+
+    version: int
+    seq: int
+
+    def token(self) -> str:
+        return f"{self.version}:{self.seq}"
+
+    @classmethod
+    def parse(cls, token: str) -> "FeedPosition":
+        version_text, sep, seq_text = token.partition(":")
+        if not sep:
+            raise ValueError(
+                f"feed position must be '<version>:<seq>', got {token!r}"
+            )
+        return cls(version=int(version_text), seq=int(seq_text))
+
+
+@dataclass
+class FeedBatch:
+    """One :meth:`JournalFeed.poll` answer.
+
+    Either a **reset** (``reset`` holds a full :class:`DurableState` the
+    replica must bootstrap from — late join, generation change, or a
+    cursor the journal can no longer serve incrementally) or an
+    **incremental** batch (``records`` are contiguous journal records
+    strictly after the polled position).  ``position`` is the cursor
+    after applying the batch; ``primary_seq`` is the primary's durable
+    tip at scan time, so ``primary_seq - position.seq`` is the replica's
+    remaining lag; ``more`` says the batch was cut at ``max_records``
+    and another poll will make immediate progress.
+    """
+
+    dataset: str
+    reset: DurableState | None
+    records: list[dict[str, Any]]
+    position: FeedPosition
+    more: bool
+    primary_seq: int
+
+
+def durable_state_to_payload(state: DurableState) -> dict[str, Any]:
+    """A JSON-safe image of a :class:`DurableState` (for the HTTP feed)."""
+    return {
+        "version": state.version,
+        "snapshot": state.snapshot,
+        "records": list(state.records),
+        "damaged": state.damaged,
+        "engine_config": state.engine_config,
+    }
+
+
+def durable_state_from_payload(payload: dict[str, Any]) -> DurableState:
+    """Rebuild the :class:`DurableState` from
+    :func:`durable_state_to_payload`."""
+    return DurableState(
+        version=int(payload["version"]),
+        snapshot=payload.get("snapshot"),
+        records=list(payload.get("records") or []),
+        damaged=bool(payload.get("damaged", False)),
+        engine_config=payload.get("engine_config"),
+    )
+
+
+class JournalFeed:
+    """A tailable, read-only view of a data directory's journals.
+
+    The primary's WAL *is* the replication stream: the feed serves the
+    same CRC'd records :class:`DatasetJournal` wrote, positioned by a
+    ``(version, seq)`` cursor, with a full :class:`DurableState`
+    bootstrap whenever incremental delivery is impossible — a late
+    joiner (no cursor), a generation change (reload / re-registration
+    bumped the version), compaction that truncated records the cursor
+    still needed, or a cursor *ahead* of the primary's durable tip
+    (the primary lost acknowledged-to-the-feed bytes, e.g. a
+    failure-atomic append truncation raced a poll; the replica must
+    re-anchor rather than diverge).
+
+    The feed is stateless (cursors are caller-owned) and never writes:
+    ``load`` runs with ``repair=False``, so a feed polling a live
+    primary's directory can never race its owner's mutations — the
+    worst case is reading a torn tail, which :func:`scan_records`
+    already treats as "not yet written".
+    """
+
+    def __init__(self, root: str | Path,
+                 journal: DatasetJournal | None = None):
+        self._journal = (journal if journal is not None
+                         else DatasetJournal(root, fsync=False))
+
+    def dataset_names(self) -> list[str]:
+        """Datasets with durable state (what a replica should tail)."""
+        return self._journal.dataset_names()
+
+    def poll(self, name: str, position: FeedPosition | None = None,
+             max_records: int = 512) -> FeedBatch | None:
+        """Records after ``position``, or a bootstrap reset, or ``None``.
+
+        ``None`` means the dataset has no durable state at all (never
+        registered on the primary, or dropped).  Without a ``position``
+        the answer is always a reset.  ``max_records`` bounds one
+        incremental batch; the cut is extended through trailing build
+        markers so a build is never separated from the append at its
+        seq (re-sending it would double-count a rebuild in the
+        replica's counters).
+        """
+        if max_records < 1:
+            raise IngestError(f"max_records must be >= 1, got {max_records}")
+        if position is not None:
+            try:
+                batch = self._incremental(name, position, max_records)
+            except OSError:
+                # Segment deleted mid-read (compaction/rotation race):
+                # fall through to a fresh bootstrap of the new state.
+                batch = None
+            if batch is not None:
+                return batch
+        return self._bootstrap(name)
+
+    def _bootstrap(self, name: str) -> FeedBatch | None:
+        state = self._journal.load(name, repair=False)
+        if state is None:
+            return None
+        return FeedBatch(
+            dataset=name, reset=state, records=[],
+            position=FeedPosition(state.version, state.seq),
+            more=False, primary_seq=state.seq,
+        )
+
+    def _incremental(self, name: str, position: FeedPosition,
+                     max_records: int) -> FeedBatch | None:
+        """An incremental batch after ``position``, or ``None`` for reset."""
+        segments = self._journal._segments(name)
+        if not segments:
+            return None
+        version = max(entry[0] for entry in segments)
+        if version != position.version:
+            return None
+        current = [entry for entry in segments if entry[0] == version]
+        anchor = current[0][1]
+        if position.seq < anchor:
+            # Compaction moved the generation's base past the cursor:
+            # the records between are gone from disk.
+            return None
+        kept: list[dict[str, Any]] = []
+        expected = position.seq
+        tip = anchor
+        for _version, _base_seq, path in current:
+            data = path.read_bytes()
+            segment_records, _clean = decode_records(data)
+            if (not segment_records
+                    or segment_records[0].get("type") != RECORD_GENERATION):
+                return None  # unreadable header: let load() adjudicate
+            for record in segment_records[1:]:
+                kind = record.get("type")
+                if kind in (RECORD_APPEND, RECORD_SWAP):
+                    seq = int(record.get("seq", -1))
+                    tip = max(tip, seq)
+                    if seq <= expected:
+                        continue  # already applied by this replica
+                    if seq != expected + 1:
+                        return None  # gap: replica must re-bootstrap
+                    expected = seq
+                    kept.append(record)
+                elif kind == RECORD_BUILD:
+                    if int(record.get("seq", -1)) > position.seq:
+                        kept.append(record)
+        if position.seq > tip:
+            # The cursor is ahead of everything on disk: the primary
+            # regressed under us — re-anchor via bootstrap.
+            return None
+        cut = len(kept)
+        if cut > max_records:
+            cut = max_records
+            while cut < len(kept) and kept[cut].get("type") == RECORD_BUILD:
+                cut += 1
+        batch_records = kept[:cut]
+        more = cut < len(kept)
+        new_seq = position.seq
+        for record in reversed(batch_records):
+            if record["type"] in (RECORD_APPEND, RECORD_SWAP):
+                new_seq = int(record["seq"])
+                break
+        return FeedBatch(
+            dataset=name, reset=None, records=batch_records,
+            position=FeedPosition(version, new_seq), more=more,
+            primary_seq=tip,
+        )
 
 
 __all__ = [
     "CommitTicket",
     "DatasetJournal",
     "DurableState",
+    "FeedBatch",
+    "FeedPosition",
+    "JournalFeed",
     "MAX_RECORD_BYTES",
     "RECORD_APPEND",
     "RECORD_BUILD",
     "RECORD_GENERATION",
     "RECORD_SWAP",
+    "ReplayMachine",
     "ReplayOutcome",
     "decode_records",
+    "durable_state_from_payload",
+    "durable_state_to_payload",
     "encode_record",
     "engine_config_from_payload",
     "engine_config_to_payload",

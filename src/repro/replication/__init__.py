@@ -1,0 +1,40 @@
+"""Journal-stream replication: primaries, feeds and read replicas.
+
+This package is the façade over the pieces that together scale reads
+past one process:
+
+* :class:`~repro.ingest.durable.JournalFeed` — a tailable, cursor-
+  positioned view of a primary's durable journal (the WAL *is* the
+  replication stream; no second wire format exists);
+* :class:`~repro.service.replica.ReplicaWorkspace` — a read-only
+  workspace applying that stream through the restart-replay code path,
+  byte-identical to a restarted primary at the same ``(version, seq)``;
+* :class:`HttpFeedSource` — the feed tailed over the primary's existing
+  HTTP surface (``GET /v1/datasets/{name}/journal?from=``), used by
+  ``repro-serve --replica-of URL``.
+
+See ``docs/API.md`` (Replication) for topology, staleness semantics
+(``max_lag_seq``) and the promote runbook.
+"""
+
+from repro.ingest.durable import (
+    FeedBatch,
+    FeedPosition,
+    JournalFeed,
+    durable_state_from_payload,
+    durable_state_to_payload,
+)
+from repro.replication.feed import HttpFeedSource
+from repro.service.replica import FeedSource, LocalFeedSource, ReplicaWorkspace
+
+__all__ = [
+    "FeedBatch",
+    "FeedPosition",
+    "FeedSource",
+    "HttpFeedSource",
+    "JournalFeed",
+    "LocalFeedSource",
+    "ReplicaWorkspace",
+    "durable_state_from_payload",
+    "durable_state_to_payload",
+]

@@ -8,11 +8,18 @@ available as a flag (``repro-serve --help``) or a ``REPRO_SERVER_*``
 environment variable; ``--workers`` additionally sets the engines'
 executor width (sharded scoring / parallel preprocessing).
 
+``--replica-of http://host:port`` serves a read replica instead: the
+workspace tails the primary's journal endpoint, refuses writes (403)
+until promoted (``POST /v1/replica:promote``, or automatically after
+``--promote-after`` seconds of an unreachable primary) and stays
+byte-identical to a restarted primary at the same ``(version, seq)``.
+
 Examples::
 
     repro-serve --port 8765
     repro-serve --port 0 --coalesce-window-ms 10 --dataset-quota 4
     REPRO_SERVER_PORT=9000 python -m repro.server --preload
+    repro-serve --port 8766 --replica-of http://127.0.0.1:8765
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ from repro.core.executor import ExecutorConfig
 from repro.data.datasets import load_imdb, load_oecd, load_parkinson
 from repro.ingest.maintenance import IngestConfig
 from repro.obs.config import ObsConfig
+from repro.service.replica import ReplicaWorkspace
 from repro.service.workspace import Workspace
 from repro.server.app import ReproServer
 from repro.server.config import ServerConfig
@@ -84,6 +92,35 @@ def build_workspace(
     return workspace
 
 
+def build_replica_workspace(
+    config: ServerConfig,
+    max_workers: int | None = None,
+) -> ReplicaWorkspace:
+    """A read replica tailing the primary named by ``config.replica_of``.
+
+    The feed source is constructed lazily-tolerant: an unreachable
+    primary at startup is not fatal — the tailer keeps retrying every
+    ``replica_poll_interval`` seconds (and, with ``promote_after`` > 0,
+    eventually promotes).  No datasets are registered locally; the
+    replica's catalogue is whatever the primary's journal carries.
+    """
+    # Imported here, not at module top: repro.replication imports the
+    # client, which nothing else in the serve path needs.
+    from repro.replication.feed import HttpFeedSource
+
+    executor = (
+        ExecutorConfig(max_workers=max_workers)
+        if max_workers is not None else None
+    )
+    source = HttpFeedSource.from_url(config.replica_of)
+    workspace = ReplicaWorkspace(source, executor=executor)
+    workspace.start_tailing(
+        interval=config.replica_poll_interval,
+        promote_after=config.promote_after,
+    )
+    return workspace
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-serve",
@@ -106,6 +143,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     config = ServerConfig.from_args(args)
+    if config.replica_of is not None:
+        workspace = build_replica_workspace(config, max_workers=args.workers)
+        print(f"replicating from {config.replica_of}")
+        ReproServer(workspace, config).run()
+        return 0
     workspace = build_workspace(
         datasets=args.datasets, max_workers=args.workers,
         preload=args.preload, data_dir=config.data_dir,

@@ -22,6 +22,14 @@ datasets went live — a write surface:
 ``POST /v1/datasets/{name}/flush``   force the durable journal to stable
                                      storage; answers ``(version, seq)``
                                      and whether the workspace is durable
+``GET /v1/datasets/{name}/journal``  cursor-positioned replication feed
+                                     poll (``?from=version:seq``,
+                                     ``?max_records=``) — a reset batch
+                                     with full snapshot-state, or the
+                                     journal records past the cursor
+``POST /v1/replica:promote``         lift the write refusal on a
+                                     ``--replica-of`` server (primary
+                                     fail-over; 409 on a primary)
 ``GET /v1/traces``                   recently finished request traces
                                      (``?dataset=``, ``?min_duration_ms=``,
                                      ``?since_ms=``, ``?limit=`` filters)
@@ -65,13 +73,14 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import itertools
 import json
 import math
 import threading
 import time
 import urllib.parse
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Awaitable, Callable, Iterator
+from typing import Any, Awaitable, Callable, Iterator, Sequence
 
 from repro.errors import (
     AdmissionRejected,
@@ -79,6 +88,7 @@ from repro.errors import (
     ForesightError,
     ProtocolError,
     QueryError,
+    ReplicaReadOnlyError,
     ServerError,
     ServiceError,
     UnknownDatasetError,
@@ -86,6 +96,11 @@ from repro.errors import (
 )
 from repro.data.schema import ColumnKind
 from repro.data.table import DataTable
+from repro.ingest.durable import (
+    FeedPosition,
+    JournalFeed,
+    durable_state_to_payload,
+)
 from repro.obs import events as obs_events
 from repro.obs.config import ObsConfig
 from repro.obs.tracer import bind
@@ -104,6 +119,7 @@ from repro.server.metrics import (
 _REASONS = {
     200: "OK",
     400: "Bad Request",
+    403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
     408: "Request Timeout",
@@ -182,10 +198,20 @@ class ReproServer:
         workspace: Workspace,
         config: ServerConfig | None = None,
         loaders: dict[str, Callable[[], DataTable]] | None = None,
+        replicas: Sequence[Workspace] | None = None,
     ):
         self._workspace = workspace
         self.config = config or ServerConfig()
         self.metrics = ServerMetrics()
+        #: In-process read replicas eligible for ``max_lag_seq``-bounded
+        #: routing (each a ReplicaWorkspace tailing this primary's
+        #: journal).  Requests without a staleness bound never touch
+        #: them — the primary is the consistency default.
+        self._replicas: list[Workspace] = list(replicas or [])
+        self._replica_rr = itertools.count()
+        #: Lazy journal feed behind ``GET /v1/datasets/{name}/journal``
+        #: (only durable workspaces can serve one).
+        self._feed: JournalFeed | None = None
         #: Named loaders that ``PUT /v1/datasets/{name}`` may reference
         #: by ``{"loader": "<name>"}`` — loaders cannot travel over the
         #: wire, so the server exposes a registry of the ones it trusts
@@ -231,6 +257,9 @@ class ReproServer:
                 "traces_config", "POST", self._post_traces_config
             ),
             "/v1/debug": ("debug", "GET", self._get_debug),
+            "/v1/replica:promote": (
+                "replica_promote", "POST", self._post_promote
+            ),
             "/healthz": ("healthz", "GET", self._get_healthz),
             "/metrics": ("metrics", "GET", self._get_metrics),
         }
@@ -607,6 +636,7 @@ class ReproServer:
         ``POST /v1/datasets/{name}/rows``         append a DeltaBatch
         ``POST /v1/datasets/{name}/reload``       reload + version bump
         ``POST /v1/datasets/{name}/flush``        sync the journal
+        ``GET  /v1/datasets/{name}/journal``      replication feed poll
         ========================================  =====================
         """
         prefix = "/v1/datasets/"
@@ -628,6 +658,9 @@ class ReproServer:
         elif len(parts) == 2 and parts[1] == "flush":
             endpoint, method = "dataset_flush", "POST"
             handler = lambda req, n=name: self._post_flush(req, n)  # noqa: E731
+        elif len(parts) == 2 and parts[1] == "journal":
+            endpoint, method = "dataset_journal", "GET"
+            handler = lambda req, n=name: self._get_journal(req, n)  # noqa: E731
         else:
             return None
         if request.method != method:
@@ -705,7 +738,14 @@ class ReproServer:
         clock = self.tracer.clock
         admit_started = clock()
         loop = asyncio.get_running_loop()
-        if self._coalescer is not None:
+        # Staleness-bounded reads are eligible for replica routing, and
+        # a replica-served request must bypass the coalescer: batches
+        # coalesce onto the primary's workspace, which would silently
+        # discard the client's freshness/offload intent.
+        use_coalescer = self._coalescer is not None and (
+            request.max_lag_seq is None or not self._replicas
+        )
+        if use_coalescer:
             # Coalescer-aware admission: the arrival is quota-checked
             # and parked into the open batch without holding an
             # in-flight slot through the coalesce window — the
@@ -745,7 +785,7 @@ class ReproServer:
                 # wait reached the floor — a free pool records nothing.
                 dispatch_started = clock()
                 tracer = self.tracer
-                handle = self._workspace.handle
+                handle = self._select_workspace(request).handle
 
                 def dispatched(req):
                     if clock() - dispatch_started >= _WAIT_SPAN_FLOOR:
@@ -1117,9 +1157,110 @@ class ReproServer:
             )
         return 200, {"protocol": 1, **result}
 
+    async def _get_journal(
+        self, request: _HttpRequest, name: str
+    ) -> tuple[int, Any]:
+        """``GET /v1/datasets/{name}/journal``: positioned feed poll.
+
+        The replication endpoint: a cursor-positioned read of the
+        dataset's durable journal.  Without ``from`` (or when the cursor
+        no longer lines up with the journal — compaction, generation
+        bump, primary restart) the batch carries a full ``reset``
+        snapshot-state; with a valid ``from=version:seq`` cursor it
+        carries only the records past that position.  ``batch`` is null
+        when the dataset has no durable state yet.  The records are the
+        journal's own CRC'd payloads — there is no second wire format.
+        """
+        self._require_dataset(name)
+        if self._workspace.data_dir is None:
+            return 409, error_envelope(
+                "not_durable",
+                "this server runs without a data_dir; there is no "
+                "journal to replicate from",
+            )
+        params = request.query_params()
+        position: FeedPosition | None = None
+        raw_from = params.get("from")
+        if raw_from is not None:
+            try:
+                position = FeedPosition.parse(raw_from)
+            except ValueError as exc:
+                raise ProtocolError(str(exc)) from None
+        raw_max = params.get("max_records")
+        try:
+            max_records = 512 if raw_max is None else int(raw_max)
+        except ValueError:
+            raise ProtocolError(
+                f"max_records must be an integer, got {raw_max!r}"
+            ) from None
+        if max_records < 1:
+            raise ProtocolError("max_records must be >= 1")
+        if self._feed is None:
+            self._feed = JournalFeed(self._workspace.data_dir)
+        feed = self._feed
+        loop = asyncio.get_running_loop()
+        batch = await loop.run_in_executor(
+            self._pool, feed.poll, name, position, max_records
+        )
+        encoded = None
+        if batch is not None:
+            encoded = {
+                "reset": (durable_state_to_payload(batch.reset)
+                          if batch.reset is not None else None),
+                "records": batch.records,
+                "position": batch.position.token(),
+                "more": batch.more,
+                "primary_seq": batch.primary_seq,
+            }
+        return 200, {"protocol": 1, "dataset": name, "batch": encoded}
+
+    async def _post_promote(self, _request: _HttpRequest) -> tuple[int, Any]:
+        """``POST /v1/replica:promote``: make a replica writable.
+
+        Only meaningful on a server fronting a
+        :class:`~repro.service.replica.ReplicaWorkspace` (the
+        ``repro-serve --replica-of`` mode); a primary answers 409.  The
+        promote stops the tailer and lifts the write refusal — it does
+        not demote the old primary, which is the operator's runbook step
+        (see ``docs/API.md``).
+        """
+        workspace = self._workspace
+        promote = getattr(workspace, "promote", None)
+        if promote is None or not hasattr(workspace, "promoted"):
+            return 409, error_envelope(
+                "not_a_replica",
+                "this server fronts a primary workspace; promote is "
+                "only valid on a --replica-of server",
+            )
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(self._pool, promote)
+        return 200, {"protocol": 1, "promoted": True}
+
     # ------------------------------------------------------------------
     # Dispatch helpers
     # ------------------------------------------------------------------
+    def _select_workspace(self, request: InsightRequest) -> Workspace:
+        """Route a read to a replica when its staleness bound allows.
+
+        Requests without ``max_lag_seq`` always hit the primary
+        (read-your-writes).  Bounded requests round-robin across the
+        attached replicas that both carry the dataset and are within the
+        bound, falling back to the primary when none qualifies — a
+        lagging replica costs freshness, never correctness.
+        """
+        if request.max_lag_seq is None or not self._replicas:
+            return self._workspace
+        eligible = []
+        for replica in self._replicas:
+            if request.dataset not in replica:
+                continue
+            lag = replica.replica_lag().get(request.dataset)
+            if lag is not None and lag <= request.max_lag_seq:
+                eligible.append(replica)
+        if not eligible:
+            return self._workspace
+        return eligible[next(self._replica_rr) % len(eligible)]
+
     def _dispatch_coalesced_batch(
         self, requests: list[InsightRequest]
     ) -> list[Any]:
@@ -1177,6 +1318,8 @@ class ReproServer:
             return 400, error_envelope(
                 "delta_rejected", str(exc), problems=exc.problems
             )
+        if isinstance(exc, ReplicaReadOnlyError):
+            return 403, error_envelope("replica_read_only", str(exc))
         if isinstance(exc, ProtocolError):
             return 400, error_envelope("protocol_error", str(exc))
         if isinstance(exc, QueryError):

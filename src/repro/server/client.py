@@ -31,6 +31,22 @@ from repro.errors import ServerError
 from repro.service.dto import InsightRequest, InsightResponse, is_error_envelope
 
 
+def _parse_retry_after(value: str | None) -> float | None:
+    """Parse a ``Retry-After`` header defensively.
+
+    RFC 9110 allows either delay-seconds or an HTTP-date; this server
+    only ever sends the numeric form, but proxies in front of it may
+    rewrite the header.  A non-numeric value must degrade to ``None``
+    rather than mask the real 429/503 with a ``ValueError``.
+    """
+    if not value:
+        return None
+    try:
+        return float(value)
+    except ValueError:
+        return None
+
+
 class ServerResponseError(ServerError):
     """The server answered with a structured error envelope."""
 
@@ -119,11 +135,12 @@ class ReproClient:
                  payload: Any | None = None) -> Any:
         response = self.request_raw(method, path, payload)
         if response.status >= 400 or is_error_envelope(response.payload):
-            retry_after = response.headers.get("retry-after")
             raise ServerResponseError(
                 response.status,
                 response.payload if isinstance(response.payload, dict) else {},
-                retry_after=float(retry_after) if retry_after else None,
+                retry_after=_parse_retry_after(
+                    response.headers.get("retry-after")
+                ),
             )
         return response.payload
 
@@ -133,6 +150,7 @@ class ReproClient:
     def insights(
         self, request: InsightRequest | Mapping[str, Any],
         debug: bool = False,
+        max_lag_seq: int | None = None,
     ) -> InsightResponse:
         """``POST /v1/insights``: one request, one response.
 
@@ -141,6 +159,13 @@ class ReproClient:
         probes) under ``response.provenance["cost"]``.  The flag rides
         outside the canonical request key, so debug requests share
         cache entries with their non-debug twins.
+
+        ``max_lag_seq`` declares a staleness bound: the server may serve
+        the read from an attached replica whose lag is within that many
+        journal sequence numbers (0 = only a fully caught-up replica).
+        ``None`` — the default — always reads the primary
+        (read-your-writes).  Like ``debug``, it rides outside the
+        canonical request key.
         """
         payload = (
             request.to_dict() if isinstance(request, InsightRequest)
@@ -148,6 +173,8 @@ class ReproClient:
         )
         if debug:
             payload["debug"] = True
+        if max_lag_seq is not None:
+            payload["max_lag_seq"] = max_lag_seq
         return InsightResponse.from_dict(
             self._request("POST", "/v1/insights", payload)
         )
@@ -310,6 +337,40 @@ class ReproClient:
         when the server has no ``data_dir`` (the flush was a no-op).
         """
         return self._request("POST", f"/v1/datasets/{name}/flush", {})
+
+    # ------------------------------------------------------------------
+    # Replication
+    # ------------------------------------------------------------------
+    def journal(
+        self, name: str, position: str | None = None,
+        max_records: int | None = None,
+    ) -> dict[str, Any]:
+        """``GET /v1/datasets/{name}/journal``: poll the replication feed.
+
+        ``position`` is the ``"version:seq"`` cursor from a previous
+        batch; omit it (or pass a stale one) to receive a reset batch
+        carrying the full snapshot-state.  Answers ``{"protocol",
+        "dataset", "batch"}`` where ``batch`` is ``None`` for a dataset
+        with no durable state yet.
+        """
+        quoted = urllib.parse.quote(name, safe="")
+        params: dict[str, str] = {}
+        if position is not None:
+            params["from"] = position
+        if max_records is not None:
+            params["max_records"] = str(max_records)
+        path = f"/v1/datasets/{quoted}/journal"
+        if params:
+            path += "?" + urllib.parse.urlencode(params)
+        return self._request("GET", path)
+
+    def promote(self) -> dict[str, Any]:
+        """``POST /v1/replica:promote``: make a replica server writable.
+
+        Raises :class:`ServerResponseError` (409 ``not_a_replica``)
+        against a primary.
+        """
+        return self._request("POST", "/v1/replica:promote", {})
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -110,6 +110,21 @@ class ServerConfig:
         from the :class:`~repro.obs.config.ObsConfig` defaults — leaves
         the workspace's own tracer configuration untouched (tracing is
         on by default there too).
+    replica_of:
+        ``http://host:port`` of a primary to replicate from
+        (``REPRO_SERVER_REPLICA_OF`` / ``--replica-of``).  When set the
+        server fronts a read-only
+        :class:`~repro.service.replica.ReplicaWorkspace` that tails the
+        primary's journal endpoint; writes answer 403 until the replica
+        is promoted.  Mutually exclusive with ``data_dir`` — a replica's
+        state *is* the primary's journal.
+    replica_poll_interval:
+        Seconds between the replica tailer's polls of the primary
+        (only meaningful with ``replica_of``).
+    promote_after:
+        Auto-promote the replica to writable after the primary has been
+        unreachable for this many seconds (0 — the default — never
+        auto-promotes; use ``POST /v1/replica:promote``).
     """
 
     host: str = "127.0.0.1"
@@ -130,6 +145,9 @@ class ServerConfig:
     group_commit: bool = False
     max_group_delay: float = 0.0
     obs: ObsConfig | None = None
+    replica_of: str | None = None
+    replica_poll_interval: float = 0.25
+    promote_after: float = 0.0
 
     def __post_init__(self) -> None:
         if isinstance(self.obs, dict):
@@ -177,6 +195,20 @@ class ServerConfig:
         if self.max_group_delay < 0:
             raise ServerError(
                 f"max_group_delay must be >= 0, got {self.max_group_delay}"
+            )
+        if self.replica_poll_interval <= 0:
+            raise ServerError(
+                "replica_poll_interval must be > 0, got "
+                f"{self.replica_poll_interval}"
+            )
+        if self.promote_after < 0:
+            raise ServerError(
+                f"promote_after must be >= 0, got {self.promote_after}"
+            )
+        if self.replica_of is not None and self.data_dir is not None:
+            raise ServerError(
+                "replica_of and data_dir are mutually exclusive: a "
+                "replica's state is the primary's journal, not its own"
             )
 
     # ------------------------------------------------------------------
@@ -276,6 +308,20 @@ class ServerConfig:
             "--max-group-delay", type=float, default=base.max_group_delay,
             help="seconds a group-commit leader lingers for more appends "
                  f"to join its fsync, 0 = none (default {base.max_group_delay:g})")
+        parser.add_argument(
+            "--replica-of", default=base.replica_of, metavar="URL",
+            help="serve as a read replica tailing this primary "
+                 "(http://host:port); writes answer 403 until promoted")
+        parser.add_argument(
+            "--replica-poll-interval", type=float,
+            default=base.replica_poll_interval,
+            help="seconds between replica polls of the primary "
+                 f"(default {base.replica_poll_interval:g})")
+        parser.add_argument(
+            "--promote-after", type=float, default=base.promote_after,
+            help="auto-promote the replica after the primary has been "
+                 "unreachable this many seconds, 0 = never "
+                 f"(default {base.promote_after:g})")
         ObsConfig.add_cli_arguments(parser, base=base.obs)
 
     @classmethod
@@ -301,6 +347,9 @@ class ServerConfig:
             group_commit=args.group_commit,
             max_group_delay=args.max_group_delay,
             obs=obs if obs != ObsConfig() else None,
+            replica_of=args.replica_of,
+            replica_poll_interval=args.replica_poll_interval,
+            promote_after=args.promote_after,
         )
 
     def as_dict(self) -> dict[str, Any]:
@@ -315,7 +364,8 @@ class ServerConfig:
 #: reaches only via an explicit "none"/"null" spelling).
 _OPTIONAL_INT_FIELDS = {"dataset_quota", "class_quota", "write_quota"}
 _FLOAT_FIELDS = {"coalesce_window", "retry_after", "drain_timeout",
-                 "read_timeout", "max_group_delay"}
+                 "read_timeout", "max_group_delay",
+                 "replica_poll_interval", "promote_after"}
 _BOOL_FIELDS = {"group_commit"}
 _INT_FIELDS = {
     "port",

@@ -375,6 +375,25 @@ def render_prometheus(document: dict[str, Any]) -> str:
             gauge("repro_dataset_rebuild_running",
                   1 if counters.get("rebuild_running") else 0,
                   {"dataset": name}, declare=False)
+    replica = ingest.get("replica", {})
+    if replica:
+        gauge("repro_replica_promoted", 1 if replica.get("promoted") else 0)
+        gauge("repro_replica_tailing", 1 if replica.get("tailing") else 0)
+        replica_datasets = replica.get("datasets", {})
+        if replica_datasets:
+            lines.append("# TYPE repro_replica_lag_seq gauge")
+            for name, snap in sorted(replica_datasets.items()):
+                gauge("repro_replica_lag_seq", snap.get("lag_seq", 0),
+                      {"dataset": name}, declare=False)
+            lines.append("# TYPE repro_replica_applied_records_total counter")
+            for name, snap in sorted(replica_datasets.items()):
+                counter("repro_replica_applied_records_total",
+                        snap.get("applied_records", 0),
+                        {"dataset": name}, declare=False)
+            lines.append("# TYPE repro_replica_resets_total counter")
+            for name, snap in sorted(replica_datasets.items()):
+                counter("repro_replica_resets_total", snap.get("resets", 0),
+                        {"dataset": name}, declare=False)
 
     obs = document.get("obs", {})
     tracing = obs.get("tracing", {})

@@ -36,22 +36,26 @@ from repro.service.pipeline import (
     ScoredBatch,
 )
 from repro.ingest.maintenance import IngestConfig
+from repro.service.replica import FeedSource, LocalFeedSource, ReplicaWorkspace
 from repro.service.workspace import AppendResult, Workspace
 
 __all__ = [
     "AppendResult",
     "Enumeration",
+    "FeedSource",
     "IngestConfig",
     "ExecutionPlan",
     "Executor",
     "ExecutorConfig",
     "InsightRequest",
     "InsightResponse",
+    "LocalFeedSource",
     "PROTOCOL_VERSION",
     "PipelineStats",
     "PlannedQuery",
     "QueryPipeline",
     "RankingResult",
+    "ReplicaWorkspace",
     "ResultCache",
     "ScoredBatch",
     "SessionState",

@@ -73,6 +73,15 @@ class InsightRequest:
         only: the flag is deliberately **excluded** from the wire dict
         and the canonical key, so a debug request shares cache entries —
         and cached payload bytes — with its non-debug twin.
+    max_lag_seq:
+        Staleness bound for replica routing, in journal records.  None
+        (the default) demands the primary — read-your-writes
+        consistency; an integer N marks the request servable by any
+        read replica at most N records behind the primary (0 = only a
+        fully caught-up replica).  Routing metadata, not query
+        semantics: like ``debug`` it is excluded from the wire dict and
+        the canonical key, so routed requests share cache entries with
+        their primary-served twins.
     """
 
     dataset: str
@@ -87,6 +96,7 @@ class InsightRequest:
     max_candidates: int | None = None
     cursor: str | None = None
     debug: bool = False
+    max_lag_seq: int | None = None
 
     def __post_init__(self) -> None:
         if isinstance(self.insight_classes, str):
@@ -108,6 +118,10 @@ class InsightRequest:
         if self.mode is not None and self.mode not in _MODES:
             raise ProtocolError(
                 f"request mode must be one of {_MODES} or None, got {self.mode!r}"
+            )
+        if self.max_lag_seq is not None and self.max_lag_seq < 0:
+            raise ProtocolError(
+                f"request max_lag_seq must be >= 0, got {self.max_lag_seq}"
             )
 
     # -- conversion to executable queries ---------------------------------------
@@ -142,10 +156,11 @@ class InsightRequest:
 
     # -- wire format -------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
-        # ``debug`` is intentionally absent: the canonical key (and hence
-        # the result-cache key) must not fork on a diagnostics toggle.
-        # Transports that need to ship it add the key themselves (see
-        # ReproClient.insights) and ``from_dict`` reads it back.
+        # ``debug`` and ``max_lag_seq`` are intentionally absent: the
+        # canonical key (and hence the result-cache key) must not fork
+        # on a diagnostics toggle or a routing hint.  Transports that
+        # need to ship them add the keys themselves (see
+        # ReproClient.insights) and ``from_dict`` reads them back.
         return {
             "protocol": PROTOCOL_VERSION,
             "dataset": self.dataset,
@@ -170,6 +185,7 @@ class InsightRequest:
         except KeyError as exc:
             raise ProtocolError(f"request is missing required key {exc}") from exc
         max_candidates = payload.get("max_candidates")
+        max_lag_seq = payload.get("max_lag_seq")
         return cls(
             dataset=str(dataset),
             insight_classes=insight_classes,
@@ -183,6 +199,7 @@ class InsightRequest:
             max_candidates=None if max_candidates is None else int(max_candidates),
             cursor=payload.get("cursor"),
             debug=bool(payload.get("debug", False)),
+            max_lag_seq=None if max_lag_seq is None else int(max_lag_seq),
         )
 
     def to_json(self) -> str:

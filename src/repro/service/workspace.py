@@ -378,6 +378,19 @@ class Workspace:
         with self._lock:
             self._entries[name] = entry
         self._adopt_version(name, state.version)
+        # Account the on-disk bytes immediately (they are known without
+        # materialising): otherwise the debug/metrics surfaces read 0
+        # journal/snapshot bytes for every recovered dataset until its
+        # first query.  Only the disk rows — table/sketch bytes really
+        # are 0 until replay runs, and the entry lock (which the full
+        # _account_entry expects) may not be takeable under the registry
+        # lock some callers hold here.
+        if self._journal is not None and self._obs_config.resources_enabled:
+            usage = self._journal.disk_usage(name)
+            self._ledger.set("journal_disk", usage["journal_bytes"],
+                             dataset=name)
+            self._ledger.set("snapshot_disk", usage["snapshot_bytes"],
+                             dataset=name)
         return entry
 
     def _materialize(self, entry: _DatasetEntry) -> None:

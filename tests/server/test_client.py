@@ -1,0 +1,27 @@
+"""Client-side defensive parsing (repro.server.client helpers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server.client import _parse_retry_after
+
+
+class TestParseRetryAfter:
+    """Regression (ISSUE 10): a proxy-rewritten HTTP-date ``Retry-After``
+    must degrade to ``None``, not mask the real 429/503 with a
+    ``ValueError`` raised while building the error."""
+
+    def test_numeric_seconds_parse(self):
+        assert _parse_retry_after("1.5") == 1.5
+        assert _parse_retry_after("30") == 30.0
+        assert _parse_retry_after("0") == 0.0
+
+    def test_http_date_degrades_to_none(self):
+        # RFC 9110 allows an HTTP-date; proxies in front of the server
+        # may rewrite the numeric form into one.
+        assert _parse_retry_after("Wed, 21 Oct 2015 07:28:00 GMT") is None
+
+    @pytest.mark.parametrize("value", [None, "", "soon", "1,5", "1.5s"])
+    def test_garbage_degrades_to_none(self, value):
+        assert _parse_retry_after(value) is None

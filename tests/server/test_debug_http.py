@@ -144,6 +144,54 @@ class TestTraceCursor:
                 assert exc_info.value.status == 400
 
 
+class TestRestartDiskAccounting:
+    """Regression (ISSUE 10): recovered-but-untouched datasets must not
+    read 0 journal/snapshot bytes after a restart.
+
+    ``DatasetJournal.disk_usage()`` totals only counted datasets already
+    *seen* in-process, and the workspace only accounted disk rows at
+    materialisation — so right after a restart, before the first query,
+    ``/v1/debug`` and Prometheus under-reported every dataset to 0.
+    """
+
+    def test_journal_totals_scan_unseen_datasets(self, tmp_path, table):
+        from repro.ingest.durable import DatasetJournal
+
+        workspace = Workspace(data_dir=str(tmp_path))
+        workspace.register("demo", table)  # inline: self-contained
+        workspace.append("demo", table.to_records()[:5])
+        workspace.close()
+        # A fresh journal instance has seen nothing yet: the totals
+        # path must scan the directory listing, not return zeros.
+        journal = DatasetJournal(str(tmp_path))
+        totals = journal.disk_usage()
+        assert totals["journal_bytes"] > 0
+        assert totals["snapshot_bytes"] > 0
+        # And the per-dataset row agrees with the totals.
+        assert journal.disk_usage("demo") == totals
+
+    def test_debug_reports_disk_bytes_before_the_first_query(self, tmp_path,
+                                                             table):
+        workspace = Workspace(data_dir=str(tmp_path))
+        workspace.register("demo", table)
+        workspace.append("demo", table.to_records()[:5])
+        workspace.close()
+
+        restarted = Workspace(data_dir=str(tmp_path))
+        config = ServerConfig(port=0, coalesce_window=0.0)
+        with serving(restarted, config) as handle:
+            with ReproClient(*handle.address) as client:
+                # No insights request first: the debug read races only
+                # recovery, which must already have accounted the disk.
+                document = client.debug()
+                text = client.metrics_text()
+        demo = document["memory"]["datasets"]["demo"]
+        assert demo["journal_disk"] > 0
+        assert demo["snapshot_disk"] > 0
+        assert ('repro_dataset_memory_bytes{dataset="demo",'
+                'component="journal_disk"}') in text
+
+
 class TestPrometheusExposition:
     SERIES = (
         "repro_memory_bytes{component=",

@@ -1,0 +1,50 @@
+"""Unit tests for the shared benchmark helpers (benchmarks/bench_util.py).
+
+The benchmarks run as plain scripts with ``benchmarks/`` on
+``sys.path``; the suite loads the module the same way so one percentile
+implementation is pinned for every ``BENCH_*.json``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parents[1] / "benchmarks"
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))
+
+import bench_util  # noqa: E402  (needs the path tweak above)
+
+
+class TestPercentile:
+    """Regression (ISSUE 10): the nearest-rank index must be ceil-based.
+
+    ``round()`` banker's-rounds ``.5`` ranks down to the even index and
+    biases p50/p95 low on small samples — e.g. a 6-sample p50 landed on
+    the 3rd value instead of the 4th.
+    """
+
+    def test_half_rank_rounds_up_not_to_even(self):
+        # q*(n-1) = 2.5: round() gives index 2 (30), ceil gives 3 (40).
+        assert bench_util.percentile([10, 20, 30, 40, 50, 60], 0.5) == 40
+
+    def test_p95_on_a_hundred_samples(self):
+        values = list(range(100))
+        # rank 0.95 * 99 = 94.05 -> index 95.
+        assert bench_util.percentile(values, 0.95) == 95
+
+    def test_extremes_and_clamping(self):
+        values = [3.0, 1.0, 2.0]
+        assert bench_util.percentile(values, 0.0) == 1.0
+        assert bench_util.percentile(values, 1.0) == 3.0
+        # Out-of-range quantiles clamp instead of indexing off the end.
+        assert bench_util.percentile(values, 1.5) == 3.0
+        assert bench_util.percentile(values, -0.5) == 1.0
+
+    def test_input_need_not_be_sorted(self):
+        assert bench_util.percentile([9.0, 1.0, 5.0, 7.0, 3.0], 0.5) == 5.0
+
+    def test_single_sample(self):
+        assert bench_util.percentile([42.0], 0.5) == 42.0
+        assert bench_util.percentile([42.0], 0.99) == 42.0
